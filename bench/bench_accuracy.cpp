@@ -1,0 +1,91 @@
+// §4.2 accuracy claim: Forward Push with ε=1e-6 reaches 97%+ top-100
+// precision against the Power Iteration ground truth (ε'=1e-10), while
+// being far cheaper; ε=1e-4 is still accurate enough for GNN use.
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "ppr/forward_push.hpp"
+#include "ppr/metrics.hpp"
+#include "ppr/monte_carlo.hpp"
+#include "ppr/power_iteration.hpp"
+
+using namespace ppr;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const double s = bench::scale(args);
+  const bool quick = args.get_bool("quick", false);
+  const std::string name = args.get_string("dataset", "products-sim");
+  const int num_queries =
+      static_cast<int>(args.get_int("queries", quick ? 2 : 4));
+
+  const Graph g = bench::dataset(name, s);
+  const CsrMatrix pt = build_transition_matrix(g);
+
+  bench::print_header("Accuracy: Forward Push vs Power Iteration on " +
+                      name);
+  std::printf("%-10s %10s %12s %12s %12s %12s\n", "epsilon", "top-100",
+              "top-10", "L1 error", "pushes", "pi iters");
+
+  Rng rng(17);
+  for (const double eps : {1e-4, 1e-5, 1e-6}) {
+    double p100 = 0, p10 = 0, l1 = 0, pushes = 0, iters = 0;
+    for (int q = 0; q < num_queries; ++q) {
+      const auto source = static_cast<NodeId>(
+          rng.next_u64(static_cast<std::uint64_t>(g.num_nodes())));
+      const PowerIterationResult exact =
+          power_iteration(g, pt, source, 0.462, 1e-10);
+      const ForwardPushResult fp =
+          forward_push_sequential(g, source, 0.462, eps);
+      p100 += topk_precision(fp.ppr, exact.ppr, 100);
+      p10 += topk_precision(fp.ppr, exact.ppr, 10);
+      l1 += l1_error(fp.ppr, exact.ppr);
+      pushes += static_cast<double>(fp.num_pushes);
+      iters += static_cast<double>(exact.num_iterations);
+    }
+    const double n = num_queries;
+    std::printf("%-10.0e %9.1f%% %11.1f%% %12.3g %12.0f %12.1f\n", eps,
+                100 * p100 / n, 100 * p10 / n, l1 / n, pushes / n,
+                iters / n);
+  }
+  std::printf(
+      "\npaper: 97%%+ top-100 precision at eps=1e-6; approximate SSPPR at "
+      "eps=1e-4 is accurate enough for downstream GNNs.\n");
+
+  // Method-family comparison (§2.2.1): local-update (push) vs Monte-Carlo
+  // vs the FORA hybrid, at roughly matched work budgets.
+  bench::print_header("PPR method families on " + name +
+                      " (vs power iteration @1e-10)");
+  std::printf("%-26s %10s %10s %12s\n", "method", "top-100", "top-10",
+              "L1 error");
+  Rng rng2(23);
+  const int mq = std::max(1, num_queries / 2);
+  double fp100 = 0, fp10 = 0, fpl1 = 0;
+  double mc100 = 0, mc10 = 0, mcl1 = 0;
+  double fo100 = 0, fo10 = 0, fol1 = 0;
+  for (int q = 0; q < mq; ++q) {
+    const auto source = static_cast<NodeId>(
+        rng2.next_u64(static_cast<std::uint64_t>(g.num_nodes())));
+    const auto exact = power_iteration(g, pt, source, 0.462, 1e-10);
+    const auto fp = forward_push_sequential(g, source, 0.462, 1e-6);
+    const auto mc = monte_carlo_ppr(g, source, 0.462, 200'000, 7);
+    const auto fo = fora_ppr(g, source, 0.462, 1e-4, 100'000, 7);
+    fp100 += topk_precision(fp.ppr, exact.ppr, 100);
+    fp10 += topk_precision(fp.ppr, exact.ppr, 10);
+    fpl1 += l1_error(fp.ppr, exact.ppr);
+    mc100 += topk_precision(mc.ppr, exact.ppr, 100);
+    mc10 += topk_precision(mc.ppr, exact.ppr, 10);
+    mcl1 += l1_error(mc.ppr, exact.ppr);
+    fo100 += topk_precision(fo.ppr, exact.ppr, 100);
+    fo10 += topk_precision(fo.ppr, exact.ppr, 10);
+    fol1 += l1_error(fo.ppr, exact.ppr);
+  }
+  const double n2 = mq;
+  std::printf("%-26s %9.1f%% %9.1f%% %12.3g\n", "Forward Push (1e-6)",
+              100 * fp100 / n2, 100 * fp10 / n2, fpl1 / n2);
+  std::printf("%-26s %9.1f%% %9.1f%% %12.3g\n", "Monte-Carlo (200k walks)",
+              100 * mc100 / n2, 100 * mc10 / n2, mcl1 / n2);
+  std::printf("%-26s %9.1f%% %9.1f%% %12.3g\n",
+              "FORA hybrid (1e-4 + walks)", 100 * fo100 / n2,
+              100 * fo10 / n2, fol1 / n2);
+  return 0;
+}

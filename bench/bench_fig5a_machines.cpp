@@ -1,0 +1,67 @@
+// Figure 5(a): scalability with the number of machines. Fixed problem
+// size of 256 SSPPR queries total, partitions = machines, one computing
+// process per machine.
+//
+// Expected shape: 2.5-3.5x speedup from 2 to 8 machines, with the remote
+// traversal ratio growing as the graph splits into more shards (§4.3).
+#include <thread>
+
+#include "bench_common.hpp"
+
+using namespace ppr;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const double s = bench::scale(args);
+  const bool quick = args.get_bool("quick", false);
+  const int total_queries =
+      static_cast<int>(args.get_int("queries", quick ? 64 : 256));
+  // Our replicas are ~100x smaller than the paper's graphs, so a fixed
+  // eps=1e-6 touches a far larger *fraction* of the graph per query than
+  // in the paper. eps=1e-5 matches the paper's touched-set fraction and
+  // keeps the workload in the communication-bound regime the experiment
+  // studies (override with --eps).
+  const double eps = args.get_double("eps", 1e-5);
+
+  bench::apply_rpc_cost_model(args);
+
+  bench::print_header(
+      "Figure 5(a): throughput vs number of machines (256 queries, 1 "
+      "proc/machine)");
+  std::printf("%-16s %9s %14s %14s %12s\n", "dataset", "machines",
+              "throughput", "time(s)", "remote%");
+
+  for (const std::string& name : bench::dataset_names(args)) {
+    const Graph g = bench::dataset(name, s);
+    double base_qps = 0;
+    for (const int machines : {2, 4, 8}) {
+      auto cluster = bench::make_cluster(g, name, s, machines);
+      WorkloadOptions w;
+      w.procs_per_machine = 1;
+      w.queries_per_machine = total_queries / machines;
+      w.warmup_runs = quick ? 0 : 1;
+      w.measured_runs = quick ? 1 : 2;
+      w.ppr.alpha = 0.462;
+      w.ppr.epsilon = eps;
+      const ThroughputResult r = measure_engine_throughput(*cluster, w);
+      if (machines == 2) base_qps = r.queries_per_second;
+      std::printf("%-16s %9d %11.1f/s %14.3f %11.1f%%", name.c_str(),
+                  machines, r.queries_per_second, r.seconds_per_run,
+                  100.0 * r.remote_ratio);
+      if (machines != 2) {
+        std::printf("  (%.2fx vs 2 machines)",
+                    r.queries_per_second / base_qps);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\npaper: 2.5-3.5x speedup from 2 to 8 machines; remote traversal "
+      "grows with partitions (e.g. 3%%->13%% on Ogbn-products).\n"
+      "NOTE: this harness runs on %u hardware thread(s); simulated "
+      "machines share them, so compute throughput cannot scale with the "
+      "machine count here — the reproducible signal in this figure is the "
+      "remote-traversal trend (see EXPERIMENTS.md).\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

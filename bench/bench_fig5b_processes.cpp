@@ -1,0 +1,78 @@
+// Figure 5(b): inter-SSPPR parallelization — scaling with the number of
+// computing processes per machine on a 2-machine cluster.
+//   strong scaling: 128 queries total, procs/machine in {1,2,4,8}
+//   weak scaling:   128 queries per process
+//
+// Paper shape: 4.8-5.5x strong / 6.4-7.8x weak speedup at 8 processes on
+// a 128-core box. NOTE: this container exposes a single CPU core, so
+// speedup here comes only from overlapping RPC waits across processes;
+// expect the same ordering (weak >= strong > 1 until the core saturates)
+// with smaller factors.
+#include "bench_common.hpp"
+
+using namespace ppr;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const double s = bench::scale(args);
+  const bool quick = args.get_bool("quick", false);
+  const int machines = 2;
+  const int strong_total =
+      static_cast<int>(args.get_int("strong-queries", quick ? 32 : 128));
+  const int weak_per_proc =
+      static_cast<int>(args.get_int("weak-queries", quick ? 16 : 64));
+  // See bench_fig5a_machines.cpp: eps normalized for the scaled graphs.
+  const double eps = args.get_double("eps", 1e-5);
+
+  bench::apply_rpc_cost_model(args);
+
+  for (const std::string& name : bench::dataset_names(args)) {
+    const Graph g = bench::dataset(name, s);
+    auto cluster = bench::make_cluster(g, name, s, machines);
+
+    bench::print_header("Figure 5(b) strong scaling on " + name + " (" +
+                        std::to_string(strong_total) + " queries total)");
+    std::printf("%6s %12s %14s %10s\n", "procs", "time(s)", "throughput",
+                "speedup");
+    double base_time = 0;
+    for (const int procs : {1, 2, 4, 8}) {
+      WorkloadOptions w;
+      w.procs_per_machine = procs;
+      w.queries_per_machine = strong_total / machines;
+      w.warmup_runs = quick ? 0 : 1;
+      w.measured_runs = quick ? 1 : 2;
+      w.ppr.alpha = 0.462;
+      w.ppr.epsilon = eps;
+      const ThroughputResult r = measure_engine_throughput(*cluster, w);
+      if (procs == 1) base_time = r.seconds_per_run;
+      std::printf("%6d %12.3f %11.1f/s %9.2fx\n", procs, r.seconds_per_run,
+                  r.queries_per_second, base_time / r.seconds_per_run);
+    }
+
+    bench::print_header("Figure 5(b) weak scaling on " + name + " (" +
+                        std::to_string(weak_per_proc) +
+                        " queries per process)");
+    std::printf("%6s %12s %14s %12s\n", "procs", "time(s)", "throughput",
+                "efficiency");
+    double base_qps = 0;
+    for (const int procs : {1, 2, 4, 8}) {
+      WorkloadOptions w;
+      w.procs_per_machine = procs;
+      w.queries_per_machine = weak_per_proc * procs;
+      w.warmup_runs = quick ? 0 : 1;
+      w.measured_runs = quick ? 1 : 2;
+      w.ppr.alpha = 0.462;
+      w.ppr.epsilon = eps;
+      const ThroughputResult r = measure_engine_throughput(*cluster, w);
+      if (procs == 1) base_qps = r.queries_per_second;
+      std::printf("%6d %12.3f %11.1f/s %11.1f%%\n", procs, r.seconds_per_run,
+                  r.queries_per_second,
+                  100.0 * r.queries_per_second / (base_qps * procs));
+    }
+  }
+  std::printf(
+      "\npaper: 4.8-5.5x strong / 6.4-7.8x weak speedup at 8 processes "
+      "(128-core machine; this harness has %u hardware threads).\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

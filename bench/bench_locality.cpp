@@ -1,0 +1,70 @@
+// §4.3 locality analysis: the fraction of Forward Push traversal resolved
+// remotely as a function of the partition count and partitioner quality.
+// Min-cut partitioning is what keeps the engine's communication low; the
+// random-partition row quantifies how much it matters.
+#include "bench_common.hpp"
+#include "engine/ssppr_driver.hpp"
+
+using namespace ppr;
+
+namespace {
+double measure_remote_ratio(const Graph& g,
+                            const PartitionAssignment& assignment,
+                            int machines, int queries,
+                            bool halo_cache = false) {
+  ClusterOptions opts;
+  opts.num_machines = machines;
+  opts.network = no_network_cost();  // locality only; speed irrelevant
+  opts.cache_halo_adjacency = halo_cache;
+  Cluster cluster(g, assignment, opts);
+  cluster.reset_stats();
+  for (int q = 0; q < queries; ++q) {
+    const auto source =
+        static_cast<NodeId>((q * 7919L + 13) % g.num_nodes());
+    const NodeRef ref = cluster.locate(source);
+    compute_ssppr(cluster.storage(ref.shard), ref,
+                  SspprOptions{.alpha = 0.462, .epsilon = 1e-6});
+  }
+  return cluster.remote_ratio();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const double s = bench::scale(args);
+  const bool quick = args.get_bool("quick", false);
+  const int queries = static_cast<int>(args.get_int("queries", quick ? 4 : 16));
+
+  bench::print_header(
+      "Locality: remote traversal ratio vs partitions and partitioner");
+  std::printf("%-16s %6s %12s %14s %13s %14s %10s\n", "dataset", "parts",
+              "cut ratio", "remote(mincut)", "remote(+halo)",
+              "remote(random)", "advantage");
+
+  for (const std::string& name : bench::dataset_names(args)) {
+    const Graph g = bench::dataset(name, s);
+    for (const int machines : {2, 4, 8}) {
+      const auto mincut = bench::partition(g, name, s, machines);
+      const auto random = partition_random(g, machines, 3);
+      const double cut =
+          evaluate_partition(g, mincut, machines).cut_ratio;
+      const double remote_mincut =
+          measure_remote_ratio(g, mincut, machines, queries);
+      const double remote_halo =
+          measure_remote_ratio(g, mincut, machines, queries,
+                               /*halo_cache=*/true);
+      const double remote_random =
+          measure_remote_ratio(g, random, machines, queries);
+      std::printf("%-16s %6d %11.1f%% %13.1f%% %12.1f%% %13.1f%% %9.1fx\n",
+                  name.c_str(), machines, 100 * cut, 100 * remote_mincut,
+                  100 * remote_halo, 100 * remote_random,
+                  remote_random / remote_mincut);
+    }
+  }
+  std::printf(
+      "\npaper: remote traversal grows with partitions (3%%->13%% on "
+      "products from 2 to 8); Twitter-like graphs partition worse "
+      "(~50-55%%).\n+halo = this repo's halo-adjacency cache extension "
+      "(the higher-hop caching direction discussed in §3.2.1).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Tour of the engine's graph-processing primitives beyond the SSPPR
+// driver: distributed BFS (the paper's other hashmap-frontier example),
+// the halo-adjacency cache extension, and the alternative PPR method
+// families from §2.2 (Monte-Carlo, FORA hybrid) compared on the same
+// query.
+//
+//   ./graph_algorithms [--nodes 20000] [--machines 3]
+#include <cstdio>
+
+#include "common/argparse.hpp"
+#include "common/timer.hpp"
+#include "engine/cluster.hpp"
+#include "engine/ssppr_driver.hpp"
+#include "graph/generators.hpp"
+#include "ppr/bfs.hpp"
+#include "ppr/forward_push.hpp"
+#include "ppr/metrics.hpp"
+#include "ppr/monte_carlo.hpp"
+#include "ppr/power_iteration.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppr;
+  ArgParser args(argc, argv);
+  const auto nodes = static_cast<NodeId>(args.get_int("nodes", 20000));
+  const int machines = static_cast<int>(args.get_int("machines", 3));
+
+  const Graph graph =
+      generate_clustered(nodes, 24, nodes * 10, nodes, 1.5, 33);
+  const PartitionAssignment assignment =
+      partition_multilevel(graph, machines);
+
+  // Two clusters over the same shards: plain, and with the halo cache.
+  ClusterOptions copts;
+  copts.num_machines = machines;
+  Cluster plain(graph, assignment, copts);
+  copts.cache_halo_adjacency = true;
+  Cluster cached(graph, assignment, copts);
+
+  // --- Distributed BFS ---------------------------------------------------
+  const NodeRef root = plain.locate(0);
+  WallTimer bfs_timer;
+  const NodeId roots[] = {root.local};
+  const BfsResult bfs = distributed_bfs(plain.storage(root.shard), roots);
+  std::printf("BFS from node 0: visited %zu/%d nodes in %zu levels (%.1fms)\n",
+              bfs.num_visited, graph.num_nodes(), bfs.num_levels,
+              bfs_timer.millis());
+
+  // --- SSPPR with and without the halo-adjacency cache -------------------
+  for (Cluster* cluster : {&plain, &cached}) {
+    cluster->reset_stats();
+    WallTimer timer;
+    SspprState state = compute_ssppr(
+        cluster->storage(root.shard), root,
+        SspprOptions{.alpha = 0.462, .epsilon = 1e-6});
+    const auto& stats = cluster->storage(root.shard).stats();
+    std::printf(
+        "SSPPR (%s): %.1fms, %zu pushes, remote ratio %.1f%%, halo hits "
+        "%llu\n",
+        cluster == &plain ? "plain" : "halo cache", timer.millis(),
+        state.num_pushes(), 100.0 * stats.remote_ratio(),
+        static_cast<unsigned long long>(stats.halo_hits.load()));
+  }
+
+  // --- PPR method families on the full graph -----------------------------
+  const auto exact = power_iteration(graph, 0, 0.462, 1e-10);
+  struct Row {
+    const char* name;
+    std::vector<double> ppr;
+    double millis;
+  };
+  std::vector<Row> rows;
+  {
+    WallTimer t;
+    auto r = forward_push_sequential(graph, 0, 0.462, 1e-6);
+    rows.push_back({"forward push (1e-6)", std::move(r.ppr), t.millis()});
+  }
+  {
+    WallTimer t;
+    auto r = monte_carlo_ppr(graph, 0, 0.462, 100000, 5);
+    rows.push_back({"monte-carlo (100k)", std::move(r.ppr), t.millis()});
+  }
+  {
+    WallTimer t;
+    auto r = fora_ppr(graph, 0, 0.462, 1e-4, 50000, 5);
+    rows.push_back({"fora (1e-4 + walks)", std::move(r.ppr), t.millis()});
+  }
+  std::printf("\n%-22s %10s %10s %10s\n", "method", "top-50", "L1 err",
+              "time(ms)");
+  for (const Row& row : rows) {
+    std::printf("%-22s %9.1f%% %10.4f %10.1f\n", row.name,
+                100 * topk_precision(row.ppr, exact.ppr, 50),
+                l1_error(row.ppr, exact.ppr), row.millis);
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Run every reproduction bench in order, tee to bench_output.txt.
+set -u
+cd /root/repo
+{
+  for b in bench_table1_datasets bench_table2_throughput \
+           bench_table3_rpc_ablation bench_fig5a_machines \
+           bench_fig5b_processes bench_fig6_breakdown bench_accuracy \
+           bench_locality; do
+    echo "##### $b"
+    ./build/bench/$b "$@" 2>&1
+    echo
+  done
+  echo "##### bench_micro_ops"
+  ./build/bench/bench_micro_ops --benchmark_min_time=0.2 2>&1
+} 

@@ -1,0 +1,56 @@
+#include "common/argparse.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace ppr {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+long ArgParser::get_int(const std::string& name, long def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace ppr

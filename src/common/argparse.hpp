@@ -1,0 +1,29 @@
+// Tiny command-line flag parser for benches and examples.
+// Supports --name=value and --name value; typed getters with defaults.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppr {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  long get_int(const std::string& name, long def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ppr

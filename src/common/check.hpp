@@ -1,0 +1,67 @@
+// Error-handling helpers.
+//
+// The library reports unrecoverable precondition violations and internal
+// invariant failures through exceptions (per C++ Core Guidelines E.2/E.3):
+// callers that can recover catch `EngineError`; everything else propagates
+// to the harness.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ppr {
+
+/// Base class for all errors raised by the engine.
+class EngineError : public std::runtime_error {
+ public:
+  explicit EngineError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when user-supplied arguments violate a documented precondition.
+class InvalidArgument : public EngineError {
+ public:
+  explicit InvalidArgument(const std::string& what) : EngineError(what) {}
+};
+
+/// Raised when an internal invariant is violated (a bug in the engine).
+class InternalError : public EngineError {
+ public:
+  explicit InternalError(const std::string& what) : EngineError(what) {}
+};
+
+/// Raised on transport/serialization failures.
+class RpcError : public EngineError {
+ public:
+  explicit RpcError(const std::string& what) : EngineError(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "GE_REQUIRE") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ppr
+
+/// Precondition check on user input; throws InvalidArgument.
+#define GE_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ppr::detail::throw_check_failure("GE_REQUIRE", #cond, __FILE__,    \
+                                         __LINE__, (msg));                 \
+  } while (0)
+
+/// Internal invariant check; throws InternalError.
+#define GE_CHECK(cond, msg)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ppr::detail::throw_check_failure("GE_CHECK", #cond, __FILE__,      \
+                                         __LINE__, (msg));                 \
+  } while (0)

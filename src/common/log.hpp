@@ -1,0 +1,39 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ppr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Streaming log statement: LOG(kInfo) << "built " << n << " shards";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_emit(level_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace ppr
+
+#define GE_LOG(level) ::ppr::LogLine(::ppr::LogLevel::level)

@@ -1,0 +1,4 @@
+#include "common/serialize.hpp"
+
+// Header-only; this translation unit exists so the build exposes a stable
+// object for the common library and to hold any future non-template code.

@@ -1,0 +1,193 @@
+// Byte-level serialization used by the RPC layer.
+//
+// The paper wraps every payload in PyTorch tensors shipped over TensorPipe.
+// We reproduce the two serialization regimes the paper's "Compress"
+// optimization distinguishes:
+//   * "tensor-wrapped": each array is framed with a fixed per-tensor header
+//     and alignment padding (mimicking per-tensor metadata + allocation
+//     cost of a list of small tensors), via write_tensor()/read_tensor().
+//   * "flat": raw length-prefixed arrays with no per-array overhead, via
+//     write_vec()/read_vec(). The CSR-compressed response uses a handful of
+//     large flat arrays instead of thousands of tiny tensor-wrapped ones.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace ppr {
+
+namespace detail {
+inline std::atomic<double>& tensor_marshal_us_storage() {
+  static std::atomic<double> value{0.0};
+  return value;
+}
+/// Busy-wait model of the per-tensor (un)pickling cost a TensorPipe-class
+/// RPC stack pays for each tensor in a message. Zero (disabled) by
+/// default; the reproduction benches enable it. This cost is exactly what
+/// the paper's Compress optimization avoids by shipping a few large flat
+/// arrays instead of thousands of small tensors.
+inline void pay_tensor_marshal() {
+  const double us =
+      tensor_marshal_us_storage().load(std::memory_order_relaxed);
+  if (us <= 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget =
+      std::chrono::nanoseconds(static_cast<long>(us * 1e3));
+  while (std::chrono::steady_clock::now() - start < budget) {
+  }
+}
+}  // namespace detail
+
+inline void set_tensor_marshal_overhead_us(double us) {
+  detail::tensor_marshal_us_storage().store(us, std::memory_order_relaxed);
+}
+inline double tensor_marshal_overhead_us() {
+  return detail::tensor_marshal_us_storage().load(std::memory_order_relaxed);
+}
+
+/// Fixed header size charged per tensor-wrapped array. PyTorch tensor
+/// metadata (dtype, sizes, strides, device, storage offset) serializes to
+/// roughly this much per tensor.
+inline constexpr std::size_t kTensorHeaderBytes = 64;
+/// Tensor-wrapped payloads are padded to this alignment, as TensorPipe
+/// aligns each tensor buffer independently.
+inline constexpr std::size_t kTensorAlignBytes = 16;
+
+/// Append-only byte buffer writer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  template <typename T>
+  void write(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void write_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  void write_string(const std::string& s) {
+    write<std::uint64_t>(s.size());
+    write_bytes(s.data(), s.size());
+  }
+
+  /// Flat length-prefixed array: 8-byte count then raw elements.
+  template <typename T>
+  void write_span(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write<std::uint64_t>(v.size());
+    write_bytes(v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  void write_vec(const std::vector<T>& v) {
+    write_span(std::span<const T>(v));
+  }
+
+  /// Tensor-wrapped array: fixed metadata header + aligned payload.
+  /// This is the expensive framing the paper's Compress step avoids for
+  /// per-node neighbor lists.
+  template <typename T>
+  void write_tensor(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    detail::pay_tensor_marshal();
+    std::uint8_t header[kTensorHeaderBytes] = {};
+    const std::uint64_t n = v.size();
+    std::memcpy(header, &n, sizeof(n));
+    header[8] = static_cast<std::uint8_t>(sizeof(T));
+    write_bytes(header, sizeof(header));
+    write_bytes(v.data(), v.size() * sizeof(T));
+    const std::size_t rem = (v.size() * sizeof(T)) % kTensorAlignBytes;
+    if (rem != 0) {
+      std::uint8_t pad[kTensorAlignBytes] = {};
+      write_bytes(pad, kTensorAlignBytes - rem);
+    }
+  }
+  template <typename T>
+  void write_tensor(const std::vector<T>& v) {
+    write_tensor(std::span<const T>(v));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over a byte buffer produced by ByteWriter.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    GE_CHECK(pos_ + sizeof(T) <= data_.size(), "serialized buffer underflow");
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string read_string() {
+    const auto n = read<std::uint64_t>();
+    GE_CHECK(pos_ + n <= data_.size(), "serialized buffer underflow");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> read_vec() {
+    const auto n = read<std::uint64_t>();
+    GE_CHECK(pos_ + n * sizeof(T) <= data_.size(),
+             "serialized buffer underflow");
+    std::vector<T> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> read_tensor() {
+    detail::pay_tensor_marshal();
+    GE_CHECK(pos_ + kTensorHeaderBytes <= data_.size(),
+             "serialized buffer underflow");
+    std::uint64_t n;
+    std::memcpy(&n, data_.data() + pos_, sizeof(n));
+    GE_CHECK(data_[pos_ + 8] == sizeof(T), "tensor dtype mismatch");
+    pos_ += kTensorHeaderBytes;
+    GE_CHECK(pos_ + n * sizeof(T) <= data_.size(),
+             "serialized buffer underflow");
+    std::vector<T> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    const std::size_t rem = (n * sizeof(T)) % kTensorAlignBytes;
+    if (rem != 0) pos_ += kTensorAlignBytes - rem;
+    return v;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ppr

@@ -1,0 +1,70 @@
+// Bounded-unbounded MPMC queue built on mutex + condition variable.
+// Used as the inbox of the in-process transport and for worker handoff.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ppr {
+
+template <typename T>
+class ConcurrentQueue {
+ public:
+  void push(T v) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(v));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an element is available or close() is called.
+  /// Returns nullopt only after close() with an empty queue.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  /// Wake all blocked consumers; subsequent pops drain then return nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ppr

@@ -1,0 +1,118 @@
+// Open-addressing hash table with 64-bit keys and linear probing.
+// One FlatMap is a single submap of the sharded parallel map; it is NOT
+// thread-safe on its own — the shard layer provides synchronization.
+//
+// Keys: any uint64 except kEmptyKey (we pack <local id, shard id> node
+// references into 62 bits, so the sentinel is never a valid key).
+// No per-key erase: Forward Push only inserts/updates and bulk-clears,
+// which keeps probing tombstone-free.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppr {
+
+inline constexpr std::uint64_t kEmptyKey = ~0ULL;
+
+/// Finalizer from MurmurHash3; good avalanche for packed node refs.
+inline std::uint64_t mix_hash(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+template <typename V>
+class FlatMap {
+ public:
+  explicit FlatMap(std::size_t initial_capacity = 16) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    keys_.assign(cap, kEmptyKey);
+    values_.resize(cap);
+  }
+
+  /// Returns a reference to the value for `key`, default-constructing it on
+  /// first access. Invalidated by the next insertion (may rehash).
+  V& operator[](std::uint64_t key) {
+    GE_CHECK(key != kEmptyKey, "kEmptyKey is reserved");
+    if ((size_ + 1) * 4 > keys_.size() * 3) grow();
+    std::size_t i = probe_start(key);
+    for (;;) {
+      if (keys_[i] == key) return values_[i];
+      if (keys_[i] == kEmptyKey) {
+        keys_[i] = key;
+        ++size_;
+        values_[i] = V{};
+        return values_[i];
+      }
+      i = (i + 1) & (keys_.size() - 1);
+    }
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  const V* find(std::uint64_t key) const {
+    std::size_t i = probe_start(key);
+    for (;;) {
+      if (keys_[i] == key) return &values_[i];
+      if (keys_[i] == kEmptyKey) return nullptr;
+      i = (i + 1) & (keys_.size() - 1);
+    }
+  }
+  V* find(std::uint64_t key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return keys_.size(); }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    size_ = 0;
+  }
+
+  /// Visit every (key, value); fn(uint64_t, V&).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+    }
+  }
+
+ private:
+  std::size_t probe_start(std::uint64_t key) const {
+    return mix_hash(key) & (keys_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(old_keys.size() * 2, kEmptyKey);
+    values_.assign(old_keys.size() * 2, V{});
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmptyKey) (*this)[old_keys[i]] = old_values[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> values_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ppr

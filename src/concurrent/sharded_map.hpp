@@ -1,0 +1,147 @@
+// Sharded ("submap") parallel hash map, modeled on parallel-hashmap
+// (greg7mdp/phmap), the structure the paper builds its PPR operators on.
+//
+// The table is split into 2^B submaps selected by high hash bits. Two
+// concurrency regimes are supported, matching §3.3 of the paper:
+//
+//   1. Locked: every access takes the owning submap's spinlock
+//      (upsert / find / for_each). Safe for arbitrary thread patterns.
+//   2. Lock-free partitioned bulk update: apply_partitioned() assigns each
+//      submap to exactly one OpenMP thread (submap_index % num_threads ==
+//      thread_id), so updates touch disjoint submaps and need NO locks.
+//      This is the trick the paper uses to "eliminate the need for locks by
+//      assigning computationally expensive map update operations to each
+//      thread based on the index of the submap."
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "concurrent/flat_map.hpp"
+#include "concurrent/spinlock.hpp"
+
+namespace ppr {
+
+template <typename V>
+class ShardedMap {
+ public:
+  /// `submap_bits`: the map has 2^submap_bits submaps. phmap defaults to 4;
+  /// we default to 6 (64 submaps) so partitioned bulk updates balance well
+  /// up to 32 threads.
+  explicit ShardedMap(int submap_bits = 6)
+      : submap_bits_(submap_bits), submaps_(std::size_t{1} << submap_bits) {}
+
+  std::size_t num_submaps() const { return submaps_.size(); }
+
+  std::size_t submap_index(std::uint64_t key) const {
+    // High bits select the submap; FlatMap probes on low bits, so the two
+    // selections stay independent.
+    return mix_hash(key) >> (64 - submap_bits_);
+  }
+
+  /// Locked read-modify-write: fn(V&) runs under the submap lock with the
+  /// value default-constructed on first touch.
+  template <typename Fn>
+  void upsert(std::uint64_t key, Fn&& fn) {
+    Shard& s = submaps_[submap_index(key)];
+    LockGuard<Spinlock> guard(s.lock);
+    fn(s.map[key]);
+  }
+
+  /// Locked lookup returning a copy (the reference would not be safe to
+  /// hold outside the lock).
+  bool find(std::uint64_t key, V& out) const {
+    const Shard& s = submaps_[submap_index(key)];
+    LockGuard<Spinlock> guard(s.lock);
+    const V* v = s.map.find(key);
+    if (v == nullptr) return false;
+    out = *v;
+    return true;
+  }
+
+  bool contains(std::uint64_t key) const {
+    V tmp;
+    return find(key, tmp);
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : submaps_) {
+      LockGuard<Spinlock> guard(s.lock);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  void clear() {
+    for (Shard& s : submaps_) {
+      LockGuard<Spinlock> guard(s.lock);
+      s.map.clear();
+    }
+  }
+
+  /// Sequential visit of every entry; NOT safe against concurrent writers.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Shard& s : submaps_) s.map.for_each(fn);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& s : submaps_) s.map.for_each(fn);
+  }
+
+  /// Lock-free partitioned bulk update. Each of `num_threads` OpenMP
+  /// threads scans the whole op list but applies only the ops whose target
+  /// submap it owns, so no two threads ever touch the same submap.
+  ///
+  /// Op must expose `.key`; fn(V&, const Op&) applies one op. Ops for the
+  /// same key are applied in list order (single owner => sequenced).
+  template <typename Op, typename Fn>
+  void apply_partitioned(std::span<const Op> ops, int num_threads, Fn&& fn) {
+    if (num_threads <= 1 || ops.size() < 2) {
+      for (const Op& op : ops) fn(submap_for(op.key).map[op.key], op);
+      return;
+    }
+#ifdef _OPENMP
+#pragma omp parallel num_threads(num_threads)
+    {
+      const std::size_t tid =
+          static_cast<std::size_t>(omp_get_thread_num());
+      const std::size_t nt = static_cast<std::size_t>(omp_get_num_threads());
+      for (const Op& op : ops) {
+        const std::size_t idx = submap_index(op.key);
+        if (idx % nt == tid) fn(submaps_[idx].map[op.key], op);
+      }
+    }
+#else
+    for (const Op& op : ops) fn(submap_for(op.key).map[op.key], op);
+#endif
+  }
+
+  /// Direct access to one submap's FlatMap for single-owner phases (e.g.
+  /// per-thread drains). Caller is responsible for synchronization.
+  FlatMap<V>& submap(std::size_t idx) { return submaps_[idx].map; }
+  const FlatMap<V>& submap(std::size_t idx) const {
+    return submaps_[idx].map;
+  }
+
+ private:
+  struct Shard {
+    mutable Spinlock lock;
+    FlatMap<V> map;
+  };
+
+  Shard& submap_for(std::uint64_t key) {
+    return submaps_[submap_index(key)];
+  }
+
+  int submap_bits_;
+  std::vector<Shard> submaps_;
+};
+
+}  // namespace ppr

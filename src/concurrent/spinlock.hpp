@@ -1,0 +1,50 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+// Submap critical sections are a few nanoseconds long, so spinning beats
+// a futex-based mutex for the hashmap's contention profile.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace ppr {
+
+class Spinlock {
+ public:
+  void lock() {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins > 1024) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for Spinlock (or any BasicLockable).
+template <typename Lock>
+class LockGuard {
+ public:
+  explicit LockGuard(Lock& lock) : lock_(lock) { lock_.lock(); }
+  ~LockGuard() { lock_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace ppr

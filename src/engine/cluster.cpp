@@ -1,0 +1,74 @@
+#include "engine/cluster.hpp"
+
+#include "rpc/inproc_transport.hpp"
+#include "rpc/socket_transport.hpp"
+
+namespace ppr {
+
+Cluster::Cluster(const Graph& g, const PartitionAssignment& assignment,
+                 ClusterOptions options)
+    : options_(options), num_nodes_(g.num_nodes()) {
+  GE_REQUIRE(options_.num_machines >= 1, "need at least one machine");
+  sharded_ = build_sharded_graph(g, assignment, options_.num_machines,
+                                 options_.cache_halo_adjacency);
+
+  switch (options_.transport) {
+    case TransportKind::kInProc:
+      transport_ = std::make_shared<InProcTransport>(options_.num_machines,
+                                                     options_.network);
+      break;
+    case TransportKind::kSocket:
+      transport_ = std::make_shared<SocketTransport>(options_.num_machines);
+      break;
+  }
+
+  std::vector<RemoteRef> rrefs;
+  endpoints_.reserve(static_cast<std::size_t>(options_.num_machines));
+  services_.reserve(static_cast<std::size_t>(options_.num_machines));
+  storages_.reserve(static_cast<std::size_t>(options_.num_machines));
+  for (int m = 0; m < options_.num_machines; ++m) {
+    endpoints_.push_back(std::make_unique<RpcEndpoint>(
+        transport_, m, options_.server_threads));
+    services_.push_back(std::make_unique<GraphStorageService>(
+        *endpoints_.back(), sharded_.shards[static_cast<std::size_t>(m)]));
+  }
+  for (int m = 0; m < options_.num_machines; ++m) {
+    rrefs.clear();
+    for (int peer = 0; peer < options_.num_machines; ++peer) {
+      rrefs.emplace_back(endpoints_[static_cast<std::size_t>(m)].get(), peer,
+                         kStorageServiceName);
+    }
+    storages_.push_back(std::make_unique<DistGraphStorage>(
+        *endpoints_[static_cast<std::size_t>(m)], rrefs, m,
+        sharded_.shards[static_cast<std::size_t>(m)]));
+  }
+
+  tensor_ctx_ = std::make_unique<TensorPushContext>(
+      sharded_.mapping, g.num_nodes(),
+      std::vector<float>(g.weighted_degrees()));
+}
+
+Cluster::~Cluster() {
+  // Endpoints reference the transport; stop delivery before teardown so
+  // no handler runs into a half-destroyed machine.
+  if (transport_ != nullptr) transport_->stop();
+}
+
+void Cluster::reset_stats() {
+  for (auto& s : storages_) s->stats().reset();
+}
+
+double Cluster::remote_ratio() const {
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  for (const auto& s : storages_) {
+    local += s->stats().local_nodes.load();
+    remote += s->stats().remote_nodes.load();
+  }
+  return (local + remote) > 0
+             ? static_cast<double>(remote) /
+                   static_cast<double>(local + remote)
+             : 0.0;
+}
+
+}  // namespace ppr

@@ -1,0 +1,153 @@
+#include "engine/datasets.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ppr {
+
+const std::vector<DatasetSpec>& standard_datasets() {
+  // Scaled replicas of Table 1. Edge factors match the paper's average
+  // degrees; R-MAT skew parameters are chosen so the max-degree tails
+  // order the same way the real datasets do (Twitter ≫ Papers ≫ Products
+  // ≫ Friendster relative to size).
+  // products / friendster / papers carry community structure (like the
+  // real co-purchase and social graphs: partitionable with a small cut);
+  // twitter is a heavily skewed R-MAT (celebrity hubs touch every
+  // community, so min-cut partitioning helps far less — the ~50-55%
+  // remote ratio the paper reports).
+  // |V| is scaled ~1/100 of the originals and average degree ~1/3 (a
+  // single-node substrate cannot hold billions of edges); |V| ordering,
+  // degree-tail skew, and community structure are preserved, which is
+  // what the experiments' shapes depend on: the tensor baseline's
+  // overhead is O(|V|) per iteration, and the locality results follow
+  // from clusterability.
+  static const std::vector<DatasetSpec> specs = {
+      {"products-sim", DatasetSpec::Kind::kClustered, 256'000, 2'300'000, 0,
+       0, 0, 0, 101, 256, 250'000, 1.6},
+      {"twitter-sim", DatasetSpec::Kind::kRmat, 384'000, 3'500'000, 0, 0.57,
+       0.19, 0.19, 102, 0, 0, 1.5},
+      {"friendster-sim", DatasetSpec::Kind::kClustered, 512'000, 4'200'000,
+       0, 0, 0, 0, 103, 512, 500'000, 1.3},
+      {"papers-sim", DatasetSpec::Kind::kClustered, 768'000, 4'200'000, 0,
+       0, 0, 0, 104, 384, 600'000, 1.9},
+  };
+  return specs;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const DatasetSpec& spec : standard_datasets()) {
+    if (spec.name == name) return spec;
+  }
+  throw InvalidArgument("unknown dataset: " + name);
+}
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("PPR_CACHE_DIR")) return env;
+  return ".ppr_cache";
+}
+
+Graph load_or_generate(const DatasetSpec& spec, const std::string& cache_dir,
+                       double scale) {
+  GE_REQUIRE(scale > 0 && scale <= 1.0, "scale must be in (0, 1]");
+  std::string path;
+  if (!cache_dir.empty()) {
+    std::filesystem::create_directories(cache_dir);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "_s%.3f", scale);
+    path = cache_dir + "/" + spec.name + buf + ".graph";
+    if (std::filesystem::exists(path)) return load_graph(path);
+  }
+
+  const auto nodes = static_cast<NodeId>(spec.num_nodes * scale);
+  WallTimer timer;
+  Graph g;
+  switch (spec.kind) {
+    case DatasetSpec::Kind::kRmat:
+      g = generate_rmat(nodes,
+                        static_cast<EdgeIndex>(spec.gen_edges * scale),
+                        spec.rmat_a, spec.rmat_b, spec.rmat_c, spec.seed);
+      break;
+    case DatasetSpec::Kind::kBarabasiAlbert:
+      g = generate_barabasi_albert(nodes, spec.ba_m, spec.seed);
+      break;
+    case DatasetSpec::Kind::kErdosRenyi:
+      g = generate_erdos_renyi(
+          nodes, static_cast<EdgeIndex>(spec.gen_edges * scale), spec.seed);
+      break;
+    case DatasetSpec::Kind::kClustered:
+      g = generate_clustered(
+          nodes,
+          std::max(1, static_cast<int>(spec.num_communities * scale)),
+          static_cast<EdgeIndex>(spec.gen_edges * scale),
+          static_cast<EdgeIndex>(spec.inter_edges * scale), spec.beta,
+          spec.seed);
+      break;
+  }
+  GE_LOG(kInfo) << "generated " << spec.name << " (scale " << scale << "): "
+                << g.num_nodes() << " nodes, " << g.num_edges()
+                << " directed edges in " << timer.seconds() << "s";
+  if (!path.empty()) save_graph(g, path);
+  return g;
+}
+
+namespace {
+constexpr std::uint32_t kPartMagic = 0x50504152;  // "PPAR"
+
+void save_partition(const PartitionAssignment& part, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  GE_REQUIRE(f != nullptr, "cannot open for writing: " + path);
+  std::fwrite(&kPartMagic, sizeof(kPartMagic), 1, f);
+  const std::uint64_t n = part.size();
+  std::fwrite(&n, sizeof(n), 1, f);
+  std::fwrite(part.data(), sizeof(std::int32_t), n, f);
+  std::fclose(f);
+}
+
+bool try_load_partition(const std::string& path, std::size_t expected_size,
+                        PartitionAssignment& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::uint32_t magic = 0;
+  std::uint64_t n = 0;
+  bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+            magic == kPartMagic && std::fread(&n, sizeof(n), 1, f) == 1 &&
+            n == expected_size;
+  if (ok) {
+    out.resize(n);
+    ok = std::fread(out.data(), sizeof(std::int32_t), n, f) == n;
+  }
+  std::fclose(f);
+  return ok;
+}
+}  // namespace
+
+PartitionAssignment load_or_partition(const Graph& g, const std::string& tag,
+                                      int num_parts,
+                                      const std::string& cache_dir) {
+  std::string path;
+  if (!cache_dir.empty()) {
+    std::filesystem::create_directories(cache_dir);
+    path = cache_dir + "/" + tag + "_p" + std::to_string(num_parts) +
+           ".part";
+    PartitionAssignment cached;
+    if (try_load_partition(path, static_cast<std::size_t>(g.num_nodes()),
+                           cached)) {
+      return cached;
+    }
+  }
+  WallTimer timer;
+  PartitionAssignment part = partition_multilevel(g, num_parts);
+  GE_LOG(kInfo) << "partitioned " << tag << " into " << num_parts
+                << " parts in " << timer.seconds() << "s (cut ratio "
+                << evaluate_partition(g, part, num_parts).cut_ratio << ")";
+  if (!path.empty()) save_partition(part, path);
+  return part;
+}
+
+}  // namespace ppr

@@ -1,0 +1,199 @@
+#include "engine/ssppr_driver.hpp"
+
+namespace ppr {
+
+namespace {
+
+/// Unbatched baseline ("Single"): one fetch and one push per activated
+/// vertex, sequentially — the direct port of Algorithm 1 onto distributed
+/// storage that §3.2.3 starts from.
+void run_iteration_single(const DistGraphStorage& g, SspprState& state,
+                          std::span<const NodeId> node_ids,
+                          std::span<const ShardId> shard_ids,
+                          PhaseTimers& t) {
+  for (std::size_t i = 0; i < node_ids.size(); ++i) {
+    const NodeId one_node[] = {node_ids[i]};
+    const ShardId one_shard[] = {shard_ids[i]};
+    if (shard_ids[i] == g.shard_id()) {
+      std::vector<VertexProp> infos;
+      {
+        ScopedPhase phase(t, Phase::kLocalFetch);
+        infos = g.get_neighbor_infos_local(one_node);
+      }
+      ScopedPhase phase(t, Phase::kPush);
+      state.push(infos, one_node, one_shard);
+    } else {
+      NeighborBatch batch;
+      {
+        ScopedPhase phase(t, Phase::kRemoteFetch);
+        batch = g.get_neighbor_info_single_async(shard_ids[i], node_ids[i])
+                    .wait();
+      }
+      ScopedPhase phase(t, Phase::kPush);
+      state.push(batch, one_node, one_shard);
+    }
+  }
+}
+
+/// Batched iteration (Figure 4): group the popped set by destination
+/// shard, issue at most one request per remote shard, fetch the local
+/// portion through shared memory, and push.
+void run_iteration_batched(const DistGraphStorage& g, SspprState& state,
+                           std::span<const NodeId> node_ids,
+                           std::span<const ShardId> shard_ids,
+                           const DriverOptions& options, PhaseTimers& t,
+                           std::vector<std::vector<std::size_t>>& by_shard) {
+  const int num_shards = g.num_shards();
+  for (auto& v : by_shard) v.clear();
+  for (std::size_t i = 0; i < node_ids.size(); ++i) {
+    by_shard[static_cast<std::size_t>(shard_ids[i])].push_back(i);
+  }
+
+  // Materialize the per-shard id lists (the mask_dict of Figure 4).
+  std::vector<std::vector<NodeId>> locals(static_cast<std::size_t>(num_shards));
+  std::vector<std::vector<ShardId>> shards(
+      static_cast<std::size_t>(num_shards));
+  for (ShardId j = 0; j < num_shards; ++j) {
+    const auto& idx = by_shard[static_cast<std::size_t>(j)];
+    locals[static_cast<std::size_t>(j)].reserve(idx.size());
+    shards[static_cast<std::size_t>(j)].assign(idx.size(), j);
+    for (const std::size_t i : idx) {
+      locals[static_cast<std::size_t>(j)].push_back(node_ids[i]);
+    }
+  }
+
+  // Issue all remote requests up front. With the halo-adjacency cache,
+  // each remote group is first split by residency: cached rows are served
+  // from shared memory and only the misses go over RPC.
+  const bool use_halo = g.halo_cache_enabled();
+  std::vector<NeighborFetch> fetches(static_cast<std::size_t>(num_shards));
+  std::vector<DistGraphStorage::HaloSplit> splits(
+      static_cast<std::size_t>(num_shards));
+  {
+    ScopedPhase phase(t, Phase::kRemoteFetch);
+    for (ShardId j = 0; j < num_shards; ++j) {
+      auto& group = locals[static_cast<std::size_t>(j)];
+      if (j == g.shard_id() || group.empty()) continue;
+      if (use_halo) {
+        auto& split = splits[static_cast<std::size_t>(j)];
+        split = g.split_by_halo_cache(j, group);
+        if (!split.miss_locals.empty()) {
+          fetches[static_cast<std::size_t>(j)] = g.get_neighbor_infos_async(
+              j, split.miss_locals, options.compress);
+        }
+      } else {
+        fetches[static_cast<std::size_t>(j)] = g.get_neighbor_infos_async(
+            j, group, options.compress);
+      }
+    }
+  }
+
+  std::vector<NeighborBatch> batches(static_cast<std::size_t>(num_shards));
+  if (!options.overlap) {
+    // No-overlap mode waits for all responses before any local work, so
+    // the remote-fetch phase is fully exposed in the breakdown.
+    ScopedPhase phase(t, Phase::kRemoteFetch);
+    for (ShardId j = 0; j < num_shards; ++j) {
+      if (fetches[static_cast<std::size_t>(j)].valid()) {
+        batches[static_cast<std::size_t>(j)] =
+            fetches[static_cast<std::size_t>(j)].wait();
+      }
+    }
+  }
+
+  // Local fetch + local push proceed while remote responses are in flight
+  // (when overlapping).
+  const auto& own = locals[static_cast<std::size_t>(g.shard_id())];
+  if (!own.empty()) {
+    std::vector<VertexProp> infos;
+    {
+      ScopedPhase phase(t, Phase::kLocalFetch);
+      infos = g.get_neighbor_infos_local(own);
+    }
+    ScopedPhase phase(t, Phase::kPush);
+    state.push(infos, own, shards[static_cast<std::size_t>(g.shard_id())]);
+  }
+  for (ShardId j = 0; j < num_shards; ++j) {
+    const auto& group = locals[static_cast<std::size_t>(j)];
+    if (j == g.shard_id() || group.empty()) continue;
+    if (use_halo) {
+      // Push the halo-cache hits (zero-copy) ...
+      const auto& split = splits[static_cast<std::size_t>(j)];
+      if (!split.hit_props.empty()) {
+        std::vector<NodeId> hit_locals;
+        hit_locals.reserve(split.hit_indices.size());
+        for (const std::size_t i : split.hit_indices) {
+          hit_locals.push_back(group[i]);
+        }
+        const std::vector<ShardId> hit_shards(hit_locals.size(), j);
+        ScopedPhase phase(t, Phase::kPush);
+        state.push(split.hit_props, hit_locals, hit_shards);
+      }
+      // ... then the fetched misses.
+      if (!split.miss_locals.empty()) {
+        if (options.overlap) {
+          ScopedPhase phase(t, Phase::kRemoteFetch);
+          batches[static_cast<std::size_t>(j)] =
+              fetches[static_cast<std::size_t>(j)].wait();
+        }
+        const std::vector<ShardId> miss_shards(split.miss_locals.size(), j);
+        ScopedPhase phase(t, Phase::kPush);
+        state.push(batches[static_cast<std::size_t>(j)], split.miss_locals,
+                   miss_shards);
+      }
+      continue;
+    }
+    if (options.overlap) {
+      ScopedPhase phase(t, Phase::kRemoteFetch);
+      batches[static_cast<std::size_t>(j)] =
+          fetches[static_cast<std::size_t>(j)].wait();
+    }
+    ScopedPhase phase(t, Phase::kPush);
+    state.push(batches[static_cast<std::size_t>(j)],
+               locals[static_cast<std::size_t>(j)],
+               shards[static_cast<std::size_t>(j)]);
+  }
+}
+
+}  // namespace
+
+SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
+                        const DriverOptions& options, PhaseTimers* timers) {
+  PhaseTimers local_timers;
+  PhaseTimers& t = timers != nullptr ? *timers : local_timers;
+  SspprRunStats stats;
+
+  std::vector<NodeId> node_ids;
+  std::vector<ShardId> shard_ids;
+  std::vector<std::vector<std::size_t>> by_shard(
+      static_cast<std::size_t>(storage.num_shards()));
+  for (;;) {
+    {
+      ScopedPhase phase(t, Phase::kPop);
+      state.pop(node_ids, shard_ids);
+    }
+    if (node_ids.empty()) break;
+    ++stats.num_iterations;
+    if (options.batch) {
+      run_iteration_batched(storage, state, node_ids, shard_ids, options, t,
+                            by_shard);
+    } else {
+      run_iteration_single(storage, state, node_ids, shard_ids, t);
+    }
+  }
+  stats.num_pushes = state.num_pushes();
+  return stats;
+}
+
+SspprState compute_ssppr(const DistGraphStorage& storage, NodeRef source,
+                         const SspprOptions& ppr_options,
+                         const DriverOptions& driver_options,
+                         PhaseTimers* timers) {
+  GE_REQUIRE(source.shard == storage.shard_id(),
+             "owner-compute rule: source must live on this shard");
+  SspprState state(source, ppr_options);
+  run_ssppr(storage, state, driver_options, timers);
+  return state;
+}
+
+}  // namespace ppr

@@ -1,0 +1,46 @@
+// The distributed SSPPR iteration loop of Figure 4, with switchable RPC
+// optimizations for the Table-3 ablation:
+//   batch    — one request per destination shard per iteration instead of
+//              one per activated vertex;
+//   compress — CSR-compressed responses instead of lists of small tensors;
+//   overlap  — run local fetch + local push while remote calls are in
+//              flight.
+// The engine default is all three on; "Single" is all three off.
+#pragma once
+
+#include "common/timer.hpp"
+#include "ppr/ssppr_state.hpp"
+#include "storage/dist_storage.hpp"
+
+namespace ppr {
+
+struct DriverOptions {
+  bool batch = true;
+  bool compress = true;
+  bool overlap = true;
+
+  static DriverOptions single() { return {false, false, false}; }
+  static DriverOptions batched() { return {true, false, false}; }
+  static DriverOptions compressed() { return {true, true, false}; }
+  static DriverOptions overlapped() { return {true, true, true}; }
+};
+
+struct SspprRunStats {
+  std::size_t num_iterations = 0;
+  std::size_t num_pushes = 0;
+};
+
+/// Run one whole-graph SSPPR query to completion. `source` must be a core
+/// node of `storage`'s shard (owner-compute rule). `timers`, if given,
+/// accumulates the per-phase breakdown.
+SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
+                        const DriverOptions& options,
+                        PhaseTimers* timers = nullptr);
+
+/// Convenience: construct the state, run, and return it.
+SspprState compute_ssppr(const DistGraphStorage& storage, NodeRef source,
+                         const SspprOptions& ppr_options,
+                         const DriverOptions& driver_options = {},
+                         PhaseTimers* timers = nullptr);
+
+}  // namespace ppr

@@ -1,0 +1,157 @@
+#include "engine/throughput.hpp"
+
+#include <atomic>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "ppr/power_iteration.hpp"
+
+namespace ppr {
+
+namespace {
+
+/// Per-machine query sources: random core nodes of the machine's own
+/// shard (the owner-compute rule assigns each query to the machine that
+/// hosts its source).
+std::vector<std::vector<NodeId>> make_query_sets(Cluster& cluster,
+                                                 int queries_per_machine,
+                                                 std::uint64_t seed) {
+  std::vector<std::vector<NodeId>> sets(
+      static_cast<std::size_t>(cluster.num_machines()));
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    Rng rng(seed ^ (static_cast<std::uint64_t>(m) * 0x9e3779b97f4a7c15ULL));
+    const NodeId num_core = cluster.shard(m).num_core_nodes();
+    GE_REQUIRE(num_core > 0, "machine owns no core nodes");
+    auto& set = sets[static_cast<std::size_t>(m)];
+    set.reserve(static_cast<std::size_t>(queries_per_machine));
+    for (int q = 0; q < queries_per_machine; ++q) {
+      set.push_back(static_cast<NodeId>(
+          rng.next_u64(static_cast<std::uint64_t>(num_core))));
+    }
+  }
+  return sets;
+}
+
+/// A query executor runs one machine-process's share of the query set.
+template <typename RunQuery>
+ThroughputResult measure(Cluster& cluster, const WorkloadOptions& options,
+                         RunQuery&& run_query) {
+  GE_REQUIRE(options.procs_per_machine >= 1, "need at least one process");
+  GE_REQUIRE(options.queries_per_machine >= 1, "need at least one query");
+  const int machines = cluster.num_machines();
+  const int procs = options.procs_per_machine;
+  const auto query_sets =
+      make_query_sets(cluster, options.queries_per_machine, options.seed);
+
+  ThroughputResult res;
+  res.total_queries = static_cast<std::uint64_t>(machines) *
+                      static_cast<std::uint64_t>(options.queries_per_machine);
+
+  const int total_runs = options.warmup_runs + options.measured_runs;
+  double sum_seconds = 0;
+  std::array<double, kNumPhases> sum_phases{};
+  std::size_t sum_pushes = 0;
+
+  for (int run = 0; run < total_runs; ++run) {
+    const bool measured = run >= options.warmup_runs;
+    cluster.reset_stats();
+    PhaseTimers timers;
+    std::atomic<std::size_t> pushes{0};
+
+    WallTimer wall;
+    // One thread per computing process across all machines; wall time
+    // includes the final join (the synchronization the paper counts).
+    parallel_for_threads(
+        static_cast<std::size_t>(machines) * static_cast<std::size_t>(procs),
+        static_cast<std::size_t>(machines) * static_cast<std::size_t>(procs),
+        [&](std::size_t slot) {
+          const int m = static_cast<int>(slot) / procs;
+          const int p = static_cast<int>(slot) % procs;
+          const auto& queries = query_sets[static_cast<std::size_t>(m)];
+          std::size_t my_pushes = 0;
+          // Strided assignment of this machine's queries to its processes.
+          for (std::size_t q = static_cast<std::size_t>(p);
+               q < queries.size(); q += static_cast<std::size_t>(procs)) {
+            my_pushes += run_query(m, queries[q], timers);
+          }
+          pushes.fetch_add(my_pushes, std::memory_order_relaxed);
+        });
+    const double seconds = wall.seconds();
+
+    if (measured) {
+      sum_seconds += seconds;
+      for (int ph = 0; ph < kNumPhases; ++ph) {
+        sum_phases[static_cast<std::size_t>(ph)] +=
+            timers.seconds(static_cast<Phase>(ph));
+      }
+      sum_pushes += pushes.load();
+      res.remote_ratio = cluster.remote_ratio();
+    }
+  }
+
+  const double runs = options.measured_runs;
+  res.seconds_per_run = sum_seconds / runs;
+  res.queries_per_second =
+      static_cast<double>(res.total_queries) / res.seconds_per_run;
+  for (int ph = 0; ph < kNumPhases; ++ph) {
+    res.phase_seconds[static_cast<std::size_t>(ph)] =
+        sum_phases[static_cast<std::size_t>(ph)] / runs;
+  }
+  res.total_pushes = static_cast<std::size_t>(
+      static_cast<double>(sum_pushes) / runs);
+  return res;
+}
+
+}  // namespace
+
+ThroughputResult measure_engine_throughput(Cluster& cluster,
+                                           const WorkloadOptions& options) {
+  return measure(cluster, options,
+                 [&](int machine, NodeId source_local, PhaseTimers& timers) {
+                   SspprState state(
+                       NodeRef{source_local, static_cast<ShardId>(machine)},
+                       options.ppr);
+                   const SspprRunStats stats = run_ssppr(
+                       cluster.storage(machine), state, options.driver,
+                       &timers);
+                   return stats.num_pushes;
+                 });
+}
+
+ThroughputResult measure_tensor_throughput(Cluster& cluster,
+                                           const WorkloadOptions& options) {
+  TensorPushOptions topts;
+  topts.alpha = options.ppr.alpha;
+  topts.epsilon = options.ppr.epsilon;
+  topts.compress = options.driver.compress;
+  topts.overlap = options.driver.overlap;
+  return measure(cluster, options,
+                 [&](int machine, NodeId source_local, PhaseTimers& timers) {
+                   const NodeId global = cluster.shard(machine).core_global_id(
+                       source_local);
+                   const TensorPushResult r =
+                       tensor_forward_push(cluster.storage(machine),
+                                           cluster.tensor_ctx(), global,
+                                           topts, &timers);
+                   return r.num_pushes;
+                 });
+}
+
+double measure_power_iteration_qps(const Graph& g, double alpha,
+                                   double tolerance, int num_queries,
+                                   std::uint64_t seed) {
+  GE_REQUIRE(num_queries >= 1, "need at least one query");
+  const CsrMatrix pt = build_transition_matrix(g);
+  Rng rng(seed);
+  WallTimer wall;
+  for (int q = 0; q < num_queries; ++q) {
+    const auto source = static_cast<NodeId>(
+        rng.next_u64(static_cast<std::uint64_t>(g.num_nodes())));
+    const PowerIterationResult r =
+        power_iteration(g, pt, source, alpha, tolerance);
+    GE_CHECK(r.num_iterations > 0, "power iteration did not run");
+  }
+  return num_queries / wall.seconds();
+}
+
+}  // namespace ppr

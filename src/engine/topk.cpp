@@ -1,0 +1,60 @@
+#include "engine/topk.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ppr {
+
+namespace {
+std::vector<std::pair<NodeRef, double>> extract_topk(const SspprState& state,
+                                                     std::size_t k) {
+  auto entries = state.ppr_entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first.key() < b.first.key();
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+std::set<std::uint64_t> key_set(
+    const std::vector<std::pair<NodeRef, double>>& entries) {
+  std::set<std::uint64_t> keys;
+  for (const auto& [ref, v] : entries) keys.insert(ref.key());
+  return keys;
+}
+}  // namespace
+
+TopkResult topk_ssppr(const DistGraphStorage& storage, NodeRef source,
+                      const TopkOptions& options) {
+  GE_REQUIRE(options.k >= 1, "k must be positive");
+  GE_REQUIRE(options.refine_factor > 1, "refine_factor must exceed 1");
+  GE_REQUIRE(options.max_refinements >= 1, "need at least one refinement");
+
+  TopkResult res;
+  SspprOptions ppr = options.ppr;
+  std::set<std::uint64_t> previous;
+  for (int round = 0; round < options.max_refinements; ++round) {
+    SspprState state(source, ppr);
+    run_ssppr(storage, state, options.driver);
+    ++res.refinements;
+    res.total_pushes += state.num_pushes();
+    res.topk = extract_topk(state, options.k);
+    res.final_epsilon = ppr.epsilon;
+
+    auto current = key_set(res.topk);
+    // Converged when we have a full k set that matches the previous
+    // (coarser) round — further precision cannot change the selection
+    // that two successive ε decades agree on.
+    if (res.topk.size() == options.k && current == previous) {
+      res.converged = true;
+      break;
+    }
+    previous = std::move(current);
+    ppr.epsilon /= options.refine_factor;
+  }
+  return res;
+}
+
+}  // namespace ppr

@@ -1,0 +1,36 @@
+// Top-k SSPPR (§2.1.1: "finds the top-k nodes with the highest PPR values
+// for a given source node"). The whole-graph engine computes an
+// ε-approximation; this wrapper refines ε adaptively until the top-k set
+// is stable, which is how a ShaDow-style sampler would consume the engine
+// without hand-tuning ε per graph.
+#pragma once
+
+#include "engine/ssppr_driver.hpp"
+
+namespace ppr {
+
+struct TopkOptions {
+  std::size_t k = 100;
+  /// First refinement runs at `ppr.epsilon`; each further refinement
+  /// divides ε by `refine_factor` until the top-k set repeats.
+  double refine_factor = 10.0;
+  int max_refinements = 4;
+  SspprOptions ppr{};
+  DriverOptions driver{};
+};
+
+struct TopkResult {
+  /// Top-k (node, value) pairs, descending by value.
+  std::vector<std::pair<NodeRef, double>> topk;
+  double final_epsilon = 0;
+  int refinements = 0;       // number of queries run
+  std::size_t total_pushes = 0;
+  bool converged = false;    // top-k set stable before max_refinements
+};
+
+/// Compute the top-k PPR nodes for `source` (a core node of `storage`'s
+/// shard).
+TopkResult topk_ssppr(const DistGraphStorage& storage, NodeRef source,
+                      const TopkOptions& options);
+
+}  // namespace ppr

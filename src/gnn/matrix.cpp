@@ -1,0 +1,118 @@
+#include "gnn/matrix.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ppr::gnn {
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, float stddev,
+                     std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  // Box–Muller pairs.
+  for (std::size_t i = 0; i + 1 < m.data_.size(); i += 2) {
+    const double u1 = rng.next_double() + 1e-12;
+    const double u2 = rng.next_double();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    m.data_[i] = static_cast<float>(mag * std::cos(2 * M_PI * u2)) * stddev;
+    m.data_[i + 1] =
+        static_cast<float>(mag * std::sin(2 * M_PI * u2)) * stddev;
+  }
+  if (m.data_.size() % 2 == 1 && !m.data_.empty()) {
+    m.data_.back() = static_cast<float>(rng.next_double() - 0.5) * stddev;
+  }
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  GE_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix c(a.rows(), b.cols());
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      float* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  GE_REQUIRE(a.rows() == b.rows(), "matmul_at_b shape mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  GE_REQUIRE(a.cols() == b.cols(), "matmul_a_bt shape mismatch");
+  Matrix c(a.rows(), b.rows());
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* arow = a.row(i);
+      const float* brow = b.row(j);
+      float acc = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void add_(Matrix& a, const Matrix& b) {
+  GE_REQUIRE(a.same_shape(b), "add_ shape mismatch");
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i) {
+    a.data()[i] += b.data()[i];
+  }
+}
+
+void axpy_(Matrix& a, const Matrix& b, float scale) {
+  GE_REQUIRE(a.same_shape(b), "axpy_ shape mismatch");
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i) {
+    a.data()[i] += scale * b.data()[i];
+  }
+}
+
+void add_bias_(Matrix& a, const std::vector<float>& bias) {
+  GE_REQUIRE(bias.size() == a.cols(), "bias size mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float* row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) row[j] += bias[j];
+  }
+}
+
+std::vector<std::uint8_t> relu_(Matrix& a) {
+  std::vector<std::uint8_t> mask(a.rows() * a.cols());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (a.data()[i] > 0) {
+      mask[i] = 1;
+    } else {
+      a.data()[i] = 0;
+    }
+  }
+  return mask;
+}
+
+void relu_backward_(Matrix& grad, const std::vector<std::uint8_t>& mask) {
+  GE_REQUIRE(grad.rows() * grad.cols() == mask.size(),
+             "relu mask size mismatch");
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (!mask[i]) grad.data()[i] = 0;
+  }
+}
+
+}  // namespace ppr::gnn

@@ -1,0 +1,63 @@
+// Dense row-major float matrix and the handful of kernels the GraphSAGE
+// case study needs. Deliberately small: the GNN is a demonstration of
+// integrating the PPR engine with mini-batch training (§4.5), not a deep
+// learning framework.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppr::gnn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  static Matrix randn(std::size_t rows, std::size_t cols, float stddev,
+                      std::uint64_t seed);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A · B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = Aᵀ · B.
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+/// C = A · Bᵀ.
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// a += b (elementwise).
+void add_(Matrix& a, const Matrix& b);
+/// a += scale * b.
+void axpy_(Matrix& a, const Matrix& b, float scale);
+/// Add `bias` (1 x cols) to every row of a.
+void add_bias_(Matrix& a, const std::vector<float>& bias);
+/// ReLU forward in place; returns the 0/1 mask for backward.
+std::vector<std::uint8_t> relu_(Matrix& a);
+/// grad ⊙ mask in place.
+void relu_backward_(Matrix& grad, const std::vector<std::uint8_t>& mask);
+
+}  // namespace ppr::gnn

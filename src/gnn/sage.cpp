@@ -1,0 +1,190 @@
+#include "gnn/sage.hpp"
+
+#include <cmath>
+
+namespace ppr::gnn {
+
+namespace {
+std::vector<float> row_weight_sums(const SubgraphBatch& g) {
+  std::vector<float> sums(g.num_nodes(), 0.0f);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    for (EdgeIndex e = g.indptr[v]; e < g.indptr[v + 1]; ++e) {
+      sums[v] += g.edge_weights[static_cast<std::size_t>(e)];
+    }
+  }
+  return sums;
+}
+}  // namespace
+
+Matrix aggregate_mean(const SubgraphBatch& g, const Matrix& h) {
+  GE_REQUIRE(h.rows() == g.num_nodes(), "feature row count mismatch");
+  const auto sums = row_weight_sums(g);
+  Matrix out(h.rows(), h.cols());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    if (sums[v] <= 0) continue;
+    float* orow = out.row(v);
+    for (EdgeIndex e = g.indptr[v]; e < g.indptr[v + 1]; ++e) {
+      const auto u = static_cast<std::size_t>(
+          g.adj[static_cast<std::size_t>(e)]);
+      const float w = g.edge_weights[static_cast<std::size_t>(e)] / sums[v];
+      const float* hrow = h.row(u);
+      for (std::size_t j = 0; j < h.cols(); ++j) orow[j] += w * hrow[j];
+    }
+  }
+  return out;
+}
+
+Matrix aggregate_mean_transpose(const SubgraphBatch& g, const Matrix& grad) {
+  GE_REQUIRE(grad.rows() == g.num_nodes(), "gradient row count mismatch");
+  const auto sums = row_weight_sums(g);
+  Matrix out(grad.rows(), grad.cols());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    if (sums[v] <= 0) continue;
+    const float* grow = grad.row(v);
+    for (EdgeIndex e = g.indptr[v]; e < g.indptr[v + 1]; ++e) {
+      const auto u = static_cast<std::size_t>(
+          g.adj[static_cast<std::size_t>(e)]);
+      const float w = g.edge_weights[static_cast<std::size_t>(e)] / sums[v];
+      float* orow = out.row(u);
+      for (std::size_t j = 0; j < grad.cols(); ++j) orow[j] += w * grow[j];
+    }
+  }
+  return out;
+}
+
+SageLayer::SageLayer(std::size_t in_dim, std::size_t out_dim,
+                     std::uint64_t seed)
+    : w_self(Matrix::randn(in_dim, out_dim,
+                           std::sqrt(2.0f / static_cast<float>(in_dim)),
+                           seed)),
+      w_neigh(Matrix::randn(in_dim, out_dim,
+                            std::sqrt(2.0f / static_cast<float>(in_dim)),
+                            seed ^ 0x1234ULL)),
+      bias(out_dim, 0.0f),
+      grad_w_self(in_dim, out_dim),
+      grad_w_neigh(in_dim, out_dim),
+      grad_bias(out_dim, 0.0f) {}
+
+Matrix SageLayer::forward(const SubgraphBatch& g, const Matrix& input,
+                          Cache& cache) const {
+  cache.input = input;
+  cache.aggregated = aggregate_mean(g, input);
+  Matrix z = matmul(input, w_self);
+  add_(z, matmul(cache.aggregated, w_neigh));
+  add_bias_(z, bias);
+  cache.relu_mask = relu_(z);
+  return z;
+}
+
+Matrix SageLayer::backward(const SubgraphBatch& g, const Matrix& grad_out,
+                           const Cache& cache) {
+  Matrix gz = grad_out;
+  relu_backward_(gz, cache.relu_mask);
+
+  add_(grad_w_self, matmul_at_b(cache.input, gz));
+  add_(grad_w_neigh, matmul_at_b(cache.aggregated, gz));
+  for (std::size_t i = 0; i < gz.rows(); ++i) {
+    const float* row = gz.row(i);
+    for (std::size_t j = 0; j < gz.cols(); ++j) grad_bias[j] += row[j];
+  }
+
+  Matrix grad_in = matmul_a_bt(gz, w_self);
+  const Matrix grad_agg = matmul_a_bt(gz, w_neigh);
+  add_(grad_in, aggregate_mean_transpose(g, grad_agg));
+  return grad_in;
+}
+
+void SageLayer::zero_grad() {
+  grad_w_self.zero();
+  grad_w_neigh.zero();
+  std::fill(grad_bias.begin(), grad_bias.end(), 0.0f);
+}
+
+SageNet::SageNet(std::size_t in_dim, std::size_t hidden_dim, int num_classes,
+                 std::uint64_t seed)
+    : layer1_(in_dim, hidden_dim, seed),
+      layer2_(hidden_dim, hidden_dim, seed ^ 0x5678ULL),
+      w_out_(Matrix::randn(hidden_dim, static_cast<std::size_t>(num_classes),
+                           std::sqrt(2.0f / static_cast<float>(hidden_dim)),
+                           seed ^ 0x9abcULL)),
+      b_out_(static_cast<std::size_t>(num_classes), 0.0f),
+      grad_w_out_(hidden_dim, static_cast<std::size_t>(num_classes)),
+      grad_b_out_(static_cast<std::size_t>(num_classes), 0.0f) {}
+
+Matrix SageNet::forward(const SubgraphBatch& g) {
+  const Matrix h1 = layer1_.forward(g, g.x, cache1_);
+  h2_ = layer2_.forward(g, h1, cache2_);
+  Matrix logits = matmul(h2_, w_out_);
+  add_bias_(logits, b_out_);
+  return logits;
+}
+
+std::pair<float, int> SageNet::backward_from_loss(const SubgraphBatch& g,
+                                                  const Matrix& logits) {
+  const std::size_t classes = w_out_.cols();
+  const auto batch = static_cast<float>(g.ego_idx.size());
+  GE_REQUIRE(!g.ego_idx.empty(), "batch has no ego nodes");
+
+  // Softmax cross-entropy restricted to ego rows.
+  Matrix grad_logits(logits.rows(), logits.cols());
+  float loss = 0;
+  int correct = 0;
+  for (std::size_t b = 0; b < g.ego_idx.size(); ++b) {
+    const auto row = static_cast<std::size_t>(g.ego_idx[b]);
+    const auto label = static_cast<std::size_t>(g.y[b]);
+    const float* lrow = logits.row(row);
+    float maxv = lrow[0];
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (lrow[c] > maxv) {
+        maxv = lrow[c];
+        argmax = c;
+      }
+    }
+    if (argmax == label) ++correct;
+    float denom = 0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(lrow[c] - maxv);
+    }
+    loss += -(lrow[label] - maxv - std::log(denom)) / batch;
+    float* grow = grad_logits.row(row);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float p = std::exp(lrow[c] - maxv) / denom;
+      grow[c] = (p - (c == label ? 1.0f : 0.0f)) / batch;
+    }
+  }
+
+  add_(grad_w_out_, matmul_at_b(h2_, grad_logits));
+  for (std::size_t i = 0; i < grad_logits.rows(); ++i) {
+    const float* row = grad_logits.row(i);
+    for (std::size_t j = 0; j < classes; ++j) grad_b_out_[j] += row[j];
+  }
+  const Matrix grad_h2 = matmul_a_bt(grad_logits, w_out_);
+  const Matrix grad_h1 = layer2_.backward(g, grad_h2, cache2_);
+  layer1_.backward(g, grad_h1, cache1_);
+  return {loss, correct};
+}
+
+void SageNet::zero_grad() {
+  layer1_.zero_grad();
+  layer2_.zero_grad();
+  grad_w_out_.zero();
+  std::fill(grad_b_out_.begin(), grad_b_out_.end(), 0.0f);
+}
+
+std::vector<Matrix*> SageNet::parameters() {
+  return {&layer1_.w_self, &layer1_.w_neigh, &layer2_.w_self,
+          &layer2_.w_neigh, &w_out_};
+}
+std::vector<Matrix*> SageNet::gradients() {
+  return {&layer1_.grad_w_self, &layer1_.grad_w_neigh, &layer2_.grad_w_self,
+          &layer2_.grad_w_neigh, &grad_w_out_};
+}
+std::vector<std::vector<float>*> SageNet::bias_parameters() {
+  return {&layer1_.bias, &layer2_.bias, &b_out_};
+}
+std::vector<std::vector<float>*> SageNet::bias_gradients() {
+  return {&layer1_.grad_bias, &layer2_.grad_bias, &grad_b_out_};
+}
+
+}  // namespace ppr::gnn

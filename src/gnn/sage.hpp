@@ -1,0 +1,81 @@
+// Minimal GraphSAGE (mean aggregator) with manual backpropagation,
+// operating on SubgraphBatch mini-batches — the ShaDow-SAGE model of the
+// paper's §4.5 case study.
+#pragma once
+
+#include <vector>
+
+#include "gnn/subgraph.hpp"
+
+namespace ppr::gnn {
+
+/// h' = ReLU(h·W_self + mean_{u∈N(v)} h_u ·W_neigh + b)
+struct SageLayer {
+  Matrix w_self;
+  Matrix w_neigh;
+  std::vector<float> bias;
+
+  Matrix grad_w_self;
+  Matrix grad_w_neigh;
+  std::vector<float> grad_bias;
+
+  SageLayer(std::size_t in_dim, std::size_t out_dim, std::uint64_t seed);
+
+  struct Cache {
+    Matrix input;                      // H
+    Matrix aggregated;                 // Ā·H
+    std::vector<std::uint8_t> relu_mask;
+  };
+
+  Matrix forward(const SubgraphBatch& g, const Matrix& input,
+                 Cache& cache) const;
+  /// Accumulates parameter gradients; returns dL/d(input).
+  Matrix backward(const SubgraphBatch& g, const Matrix& grad_out,
+                  const Cache& cache);
+  void zero_grad();
+};
+
+/// Two SAGE layers + linear classifier.
+class SageNet {
+ public:
+  SageNet(std::size_t in_dim, std::size_t hidden_dim, int num_classes,
+          std::uint64_t seed);
+
+  /// Forward over the batch; returns logits for every subgraph node.
+  Matrix forward(const SubgraphBatch& g);
+
+  /// Softmax cross-entropy on the ego rows; fills gradients.
+  /// Returns (loss, #correct predictions among ego nodes).
+  std::pair<float, int> backward_from_loss(const SubgraphBatch& g,
+                                           const Matrix& logits);
+
+  void zero_grad();
+
+  /// Flat views of parameters and their gradients (for the optimizer and
+  /// for data-parallel gradient averaging).
+  std::vector<Matrix*> parameters();
+  std::vector<Matrix*> gradients();
+  std::vector<std::vector<float>*> bias_parameters();
+  std::vector<std::vector<float>*> bias_gradients();
+
+ private:
+  SageLayer layer1_;
+  SageLayer layer2_;
+  Matrix w_out_;
+  std::vector<float> b_out_;
+  Matrix grad_w_out_;
+  std::vector<float> grad_b_out_;
+
+  // Forward caches reused by backward.
+  SageLayer::Cache cache1_;
+  SageLayer::Cache cache2_;
+  Matrix h2_;  // post-layer-2 activations
+};
+
+/// Mean aggregation: out[v] = Σ_u w(v,u)·h_u / Σ_u w(v,u) over subgraph
+/// edges (weighted mean; zero row for isolated nodes).
+Matrix aggregate_mean(const SubgraphBatch& g, const Matrix& h);
+/// Transpose of aggregate_mean for backprop.
+Matrix aggregate_mean_transpose(const SubgraphBatch& g, const Matrix& grad);
+
+}  // namespace ppr::gnn

@@ -1,0 +1,212 @@
+#include "gnn/trainer.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "engine/ssppr_driver.hpp"
+
+namespace ppr::gnn {
+
+Adam::Adam(std::vector<Matrix*> params,
+           std::vector<std::vector<float>*> biases, float lr, float beta1,
+           float beta2, float eps)
+    : params_(std::move(params)),
+      biases_(std::move(biases)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  for (const Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+  for (const std::vector<float>* b : biases_) {
+    mb_.emplace_back(b->size(), 0.0f);
+    vb_.emplace_back(b->size(), 0.0f);
+  }
+}
+
+void Adam::step(const std::vector<Matrix*>& grads,
+                const std::vector<std::vector<float>*>& bias_grads) {
+  GE_REQUIRE(grads.size() == params_.size(), "gradient count mismatch");
+  GE_REQUIRE(bias_grads.size() == biases_.size(), "bias count mismatch");
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    Matrix& w = *params_[p];
+    const Matrix& g = *grads[p];
+    for (std::size_t i = 0; i < w.rows() * w.cols(); ++i) {
+      const float gi = g.data()[i];
+      float& mi = m_[p].data()[i];
+      float& vi = v_[p].data()[i];
+      mi = beta1_ * mi + (1 - beta1_) * gi;
+      vi = beta2_ * vi + (1 - beta2_) * gi * gi;
+      w.data()[i] -= lr_ * (mi / bc1) / (std::sqrt(vi / bc2) + eps_);
+    }
+  }
+  for (std::size_t p = 0; p < biases_.size(); ++p) {
+    std::vector<float>& b = *biases_[p];
+    const std::vector<float>& g = *bias_grads[p];
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      float& mi = mb_[p][i];
+      float& vi = vb_[p][i];
+      mi = beta1_ * mi + (1 - beta1_) * g[i];
+      vi = beta2_ * vi + (1 - beta2_) * g[i] * g[i];
+      b[i] -= lr_ * (mi / bc1) / (std::sqrt(vi / bc2) + eps_);
+    }
+  }
+}
+
+TrainReport train_distributed(Cluster& cluster, const TrainOptions& options) {
+  const int machines = cluster.num_machines();
+  const NodeId num_nodes = cluster.num_nodes();
+
+  // Shared synthetic features/labels (same seed -> labels match clusters).
+  const Matrix all_features = make_synthetic_features(
+      num_nodes, options.feature_dim, options.num_classes, options.seed);
+  const std::vector<std::int32_t> labels = make_synthetic_labels(
+      num_nodes, options.num_classes, options.seed);
+
+  // Per-machine feature stores: each machine serves its own core nodes.
+  std::vector<std::unique_ptr<FeatureStoreService>> services;
+  std::vector<std::unique_ptr<DistFeatureStore>> stores;
+  for (int m = 0; m < machines; ++m) {
+    const GraphShard& shard = cluster.shard(m);
+    Matrix local(static_cast<std::size_t>(shard.num_core_nodes()),
+                 options.feature_dim);
+    for (NodeId l = 0; l < shard.num_core_nodes(); ++l) {
+      std::copy_n(all_features.row(static_cast<std::size_t>(
+                      shard.core_global_id(l))),
+                  options.feature_dim, local.row(static_cast<std::size_t>(l)));
+    }
+    services.push_back(std::make_unique<FeatureStoreService>(
+        cluster.endpoint(m), std::move(local)));
+  }
+  for (int m = 0; m < machines; ++m) {
+    std::vector<RemoteRef> rrefs;
+    for (int peer = 0; peer < machines; ++peer) {
+      rrefs.emplace_back(&cluster.endpoint(m), peer, kFeatureServiceName);
+    }
+    stores.push_back(std::make_unique<DistFeatureStore>(
+        cluster.endpoint(m), std::move(rrefs), m,
+        &services[static_cast<std::size_t>(m)]->features()));
+  }
+
+  // Identically seeded replicas (DistributedDataParallel keeps replicas in
+  // sync by broadcasting once and averaging gradients thereafter).
+  std::vector<std::unique_ptr<SageNet>> replicas;
+  std::vector<std::unique_ptr<Adam>> optimizers;
+  for (int m = 0; m < machines; ++m) {
+    replicas.push_back(std::make_unique<SageNet>(
+        options.feature_dim, options.hidden_dim, options.num_classes,
+        options.seed));
+    optimizers.push_back(std::make_unique<Adam>(
+        replicas.back()->parameters(), replicas.back()->bias_parameters(),
+        options.lr));
+  }
+
+  TrainReport report;
+  Rng batch_rng(options.seed ^ 0xba7c4e5ULL);
+  for (int epoch = 0; epoch < options.num_epochs; ++epoch) {
+    float epoch_loss = 0;
+    int epoch_correct = 0;
+    int epoch_examples = 0;
+    for (int step = 0; step < options.steps_per_epoch; ++step) {
+      std::vector<float> losses(static_cast<std::size_t>(machines), 0.0f);
+      std::vector<int> corrects(static_cast<std::size_t>(machines), 0);
+      std::vector<std::uint64_t> seeds(static_cast<std::size_t>(machines));
+      for (auto& s : seeds) s = batch_rng();
+
+      // Each machine trains on a batch of its own core nodes in parallel.
+      parallel_for_threads(
+          static_cast<std::size_t>(machines),
+          static_cast<std::size_t>(machines), [&](std::size_t m) {
+            Rng rng(seeds[m]);
+            const GraphShard& shard = cluster.shard(static_cast<int>(m));
+            std::vector<SspprState> states;
+            states.reserve(static_cast<std::size_t>(options.batch_size));
+            for (int b = 0; b < options.batch_size; ++b) {
+              const auto local = static_cast<NodeId>(rng.next_u64(
+                  static_cast<std::uint64_t>(shard.num_core_nodes())));
+              SspprState state(
+                  NodeRef{local, static_cast<ShardId>(m)}, options.ppr);
+              run_ssppr(cluster.storage(static_cast<int>(m)), state,
+                        DriverOptions{});
+              states.push_back(std::move(state));
+            }
+            const SubgraphBatch batch = convert_batch(
+                cluster.storage(static_cast<int>(m)), *stores[m],
+                cluster.mapping(), states, options.topk, labels);
+            SageNet& net = *replicas[m];
+            net.zero_grad();
+            const Matrix logits = net.forward(batch);
+            const auto [loss, correct] =
+                net.backward_from_loss(batch, logits);
+            losses[m] = loss;
+            corrects[m] = correct;
+          });
+
+      // All-reduce: average gradients across replicas, then each replica
+      // steps with the same averaged gradient (replicas stay identical).
+      const float inv = 1.0f / static_cast<float>(machines);
+      auto grads0 = replicas[0]->gradients();
+      auto bgrads0 = replicas[0]->bias_gradients();
+      for (int m = 1; m < machines; ++m) {
+        auto grads = replicas[static_cast<std::size_t>(m)]->gradients();
+        auto bgrads =
+            replicas[static_cast<std::size_t>(m)]->bias_gradients();
+        for (std::size_t p = 0; p < grads0.size(); ++p) {
+          add_(*grads0[p], *grads[p]);
+        }
+        for (std::size_t p = 0; p < bgrads0.size(); ++p) {
+          for (std::size_t i = 0; i < bgrads0[p]->size(); ++i) {
+            (*bgrads0[p])[i] += (*bgrads[p])[i];
+          }
+        }
+      }
+      for (Matrix* g : grads0) {
+        for (std::size_t i = 0; i < g->rows() * g->cols(); ++i) {
+          g->data()[i] *= inv;
+        }
+      }
+      for (std::vector<float>* g : bgrads0) {
+        for (float& x : *g) x *= inv;
+      }
+      for (int m = 1; m < machines; ++m) {
+        auto grads = replicas[static_cast<std::size_t>(m)]->gradients();
+        auto bgrads =
+            replicas[static_cast<std::size_t>(m)]->bias_gradients();
+        for (std::size_t p = 0; p < grads0.size(); ++p) {
+          *grads[p] = *grads0[p];
+        }
+        for (std::size_t p = 0; p < bgrads0.size(); ++p) {
+          *bgrads[p] = *bgrads0[p];
+        }
+      }
+      for (int m = 0; m < machines; ++m) {
+        optimizers[static_cast<std::size_t>(m)]->step(
+            replicas[static_cast<std::size_t>(m)]->gradients(),
+            replicas[static_cast<std::size_t>(m)]->bias_gradients());
+      }
+
+      for (int m = 0; m < machines; ++m) {
+        epoch_loss += losses[static_cast<std::size_t>(m)];
+        epoch_correct += corrects[static_cast<std::size_t>(m)];
+      }
+      epoch_examples += machines * options.batch_size;
+    }
+    report.epoch_loss.push_back(
+        epoch_loss / static_cast<float>(options.steps_per_epoch * machines));
+    report.epoch_accuracy.push_back(static_cast<float>(epoch_correct) /
+                                    static_cast<float>(epoch_examples));
+    GE_LOG(kInfo) << "epoch " << epoch
+                  << ": loss=" << report.epoch_loss.back()
+                  << " acc=" << report.epoch_accuracy.back();
+  }
+  return report;
+}
+
+}  // namespace ppr::gnn

@@ -1,0 +1,56 @@
+// Adam optimizer + distributed data-parallel training loop for the §4.5
+// case study: every simulated machine trains a replica of the model on
+// PPR-induced mini-batches of its own core nodes, with gradients averaged
+// across machines each step (the role DistributedDataParallel plays in
+// the paper's Figure 7).
+#pragma once
+
+#include "engine/cluster.hpp"
+#include "gnn/sage.hpp"
+
+namespace ppr::gnn {
+
+/// Plain Adam over a flat parameter list.
+class Adam {
+ public:
+  Adam(std::vector<Matrix*> params, std::vector<std::vector<float>*> biases,
+       float lr = 1e-2f, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+
+  void step(const std::vector<Matrix*>& grads,
+            const std::vector<std::vector<float>*>& bias_grads);
+
+ private:
+  std::vector<Matrix*> params_;
+  std::vector<std::vector<float>*> biases_;
+  std::vector<Matrix> m_, v_;
+  std::vector<std::vector<float>> mb_, vb_;
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+};
+
+struct TrainOptions {
+  int num_epochs = 3;
+  int batch_size = 8;      // roots per machine per step
+  std::size_t topk = 64;   // PPR top-K per root
+  std::size_t feature_dim = 16;
+  std::size_t hidden_dim = 32;
+  int num_classes = 4;
+  float lr = 1e-2f;
+  std::uint64_t seed = 7;
+  int steps_per_epoch = 8;
+  SspprOptions ppr{};
+};
+
+struct TrainReport {
+  std::vector<float> epoch_loss;
+  std::vector<float> epoch_accuracy;
+};
+
+/// Run the full §4.5 pipeline on a cluster: per step, each machine
+/// computes SSPPR for a batch of its core nodes with the PPR engine,
+/// converts to subgraphs, runs forward/backward on its replica, averages
+/// gradients across machines, and applies one Adam step.
+TrainReport train_distributed(Cluster& cluster, const TrainOptions& options);
+
+}  // namespace ppr::gnn

@@ -1,0 +1,46 @@
+// Synthetic graph generators used to build scaled replicas of the paper's
+// datasets (Table 1). All generators are deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ppr {
+
+/// R-MAT generator (Chakrabarti et al.). Produces a power-law graph with
+/// heavy-tailed degree distribution, the structure of social networks like
+/// Twitter. `num_nodes` is rounded up to a power of two internally for the
+/// recursive quadrant descent but the returned graph has exactly
+/// `num_nodes` nodes (endpoints are folded with modulo). The result is
+/// undirected with random symmetric weights.
+Graph generate_rmat(NodeId num_nodes, EdgeIndex num_edges, double a, double b,
+                    double c, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `edges_per_node` existing nodes proportionally to degree. Power-law but
+/// with a lighter max-degree tail than R-MAT (Friendster-like).
+Graph generate_barabasi_albert(NodeId num_nodes, int edges_per_node,
+                               std::uint64_t seed);
+
+/// Erdős–Rényi G(n, m): `num_edges` uniform random pairs. Near-uniform
+/// degrees; used for tests and as a non-skewed control.
+Graph generate_erdos_renyi(NodeId num_nodes, EdgeIndex num_edges,
+                           std::uint64_t seed);
+
+/// 2-D grid graph (rows x cols, 4-neighborhood). Deterministic structure
+/// with known cut properties; used by partitioner tests.
+Graph generate_grid(NodeId rows, NodeId cols);
+
+/// Clustered power-law graph: `num_communities` equal contiguous blocks.
+/// Intra-community endpoints are drawn with density ∝ u^beta (beta > 1
+/// concentrates edges on per-community hub nodes, producing a heavy
+/// degree tail); `inter_edges` uniform edges connect random communities.
+/// This mimics the community structure of real social/co-purchase
+/// networks, which is what makes them partitionable with low edge cut —
+/// the property §4.3's locality analysis depends on.
+Graph generate_clustered(NodeId num_nodes, int num_communities,
+                         EdgeIndex intra_edges, EdgeIndex inter_edges,
+                         double beta, std::uint64_t seed);
+
+}  // namespace ppr

@@ -1,0 +1,134 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace ppr {
+
+namespace {
+std::uint64_t hash64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Graph Graph::from_edges(NodeId num_nodes,
+                        std::span<const WeightedEdge> edges,
+                        bool make_undirected) {
+  GE_REQUIRE(num_nodes >= 0, "negative node count");
+  std::vector<WeightedEdge> all;
+  all.reserve(edges.size() * (make_undirected ? 2 : 1));
+  for (const WeightedEdge& e : edges) {
+    GE_REQUIRE(e.src >= 0 && e.src < num_nodes, "edge src out of range");
+    GE_REQUIRE(e.dst >= 0 && e.dst < num_nodes, "edge dst out of range");
+    all.push_back(e);
+    if (make_undirected && e.src != e.dst) {
+      all.push_back({e.dst, e.src, e.weight});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  // Merge duplicates by weight addition.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (out > 0 && all[out - 1].src == all[i].src &&
+        all[out - 1].dst == all[i].dst) {
+      all[out - 1].weight += all[i].weight;
+    } else {
+      all[out++] = all[i];
+    }
+  }
+  all.resize(out);
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.indptr_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  g.adj_.resize(all.size());
+  g.weights_.resize(all.size());
+  for (const WeightedEdge& e : all) {
+    ++g.indptr_[static_cast<std::size_t>(e.src) + 1];
+  }
+  for (std::size_t v = 0; v < static_cast<std::size_t>(num_nodes); ++v) {
+    g.indptr_[v + 1] += g.indptr_[v];
+  }
+  std::vector<EdgeIndex> cursor(g.indptr_.begin(), g.indptr_.end() - 1);
+  for (const WeightedEdge& e : all) {
+    const auto pos =
+        static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.src)]++);
+    g.adj_[pos] = e.dst;
+    g.weights_[pos] = e.weight;
+  }
+  g.compute_weighted_degrees();
+  return g;
+}
+
+Graph Graph::from_csr(NodeId num_nodes, std::vector<EdgeIndex> indptr,
+                      std::vector<NodeId> adj, std::vector<float> weights) {
+  GE_REQUIRE(indptr.size() == static_cast<std::size_t>(num_nodes) + 1,
+             "indptr size mismatch");
+  GE_REQUIRE(adj.size() == weights.size(), "adj/weights size mismatch");
+  GE_REQUIRE(static_cast<std::size_t>(indptr.back()) == adj.size(),
+             "indptr.back() must equal edge count");
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.indptr_ = std::move(indptr);
+  g.adj_ = std::move(adj);
+  g.weights_ = std::move(weights);
+  g.compute_weighted_degrees();
+  return g;
+}
+
+void Graph::compute_weighted_degrees() {
+  weighted_deg_.assign(static_cast<std::size_t>(num_nodes_), 0.0f);
+#pragma omp parallel for schedule(static)
+  for (std::size_t v = 0; v < static_cast<std::size_t>(num_nodes_); ++v) {
+    double acc = 0;
+    for (EdgeIndex k = indptr_[v]; k < indptr_[v + 1]; ++k) {
+      acc += weights_[static_cast<std::size_t>(k)];
+    }
+    weighted_deg_[v] = static_cast<float>(acc);
+  }
+}
+
+DegreeStats Graph::degree_stats() const {
+  DegreeStats s;
+  if (num_nodes_ == 0) return s;
+  s.avg_degree = static_cast<double>(num_edges()) /
+                 static_cast<double>(num_nodes_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const EdgeIndex d = degree(v);
+    if (d > s.max_degree) {
+      s.max_degree = d;
+      s.max_degree_node = v;
+    }
+  }
+  return s;
+}
+
+void Graph::randomize_weights(std::uint64_t seed, float lo, float hi) {
+  GE_REQUIRE(lo < hi && lo > 0, "weights must be positive");
+#pragma omp parallel for schedule(static)
+  for (std::size_t v = 0; v < static_cast<std::size_t>(num_nodes_); ++v) {
+    for (EdgeIndex k = indptr_[v]; k < indptr_[v + 1]; ++k) {
+      const NodeId u = adj_[static_cast<std::size_t>(k)];
+      // Symmetric deterministic weight so mirrored undirected edges agree.
+      const auto vn = static_cast<NodeId>(v);
+      const std::uint64_t a =
+          static_cast<std::uint64_t>(std::min<NodeId>(vn, u));
+      const std::uint64_t b =
+          static_cast<std::uint64_t>(std::max<NodeId>(vn, u));
+      const std::uint64_t h = hash64(seed ^ hash64((a << 32) | b));
+      const float unit =
+          static_cast<float>(h >> 11) * static_cast<float>(0x1.0p-53);
+      weights_[static_cast<std::size_t>(k)] = lo + unit * (hi - lo);
+    }
+  }
+  compute_weighted_degrees();
+}
+
+}  // namespace ppr

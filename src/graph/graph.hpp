@@ -1,0 +1,90 @@
+// In-memory weighted graph in CSR form. This is the "full graph" handed to
+// the partitioner and shard builder; single-machine reference algorithms
+// (sequential forward push, power iteration) also run directly on it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppr {
+
+using NodeId = std::int32_t;
+using EdgeIndex = std::int64_t;
+
+struct WeightedEdge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  float weight = 1.0f;
+};
+
+struct DegreeStats {
+  double avg_degree = 0;
+  EdgeIndex max_degree = 0;
+  NodeId max_degree_node = 0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list. If `make_undirected`, each edge is mirrored
+  /// (the paper converts all datasets to undirected graphs). Self-loops are
+  /// kept; exact duplicate (src,dst) pairs are merged by weight addition.
+  static Graph from_edges(NodeId num_nodes, std::span<const WeightedEdge> edges,
+                          bool make_undirected = true);
+
+  /// Build directly from CSR arrays (used by IO and tests).
+  static Graph from_csr(NodeId num_nodes, std::vector<EdgeIndex> indptr,
+                        std::vector<NodeId> adj, std::vector<float> weights);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeIndex num_edges() const {
+    return static_cast<EdgeIndex>(adj_.size());
+  }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adj_.data() + indptr_[static_cast<std::size_t>(v)],
+            adj_.data() + indptr_[static_cast<std::size_t>(v) + 1]};
+  }
+  std::span<const float> edge_weights(NodeId v) const {
+    return {weights_.data() + indptr_[static_cast<std::size_t>(v)],
+            weights_.data() + indptr_[static_cast<std::size_t>(v) + 1]};
+  }
+  EdgeIndex degree(NodeId v) const {
+    return indptr_[static_cast<std::size_t>(v) + 1] -
+           indptr_[static_cast<std::size_t>(v)];
+  }
+  /// Sum of outgoing edge weights of v (d_w(v) in Algorithm 1).
+  float weighted_degree(NodeId v) const {
+    return weighted_deg_[static_cast<std::size_t>(v)];
+  }
+
+  const std::vector<EdgeIndex>& indptr() const { return indptr_; }
+  const std::vector<NodeId>& adj() const { return adj_; }
+  const std::vector<float>& weights() const { return weights_; }
+  const std::vector<float>& weighted_degrees() const {
+    return weighted_deg_;
+  }
+
+  DegreeStats degree_stats() const;
+
+  /// Overwrite all edge weights with uniform random values in [lo, hi),
+  /// keeping mirrored undirected edges symmetric. (The paper evaluates on
+  /// graphs "with randomly generated edge weights".)
+  void randomize_weights(std::uint64_t seed, float lo = 0.5f, float hi = 1.5f);
+
+ private:
+  void compute_weighted_degrees();
+
+  NodeId num_nodes_ = 0;
+  std::vector<EdgeIndex> indptr_;
+  std::vector<NodeId> adj_;
+  std::vector<float> weights_;
+  std::vector<float> weighted_deg_;
+};
+
+}  // namespace ppr

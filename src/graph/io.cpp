@@ -1,0 +1,100 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+namespace ppr {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x50475246;  // "PGRF"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void write_pod(std::FILE* f, const T& v) {
+  GE_CHECK(std::fwrite(&v, sizeof(T), 1, f) == 1, "short write");
+}
+
+template <typename T>
+void write_array(std::FILE* f, const std::vector<T>& v) {
+  const std::uint64_t n = v.size();
+  write_pod(f, n);
+  if (n > 0) {
+    GE_CHECK(std::fwrite(v.data(), sizeof(T), n, f) == n, "short write");
+  }
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T v;
+  GE_CHECK(std::fread(&v, sizeof(T), 1, f) == 1, "short read");
+  return v;
+}
+
+template <typename T>
+std::vector<T> read_array(std::FILE* f) {
+  const auto n = read_pod<std::uint64_t>(f);
+  std::vector<T> v(n);
+  if (n > 0) {
+    GE_CHECK(std::fread(v.data(), sizeof(T), n, f) == n, "short read");
+  }
+  return v;
+}
+}  // namespace
+
+void save_graph(const Graph& g, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  GE_REQUIRE(f != nullptr, "cannot open for writing: " + path);
+  write_pod(f.get(), kMagic);
+  write_pod(f.get(), kVersion);
+  write_pod(f.get(), g.num_nodes());
+  write_array(f.get(), g.indptr());
+  write_array(f.get(), g.adj());
+  write_array(f.get(), g.weights());
+}
+
+Graph load_graph(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  GE_REQUIRE(f != nullptr, "cannot open for reading: " + path);
+  GE_REQUIRE(read_pod<std::uint32_t>(f.get()) == kMagic,
+             "bad magic in graph file: " + path);
+  GE_REQUIRE(read_pod<std::uint32_t>(f.get()) == kVersion,
+             "unsupported graph file version: " + path);
+  const auto num_nodes = read_pod<NodeId>(f.get());
+  auto indptr = read_array<EdgeIndex>(f.get());
+  auto adj = read_array<NodeId>(f.get());
+  auto weights = read_array<float>(f.get());
+  return Graph::from_csr(num_nodes, std::move(indptr), std::move(adj),
+                         std::move(weights));
+}
+
+Graph load_edge_list(const std::string& path, NodeId num_nodes,
+                     bool make_undirected) {
+  std::ifstream in(path);
+  GE_REQUIRE(in.good(), "cannot open edge list: " + path);
+  std::vector<WeightedEdge> edges;
+  NodeId max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    WeightedEdge e;
+    if (!(ss >> e.src >> e.dst)) continue;
+    if (!(ss >> e.weight)) e.weight = 1.0f;
+    edges.push_back(e);
+    max_id = std::max({max_id, e.src, e.dst});
+  }
+  if (num_nodes <= 0) num_nodes = max_id + 1;
+  return Graph::from_edges(num_nodes, edges, make_undirected);
+}
+
+}  // namespace ppr

@@ -1,0 +1,23 @@
+// Graph persistence: a simple binary CSR container plus text edge lists.
+// Partitioning is a pre-processing step amortized over many queries, so
+// benches can cache generated+partitioned graphs on disk between runs.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ppr {
+
+/// Write `g` to `path` in the binary container (magic "PGRF", version 1).
+void save_graph(const Graph& g, const std::string& path);
+
+/// Load a graph previously written by save_graph.
+Graph load_graph(const std::string& path);
+
+/// Parse a whitespace-separated edge list ("src dst [weight]" per line;
+/// '#' comments). Node count is 1 + max node id unless `num_nodes` > 0.
+Graph load_edge_list(const std::string& path, NodeId num_nodes = 0,
+                     bool make_undirected = true);
+
+}  // namespace ppr

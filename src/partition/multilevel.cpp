@@ -1,0 +1,316 @@
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "partition/partitioner.hpp"
+
+namespace ppr {
+
+namespace {
+
+/// Coarse-level working graph. Edge weights count merged original edges
+/// (so the coarse cut equals the fine cut); node weights count merged
+/// original vertices (so balance constraints project correctly).
+struct Level {
+  std::vector<EdgeIndex> indptr;
+  std::vector<NodeId> adj;
+  std::vector<float> edge_weight;
+  std::vector<NodeId> node_weight;
+  std::vector<NodeId> fine_to_coarse;  // map from the previous (finer) level
+
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(node_weight.size());
+  }
+};
+
+Level level_from_graph(const Graph& g) {
+  Level l;
+  l.indptr = g.indptr();
+  l.adj = g.adj();
+  l.edge_weight.assign(g.adj().size(), 1.0f);
+  l.node_weight.assign(static_cast<std::size_t>(g.num_nodes()), 1);
+  return l;
+}
+
+/// Heavy-edge matching: each unmatched node pairs with its unmatched
+/// neighbor of maximum edge weight. Returns (coarse level, #coarse nodes).
+Level coarsen(const Level& fine, Rng& rng) {
+  const NodeId n = fine.num_nodes();
+  std::vector<NodeId> match(static_cast<std::size_t>(n), -1);
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (NodeId i = n - 1; i > 0; --i) {
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[rng.next_u64(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  for (const NodeId v : order) {
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    NodeId best = -1;
+    float best_w = -1.0f;
+    for (EdgeIndex k = fine.indptr[static_cast<std::size_t>(v)];
+         k < fine.indptr[static_cast<std::size_t>(v) + 1]; ++k) {
+      const NodeId u = fine.adj[static_cast<std::size_t>(k)];
+      if (u == v || match[static_cast<std::size_t>(u)] != -1) continue;
+      const float w = fine.edge_weight[static_cast<std::size_t>(k)];
+      if (w > best_w) {
+        best_w = w;
+        best = u;
+      }
+    }
+    if (best != -1) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays single
+    }
+  }
+
+  Level coarse;
+  coarse.fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  NodeId num_coarse = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (coarse.fine_to_coarse[static_cast<std::size_t>(v)] != -1) continue;
+    const NodeId m = match[static_cast<std::size_t>(v)];
+    coarse.fine_to_coarse[static_cast<std::size_t>(v)] = num_coarse;
+    coarse.fine_to_coarse[static_cast<std::size_t>(m)] = num_coarse;
+    ++num_coarse;
+  }
+
+  coarse.node_weight.assign(static_cast<std::size_t>(num_coarse), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    coarse.node_weight[static_cast<std::size_t>(
+        coarse.fine_to_coarse[static_cast<std::size_t>(v)])] +=
+        fine.node_weight[static_cast<std::size_t>(v)];
+  }
+
+  // Aggregate edges between coarse nodes (drop internal edges).
+  std::vector<std::pair<NodeId, float>> buffer;
+  std::vector<EdgeIndex> counts(static_cast<std::size_t>(num_coarse) + 1, 0);
+  std::vector<std::vector<std::pair<NodeId, float>>> rows(
+      static_cast<std::size_t>(num_coarse));
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId cv = coarse.fine_to_coarse[static_cast<std::size_t>(v)];
+    auto& row = rows[static_cast<std::size_t>(cv)];
+    for (EdgeIndex k = fine.indptr[static_cast<std::size_t>(v)];
+         k < fine.indptr[static_cast<std::size_t>(v) + 1]; ++k) {
+      const NodeId cu = coarse.fine_to_coarse[static_cast<std::size_t>(
+          fine.adj[static_cast<std::size_t>(k)])];
+      if (cu == cv) continue;
+      row.emplace_back(cu, fine.edge_weight[static_cast<std::size_t>(k)]);
+    }
+  }
+  coarse.indptr.assign(static_cast<std::size_t>(num_coarse) + 1, 0);
+  for (NodeId cv = 0; cv < num_coarse; ++cv) {
+    auto& row = rows[static_cast<std::size_t>(cv)];
+    std::sort(row.begin(), row.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (out > 0 && row[out - 1].first == row[i].first) {
+        row[out - 1].second += row[i].second;
+      } else {
+        row[out++] = row[i];
+      }
+    }
+    row.resize(out);
+    coarse.indptr[static_cast<std::size_t>(cv) + 1] =
+        coarse.indptr[static_cast<std::size_t>(cv)] +
+        static_cast<EdgeIndex>(out);
+  }
+  coarse.adj.resize(static_cast<std::size_t>(coarse.indptr.back()));
+  coarse.edge_weight.resize(coarse.adj.size());
+  for (NodeId cv = 0; cv < num_coarse; ++cv) {
+    std::size_t pos =
+        static_cast<std::size_t>(coarse.indptr[static_cast<std::size_t>(cv)]);
+    for (const auto& [cu, w] : rows[static_cast<std::size_t>(cv)]) {
+      coarse.adj[pos] = cu;
+      coarse.edge_weight[pos] = w;
+      ++pos;
+    }
+  }
+  (void)buffer;
+  (void)counts;
+  return coarse;
+}
+
+/// Greedy graph growing on the coarsest level: grow each part by BFS from
+/// a random unassigned seed until it reaches the weight budget.
+PartitionAssignment initial_partition(const Level& l, int num_parts,
+                                      double imbalance, Rng& rng) {
+  const NodeId n = l.num_nodes();
+  const double total_weight = std::accumulate(
+      l.node_weight.begin(), l.node_weight.end(), 0.0);
+  const double budget = total_weight / num_parts;
+  PartitionAssignment part(static_cast<std::size_t>(n), -1);
+  std::vector<double> part_weight(static_cast<std::size_t>(num_parts), 0.0);
+  std::vector<NodeId> frontier;
+
+  for (int p = 0; p + 1 < num_parts; ++p) {
+    // Find a random unassigned seed.
+    NodeId seed = -1;
+    for (int attempts = 0; attempts < 64 && seed == -1; ++attempts) {
+      const NodeId cand = static_cast<NodeId>(
+          rng.next_u64(static_cast<std::uint64_t>(n)));
+      if (part[static_cast<std::size_t>(cand)] == -1) seed = cand;
+    }
+    if (seed == -1) {
+      for (NodeId v = 0; v < n && seed == -1; ++v) {
+        if (part[static_cast<std::size_t>(v)] == -1) seed = v;
+      }
+    }
+    if (seed == -1) break;
+    frontier.clear();
+    frontier.push_back(seed);
+    part[static_cast<std::size_t>(seed)] = p;
+    part_weight[static_cast<std::size_t>(p)] +=
+        l.node_weight[static_cast<std::size_t>(seed)];
+    std::size_t head = 0;
+    while (head < frontier.size() &&
+           part_weight[static_cast<std::size_t>(p)] < budget) {
+      const NodeId v = frontier[head++];
+      for (EdgeIndex k = l.indptr[static_cast<std::size_t>(v)];
+           k < l.indptr[static_cast<std::size_t>(v) + 1]; ++k) {
+        const NodeId u = l.adj[static_cast<std::size_t>(k)];
+        if (part[static_cast<std::size_t>(u)] != -1) continue;
+        part[static_cast<std::size_t>(u)] = p;
+        part_weight[static_cast<std::size_t>(p)] +=
+            l.node_weight[static_cast<std::size_t>(u)];
+        frontier.push_back(u);
+        if (part_weight[static_cast<std::size_t>(p)] >= budget) break;
+      }
+    }
+  }
+  // Everything unassigned goes to the last part; then rebalance any
+  // overflow greedily to the lightest part.
+  for (NodeId v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] == -1) {
+      part[static_cast<std::size_t>(v)] = num_parts - 1;
+      part_weight[static_cast<std::size_t>(num_parts - 1)] +=
+          l.node_weight[static_cast<std::size_t>(v)];
+    }
+  }
+  const double cap = budget * imbalance;
+  for (NodeId v = 0; v < n; ++v) {
+    const int p = part[static_cast<std::size_t>(v)];
+    if (part_weight[static_cast<std::size_t>(p)] <= cap) continue;
+    const auto lightest = static_cast<int>(std::distance(
+        part_weight.begin(),
+        std::min_element(part_weight.begin(), part_weight.end())));
+    if (lightest == p) continue;
+    part[static_cast<std::size_t>(v)] = lightest;
+    part_weight[static_cast<std::size_t>(p)] -=
+        l.node_weight[static_cast<std::size_t>(v)];
+    part_weight[static_cast<std::size_t>(lightest)] +=
+        l.node_weight[static_cast<std::size_t>(v)];
+  }
+  return part;
+}
+
+/// Greedy boundary refinement: move nodes to the neighboring part with the
+/// largest positive cut gain, subject to the balance cap.
+void refine(const Level& l, PartitionAssignment& part, int num_parts,
+            double imbalance, int passes) {
+  const NodeId n = l.num_nodes();
+  std::vector<double> part_weight(static_cast<std::size_t>(num_parts), 0.0);
+  double total_weight = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    part_weight[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        l.node_weight[static_cast<std::size_t>(v)];
+    total_weight += l.node_weight[static_cast<std::size_t>(v)];
+  }
+  const double cap = total_weight / num_parts * imbalance;
+
+  std::vector<float> gain(static_cast<std::size_t>(num_parts));
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (NodeId v = 0; v < n; ++v) {
+      const int pv = part[static_cast<std::size_t>(v)];
+      std::fill(gain.begin(), gain.end(), 0.0f);
+      bool boundary = false;
+      for (EdgeIndex k = l.indptr[static_cast<std::size_t>(v)];
+           k < l.indptr[static_cast<std::size_t>(v) + 1]; ++k) {
+        const int pu = part[static_cast<std::size_t>(
+            l.adj[static_cast<std::size_t>(k)])];
+        gain[static_cast<std::size_t>(pu)] +=
+            l.edge_weight[static_cast<std::size_t>(k)];
+        if (pu != pv) boundary = true;
+      }
+      if (!boundary) continue;
+      int best = pv;
+      float best_gain = gain[static_cast<std::size_t>(pv)];
+      for (int p = 0; p < num_parts; ++p) {
+        if (p == pv) continue;
+        const double new_weight =
+            part_weight[static_cast<std::size_t>(p)] +
+            l.node_weight[static_cast<std::size_t>(v)];
+        if (new_weight > cap) continue;
+        if (gain[static_cast<std::size_t>(p)] > best_gain) {
+          best_gain = gain[static_cast<std::size_t>(p)];
+          best = p;
+        }
+      }
+      if (best != pv) {
+        part_weight[static_cast<std::size_t>(pv)] -=
+            l.node_weight[static_cast<std::size_t>(v)];
+        part_weight[static_cast<std::size_t>(best)] +=
+            l.node_weight[static_cast<std::size_t>(v)];
+        part[static_cast<std::size_t>(v)] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+PartitionAssignment partition_multilevel(const Graph& g, int num_parts,
+                                         MultilevelOptions options) {
+  GE_REQUIRE(num_parts >= 1, "num_parts must be >= 1");
+  GE_REQUIRE(g.num_nodes() > 0, "empty graph");
+  if (num_parts == 1) {
+    return PartitionAssignment(static_cast<std::size_t>(g.num_nodes()), 0);
+  }
+  Rng rng(options.seed);
+
+  // Coarsening phase.
+  std::vector<Level> levels;
+  levels.push_back(level_from_graph(g));
+  const NodeId target =
+      std::max<NodeId>(options.coarse_nodes_per_part * num_parts, 32);
+  while (levels.back().num_nodes() > target) {
+    Level coarse = coarsen(levels.back(), rng);
+    // Stop if matching stalls (e.g. star graphs coarsen slowly).
+    if (coarse.num_nodes() >
+        static_cast<NodeId>(0.95 * levels.back().num_nodes())) {
+      break;
+    }
+    levels.push_back(std::move(coarse));
+  }
+  GE_LOG(kDebug) << "multilevel: " << levels.size() << " levels, coarsest "
+                 << levels.back().num_nodes() << " nodes";
+
+  // Initial partition on the coarsest level + refinement.
+  PartitionAssignment part = initial_partition(
+      levels.back(), num_parts, options.imbalance, rng);
+  refine(levels.back(), part, num_parts, options.imbalance,
+         options.refine_passes);
+
+  // Uncoarsen: project through each level's fine_to_coarse map and refine.
+  for (std::size_t li = levels.size() - 1; li > 0; --li) {
+    const Level& coarse = levels[li];
+    const Level& fine = levels[li - 1];
+    PartitionAssignment fine_part(
+        static_cast<std::size_t>(fine.num_nodes()));
+    for (NodeId v = 0; v < fine.num_nodes(); ++v) {
+      fine_part[static_cast<std::size_t>(v)] =
+          part[static_cast<std::size_t>(
+              coarse.fine_to_coarse[static_cast<std::size_t>(v)])];
+    }
+    part = std::move(fine_part);
+    refine(fine, part, num_parts, options.imbalance, options.refine_passes);
+  }
+  return part;
+}
+
+}  // namespace ppr

@@ -1,0 +1,56 @@
+// Graph partitioning interfaces.
+//
+// The paper partitions with METIS (balanced min edge-cut). We provide a
+// from-scratch multilevel partitioner with the same objective — heavy-edge
+// matching coarsening, greedy graph-growing initial partition, boundary
+// greedy refinement on each uncoarsening level — plus trivial baselines
+// (random / hash / contiguous blocks) that benches use to show how cut
+// quality drives remote-traversal ratio.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppr {
+
+/// assignment[v] = partition id in [0, num_parts).
+using PartitionAssignment = std::vector<std::int32_t>;
+
+struct MultilevelOptions {
+  /// Allowed max part size as a multiple of the average (METIS ufactor).
+  double imbalance = 1.05;
+  /// Stop coarsening when the graph has at most this many nodes per part.
+  NodeId coarse_nodes_per_part = 64;
+  /// Greedy refinement passes per uncoarsening level.
+  int refine_passes = 6;
+  std::uint64_t seed = 1;
+};
+
+/// Multilevel min edge-cut partitioning (METIS-like).
+PartitionAssignment partition_multilevel(const Graph& g, int num_parts,
+                                         MultilevelOptions options = {});
+
+/// Uniform random assignment (worst-case locality baseline).
+PartitionAssignment partition_random(const Graph& g, int num_parts,
+                                     std::uint64_t seed = 1);
+
+/// Hash of node id (deterministic random-like baseline).
+PartitionAssignment partition_hash(const Graph& g, int num_parts);
+
+/// Contiguous equal-size id ranges (good for graphs with id locality).
+PartitionAssignment partition_blocked(const Graph& g, int num_parts);
+
+struct PartitionQuality {
+  EdgeIndex edge_cut = 0;      // edges crossing parts (each direction once)
+  double cut_ratio = 0;        // edge_cut / num_edges
+  double balance = 0;          // max part size / average part size
+  std::vector<NodeId> part_sizes;
+};
+
+PartitionQuality evaluate_partition(const Graph& g,
+                                    const PartitionAssignment& assignment,
+                                    int num_parts);
+
+}  // namespace ppr

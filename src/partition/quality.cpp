@@ -1,0 +1,34 @@
+#include "partition/partitioner.hpp"
+
+namespace ppr {
+
+PartitionQuality evaluate_partition(const Graph& g,
+                                    const PartitionAssignment& assignment,
+                                    int num_parts) {
+  GE_REQUIRE(assignment.size() == static_cast<std::size_t>(g.num_nodes()),
+             "assignment size mismatch");
+  PartitionQuality q;
+  q.part_sizes.assign(static_cast<std::size_t>(num_parts), 0);
+  EdgeIndex cut_directed = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::int32_t pv = assignment[static_cast<std::size_t>(v)];
+    GE_REQUIRE(pv >= 0 && pv < num_parts, "partition id out of range");
+    ++q.part_sizes[static_cast<std::size_t>(pv)];
+    for (const NodeId u : g.neighbors(v)) {
+      if (assignment[static_cast<std::size_t>(u)] != pv) ++cut_directed;
+    }
+  }
+  // Undirected graphs store each cut edge twice (once per direction).
+  q.edge_cut = cut_directed / 2;
+  q.cut_ratio = g.num_edges() > 0
+                    ? static_cast<double>(cut_directed) /
+                          static_cast<double>(g.num_edges())
+                    : 0.0;
+  NodeId max_size = 0;
+  for (const NodeId s : q.part_sizes) max_size = std::max(max_size, s);
+  const double avg = static_cast<double>(g.num_nodes()) / num_parts;
+  q.balance = avg > 0 ? max_size / avg : 0.0;
+  return q;
+}
+
+}  // namespace ppr

@@ -1,0 +1,41 @@
+#include "common/rng.hpp"
+#include "partition/partitioner.hpp"
+
+namespace ppr {
+
+PartitionAssignment partition_random(const Graph& g, int num_parts,
+                                     std::uint64_t seed) {
+  GE_REQUIRE(num_parts >= 1, "num_parts must be >= 1");
+  Rng rng(seed);
+  PartitionAssignment part(static_cast<std::size_t>(g.num_nodes()));
+  for (auto& p : part) {
+    p = static_cast<std::int32_t>(
+        rng.next_u64(static_cast<std::uint64_t>(num_parts)));
+  }
+  return part;
+}
+
+PartitionAssignment partition_hash(const Graph& g, int num_parts) {
+  GE_REQUIRE(num_parts >= 1, "num_parts must be >= 1");
+  PartitionAssignment part(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::uint64_t x = static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 32;
+    part[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(x % static_cast<std::uint64_t>(num_parts));
+  }
+  return part;
+}
+
+PartitionAssignment partition_blocked(const Graph& g, int num_parts) {
+  GE_REQUIRE(num_parts >= 1, "num_parts must be >= 1");
+  PartitionAssignment part(static_cast<std::size_t>(g.num_nodes()));
+  const auto n = static_cast<std::int64_t>(g.num_nodes());
+  for (std::int64_t v = 0; v < n; ++v) {
+    part[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(v * num_parts / n);
+  }
+  return part;
+}
+
+}  // namespace ppr

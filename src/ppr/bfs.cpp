@@ -1,0 +1,113 @@
+#include "ppr/bfs.hpp"
+
+#include <deque>
+
+#include "concurrent/flat_map.hpp"
+
+namespace ppr {
+
+BfsResult distributed_bfs(const DistGraphStorage& storage,
+                          std::span<const NodeId> source_locals,
+                          const BfsOptions& options) {
+  const int num_shards = storage.num_shards();
+  BfsResult res;
+  // Visited set: packed NodeRef -> distance. A single FlatMap suffices —
+  // one BFS runs on one computing process (inter-query parallelism is
+  // across queries, as in the SSPPR engine).
+  FlatMap<int> visited;
+
+  std::vector<NodeId> frontier_locals(source_locals.begin(),
+                                      source_locals.end());
+  std::vector<ShardId> frontier_shards(source_locals.size(),
+                                       storage.shard_id());
+  for (const NodeId l : source_locals) {
+    visited[NodeRef{l, storage.shard_id()}.key()] = 0;
+  }
+
+  int depth = 0;
+  std::vector<std::vector<NodeId>> by_shard(
+      static_cast<std::size_t>(num_shards));
+  while (!frontier_locals.empty() &&
+         (options.max_depth < 0 || depth < options.max_depth)) {
+    ++res.num_levels;
+    for (auto& v : by_shard) v.clear();
+    for (std::size_t i = 0; i < frontier_locals.size(); ++i) {
+      by_shard[static_cast<std::size_t>(frontier_shards[i])].push_back(
+          frontier_locals[i]);
+    }
+
+    // One async request per remote shard; local portion via shared memory.
+    std::vector<NeighborFetch> fetches(static_cast<std::size_t>(num_shards));
+    for (ShardId j = 0; j < num_shards; ++j) {
+      if (j == storage.shard_id() ||
+          by_shard[static_cast<std::size_t>(j)].empty()) {
+        continue;
+      }
+      fetches[static_cast<std::size_t>(j)] = storage.get_neighbor_infos_async(
+          j, by_shard[static_cast<std::size_t>(j)], options.compress);
+    }
+
+    std::vector<NodeId> next_locals;
+    std::vector<ShardId> next_shards;
+    const auto expand = [&](const VertexProp& vp) {
+      for (std::size_t k = 0; k < vp.degree(); ++k) {
+        const NodeRef u{vp.nbr_local_ids[k], vp.nbr_shard_ids[k]};
+        const std::uint64_t key = u.key();
+        if (visited.contains(key)) continue;
+        visited[key] = depth + 1;
+        next_locals.push_back(u.local);
+        next_shards.push_back(u.shard);
+      }
+    };
+
+    const auto& own = by_shard[static_cast<std::size_t>(storage.shard_id())];
+    if (!own.empty()) {
+      for (const VertexProp& vp : storage.get_neighbor_infos_local(own)) {
+        expand(vp);
+      }
+    }
+    for (ShardId j = 0; j < num_shards; ++j) {
+      if (!fetches[static_cast<std::size_t>(j)].valid()) continue;
+      const NeighborBatch batch = fetches[static_cast<std::size_t>(j)].wait();
+      for (std::size_t i = 0; i < batch.size(); ++i) expand(batch[i]);
+    }
+
+    frontier_locals.swap(next_locals);
+    frontier_shards.swap(next_shards);
+    ++depth;
+  }
+
+  res.distances.reserve(visited.size());
+  visited.for_each([&](std::uint64_t key, int& d) {
+    res.distances.emplace_back(NodeRef::from_key(key), d);
+  });
+  res.num_visited = res.distances.size();
+  return res;
+}
+
+std::vector<int> bfs_reference(const Graph& g,
+                               std::span<const NodeId> sources,
+                               int max_depth) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::deque<NodeId> queue;
+  for (const NodeId s : sources) {
+    GE_REQUIRE(s >= 0 && s < g.num_nodes(), "source out of range");
+    dist[static_cast<std::size_t>(s)] = 0;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    const int d = dist[static_cast<std::size_t>(v)];
+    if (max_depth >= 0 && d >= max_depth) continue;
+    for (const NodeId u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] == -1) {
+        dist[static_cast<std::size_t>(u)] = d + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace ppr

@@ -1,0 +1,44 @@
+// Distributed BFS over the Distributed Graph Storage.
+//
+// The paper motivates the engine with graph primitives beyond PPR — BFS
+// (GraphSAGE-style neighborhood expansion) is its canonical example of an
+// algorithm with a dynamic frontier that needs hashmap state and batched
+// fetches rather than tensor ops. This driver reuses the same batching
+// machinery as the SSPPR loop: one request per destination shard per
+// level.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/dist_storage.hpp"
+
+namespace ppr {
+
+struct BfsOptions {
+  /// Stop after this many levels (-1 = run to exhaustion).
+  int max_depth = -1;
+  /// Response compression (same switch as the SSPPR driver).
+  bool compress = true;
+};
+
+struct BfsResult {
+  /// Visited nodes with their hop distance from the source set.
+  std::vector<std::pair<NodeRef, int>> distances;
+  std::size_t num_levels = 0;
+  std::size_t num_visited = 0;
+};
+
+/// Multi-source BFS from `source_locals` (core nodes of this process's
+/// shard, per the owner-compute rule).
+BfsResult distributed_bfs(const DistGraphStorage& storage,
+                          std::span<const NodeId> source_locals,
+                          const BfsOptions& options = {});
+
+/// Single-machine reference BFS on the full graph (for validation).
+std::vector<int> bfs_reference(const Graph& g,
+                               std::span<const NodeId> sources,
+                               int max_depth = -1);
+
+}  // namespace ppr

@@ -1,0 +1,95 @@
+#include "ppr/forward_push.hpp"
+
+#include <deque>
+
+namespace ppr {
+
+namespace {
+/// One push at vertex v; appends newly activated vertices to `out`.
+/// Shared by both variants; `in_queue` tracks frontier membership.
+inline void push_vertex(const Graph& g, NodeId v, double alpha, double eps,
+                        std::vector<double>& pi, std::vector<double>& r,
+                        std::vector<std::uint8_t>& in_queue,
+                        std::vector<NodeId>& out) {
+  const auto vi = static_cast<std::size_t>(v);
+  const double rv = r[vi];
+  r[vi] = 0;
+  in_queue[vi] = 0;
+  if (rv == 0) return;
+  const double dw = g.weighted_degree(v);
+  if (g.degree(v) == 0 || dw <= 0) {
+    pi[vi] += rv;  // dangling: all mass settles here
+    return;
+  }
+  pi[vi] += alpha * rv;
+  const double m = (1.0 - alpha) * rv / dw;
+  const auto nbrs = g.neighbors(v);
+  const auto weights = g.edge_weights(v);
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    const auto ui = static_cast<std::size_t>(nbrs[k]);
+    r[ui] += weights[k] * m;
+    if (!in_queue[ui] && r[ui] > eps * g.weighted_degree(nbrs[k])) {
+      in_queue[ui] = 1;
+      out.push_back(nbrs[k]);
+    }
+  }
+}
+}  // namespace
+
+ForwardPushResult forward_push_sequential(const Graph& g, NodeId source,
+                                          double alpha, double epsilon) {
+  GE_REQUIRE(source >= 0 && source < g.num_nodes(), "source out of range");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  ForwardPushResult res;
+  res.ppr.assign(n, 0.0);
+  res.residual.assign(n, 0.0);
+  res.residual[static_cast<std::size_t>(source)] = 1.0;
+
+  std::vector<std::uint8_t> in_queue(n, 0);
+  std::deque<NodeId> queue;
+  queue.push_back(source);
+  in_queue[static_cast<std::size_t>(source)] = 1;
+  std::vector<NodeId> newly;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    newly.clear();
+    push_vertex(g, v, alpha, epsilon, res.ppr, res.residual, in_queue, newly);
+    ++res.num_pushes;
+    for (const NodeId u : newly) queue.push_back(u);
+  }
+  return res;
+}
+
+ForwardPushResult forward_push_parallel(const Graph& g, NodeId source,
+                                        double alpha, double epsilon,
+                                        int num_threads) {
+  GE_REQUIRE(source >= 0 && source < g.num_nodes(), "source out of range");
+  (void)num_threads;  // rounds are applied serially here; the distributed
+                      // engine provides the parallel execution path.
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  ForwardPushResult res;
+  res.ppr.assign(n, 0.0);
+  res.residual.assign(n, 0.0);
+  res.residual[static_cast<std::size_t>(source)] = 1.0;
+
+  std::vector<std::uint8_t> in_frontier(n, 0);
+  std::vector<NodeId> frontier{source};
+  in_frontier[static_cast<std::size_t>(source)] = 1;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++res.num_iterations;
+    next.clear();
+    // Frontier-synchronous round: all pushes read residuals drained in
+    // this round; newly activated vertices wait for the next round.
+    for (const NodeId v : frontier) {
+      push_vertex(g, v, alpha, epsilon, res.ppr, res.residual, in_frontier,
+                  next);
+      ++res.num_pushes;
+    }
+    frontier.swap(next);
+  }
+  return res;
+}
+
+}  // namespace ppr

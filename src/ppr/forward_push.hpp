@@ -1,0 +1,35 @@
+// Single-machine Forward Push reference implementations (Algorithm 1 and
+// the parallel variant of Shun et al. the engine batches on).
+//
+// These run directly on the full Graph with dense state arrays; they are
+// the ground truth the distributed engine is validated against, and the
+// "single machine base algorithm" of §3.2.3.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppr {
+
+struct ForwardPushResult {
+  std::vector<double> ppr;       // π(ε), indexed by node id
+  std::vector<double> residual;  // final residuals
+  std::size_t num_pushes = 0;
+  std::size_t num_iterations = 0;  // frontier rounds (parallel variant)
+};
+
+/// Sequential Forward Push (Algorithm 1): processes one activated vertex
+/// at a time from a work queue until no residual exceeds ε·d_w.
+ForwardPushResult forward_push_sequential(const Graph& g, NodeId source,
+                                          double alpha, double epsilon);
+
+/// Parallel (frontier-synchronous) Forward Push: each round drains the
+/// whole activated set, pushing all vertices before recomputing the
+/// frontier. Slightly more pushes than sequential, but batchable — the
+/// property the distributed engine exploits.
+ForwardPushResult forward_push_parallel(const Graph& g, NodeId source,
+                                        double alpha, double epsilon,
+                                        int num_threads = 1);
+
+}  // namespace ppr

@@ -1,0 +1,86 @@
+#include "ppr/khop_sampler.hpp"
+
+#include "concurrent/flat_map.hpp"
+
+namespace ppr {
+
+KHopResult sample_khop(const DistGraphStorage& storage,
+                       std::span<const NodeId> root_locals,
+                       const KHopOptions& options) {
+  GE_REQUIRE(!options.fanouts.empty(), "need at least one fanout level");
+  for (const int f : options.fanouts) {
+    GE_REQUIRE(f >= 1, "fanouts must be positive");
+  }
+  const int num_shards = storage.num_shards();
+
+  KHopResult res;
+  res.levels.emplace_back();
+  for (const NodeId l : root_locals) {
+    res.levels.back().push_back(NodeRef{l, storage.shard_id()});
+  }
+
+  std::vector<std::vector<NodeId>> by_shard_locals(
+      static_cast<std::size_t>(num_shards));
+  for (std::size_t depth = 0; depth < options.fanouts.size(); ++depth) {
+    const auto& frontier = res.levels.back();
+    if (frontier.empty()) break;
+    const int k = options.fanouts[depth];
+    const std::uint64_t seed =
+        options.seed * 0x9e3779b97f4a7c15ULL + depth;
+
+    for (auto& v : by_shard_locals) v.clear();
+    for (const NodeRef ref : frontier) {
+      by_shard_locals[static_cast<std::size_t>(ref.shard)].push_back(
+          ref.local);
+    }
+
+    // One request per shard with sources on it; own shard served locally
+    // while the remote futures are in flight.
+    std::vector<RpcFuture> futures(static_cast<std::size_t>(num_shards));
+    for (ShardId j = 0; j < num_shards; ++j) {
+      if (j == storage.shard_id() ||
+          by_shard_locals[static_cast<std::size_t>(j)].empty()) {
+        continue;
+      }
+      futures[static_cast<std::size_t>(j)] = storage.sample_k_neighbors_async(
+          j, by_shard_locals[static_cast<std::size_t>(j)], k, seed);
+    }
+
+    FlatMap<std::uint8_t> next_seen;
+    std::vector<NodeRef> next_level;
+    const auto absorb = [&](ShardId j, const KSampleResult& sample) {
+      const auto& sources = by_shard_locals[static_cast<std::size_t>(j)];
+      GE_CHECK(sample.indptr.size() == sources.size() + 1,
+               "k-sample shape mismatch");
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        const NodeRef src{sources[i], j};
+        for (EdgeIndex e = sample.indptr[i]; e < sample.indptr[i + 1]; ++e) {
+          const NodeRef dst{
+              sample.local_ids[static_cast<std::size_t>(e)],
+              sample.shard_ids[static_cast<std::size_t>(e)]};
+          res.edges.emplace_back(src, dst);
+          if (!next_seen.contains(dst.key())) {
+            next_seen[dst.key()] = 1;
+            next_level.push_back(dst);
+          }
+        }
+      }
+    };
+
+    const auto& own = by_shard_locals[static_cast<std::size_t>(
+        storage.shard_id())];
+    if (!own.empty()) {
+      absorb(storage.shard_id(),
+             storage.sample_k_neighbors(storage.shard_id(), own, k, seed));
+    }
+    for (ShardId j = 0; j < num_shards; ++j) {
+      if (!futures[static_cast<std::size_t>(j)].valid()) continue;
+      absorb(j, DistGraphStorage::decode_k_sample(
+                    futures[static_cast<std::size_t>(j)].wait()));
+    }
+    res.levels.push_back(std::move(next_level));
+  }
+  return res;
+}
+
+}  // namespace ppr

@@ -1,0 +1,65 @@
+#include "ppr/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppr {
+
+namespace {
+std::vector<std::int64_t> topk_ids(std::span<const double> scores,
+                                   std::size_t k) {
+  std::vector<std::int64_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::int64_t a, std::int64_t b) {
+                      const double sa = scores[static_cast<std::size_t>(a)];
+                      const double sb = scores[static_cast<std::size_t>(b)];
+                      return sa != sb ? sa > sb : a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+}  // namespace
+
+double topk_precision(std::span<const double> approx,
+                      std::span<const double> exact, std::size_t k) {
+  GE_REQUIRE(approx.size() == exact.size(), "vector size mismatch");
+  GE_REQUIRE(k > 0, "k must be positive");
+  const auto top_exact = topk_ids(exact, k);
+  const auto top_approx = topk_ids(approx, k);
+  const std::unordered_set<std::int64_t> exact_set(top_exact.begin(),
+                                                   top_exact.end());
+  std::size_t hits = 0;
+  for (const auto id : top_approx) hits += exact_set.count(id);
+  return static_cast<double>(hits) /
+         static_cast<double>(std::min(k, approx.size()));
+}
+
+double l1_error(std::span<const double> approx,
+                std::span<const double> exact) {
+  GE_REQUIRE(approx.size() == exact.size(), "vector size mismatch");
+  double d = 0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    d += std::abs(approx[i] - exact[i]);
+  }
+  return d;
+}
+
+double max_error(std::span<const double> approx,
+                 std::span<const double> exact) {
+  GE_REQUIRE(approx.size() == exact.size(), "vector size mismatch");
+  double d = 0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    d = std::max(d, std::abs(approx[i] - exact[i]));
+  }
+  return d;
+}
+
+}  // namespace ppr

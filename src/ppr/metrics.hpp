@@ -1,0 +1,22 @@
+// Accuracy metrics for comparing approximate SSPPR vectors against the
+// power-iteration ground truth (§4.2's "97%+ accuracy of the top-100").
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ppr {
+
+/// |top-k(approx) ∩ top-k(exact)| / k. Ties in `exact` are broken by node
+/// id, matching the deterministic ordering both implementations report.
+double topk_precision(std::span<const double> approx,
+                      std::span<const double> exact, std::size_t k);
+
+/// Σ|approx − exact|.
+double l1_error(std::span<const double> approx, std::span<const double> exact);
+
+/// max |approx − exact|.
+double max_error(std::span<const double> approx,
+                 std::span<const double> exact);
+
+}  // namespace ppr

@@ -1,0 +1,88 @@
+#include "ppr/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ppr/forward_push.hpp"
+
+namespace ppr {
+
+namespace {
+/// One walk with restart from `v`; returns the terminal node and
+/// accumulates the step count.
+NodeId walk_until_restart(const Graph& g, NodeId v, double alpha, Rng& rng,
+                          std::size_t& steps) {
+  for (;;) {
+    if (g.degree(v) == 0 || g.weighted_degree(v) <= 0) return v;  // absorb
+    if (rng.next_double() < alpha) return v;                      // restart
+    // Weighted neighbor choice.
+    const float target = rng.next_float(0.0f, g.weighted_degree(v));
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.edge_weights(v);
+    float acc = 0;
+    NodeId next = nbrs[nbrs.size() - 1];
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      acc += ws[k];
+      if (acc >= target) {
+        next = nbrs[k];
+        break;
+      }
+    }
+    v = next;
+    ++steps;
+  }
+}
+}  // namespace
+
+MonteCarloResult monte_carlo_ppr(const Graph& g, NodeId source, double alpha,
+                                 std::size_t num_walks, std::uint64_t seed) {
+  GE_REQUIRE(source >= 0 && source < g.num_nodes(), "source out of range");
+  GE_REQUIRE(num_walks > 0, "need at least one walk");
+  GE_REQUIRE(alpha > 0 && alpha < 1, "alpha must be in (0,1)");
+  MonteCarloResult res;
+  res.ppr.assign(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  res.num_walks = num_walks;
+  Rng rng(seed);
+  const double unit = 1.0 / static_cast<double>(num_walks);
+  for (std::size_t w = 0; w < num_walks; ++w) {
+    const NodeId t = walk_until_restart(g, source, alpha, rng,
+                                        res.total_steps);
+    res.ppr[static_cast<std::size_t>(t)] += unit;
+  }
+  return res;
+}
+
+ForaResult fora_ppr(const Graph& g, NodeId source, double alpha,
+                    double push_epsilon, double walks_per_unit_residual,
+                    std::uint64_t seed) {
+  GE_REQUIRE(walks_per_unit_residual > 0, "walk budget must be positive");
+  ForaResult res;
+  // Phase 1: cheap forward push leaves residual mass r with ‖r‖₁ ≤
+  // ε·Σd_w spread over the frontier boundary.
+  ForwardPushResult push =
+      forward_push_sequential(g, source, alpha, push_epsilon);
+  res.num_pushes = push.num_pushes;
+  res.ppr = std::move(push.ppr);
+
+  // Phase 2: for every node with leftover residual, launch walks whose
+  // terminals are credited r(v)/W each — an unbiased estimate of where
+  // the remaining probability mass settles (FORA's invariant:
+  // π = π_push + Σ_v r(v)·π_v).
+  Rng rng(seed);
+  std::size_t steps = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double rv = push.residual[static_cast<std::size_t>(v)];
+    if (rv <= 0) continue;
+    const auto walks = static_cast<std::size_t>(
+        std::ceil(rv * walks_per_unit_residual));
+    const double credit = rv / static_cast<double>(walks);
+    for (std::size_t w = 0; w < walks; ++w) {
+      const NodeId t = walk_until_restart(g, v, alpha, rng, steps);
+      res.ppr[static_cast<std::size_t>(t)] += credit;
+    }
+    res.num_walks += walks;
+  }
+  return res;
+}
+
+}  // namespace ppr

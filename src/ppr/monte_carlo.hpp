@@ -1,0 +1,49 @@
+// Monte-Carlo SSPPR estimators (§2.2.1's third method family) and the
+// FORA-style hybrid (Wang et al., the paper's reference [25] defining
+// approximate whole-graph SSPPR):
+//
+//   * monte_carlo_ppr — simulate W random walks with restart from the
+//     source; π(v) is estimated by the fraction of walks terminating at
+//     v. Unbiased but high-variance, as the paper notes.
+//   * fora_ppr — Forward Push with a coarse ε, then residual-weighted
+//     random walks to refine the tail: each remaining unit of residual
+//     r(v) launches walks from v whose terminal mass is credited to π.
+//     Combines push's efficiency with MC's unbiased tail.
+//
+// Both run on the full single-machine graph (they are accuracy/efficiency
+// baselines, like power iteration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppr {
+
+struct MonteCarloResult {
+  std::vector<double> ppr;
+  std::size_t num_walks = 0;
+  std::size_t total_steps = 0;
+};
+
+/// Pure Monte-Carlo estimate from `num_walks` walks with restart
+/// probability `alpha` (each step the walk terminates w.p. α, else moves
+/// to a weighted random neighbor; dangling nodes absorb).
+MonteCarloResult monte_carlo_ppr(const Graph& g, NodeId source, double alpha,
+                                 std::size_t num_walks, std::uint64_t seed);
+
+struct ForaResult {
+  std::vector<double> ppr;
+  std::size_t num_pushes = 0;
+  std::size_t num_walks = 0;
+};
+
+/// FORA-style hybrid: Forward Push at `push_epsilon`, then
+/// `walks_per_unit_residual` × (total residual) random walks distributed
+/// over the residual vector proportionally to r(v).
+ForaResult fora_ppr(const Graph& g, NodeId source, double alpha,
+                    double push_epsilon, double walks_per_unit_residual,
+                    std::uint64_t seed);
+
+}  // namespace ppr

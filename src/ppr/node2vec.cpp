@@ -1,0 +1,143 @@
+#include "ppr/node2vec.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace ppr {
+
+namespace {
+/// Sorted packed-key set of a neighborhood, for O(log d) membership tests.
+std::vector<std::uint64_t> neighbor_key_set(const VertexProp& vp) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(vp.degree());
+  for (std::size_t k = 0; k < vp.degree(); ++k) {
+    keys.push_back(NodeRef{vp.nbr_local_ids[k], vp.nbr_shard_ids[k]}.key());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+bool contains(const std::vector<std::uint64_t>& sorted, std::uint64_t key) {
+  return std::binary_search(sorted.begin(), sorted.end(), key);
+}
+}  // namespace
+
+Node2vecResult node2vec_walk(const DistGraphStorage& storage,
+                             std::span<const NodeId> root_locals,
+                             const Node2vecOptions& options) {
+  GE_REQUIRE(options.walk_length > 0, "walk_length must be positive");
+  GE_REQUIRE(options.p > 0 && options.q > 0, "p and q must be positive");
+  const int num_shards = storage.num_shards();
+  const std::size_t n = root_locals.size();
+
+  Node2vecResult res;
+  res.num_walks = n;
+  res.walk_length = options.walk_length;
+  res.walks.resize(n * static_cast<std::size_t>(options.walk_length));
+
+  struct Walker {
+    NodeRef current;
+    std::uint64_t prev_key = kEmptyKey;        // no previous on step 0
+    std::vector<std::uint64_t> prev_neighbors; // sorted keys of N(prev)
+    bool stuck = false;
+  };
+  std::vector<Walker> walkers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    walkers[i].current = NodeRef{root_locals[i], storage.shard_id()};
+  }
+
+  Rng rng(options.seed);
+  std::vector<std::vector<std::size_t>> by_shard(
+      static_cast<std::size_t>(num_shards));
+  std::vector<std::vector<NodeId>> locals(static_cast<std::size_t>(num_shards));
+
+  for (int step = 0; step < options.walk_length; ++step) {
+    for (auto& v : by_shard) v.clear();
+    for (auto& v : locals) v.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (walkers[i].stuck) continue;
+      const ShardId s = walkers[i].current.shard;
+      by_shard[static_cast<std::size_t>(s)].push_back(i);
+      locals[static_cast<std::size_t>(s)].push_back(
+          walkers[i].current.local);
+    }
+
+    // Batched full-row fetches: one per remote shard, local zero-copy.
+    std::vector<NeighborFetch> fetches(static_cast<std::size_t>(num_shards));
+    for (ShardId j = 0; j < num_shards; ++j) {
+      if (j == storage.shard_id() ||
+          locals[static_cast<std::size_t>(j)].empty()) {
+        continue;
+      }
+      fetches[static_cast<std::size_t>(j)] =
+          storage.get_neighbor_infos_async(j, locals[static_cast<std::size_t>(j)]);
+    }
+
+    const auto advance = [&](std::size_t i, const VertexProp& vp) {
+      Walker& w = walkers[i];
+      if (vp.degree() == 0) {
+        w.stuck = true;  // dangling: the walk stays put for all steps
+        return;
+      }
+      double total = 0;
+      // Two passes: weigh, then sample by prefix sum.
+      std::vector<double> weights(vp.degree());
+      for (std::size_t k = 0; k < vp.degree(); ++k) {
+        const std::uint64_t key =
+            NodeRef{vp.nbr_local_ids[k], vp.nbr_shard_ids[k]}.key();
+        double bias;
+        if (key == w.prev_key) {
+          bias = 1.0 / options.p;
+        } else if (w.prev_key != kEmptyKey &&
+                   contains(w.prev_neighbors, key)) {
+          bias = 1.0;
+        } else {
+          bias = 1.0 / options.q;
+        }
+        weights[k] = static_cast<double>(vp.edge_weights[k]) * bias;
+        total += weights[k];
+      }
+      const double target = rng.next_double() * total;
+      double acc = 0;
+      std::size_t pick = vp.degree() - 1;
+      for (std::size_t k = 0; k < vp.degree(); ++k) {
+        acc += weights[k];
+        if (acc >= target) {
+          pick = k;
+          break;
+        }
+      }
+      // Move: remember where we came from and its neighborhood.
+      w.prev_key = w.current.key();
+      w.prev_neighbors = neighbor_key_set(vp);
+      w.current = NodeRef{vp.nbr_local_ids[pick], vp.nbr_shard_ids[pick]};
+    };
+
+    // Local rows first (overlapping the remote fetches), then remote.
+    const ShardId self = storage.shard_id();
+    if (!locals[static_cast<std::size_t>(self)].empty()) {
+      const auto props = storage.get_neighbor_infos_local(
+          locals[static_cast<std::size_t>(self)]);
+      for (std::size_t idx = 0; idx < props.size(); ++idx) {
+        advance(by_shard[static_cast<std::size_t>(self)][idx], props[idx]);
+      }
+    }
+    for (ShardId j = 0; j < num_shards; ++j) {
+      if (!fetches[static_cast<std::size_t>(j)].valid()) continue;
+      const NeighborBatch batch = fetches[static_cast<std::size_t>(j)].wait();
+      for (std::size_t idx = 0; idx < batch.size(); ++idx) {
+        advance(by_shard[static_cast<std::size_t>(j)][idx], batch[idx]);
+      }
+    }
+
+    // Record positions after the move (stuck walkers repeat in place).
+    for (std::size_t i = 0; i < n; ++i) {
+      res.walks[i * static_cast<std::size_t>(options.walk_length) +
+                static_cast<std::size_t>(step)] = walkers[i].current.key();
+    }
+  }
+  return res;
+}
+
+}  // namespace ppr

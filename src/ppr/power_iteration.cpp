@@ -1,0 +1,80 @@
+#include "ppr/power_iteration.hpp"
+
+#include <cmath>
+
+namespace ppr {
+
+CsrMatrix build_transition_matrix(const Graph& g) {
+  // For an undirected graph the neighbors of u are exactly its
+  // in-neighbors, so row u of P^T reuses the adjacency of u with values
+  // W(v,u)/d_w(v).
+  const auto& indptr = g.indptr();
+  const auto& adj = g.adj();
+  const auto& weights = g.weights();
+  std::vector<float> values(adj.size());
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < adj.size(); ++k) {
+    const float dw = g.weighted_degree(adj[k]);
+    values[k] = dw > 0 ? weights[k] / dw : 0.0f;
+  }
+  return CsrMatrix(indptr, adj, std::move(values));
+}
+
+PowerIterationResult power_iteration(const Graph& g, const CsrMatrix& pt,
+                                     NodeId source, double alpha,
+                                     double tolerance,
+                                     std::size_t max_iterations) {
+  GE_REQUIRE(source >= 0 && source < g.num_nodes(), "source out of range");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  PowerIterationResult res;
+  res.ppr.assign(n, 0.0);
+
+  // Random-walk-with-restart semantics identical to Forward Push: a walk
+  // at v terminates there with probability α (probability 1 at a dangling
+  // node), else moves to a weighted random neighbor. `mass` is the
+  // distribution of still-alive walks; iterating to ||mass||₁ < tol is
+  // Forward Push with a global (not per-node) residual bound.
+  DoubleTensor mass(n);
+  mass[static_cast<std::size_t>(source)] = 1.0;
+
+  std::vector<std::uint8_t> dangling(n, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) == 0 || g.weighted_degree(v) <= 0) {
+      dangling[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    double remaining = 0;
+#pragma omp parallel for schedule(static) reduction(+ : remaining)
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mass[v] == 0) continue;
+      if (dangling[v]) {
+        res.ppr[v] += mass[v];
+        mass[v] = 0;
+      } else {
+        res.ppr[v] += alpha * mass[v];
+        remaining += mass[v];
+      }
+    }
+    ++res.num_iterations;
+    res.final_delta = (1.0 - alpha) * remaining;
+    if (res.final_delta < tolerance) break;
+    DoubleTensor moved = pt.spmv(mass);
+#pragma omp parallel for schedule(static)
+    for (std::size_t v = 0; v < n; ++v) {
+      moved[v] *= (1.0 - alpha);
+    }
+    mass = std::move(moved);
+  }
+  return res;
+}
+
+PowerIterationResult power_iteration(const Graph& g, NodeId source,
+                                     double alpha, double tolerance,
+                                     std::size_t max_iterations) {
+  return power_iteration(g, build_transition_matrix(g), source, alpha,
+                         tolerance, max_iterations);
+}
+
+}  // namespace ppr

@@ -1,0 +1,38 @@
+// High-precision SSPPR via Power Iteration on the weighted transition
+// matrix — the "DGL SpMM" baseline of Table 2 and the ground truth for
+// accuracy checks (the paper uses tolerance 1e-10 and treats the result
+// as exact).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/sparse.hpp"
+
+namespace ppr {
+
+struct PowerIterationResult {
+  std::vector<double> ppr;
+  std::size_t num_iterations = 0;
+  double final_delta = 0;  // L1 change of the last iteration
+};
+
+/// Build the column-stochastic transition operator P^T as a CSR matrix:
+/// row u holds W(v,u)/d_w(v) for every in-neighbor v. One matrix serves
+/// all queries on the same graph (build once, iterate per source).
+CsrMatrix build_transition_matrix(const Graph& g);
+
+/// π ← α e_s + (1-α) P^T π until the L1 change falls below `tolerance`.
+/// Dangling nodes retain their mass (walk stays in place), matching the
+/// Forward Push convention.
+PowerIterationResult power_iteration(const Graph& g, const CsrMatrix& pt,
+                                     NodeId source, double alpha,
+                                     double tolerance = 1e-10,
+                                     std::size_t max_iterations = 10000);
+
+/// Convenience overload that builds the operator internally.
+PowerIterationResult power_iteration(const Graph& g, NodeId source,
+                                     double alpha, double tolerance = 1e-10,
+                                     std::size_t max_iterations = 10000);
+
+}  // namespace ppr

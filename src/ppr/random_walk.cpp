@@ -1,0 +1,84 @@
+#include "ppr/random_walk.hpp"
+
+namespace ppr {
+
+RandomWalkResult distributed_random_walk(const DistGraphStorage& g,
+                                         std::span<const NodeId> root_locals,
+                                         const RandomWalkOptions& options) {
+  GE_REQUIRE(options.walk_length > 0, "walk_length must be positive");
+  const std::size_t n = root_locals.size();
+  const int num_shards = g.num_shards();
+
+  RandomWalkResult res;
+  res.num_walks = n;
+  res.walk_length = options.walk_length;
+  res.walks.resize(n * static_cast<std::size_t>(options.walk_length));
+
+  std::vector<NodeId> node_ids(root_locals.begin(), root_locals.end());
+  std::vector<ShardId> shard_ids(n, g.shard_id());
+
+  std::vector<std::vector<std::size_t>> by_shard(
+      static_cast<std::size_t>(num_shards));
+  std::vector<NodeId> request;
+
+  for (int step = 0; step < options.walk_length; ++step) {
+    const std::uint64_t step_seed =
+        options.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(step);
+    for (auto& v : by_shard) v.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      by_shard[static_cast<std::size_t>(shard_ids[i])].push_back(i);
+    }
+
+    if (options.batch) {
+      // One async request per destination shard, then apply results.
+      std::vector<RpcFuture> futures(static_cast<std::size_t>(num_shards));
+      std::vector<bool> is_local(static_cast<std::size_t>(num_shards), false);
+      for (ShardId j = 0; j < num_shards; ++j) {
+        const auto& idx = by_shard[static_cast<std::size_t>(j)];
+        if (idx.empty()) continue;
+        if (j == g.shard_id()) {
+          is_local[static_cast<std::size_t>(j)] = true;
+          continue;
+        }
+        request.clear();
+        for (const std::size_t i : idx) request.push_back(node_ids[i]);
+        futures[static_cast<std::size_t>(j)] =
+            g.sample_one_neighbor_async(j, request, step_seed);
+      }
+      for (ShardId j = 0; j < num_shards; ++j) {
+        const auto& idx = by_shard[static_cast<std::size_t>(j)];
+        if (idx.empty()) continue;
+        SampleResult sample;
+        if (is_local[static_cast<std::size_t>(j)]) {
+          request.clear();
+          for (const std::size_t i : idx) request.push_back(node_ids[i]);
+          sample = g.sample_one_neighbor(j, request, step_seed);
+        } else {
+          sample = DistGraphStorage::decode_sample(
+              futures[static_cast<std::size_t>(j)].wait());
+        }
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+          const std::size_t i = idx[k];
+          node_ids[i] = sample.local_ids[k];
+          shard_ids[i] = sample.shard_ids[k];
+          res.walks[i * static_cast<std::size_t>(options.walk_length) +
+                    static_cast<std::size_t>(step)] = sample.global_ids[k];
+        }
+      }
+    } else {
+      // Unbatched baseline: one request per walker per step.
+      for (std::size_t i = 0; i < n; ++i) {
+        const NodeId one[] = {node_ids[i]};
+        const SampleResult sample = g.sample_one_neighbor(
+            shard_ids[i], one, step_seed ^ (i * 0x2545f4914f6cdd1dULL));
+        node_ids[i] = sample.local_ids[0];
+        shard_ids[i] = sample.shard_ids[0];
+        res.walks[i * static_cast<std::size_t>(options.walk_length) +
+                  static_cast<std::size_t>(step)] = sample.global_ids[0];
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace ppr

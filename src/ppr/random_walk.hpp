@@ -1,0 +1,41 @@
+// Distributed Random Walk over the Distributed Graph Storage — the second
+// graph primitive of the paper's Figure 4. Fixed-length walks are tensor-
+// friendly (static shapes), so this driver only needs the storage API plus
+// bulk index operations; no C++ per-step operators are required.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/dist_storage.hpp"
+
+namespace ppr {
+
+struct RandomWalkOptions {
+  int walk_length = 10;
+  std::uint64_t seed = 1;
+  /// Batch per-shard sampling requests (one RPC per shard per step). When
+  /// false, every walker issues its own request every step — the
+  /// unbatched baseline.
+  bool batch = true;
+};
+
+struct RandomWalkResult {
+  std::size_t num_walks = 0;
+  int walk_length = 0;
+  /// walks[i * walk_length + t] = global id visited by walker i at step t.
+  std::vector<NodeId> walks;
+
+  NodeId at(std::size_t walk, int step) const {
+    return walks[walk * static_cast<std::size_t>(walk_length) +
+                 static_cast<std::size_t>(step)];
+  }
+};
+
+/// Run one walk per root. Roots are local ids of core nodes on this
+/// process's own shard (owner-compute rule).
+RandomWalkResult distributed_random_walk(const DistGraphStorage& g,
+                                         std::span<const NodeId> root_locals,
+                                         const RandomWalkOptions& options);
+
+}  // namespace ppr

@@ -1,0 +1,176 @@
+#include "ppr/ssppr_state.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ppr {
+
+SspprState::SspprState(NodeRef source, SspprOptions options)
+    : source_(source),
+      options_(options),
+      pi_(options.submap_bits),
+      residual_(options.submap_bits) {
+  GE_REQUIRE(options_.alpha > 0 && options_.alpha < 1,
+             "alpha must be in (0,1)");
+  GE_REQUIRE(options_.epsilon > 0, "epsilon must be positive");
+  GE_REQUIRE(options_.num_threads >= 1, "num_threads must be >= 1");
+  const std::uint64_t key = source.key();
+  residual_.upsert(key, [](Residual& e) {
+    e.r = 1.0;
+    e.in_frontier = true;
+  });
+  activated_.push_back(key);
+}
+
+void SspprState::pop(std::vector<NodeId>& node_ids,
+                     std::vector<ShardId>& shard_ids) {
+  node_ids.resize(activated_.size());
+  shard_ids.resize(activated_.size());
+  for (std::size_t i = 0; i < activated_.size(); ++i) {
+    const NodeRef ref = NodeRef::from_key(activated_[i]);
+    node_ids[i] = ref.local;
+    shard_ids[i] = ref.shard;
+  }
+  activated_.clear();
+}
+
+void SspprState::push(std::span<const VertexProp> infos,
+                      std::span<const NodeId> node_ids,
+                      std::span<const ShardId> shard_ids) {
+  const std::size_t n = node_ids.size();
+  GE_REQUIRE(infos.size() == n && shard_ids.size() == n,
+             "push batch size mismatch");
+  if (n == 0) return;
+  num_pushes_ += n;
+
+  const double alpha = options_.alpha;
+  const double eps = options_.epsilon;
+  std::vector<double> rv(n, 0.0);
+
+  // Per the paper's "simple strategy": multi-thread only large batches.
+  int num_threads = 1;
+#ifdef _OPENMP
+  if (n >= options_.parallel_threshold && options_.num_threads > 1) {
+    num_threads = options_.num_threads;
+  }
+#endif
+
+  // The owner-partitioned update runs in two barrier-separated steps so
+  // residual reads in step 2 never race with the zeroing in step 1:
+  //   step 1: the owner of source v's submap drains r(v), updates π(v);
+  //   step 2: every thread scans all (source, neighbor) deltas but applies
+  //           only those landing in submaps it owns — lock-free.
+  const auto step1 = [&](std::size_t i) {
+    const std::uint64_t key =
+        NodeRef{node_ids[i], shard_ids[i]}.key();
+    const std::size_t idx = residual_.submap_index(key);
+    Residual& e = residual_.submap(idx)[key];
+    const double r = e.r;
+    e.r = 0;
+    e.in_frontier = false;
+    if (r == 0) {
+      rv[i] = 0;
+      return;
+    }
+    double& pi = pi_.submap(idx)[key];
+    if (infos[i].degree() == 0 || infos[i].weighted_degree <= 0) {
+      // Dangling node: the walk can go nowhere, so all mass settles here.
+      pi += r;
+      rv[i] = 0;
+    } else {
+      pi += alpha * r;
+      rv[i] = r;
+    }
+  };
+
+  const auto step2 = [&](std::size_t i, std::size_t tid, std::size_t nt,
+                         std::vector<std::uint64_t>& activated_out) {
+    if (rv[i] == 0) return;
+    const VertexProp& vp = infos[i];
+    const double m = (1.0 - alpha) * rv[i] / vp.weighted_degree;
+    for (std::size_t k = 0; k < vp.degree(); ++k) {
+      const std::uint64_t key_u =
+          NodeRef{vp.nbr_local_ids[k], vp.nbr_shard_ids[k]}.key();
+      const std::size_t idx = residual_.submap_index(key_u);
+      if (nt > 1 && idx % nt != tid) continue;
+      Residual& e = residual_.submap(idx)[key_u];
+      e.r += static_cast<double>(vp.edge_weights[k]) * m;
+      if (!e.in_frontier &&
+          e.r > eps * static_cast<double>(vp.nbr_weighted_degrees[k])) {
+        e.in_frontier = true;
+        activated_out.push_back(key_u);
+      }
+    }
+  };
+
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) step1(i);
+    for (std::size_t i = 0; i < n; ++i) step2(i, 0, 1, activated_);
+    return;
+  }
+
+#ifdef _OPENMP
+#pragma omp parallel num_threads(num_threads)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    const auto nt = static_cast<std::size_t>(omp_get_num_threads());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key =
+          NodeRef{node_ids[i], shard_ids[i]}.key();
+      if (residual_.submap_index(key) % nt == tid) step1(i);
+    }
+#pragma omp barrier
+    std::vector<std::uint64_t> local_activated;
+    for (std::size_t i = 0; i < n; ++i) step2(i, tid, nt, local_activated);
+#pragma omp critical(ssppr_activated_merge)
+    activated_.insert(activated_.end(), local_activated.begin(),
+                      local_activated.end());
+  }
+#endif
+}
+
+void SspprState::push(const NeighborBatch& batch,
+                      std::span<const NodeId> node_ids,
+                      std::span<const ShardId> shard_ids) {
+  std::vector<VertexProp> infos;
+  infos.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) infos.push_back(batch[i]);
+  push(infos, node_ids, shard_ids);
+}
+
+std::vector<std::pair<NodeRef, double>> SspprState::ppr_entries() const {
+  std::vector<std::pair<NodeRef, double>> out;
+  pi_.for_each([&](std::uint64_t key, const double& v) {
+    if (v > 0) out.emplace_back(NodeRef::from_key(key), v);
+  });
+  return out;
+}
+
+std::vector<std::pair<NodeRef, double>> SspprState::residual_entries() const {
+  std::vector<std::pair<NodeRef, double>> out;
+  residual_.for_each([&](std::uint64_t key, const Residual& e) {
+    if (e.r > 0) out.emplace_back(NodeRef::from_key(key), e.r);
+  });
+  return out;
+}
+
+std::vector<double> SspprState::to_dense(const GlobalMapping& mapping,
+                                         NodeId num_nodes) const {
+  std::vector<double> dense(static_cast<std::size_t>(num_nodes), 0.0);
+  pi_.for_each([&](std::uint64_t key, const double& v) {
+    dense[static_cast<std::size_t>(
+        mapping.to_global(NodeRef::from_key(key)))] = v;
+  });
+  return dense;
+}
+
+double SspprState::total_mass() const {
+  double mass = 0;
+  pi_.for_each([&](std::uint64_t, const double& v) { mass += v; });
+  residual_.for_each(
+      [&](std::uint64_t, const Residual& e) { mass += e.r; });
+  return mass;
+}
+
+}  // namespace ppr

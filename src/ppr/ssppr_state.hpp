@@ -1,0 +1,91 @@
+// SSPPR query state and the two PPR operators exposed by the engine
+// (§3.3): pop (drain the activated vertex set) and push (apply residual
+// propagation for a batch of sources given their neighbor info).
+//
+// State lives in sharded parallel hash maps keyed by packed
+// <local id, shard id> NodeRefs — π (PPR estimates) and r (residuals,
+// which also carry the activated-set membership flag). Batched pushes
+// above a size threshold run multi-threaded with the lock-free
+// submap-partitioning scheme (each OpenMP thread exclusively owns the
+// submaps with index ≡ thread id, so no locks are required).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "concurrent/sharded_map.hpp"
+#include "storage/shard.hpp"
+
+namespace ppr {
+
+struct SspprOptions {
+  double alpha = 0.462;      // teleport probability (paper's default)
+  double epsilon = 1e-6;     // residual threshold
+  int num_threads = 1;       // max threads for the push operator
+  /// Use multi-threaded push only when the batch has at least this many
+  /// source nodes (the paper's "simple strategy" for the OpenMP switch).
+  std::size_t parallel_threshold = 64;
+  int submap_bits = 6;       // 2^bits submaps per hash map
+};
+
+/// Per-node residual entry. in_frontier doubles as activated-set
+/// membership so frontier insertion is one submap access.
+struct Residual {
+  double r = 0;
+  bool in_frontier = false;
+};
+
+class SspprState {
+ public:
+  /// Start a query from `source` (which must be a core node of the shard
+  /// that owns the query, per the owner-compute rule).
+  SspprState(NodeRef source, SspprOptions options);
+
+  NodeRef source() const { return source_; }
+  const SspprOptions& options() const { return options_; }
+
+  /// PPR Op 1 — pop: return the current activated vertex set and clear it.
+  /// Every returned node MUST be fed to push() before the next pop.
+  void pop(std::vector<NodeId>& node_ids, std::vector<ShardId>& shard_ids);
+
+  /// PPR Op 2 — push: apply one forward-push step to each source node
+  /// `(node_ids[i], shard_ids[i])` whose neighborhood is `infos[i]`.
+  /// Newly activated nodes (r > ε·d_w, not already queued) join the set.
+  void push(std::span<const VertexProp> infos,
+            std::span<const NodeId> node_ids,
+            std::span<const ShardId> shard_ids);
+
+  /// Convenience overload for decoded remote responses.
+  void push(const NeighborBatch& batch, std::span<const NodeId> node_ids,
+            std::span<const ShardId> shard_ids);
+
+  bool frontier_empty() const { return activated_.empty(); }
+  std::size_t frontier_size() const { return activated_.size(); }
+
+  /// Total push operations applied (for the work-count ablations).
+  std::size_t num_pushes() const { return num_pushes_; }
+
+  /// Non-zero PPR estimates accumulated so far.
+  std::vector<std::pair<NodeRef, double>> ppr_entries() const;
+  /// Residual mass per node (diagnostics / invariant tests).
+  std::vector<std::pair<NodeRef, double>> residual_entries() const;
+
+  /// Dense |V| vector of PPR values indexed by original global node id.
+  std::vector<double> to_dense(const GlobalMapping& mapping,
+                               NodeId num_nodes) const;
+
+  /// π-mass + r-mass; equals 1 up to float error at any point of the
+  /// algorithm (mass-conservation invariant of forward push).
+  double total_mass() const;
+
+ private:
+  NodeRef source_;
+  SspprOptions options_;
+  ShardedMap<double> pi_;
+  ShardedMap<Residual> residual_;
+  std::vector<std::uint64_t> activated_;
+  std::size_t num_pushes_ = 0;
+};
+
+}  // namespace ppr

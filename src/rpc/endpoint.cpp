@@ -1,0 +1,110 @@
+#include "rpc/endpoint.hpp"
+
+#include "common/log.hpp"
+
+namespace ppr {
+
+RpcEndpoint::RpcEndpoint(std::shared_ptr<Transport> transport, int machine_id,
+                         int server_threads)
+    : transport_(std::move(transport)),
+      machine_id_(machine_id),
+      server_pool_(static_cast<std::size_t>(server_threads)) {
+  GE_REQUIRE(transport_ != nullptr, "transport is null");
+  transport_->start(machine_id_, [this](Message msg) {
+    on_message(std::move(msg));
+  });
+}
+
+RpcEndpoint::~RpcEndpoint() = default;
+
+void RpcEndpoint::register_service(const std::string& name,
+                                   ServiceHandler handler) {
+  std::lock_guard<std::mutex> lock(services_mutex_);
+  GE_REQUIRE(services_.emplace(name, std::move(handler)).second,
+             "service name already registered: " + name);
+}
+
+RpcFuture RpcEndpoint::async_call(int dst, const std::string& service,
+                                  const std::string& method,
+                                  std::vector<std::uint8_t> payload) {
+  Message msg;
+  msg.call_id = next_call_id_.fetch_add(1, std::memory_order_relaxed);
+  msg.kind = MessageKind::kRequest;
+  msg.src_machine = machine_id_;
+  msg.dst_machine = dst;
+  msg.service = service;
+  msg.method = method;
+  msg.payload = std::move(payload);
+
+  RpcPromise promise;
+  RpcFuture future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.emplace(msg.call_id, std::move(promise));
+  }
+  transport_->send(std::move(msg));
+  return future;
+}
+
+std::vector<std::uint8_t> RpcEndpoint::sync_call(
+    int dst, const std::string& service, const std::string& method,
+    std::vector<std::uint8_t> payload) {
+  return async_call(dst, service, method, std::move(payload)).wait();
+}
+
+std::vector<std::uint8_t> RpcEndpoint::local_call(
+    const std::string& service, const std::string& method,
+    std::span<const std::uint8_t> payload) {
+  ServiceHandler* handler = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(services_mutex_);
+    const auto it = services_.find(service);
+    GE_REQUIRE(it != services_.end(), "unknown service: " + service);
+    handler = &it->second;
+  }
+  // Handlers are registered once before traffic starts and never removed,
+  // so the pointer remains valid outside the lock.
+  return (*handler)(method, payload);
+}
+
+void RpcEndpoint::on_message(Message msg) {
+  if (msg.kind == MessageKind::kRequest) {
+    // Hand off to the server pool so the transport dispatcher is never
+    // blocked behind a long-running handler.
+    auto shared = std::make_shared<Message>(std::move(msg));
+    server_pool_.submit([this, shared] { handle_request(std::move(*shared)); });
+    return;
+  }
+  RpcPromise promise;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    const auto it = pending_.find(msg.call_id);
+    if (it == pending_.end()) {
+      GE_LOG(kWarn) << "dropping response for unknown call " << msg.call_id;
+      return;
+    }
+    promise = std::move(it->second);
+    pending_.erase(it);
+  }
+  if (msg.error.empty()) {
+    promise.set_value(std::move(msg.payload));
+  } else {
+    promise.set_error(std::move(msg.error));
+  }
+}
+
+void RpcEndpoint::handle_request(Message msg) {
+  Message reply;
+  reply.call_id = msg.call_id;
+  reply.kind = MessageKind::kResponse;
+  reply.src_machine = machine_id_;
+  reply.dst_machine = msg.src_machine;
+  try {
+    reply.payload = local_call(msg.service, msg.method, msg.payload);
+  } catch (const std::exception& e) {
+    reply.error = e.what();
+  }
+  transport_->send(std::move(reply));
+}
+
+}  // namespace ppr

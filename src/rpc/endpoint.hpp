@@ -1,0 +1,123 @@
+// RpcEndpoint: one per machine. Owns the pending-call table, dispatches
+// incoming requests to registered services on a server thread pool (the
+// "Graph Storage server process" of the paper), and completes futures when
+// responses arrive.
+//
+// RemoteRef mirrors PyTorch's RRef: a handle to a service living on some
+// machine. Calls through a local RemoteRef bypass the transport entirely
+// (shared-memory access); remote calls go over the wire asynchronously.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "rpc/future.hpp"
+#include "rpc/transport.hpp"
+
+namespace ppr {
+
+/// A service handles (method, request payload) -> response payload.
+using ServiceHandler = std::function<std::vector<std::uint8_t>(
+    const std::string& method, std::span<const std::uint8_t> payload)>;
+
+class RpcEndpoint {
+ public:
+  /// `server_threads` is the size of the request-handling pool; the paper
+  /// dedicates one storage-server process per machine, so 1 is the
+  /// faithful default. The endpoint registers itself with the transport.
+  RpcEndpoint(std::shared_ptr<Transport> transport, int machine_id,
+              int server_threads = 1);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  int machine_id() const { return machine_id_; }
+  int num_machines() const { return transport_->num_machines(); }
+
+  /// Register a named service. Must happen before peers call it.
+  void register_service(const std::string& name, ServiceHandler handler);
+
+  /// Issue an asynchronous call to `dst`. Returns immediately.
+  RpcFuture async_call(int dst, const std::string& service,
+                       const std::string& method,
+                       std::vector<std::uint8_t> payload);
+
+  /// Convenience: async_call + wait.
+  std::vector<std::uint8_t> sync_call(int dst, const std::string& service,
+                                      const std::string& method,
+                                      std::vector<std::uint8_t> payload);
+
+  /// Direct dispatch to a locally registered service with no transport,
+  /// serialization, or thread hop — the shared-memory path.
+  std::vector<std::uint8_t> local_call(const std::string& service,
+                                       const std::string& method,
+                                       std::span<const std::uint8_t> payload);
+
+ private:
+  void on_message(Message msg);
+  void handle_request(Message msg);
+
+  std::shared_ptr<Transport> transport_;
+  int machine_id_;
+  ThreadPool server_pool_;
+
+  std::mutex services_mutex_;
+  std::map<std::string, ServiceHandler> services_;
+
+  std::mutex pending_mutex_;
+  std::map<std::uint64_t, RpcPromise> pending_;
+  std::atomic<std::uint64_t> next_call_id_{1};
+};
+
+/// Distributed shared pointer to a service instance on some machine.
+class RemoteRef {
+ public:
+  RemoteRef() = default;
+  RemoteRef(RpcEndpoint* endpoint, int owner_machine, std::string service)
+      : endpoint_(endpoint),
+        owner_(owner_machine),
+        service_(std::move(service)) {}
+
+  bool valid() const { return endpoint_ != nullptr; }
+  int owner() const { return owner_; }
+  const std::string& service() const { return service_; }
+  bool is_local() const {
+    return valid() && owner_ == endpoint_->machine_id();
+  }
+
+  /// Asynchronous invocation (always goes through the transport, even for
+  /// local owners — used by tests and by the no-shared-memory mode).
+  RpcFuture async_call(const std::string& method,
+                       std::vector<std::uint8_t> payload) const {
+    GE_CHECK(valid(), "call through invalid RemoteRef");
+    return endpoint_->async_call(owner_, service_, method,
+                                 std::move(payload));
+  }
+
+  /// Owner-aware invocation: local owners are called directly (shared
+  /// memory), remote owners through RPC.
+  std::vector<std::uint8_t> call(const std::string& method,
+                                 std::span<const std::uint8_t> payload) const {
+    GE_CHECK(valid(), "call through invalid RemoteRef");
+    if (is_local()) return endpoint_->local_call(service_, method, payload);
+    return endpoint_->sync_call(
+        owner_, service_, method,
+        std::vector<std::uint8_t>(payload.begin(), payload.end()));
+  }
+
+ private:
+  RpcEndpoint* endpoint_ = nullptr;
+  int owner_ = -1;
+  std::string service_;
+};
+
+}  // namespace ppr

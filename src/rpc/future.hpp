@@ -1,0 +1,86 @@
+// Future/promise pair for asynchronous RPC results.
+//
+// Matches the semantics the paper relies on from torch.futures: issue many
+// async calls, keep computing locally, then wait() on each future.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppr {
+
+namespace detail {
+struct FutureState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ready = false;
+  std::vector<std::uint8_t> payload;
+  std::string error;  // non-empty => wait() throws RpcError
+};
+}  // namespace detail
+
+class RpcFuture {
+ public:
+  RpcFuture() = default;
+  explicit RpcFuture(std::shared_ptr<detail::FutureState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool ready() const {
+    GE_CHECK(valid(), "wait on invalid future");
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->ready;
+  }
+
+  /// Blocks until the response arrives; returns the response payload.
+  /// Throws RpcError if the remote handler failed.
+  std::vector<std::uint8_t> wait() {
+    GE_CHECK(valid(), "wait on invalid future");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    if (!state_->error.empty()) throw RpcError(state_->error);
+    return std::move(state_->payload);
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState> state_;
+};
+
+class RpcPromise {
+ public:
+  RpcPromise() : state_(std::make_shared<detail::FutureState>()) {}
+
+  RpcFuture get_future() const { return RpcFuture(state_); }
+
+  void set_value(std::vector<std::uint8_t> payload) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      GE_CHECK(!state_->ready, "promise already satisfied");
+      state_->payload = std::move(payload);
+      state_->ready = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  void set_error(std::string error) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      GE_CHECK(!state_->ready, "promise already satisfied");
+      state_->error = std::move(error);
+      state_->ready = true;
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState> state_;
+};
+
+}  // namespace ppr

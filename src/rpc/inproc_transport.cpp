@@ -1,0 +1,72 @@
+#include "rpc/inproc_transport.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace ppr {
+
+namespace {
+/// Delay delivery by sleeping. Sleeping (not spinning) matters: the
+/// simulation may run on far fewer cores than it has machine threads, and
+/// a delayed message must leave the CPU to the computing processes —
+/// exactly what a real NIC does. Kernel timer granularity adds tens of
+/// microseconds, which is in line with a real RPC stack's jitter.
+void delivery_delay_us(double us) {
+  if (us <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<long>(us * 1e3)));
+}
+}  // namespace
+
+InProcTransport::InProcTransport(int num_machines, NetworkModel model)
+    : model_(model) {
+  GE_REQUIRE(num_machines > 0, "need at least one machine");
+  boxes_.reserve(static_cast<std::size_t>(num_machines));
+  for (int i = 0; i < num_machines; ++i) {
+    boxes_.push_back(std::make_unique<Box>());
+  }
+}
+
+InProcTransport::~InProcTransport() { stop(); }
+
+void InProcTransport::start(int machine_id, MessageHandler handler) {
+  GE_REQUIRE(machine_id >= 0 && machine_id < num_machines(),
+             "machine_id out of range");
+  Box& box = *boxes_[static_cast<std::size_t>(machine_id)];
+  GE_REQUIRE(!box.started, "machine already started");
+  box.handler = std::move(handler);
+  box.started = true;
+  box.dispatcher = std::thread([this, &box] { dispatch_loop(box); });
+}
+
+void InProcTransport::send(Message msg) {
+  GE_REQUIRE(msg.dst_machine >= 0 && msg.dst_machine < num_machines(),
+             "dst_machine out of range");
+  Box& box = *boxes_[static_cast<std::size_t>(msg.dst_machine)];
+  GE_CHECK(box.started, "destination machine not started");
+  box.inbox.push(std::move(msg));
+}
+
+void InProcTransport::dispatch_loop(Box& box) {
+  for (;;) {
+    auto msg = box.inbox.pop();
+    if (!msg.has_value()) return;
+    if (model_.enabled() && msg->src_machine != msg->dst_machine) {
+      delivery_delay_us(model_.delay_us(msg->wire_size()));
+    }
+    box.handler(std::move(*msg));
+  }
+}
+
+void InProcTransport::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& box : boxes_) box->inbox.close();
+  for (auto& box : boxes_) {
+    if (box->dispatcher.joinable()) box->dispatcher.join();
+  }
+}
+
+}  // namespace ppr

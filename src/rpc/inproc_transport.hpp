@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "concurrent/concurrent_queue.hpp"
+#include "rpc/transport.hpp"
+
+namespace ppr {
+
+/// In-process transport: one inbox queue + dispatcher thread per machine.
+/// The dispatcher applies the NetworkModel delay before invoking the
+/// handler, modeling a single serialized delivery channel per machine
+/// (receive-side NIC). Messages between a machine and itself bypass the
+/// network model (shared-memory access in the paper's setup).
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(int num_machines, NetworkModel model = NetworkModel{});
+  ~InProcTransport() override;
+
+  void start(int machine_id, MessageHandler handler) override;
+  void send(Message msg) override;
+  void stop() override;
+  int num_machines() const override { return static_cast<int>(boxes_.size()); }
+
+ private:
+  struct Box {
+    ConcurrentQueue<Message> inbox;
+    MessageHandler handler;
+    std::thread dispatcher;
+    bool started = false;
+  };
+
+  void dispatch_loop(Box& box);
+
+  NetworkModel model_;
+  std::vector<std::unique_ptr<Box>> boxes_;
+  bool stopped_ = false;
+};
+
+}  // namespace ppr

@@ -1,0 +1,42 @@
+#include "rpc/message.hpp"
+
+namespace ppr {
+
+std::vector<std::uint8_t> Message::encode() const {
+  ByteWriter w;
+  w.reserve(64 + service.size() + method.size() + error.size() +
+            payload.size());
+  w.write(call_id);
+  w.write(static_cast<std::uint8_t>(kind));
+  w.write(src_machine);
+  w.write(dst_machine);
+  w.write_string(service);
+  w.write_string(method);
+  w.write_string(error);
+  w.write_vec(payload);
+  return w.take();
+}
+
+Message Message::decode(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  Message m;
+  m.call_id = r.read<std::uint64_t>();
+  m.kind = static_cast<MessageKind>(r.read<std::uint8_t>());
+  m.src_machine = r.read<std::int32_t>();
+  m.dst_machine = r.read<std::int32_t>();
+  m.service = r.read_string();
+  m.method = r.read_string();
+  m.error = r.read_string();
+  m.payload = r.read_vec<std::uint8_t>();
+  GE_CHECK(r.done(), "trailing bytes in message frame");
+  return m;
+}
+
+std::size_t Message::wire_size() const {
+  // Frame header fields + strings + payload; close enough to encode().size()
+  // without materializing the buffer.
+  return 8 + 1 + 4 + 4 + 8 * 4 + service.size() + method.size() +
+         error.size() + payload.size();
+}
+
+}  // namespace ppr

@@ -1,0 +1,36 @@
+// Wire message for the RPC layer.
+//
+// Mirrors the structure of a PyTorch RPC call: a request names a target
+// object (service) and method and carries a serialized payload; a response
+// carries the serialized return value or an error string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace ppr {
+
+enum class MessageKind : std::uint8_t { kRequest = 0, kResponse = 1 };
+
+struct Message {
+  std::uint64_t call_id = 0;
+  MessageKind kind = MessageKind::kRequest;
+  std::int32_t src_machine = -1;
+  std::int32_t dst_machine = -1;
+  std::string service;  // request only
+  std::string method;   // request only
+  std::string error;    // response only; empty on success
+  std::vector<std::uint8_t> payload;
+
+  /// Serialize to a flat frame (no length prefix; transports add their own).
+  std::vector<std::uint8_t> encode() const;
+  static Message decode(std::span<const std::uint8_t> frame);
+
+  /// Total bytes on the wire, used by the transport's bandwidth model.
+  std::size_t wire_size() const;
+};
+
+}  // namespace ppr

@@ -1,0 +1,142 @@
+#include "rpc/socket_transport.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace ppr {
+
+namespace {
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw RpcError(std::string("socket write failed: ") +
+                     std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Returns false on orderly EOF.
+bool read_all(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r == 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer shut down mid-frame during stop()
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int num_machines)
+    : num_machines_(num_machines) {
+  GE_REQUIRE(num_machines > 0, "need at least one machine");
+  const auto n = static_cast<std::size_t>(num_machines);
+  links_.resize(n * n);
+  machines_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    machines_[i] = std::make_unique<Machine>();
+    machines_[i]->read_fds.resize(n, -1);
+  }
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      int fds[2];
+      GE_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+               "socketpair failed");
+      auto link = std::make_unique<Link>();
+      link->write_fd = fds[0];
+      machines_[dst]->read_fds[src] = fds[1];
+      links_[src * n + dst] = std::move(link);
+    }
+  }
+}
+
+SocketTransport::~SocketTransport() { stop(); }
+
+void SocketTransport::start(int machine_id, MessageHandler handler) {
+  GE_REQUIRE(machine_id >= 0 && machine_id < num_machines_,
+             "machine_id out of range");
+  Machine& m = *machines_[static_cast<std::size_t>(machine_id)];
+  GE_REQUIRE(!m.started, "machine already started");
+  m.handler = std::move(handler);
+  m.started = true;
+  for (const int fd : m.read_fds) {
+    m.readers.emplace_back([this, &m, fd] { reader_loop(m, fd); });
+  }
+}
+
+void SocketTransport::send(Message msg) {
+  GE_REQUIRE(msg.dst_machine >= 0 && msg.dst_machine < num_machines_,
+             "dst_machine out of range");
+  GE_REQUIRE(msg.src_machine >= 0 && msg.src_machine < num_machines_,
+             "src_machine out of range");
+  const auto n = static_cast<std::size_t>(num_machines_);
+  Link& link = *links_[static_cast<std::size_t>(msg.src_machine) * n +
+                       static_cast<std::size_t>(msg.dst_machine)];
+  const std::vector<std::uint8_t> frame = msg.encode();
+  const std::uint64_t len = frame.size();
+  std::lock_guard<std::mutex> lock(link.write_mutex);
+  write_all(link.write_fd, &len, sizeof(len));
+  write_all(link.write_fd, frame.data(), frame.size());
+}
+
+void SocketTransport::reader_loop(Machine& m, int fd) {
+  std::vector<std::uint8_t> frame;
+  for (;;) {
+    std::uint64_t len = 0;
+    if (!read_all(fd, &len, sizeof(len))) return;
+    frame.resize(len);
+    if (!read_all(fd, frame.data(), len)) return;
+    m.handler(Message::decode(frame));
+  }
+}
+
+void SocketTransport::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& link : links_) {
+    if (link && link->write_fd >= 0) {
+      ::shutdown(link->write_fd, SHUT_RDWR);
+    }
+  }
+  for (auto& m : machines_) {
+    for (const int fd : m->read_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& m : machines_) {
+    for (auto& t : m->readers) {
+      if (t.joinable()) t.join();
+    }
+  }
+  for (auto& link : links_) {
+    if (link && link->write_fd >= 0) {
+      ::close(link->write_fd);
+      link->write_fd = -1;
+    }
+  }
+  for (auto& m : machines_) {
+    for (int& fd : m->read_fds) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+  }
+}
+
+}  // namespace ppr

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rpc/transport.hpp"
+
+namespace ppr {
+
+/// Transport over a full mesh of Unix-domain stream socketpairs, one per
+/// (ordered) machine pair including self-loops. Frames are 8-byte
+/// little-endian length prefixes followed by Message::encode() bytes.
+///
+/// All machines live in the calling process (the harness model), but every
+/// message crosses the kernel socket layer, so serialization, syscall, and
+/// copy costs are real.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(int num_machines);
+  ~SocketTransport() override;
+
+  void start(int machine_id, MessageHandler handler) override;
+  void send(Message msg) override;
+  void stop() override;
+  int num_machines() const override { return num_machines_; }
+
+ private:
+  struct Link {
+    int write_fd = -1;   // sender side, owned by src machine
+    std::mutex write_mutex;
+  };
+  struct Machine {
+    MessageHandler handler;
+    std::vector<int> read_fds;          // one per peer
+    std::vector<std::thread> readers;   // one per peer
+    bool started = false;
+  };
+
+  void reader_loop(Machine& m, int fd);
+
+  int num_machines_;
+  // links_[src * num_machines_ + dst]
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  bool stopped_ = false;
+};
+
+}  // namespace ppr

@@ -1,0 +1,59 @@
+// Transport abstraction: moves Messages between machines.
+//
+// Two implementations:
+//   * InProcTransport — simulated machines inside one process, with a
+//     configurable network cost model (per-message latency + bandwidth).
+//     This reproduces the paper's single-server simulation of a cluster
+//     while keeping the fixed per-RPC overhead that makes small frequent
+//     messages expensive (the phenomenon §3.2.3 optimizes away).
+//   * SocketTransport — real Unix socketpair mesh with length-prefixed
+//     frames; exercises the OS networking path for integration tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rpc/message.hpp"
+
+namespace ppr {
+
+/// Invoked on a transport-owned thread for every delivered message.
+using MessageHandler = std::function<void(Message)>;
+
+/// Cost model applied per delivered message by InProcTransport.
+/// Defaults approximate a TensorPipe-class RPC stack over fast
+/// interconnect: ~100µs fixed cost per call (Python + serialization +
+/// transport), multi-GB/s streaming rate.
+struct NetworkModel {
+  double latency_us = 100.0;         // fixed per-message delivery latency
+  double bandwidth_gbps = 8.0;       // payload streaming rate
+  bool enabled() const { return latency_us > 0 || bandwidth_gbps > 0; }
+  /// Delivery delay in microseconds for a message of `bytes` bytes.
+  double delay_us(std::size_t bytes) const {
+    double us = latency_us;
+    if (bandwidth_gbps > 0) {
+      us += static_cast<double>(bytes) * 8.0 / (bandwidth_gbps * 1e3);
+    }
+    return us;
+  }
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Register machine `machine_id`'s receive handler and start delivering
+  /// messages to it. Must be called once per machine before any send.
+  virtual void start(int machine_id, MessageHandler handler) = 0;
+
+  /// Asynchronously send `msg` to `msg.dst_machine`. Never blocks on the
+  /// destination's handler.
+  virtual void send(Message msg) = 0;
+
+  /// Stop all delivery threads. Idempotent.
+  virtual void stop() = 0;
+
+  virtual int num_machines() const = 0;
+};
+
+}  // namespace ppr

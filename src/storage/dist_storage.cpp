@@ -1,0 +1,180 @@
+#include "storage/dist_storage.hpp"
+
+namespace ppr {
+
+DistGraphStorage::DistGraphStorage(
+    RpcEndpoint& endpoint, std::vector<RemoteRef> rrefs, ShardId shard_id,
+    std::shared_ptr<const GraphShard> local_shard)
+    : endpoint_(endpoint),
+      rrefs_(std::move(rrefs)),
+      shard_id_(shard_id),
+      local_shard_(std::move(local_shard)) {
+  GE_REQUIRE(local_shard_ != nullptr, "null local shard");
+  GE_REQUIRE(shard_id_ >= 0 &&
+                 shard_id_ < static_cast<ShardId>(rrefs_.size()),
+             "shard id out of range");
+  GE_REQUIRE(local_shard_->shard_id() == shard_id_,
+             "local shard does not match shard id");
+}
+
+std::vector<VertexProp> DistGraphStorage::get_neighbor_infos_local(
+    std::span<const NodeId> locals) const {
+  stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+  return local_shard_->get_neighbor_infos(locals);
+}
+
+NeighborBatch DistGraphStorage::get_neighbor_infos_local_serialized(
+    std::span<const NodeId> locals, bool compress) const {
+  stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+  ByteWriter w;
+  if (compress) {
+    local_shard_->encode_neighbor_infos_csr(locals, w);
+    ByteReader r(w.bytes());
+    return NeighborBatch::decode_csr(r);
+  }
+  local_shard_->encode_neighbor_infos_tensor_list(locals, w);
+  ByteReader r(w.bytes());
+  return NeighborBatch::decode_tensor_list(r);
+}
+
+DistGraphStorage::HaloSplit DistGraphStorage::split_by_halo_cache(
+    ShardId dst, std::span<const NodeId> locals) const {
+  GE_REQUIRE(dst != shard_id_, "split is for remote shards");
+  HaloSplit split;
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const auto prop =
+        local_shard_->halo_vertex_prop(NodeRef{locals[i], dst});
+    if (prop.has_value()) {
+      split.hit_props.push_back(*prop);
+      split.hit_indices.push_back(i);
+    } else {
+      split.miss_locals.push_back(locals[i]);
+      split.miss_indices.push_back(i);
+    }
+  }
+  stats_.halo_hits.fetch_add(split.hit_indices.size(),
+                             std::memory_order_relaxed);
+  stats_.local_nodes.fetch_add(split.hit_indices.size(),
+                               std::memory_order_relaxed);
+  return split;
+}
+
+std::vector<std::uint8_t> DistGraphStorage::encode_batch_request(
+    std::span<const NodeId> locals, bool compress) {
+  ByteWriter w;
+  w.write<std::uint8_t>(compress ? 1 : 0);
+  w.write_span(locals);
+  return w.take();
+}
+
+NeighborFetch DistGraphStorage::get_neighbor_infos_async(
+    ShardId dst, std::span<const NodeId> locals, bool compress) const {
+  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
+             "dst shard out of range");
+  stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+  stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
+  return NeighborFetch(
+      rrefs_[static_cast<std::size_t>(dst)].async_call(
+          storage_method::kGetNeighborInfos,
+          encode_batch_request(locals, compress)),
+      compress);
+}
+
+NeighborFetch DistGraphStorage::get_neighbor_info_single_async(
+    ShardId dst, NodeId local) const {
+  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
+             "dst shard out of range");
+  stats_.remote_nodes.fetch_add(1, std::memory_order_relaxed);
+  stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
+  ByteWriter w;
+  w.write<NodeId>(local);
+  return NeighborFetch(rrefs_[static_cast<std::size_t>(dst)].async_call(
+                           storage_method::kGetNeighborInfoSingle, w.take()),
+                       /*compressed=*/false);
+}
+
+SampleResult DistGraphStorage::decode_sample(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  SampleResult res;
+  res.local_ids = r.read_vec<NodeId>();
+  res.shard_ids = r.read_vec<ShardId>();
+  res.global_ids = r.read_vec<NodeId>();
+  return res;
+}
+
+RpcFuture DistGraphStorage::sample_one_neighbor_async(
+    ShardId dst, std::span<const NodeId> locals, std::uint64_t seed) const {
+  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
+             "dst shard out of range");
+  if (dst != shard_id_) {
+    stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+    stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+  }
+  ByteWriter w;
+  w.write<std::uint64_t>(seed);
+  w.write_span(locals);
+  return rrefs_[static_cast<std::size_t>(dst)].async_call(
+      storage_method::kSampleOneNeighbor, w.take());
+}
+
+KSampleResult DistGraphStorage::decode_k_sample(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  KSampleResult res;
+  res.indptr = r.read_vec<EdgeIndex>();
+  res.local_ids = r.read_vec<NodeId>();
+  res.shard_ids = r.read_vec<ShardId>();
+  res.global_ids = r.read_vec<NodeId>();
+  return res;
+}
+
+RpcFuture DistGraphStorage::sample_k_neighbors_async(
+    ShardId dst, std::span<const NodeId> locals, int k,
+    std::uint64_t seed) const {
+  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
+             "dst shard out of range");
+  if (dst != shard_id_) {
+    stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+    stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+  }
+  ByteWriter w;
+  w.write<std::uint64_t>(seed);
+  w.write<std::int32_t>(k);
+  w.write_span(locals);
+  return rrefs_[static_cast<std::size_t>(dst)].async_call(
+      storage_method::kSampleKNeighbors, w.take());
+}
+
+KSampleResult DistGraphStorage::sample_k_neighbors(
+    ShardId dst, std::span<const NodeId> locals, int k,
+    std::uint64_t seed) const {
+  if (dst == shard_id_) {
+    stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+    KSampleResult res;
+    local_shard_->sample_k_neighbors(locals, k, seed, res.indptr,
+                                     res.local_ids, res.shard_ids,
+                                     res.global_ids);
+    return res;
+  }
+  return decode_k_sample(
+      sample_k_neighbors_async(dst, locals, k, seed).wait());
+}
+
+SampleResult DistGraphStorage::sample_one_neighbor(
+    ShardId dst, std::span<const NodeId> locals, std::uint64_t seed) const {
+  if (dst == shard_id_) {
+    stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+    SampleResult res;
+    local_shard_->sample_one_neighbor(locals, seed, res.local_ids,
+                                      res.shard_ids, res.global_ids);
+    return res;
+  }
+  return decode_sample(sample_one_neighbor_async(dst, locals, seed).wait());
+}
+
+}  // namespace ppr

@@ -1,0 +1,158 @@
+// Client side of the Distributed Graph Storage (the `DistGraphStorage`
+// object of the paper's Figure 4). One instance per computing process.
+//
+// Local fetches return zero-copy VertexProp views into the shared-memory
+// shard. Remote fetches issue asynchronous RPC requests and decode the
+// response into a NeighborBatch exposing the same VertexProp API.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "rpc/endpoint.hpp"
+#include "storage/shard.hpp"
+#include "storage/storage_service.hpp"
+
+namespace ppr {
+
+/// Counters for the locality analysis (§4.3: fraction of graph traversal
+/// resolved locally vs. remotely).
+struct FetchStats {
+  std::atomic<std::uint64_t> local_nodes{0};
+  std::atomic<std::uint64_t> remote_nodes{0};
+  std::atomic<std::uint64_t> remote_calls{0};
+  std::atomic<std::uint64_t> halo_hits{0};  // remote refs served locally
+
+  double remote_ratio() const {
+    const double l = static_cast<double>(local_nodes.load());
+    const double r = static_cast<double>(remote_nodes.load());
+    return (l + r) > 0 ? r / (l + r) : 0.0;
+  }
+  void reset() {
+    local_nodes = 0;
+    remote_nodes = 0;
+    remote_calls = 0;
+    halo_hits = 0;
+  }
+};
+
+/// Result of a (possibly remote) sample_one_neighbor call.
+struct SampleResult {
+  std::vector<NodeId> local_ids;
+  std::vector<ShardId> shard_ids;
+  std::vector<NodeId> global_ids;
+};
+
+/// Result of a fan-out sample_k_neighbors call (CSR over the sources).
+struct KSampleResult {
+  std::vector<EdgeIndex> indptr;
+  std::vector<NodeId> local_ids;
+  std::vector<ShardId> shard_ids;
+  std::vector<NodeId> global_ids;
+};
+
+/// Pending remote neighbor-info fetch; wait() decodes the response.
+class NeighborFetch {
+ public:
+  NeighborFetch() = default;
+  NeighborFetch(RpcFuture future, bool compressed)
+      : future_(std::move(future)), compressed_(compressed) {}
+
+  bool valid() const { return future_.valid(); }
+
+  NeighborBatch wait() {
+    const std::vector<std::uint8_t> payload = future_.wait();
+    ByteReader r(payload);
+    return compressed_ ? NeighborBatch::decode_csr(r)
+                       : NeighborBatch::decode_tensor_list(r);
+  }
+
+ private:
+  RpcFuture future_;
+  bool compressed_ = true;
+};
+
+class DistGraphStorage {
+ public:
+  /// `rrefs[j]` must reference machine j's storage service; `shard_id` is
+  /// this process's machine/shard; `local_shard` points at the local shard
+  /// in shared memory.
+  DistGraphStorage(RpcEndpoint& endpoint, std::vector<RemoteRef> rrefs,
+                   ShardId shard_id,
+                   std::shared_ptr<const GraphShard> local_shard);
+
+  ShardId shard_id() const { return shard_id_; }
+  int num_shards() const { return static_cast<int>(rrefs_.size()); }
+  const GraphShard& local_shard() const { return *local_shard_; }
+
+  /// Shared-memory local fetch: zero-copy views, no serialization.
+  std::vector<VertexProp> get_neighbor_infos_local(
+      std::span<const NodeId> locals) const;
+
+  /// True when the local shard carries the halo-adjacency cache (see
+  /// GraphShard), letting first-hop "remote" requests be served locally.
+  bool halo_cache_enabled() const {
+    return local_shard_->has_halo_cache();
+  }
+
+  /// Partition a request destined for shard `dst` by halo-cache
+  /// residency: `hit_*` entries are served zero-copy from the local halo
+  /// cache; `miss_*` entries still need the RPC. Indices refer to
+  /// positions in `locals`.
+  struct HaloSplit {
+    std::vector<VertexProp> hit_props;
+    std::vector<std::size_t> hit_indices;
+    std::vector<NodeId> miss_locals;
+    std::vector<std::size_t> miss_indices;
+  };
+  HaloSplit split_by_halo_cache(ShardId dst,
+                                std::span<const NodeId> locals) const;
+
+  /// Local fetch through the full serialize/deserialize path (used to
+  /// quantify what the VertexProp zero-copy path saves).
+  NeighborBatch get_neighbor_infos_local_serialized(
+      std::span<const NodeId> locals, bool compress) const;
+
+  /// Asynchronous batched remote fetch from shard `dst`.
+  NeighborFetch get_neighbor_infos_async(ShardId dst,
+                                         std::span<const NodeId> locals,
+                                         bool compress = true) const;
+
+  /// One node per request — the unbatched "Single" ablation baseline.
+  NeighborFetch get_neighbor_info_single_async(ShardId dst,
+                                               NodeId local) const;
+
+  /// Sample one outgoing neighbor for each source; local or remote.
+  SampleResult sample_one_neighbor(ShardId dst, std::span<const NodeId> locals,
+                                   std::uint64_t seed) const;
+  RpcFuture sample_one_neighbor_async(ShardId dst,
+                                      std::span<const NodeId> locals,
+                                      std::uint64_t seed) const;
+  static SampleResult decode_sample(std::span<const std::uint8_t> payload);
+
+  /// GraphSAGE-style fan-out sampling (≤ k distinct neighbors per
+  /// source), local or remote.
+  KSampleResult sample_k_neighbors(ShardId dst,
+                                   std::span<const NodeId> locals, int k,
+                                   std::uint64_t seed) const;
+  RpcFuture sample_k_neighbors_async(ShardId dst,
+                                     std::span<const NodeId> locals, int k,
+                                     std::uint64_t seed) const;
+  static KSampleResult decode_k_sample(
+      std::span<const std::uint8_t> payload);
+
+  FetchStats& stats() const { return stats_; }
+
+ private:
+  static std::vector<std::uint8_t> encode_batch_request(
+      std::span<const NodeId> locals, bool compress);
+
+  RpcEndpoint& endpoint_;
+  std::vector<RemoteRef> rrefs_;
+  ShardId shard_id_;
+  std::shared_ptr<const GraphShard> local_shard_;
+  mutable FetchStats stats_;
+};
+
+}  // namespace ppr

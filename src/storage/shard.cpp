@@ -1,0 +1,360 @@
+#include "storage/shard.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace ppr {
+
+GlobalMapping::GlobalMapping(const PartitionAssignment& assignment,
+                             int num_shards) {
+  const auto n = assignment.size();
+  shard_of_.resize(n);
+  local_of_.resize(n);
+  core_globals_.resize(static_cast<std::size_t>(num_shards));
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t p = assignment[v];
+    GE_REQUIRE(p >= 0 && p < num_shards, "partition id out of range");
+    shard_of_[v] = p;
+    local_of_[v] =
+        static_cast<NodeId>(core_globals_[static_cast<std::size_t>(p)].size());
+    core_globals_[static_cast<std::size_t>(p)].push_back(
+        static_cast<NodeId>(v));
+  }
+}
+
+GraphShard::GraphShard(const Graph& g, const GlobalMapping& mapping,
+                       ShardId shard_id, bool cache_halo_adjacency)
+    : shard_id_(shard_id) {
+  const auto cores = mapping.core_globals(shard_id);
+  const NodeId num_core = static_cast<NodeId>(cores.size());
+  core_global_ids_.assign(cores.begin(), cores.end());
+  indptr_.assign(static_cast<std::size_t>(num_core) + 1, 0);
+  core_weighted_deg_.resize(static_cast<std::size_t>(num_core));
+
+  EdgeIndex total = 0;
+  for (NodeId l = 0; l < num_core; ++l) {
+    total += g.degree(cores[static_cast<std::size_t>(l)]);
+  }
+  nbr_local_ids_.reserve(static_cast<std::size_t>(total));
+  nbr_shard_ids_.reserve(static_cast<std::size_t>(total));
+  edge_weights_.reserve(static_cast<std::size_t>(total));
+  nbr_weighted_deg_.reserve(static_cast<std::size_t>(total));
+  nbr_global_ids_.reserve(static_cast<std::size_t>(total));
+
+  for (NodeId l = 0; l < num_core; ++l) {
+    const NodeId v = cores[static_cast<std::size_t>(l)];
+    core_weighted_deg_[static_cast<std::size_t>(l)] = g.weighted_degree(v);
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const NodeId u = nbrs[k];
+      const NodeRef ref = mapping.to_ref(u);
+      nbr_local_ids_.push_back(ref.local);
+      nbr_shard_ids_.push_back(ref.shard);
+      edge_weights_.push_back(weights[k]);
+      nbr_weighted_deg_.push_back(g.weighted_degree(u));
+      nbr_global_ids_.push_back(u);
+    }
+    indptr_[static_cast<std::size_t>(l) + 1] =
+        indptr_[static_cast<std::size_t>(l)] +
+        static_cast<EdgeIndex>(nbrs.size());
+  }
+
+  if (!cache_halo_adjacency) return;
+  halo_cache_enabled_ = true;
+  // Collect the 1-hop halo set (foreign endpoints of core rows) and copy
+  // each halo node's full neighbor row so first-hop remote fetches of
+  // queries rooted here can be served from shared memory.
+  halo_indptr_.push_back(0);
+  for (std::size_t e = 0; e < nbr_local_ids_.size(); ++e) {
+    if (nbr_shard_ids_[e] == shard_id_) continue;
+    const NodeRef ref{nbr_local_ids_[e], nbr_shard_ids_[e]};
+    if (halo_row_of_.contains(ref.key())) continue;
+    halo_row_of_[ref.key()] =
+        static_cast<std::uint32_t>(halo_indptr_.size() - 1);
+    const NodeId hv = mapping.to_global(ref);
+    halo_weighted_deg_.push_back(g.weighted_degree(hv));
+    const auto hnbrs = g.neighbors(hv);
+    const auto hws = g.edge_weights(hv);
+    for (std::size_t k = 0; k < hnbrs.size(); ++k) {
+      const NodeRef href = mapping.to_ref(hnbrs[k]);
+      halo_nbr_local_ids_.push_back(href.local);
+      halo_nbr_shard_ids_.push_back(href.shard);
+      halo_edge_weights_.push_back(hws[k]);
+      halo_nbr_weighted_deg_.push_back(g.weighted_degree(hnbrs[k]));
+    }
+    halo_indptr_.push_back(
+        static_cast<EdgeIndex>(halo_nbr_local_ids_.size()));
+  }
+}
+
+std::optional<VertexProp> GraphShard::halo_vertex_prop(NodeRef ref) const {
+  if (!halo_cache_enabled_) return std::nullopt;
+  const std::uint32_t* row = halo_row_of_.find(ref.key());
+  if (row == nullptr) return std::nullopt;
+  const auto lo = static_cast<std::size_t>(halo_indptr_[*row]);
+  const auto hi = static_cast<std::size_t>(halo_indptr_[*row + 1]);
+  return VertexProp{
+      {halo_nbr_local_ids_.data() + lo, halo_nbr_local_ids_.data() + hi},
+      {halo_nbr_shard_ids_.data() + lo, halo_nbr_shard_ids_.data() + hi},
+      {halo_edge_weights_.data() + lo, halo_edge_weights_.data() + hi},
+      {halo_nbr_weighted_deg_.data() + lo,
+       halo_nbr_weighted_deg_.data() + hi},
+      halo_weighted_deg_[*row]};
+}
+
+VertexProp GraphShard::vertex_prop(NodeId local) const {
+  GE_REQUIRE(local >= 0 && local < num_core_nodes(),
+             "local id out of range for shard");
+  const auto lo = static_cast<std::size_t>(
+      indptr_[static_cast<std::size_t>(local)]);
+  const auto hi = static_cast<std::size_t>(
+      indptr_[static_cast<std::size_t>(local) + 1]);
+  return VertexProp{
+      {nbr_local_ids_.data() + lo, nbr_local_ids_.data() + hi},
+      {nbr_shard_ids_.data() + lo, nbr_shard_ids_.data() + hi},
+      {edge_weights_.data() + lo, edge_weights_.data() + hi},
+      {nbr_weighted_deg_.data() + lo, nbr_weighted_deg_.data() + hi},
+      core_weighted_deg_[static_cast<std::size_t>(local)]};
+}
+
+std::vector<VertexProp> GraphShard::get_neighbor_infos(
+    std::span<const NodeId> locals) const {
+  std::vector<VertexProp> props;
+  props.reserve(locals.size());
+  for (const NodeId l : locals) props.push_back(vertex_prop(l));
+  return props;
+}
+
+NodeId GraphShard::nbr_global_id(NodeId local, std::size_t k) const {
+  const auto lo = static_cast<std::size_t>(
+      indptr_[static_cast<std::size_t>(local)]);
+  return nbr_global_ids_[lo + k];
+}
+
+void GraphShard::sample_one_neighbor(std::span<const NodeId> locals,
+                                     std::uint64_t seed,
+                                     std::vector<NodeId>& out_local,
+                                     std::vector<ShardId>& out_shard,
+                                     std::vector<NodeId>& out_global) const {
+  Rng rng(seed);
+  out_local.resize(locals.size());
+  out_shard.resize(locals.size());
+  out_global.resize(locals.size());
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const VertexProp prop = vertex_prop(locals[i]);
+    if (prop.degree() == 0) {
+      // Dangling node: the walk restarts at itself.
+      out_local[i] = locals[i];
+      out_shard[i] = shard_id_;
+      out_global[i] = core_global_ids_[static_cast<std::size_t>(locals[i])];
+      continue;
+    }
+    // Weighted choice proportional to edge weight.
+    const float target = rng.next_float(0.0f, prop.weighted_degree);
+    float acc = 0;
+    std::size_t pick = prop.degree() - 1;
+    for (std::size_t k = 0; k < prop.degree(); ++k) {
+      acc += prop.edge_weights[k];
+      if (acc >= target) {
+        pick = k;
+        break;
+      }
+    }
+    out_local[i] = prop.nbr_local_ids[pick];
+    out_shard[i] = prop.nbr_shard_ids[pick];
+    const auto lo = static_cast<std::size_t>(
+        indptr_[static_cast<std::size_t>(locals[i])]);
+    out_global[i] = nbr_global_ids_[lo + pick];
+  }
+}
+
+void GraphShard::sample_k_neighbors(std::span<const NodeId> locals, int k,
+                                    std::uint64_t seed,
+                                    std::vector<EdgeIndex>& out_indptr,
+                                    std::vector<NodeId>& out_local,
+                                    std::vector<ShardId>& out_shard,
+                                    std::vector<NodeId>& out_global) const {
+  GE_REQUIRE(k >= 1, "k must be positive");
+  Rng rng(seed);
+  out_indptr.assign(1, 0);
+  out_local.clear();
+  out_shard.clear();
+  out_global.clear();
+  std::vector<std::size_t> picks;
+  for (const NodeId l : locals) {
+    GE_REQUIRE(l >= 0 && l < num_core_nodes(), "local id out of range");
+    const auto lo = static_cast<std::size_t>(
+        indptr_[static_cast<std::size_t>(l)]);
+    const auto deg = static_cast<std::size_t>(
+        indptr_[static_cast<std::size_t>(l) + 1]) - lo;
+    const std::size_t take = std::min<std::size_t>(deg, static_cast<std::size_t>(k));
+    picks.resize(deg);
+    for (std::size_t i = 0; i < deg; ++i) picks[i] = i;
+    // Partial Fisher–Yates: the first `take` entries become a uniform
+    // sample without replacement.
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t j = i + rng.next_u64(deg - i);
+      std::swap(picks[i], picks[j]);
+    }
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t e = lo + picks[i];
+      out_local.push_back(nbr_local_ids_[e]);
+      out_shard.push_back(nbr_shard_ids_[e]);
+      out_global.push_back(nbr_global_ids_[e]);
+    }
+    out_indptr.push_back(static_cast<EdgeIndex>(out_local.size()));
+  }
+}
+
+void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
+                                           ByteWriter& w) const {
+  // Gather into contiguous CSR arrays, then write each as one flat array.
+  std::vector<EdgeIndex> indptr(locals.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const NodeId l = locals[i];
+    GE_REQUIRE(l >= 0 && l < num_core_nodes(), "local id out of range");
+    total += static_cast<std::size_t>(
+        indptr_[static_cast<std::size_t>(l) + 1] -
+        indptr_[static_cast<std::size_t>(l)]);
+    indptr[i + 1] = static_cast<EdgeIndex>(total);
+  }
+  std::vector<NodeId> nbr_local(total);
+  std::vector<ShardId> nbr_shard(total);
+  std::vector<float> weights(total);
+  std::vector<float> nbr_dw(total);
+  std::vector<float> src_dw(locals.size());
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const NodeId l = locals[i];
+    const auto lo = static_cast<std::size_t>(
+        indptr_[static_cast<std::size_t>(l)]);
+    const auto len = static_cast<std::size_t>(
+        indptr_[static_cast<std::size_t>(l) + 1] -
+        indptr_[static_cast<std::size_t>(l)]);
+    std::copy_n(nbr_local_ids_.data() + lo, len, nbr_local.data() + pos);
+    std::copy_n(nbr_shard_ids_.data() + lo, len, nbr_shard.data() + pos);
+    std::copy_n(edge_weights_.data() + lo, len, weights.data() + pos);
+    std::copy_n(nbr_weighted_deg_.data() + lo, len, nbr_dw.data() + pos);
+    src_dw[i] = core_weighted_deg_[static_cast<std::size_t>(l)];
+    pos += len;
+  }
+  w.write_vec(indptr);
+  w.write_vec(nbr_local);
+  w.write_vec(nbr_shard);
+  w.write_vec(weights);
+  w.write_vec(nbr_dw);
+  w.write_vec(src_dw);
+}
+
+void GraphShard::encode_neighbor_infos_tensor_list(
+    std::span<const NodeId> locals, ByteWriter& w) const {
+  w.write<std::uint64_t>(locals.size());
+  for (const NodeId l : locals) {
+    GE_REQUIRE(l >= 0 && l < num_core_nodes(), "local id out of range");
+    const auto lo = static_cast<std::size_t>(
+        indptr_[static_cast<std::size_t>(l)]);
+    const auto hi = static_cast<std::size_t>(
+        indptr_[static_cast<std::size_t>(l) + 1]);
+    w.write<float>(core_weighted_deg_[static_cast<std::size_t>(l)]);
+    // Four small tensors per node, each paying header + padding — the
+    // list-of-small-tensors cost the Compress optimization removes.
+    w.write_tensor(std::span<const NodeId>(nbr_local_ids_.data() + lo,
+                                           nbr_local_ids_.data() + hi));
+    w.write_tensor(std::span<const ShardId>(nbr_shard_ids_.data() + lo,
+                                            nbr_shard_ids_.data() + hi));
+    w.write_tensor(std::span<const float>(edge_weights_.data() + lo,
+                                          edge_weights_.data() + hi));
+    w.write_tensor(std::span<const float>(nbr_weighted_deg_.data() + lo,
+                                          nbr_weighted_deg_.data() + hi));
+  }
+}
+
+std::size_t GraphShard::memory_bytes() const {
+  return indptr_.size() * sizeof(EdgeIndex) +
+         core_global_ids_.size() * sizeof(NodeId) +
+         core_weighted_deg_.size() * sizeof(float) +
+         nbr_local_ids_.size() * sizeof(NodeId) +
+         nbr_shard_ids_.size() * sizeof(ShardId) +
+         edge_weights_.size() * sizeof(float) +
+         nbr_weighted_deg_.size() * sizeof(float) +
+         nbr_global_ids_.size() * sizeof(NodeId) +
+         halo_indptr_.size() * sizeof(EdgeIndex) +
+         halo_weighted_deg_.size() * sizeof(float) +
+         halo_nbr_local_ids_.size() *
+             (2 * sizeof(NodeId) + 2 * sizeof(float)) +
+         halo_row_of_.capacity() * (sizeof(std::uint64_t) + sizeof(int));
+}
+
+NeighborBatch NeighborBatch::decode_csr(ByteReader& r) {
+  NeighborBatch b;
+  b.indptr_ = r.read_vec<EdgeIndex>();
+  b.nbr_local_ids_ = r.read_vec<NodeId>();
+  b.nbr_shard_ids_ = r.read_vec<ShardId>();
+  b.edge_weights_ = r.read_vec<float>();
+  b.nbr_weighted_deg_ = r.read_vec<float>();
+  b.src_weighted_deg_ = r.read_vec<float>();
+  GE_CHECK(b.indptr_.size() == b.src_weighted_deg_.size() + 1,
+           "inconsistent CSR response");
+  return b;
+}
+
+NeighborBatch NeighborBatch::decode_tensor_list(ByteReader& r) {
+  NeighborBatch b;
+  const auto n = r.read<std::uint64_t>();
+  b.indptr_.reserve(n + 1);
+  b.indptr_.push_back(0);
+  b.src_weighted_deg_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    b.src_weighted_deg_.push_back(r.read<float>());
+    // Each small tensor decodes into its own temporary allocation (the
+    // cost profile of unpickling a list of tensors), then appends.
+    auto locals = r.read_tensor<NodeId>();
+    auto shards = r.read_tensor<ShardId>();
+    auto weights = r.read_tensor<float>();
+    auto dws = r.read_tensor<float>();
+    GE_CHECK(locals.size() == shards.size() &&
+                 locals.size() == weights.size() &&
+                 locals.size() == dws.size(),
+             "ragged tensor-list response");
+    b.nbr_local_ids_.insert(b.nbr_local_ids_.end(), locals.begin(),
+                            locals.end());
+    b.nbr_shard_ids_.insert(b.nbr_shard_ids_.end(), shards.begin(),
+                            shards.end());
+    b.edge_weights_.insert(b.edge_weights_.end(), weights.begin(),
+                           weights.end());
+    b.nbr_weighted_deg_.insert(b.nbr_weighted_deg_.end(), dws.begin(),
+                               dws.end());
+    b.indptr_.push_back(static_cast<EdgeIndex>(b.nbr_local_ids_.size()));
+  }
+  return b;
+}
+
+VertexProp NeighborBatch::operator[](std::size_t i) const {
+  const auto lo = static_cast<std::size_t>(indptr_[i]);
+  const auto hi = static_cast<std::size_t>(indptr_[i + 1]);
+  return VertexProp{
+      {nbr_local_ids_.data() + lo, nbr_local_ids_.data() + hi},
+      {nbr_shard_ids_.data() + lo, nbr_shard_ids_.data() + hi},
+      {edge_weights_.data() + lo, edge_weights_.data() + hi},
+      {nbr_weighted_deg_.data() + lo, nbr_weighted_deg_.data() + hi},
+      src_weighted_deg_[i]};
+}
+
+ShardedGraph build_sharded_graph(const Graph& g,
+                                 const PartitionAssignment& assignment,
+                                 int num_shards,
+                                 bool cache_halo_adjacency) {
+  ShardedGraph sg;
+  sg.mapping = GlobalMapping(assignment, num_shards);
+  sg.shards.reserve(static_cast<std::size_t>(num_shards));
+  for (ShardId s = 0; s < num_shards; ++s) {
+    sg.shards.push_back(std::make_shared<const GraphShard>(
+        g, sg.mapping, s, cache_halo_adjacency));
+  }
+  return sg;
+}
+
+}  // namespace ppr

@@ -1,0 +1,236 @@
+// Graph Shard: the per-machine storage unit of §3.2.
+//
+// After partitioning, each shard stores a CSR whose rows are its *core
+// nodes* (the vertex set METIS assigned to it) and whose columns range
+// over core ∪ 1-hop *halo* nodes. Every column endpoint is identified by
+// a <local id, shard id> pair, never a global id, so traversal dispatches
+// by shard id and indexes by local id directly. Each edge also carries the
+// neighbor's *weighted degree* so Forward Push threshold checks
+// (r(u) > ε·d_w(u)) never require a remote aggregate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "concurrent/flat_map.hpp"
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace ppr {
+
+using ShardId = std::int32_t;
+
+/// A node reference: local id within a shard + the shard id.
+struct NodeRef {
+  NodeId local = 0;
+  ShardId shard = 0;
+
+  /// Pack into a 64-bit hashmap key (both components are non-negative, so
+  /// the packed key can never collide with the map's kEmptyKey sentinel).
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(shard))
+            << 32) |
+           static_cast<std::uint32_t>(local);
+  }
+  static NodeRef from_key(std::uint64_t k) {
+    return NodeRef{static_cast<NodeId>(k & 0xffffffffULL),
+                   static_cast<ShardId>(k >> 32)};
+  }
+  bool operator==(const NodeRef&) const = default;
+};
+
+/// Zero-copy view of one core node's neighborhood inside a shard (or
+/// inside a decoded remote response — the two share this API, which is
+/// what makes the CSR-compressed response directly consumable).
+struct VertexProp {
+  std::span<const NodeId> nbr_local_ids;
+  std::span<const ShardId> nbr_shard_ids;
+  std::span<const float> edge_weights;
+  std::span<const float> nbr_weighted_degrees;
+  float weighted_degree = 0;  // d_w of the source node itself
+
+  std::size_t degree() const { return nbr_local_ids.size(); }
+};
+
+/// Maps original graph node ids to <shard, local> and back. Built once
+/// from the partition assignment; shared by all shards of a simulation.
+class GlobalMapping {
+ public:
+  GlobalMapping() = default;
+  GlobalMapping(const PartitionAssignment& assignment, int num_shards);
+
+  int num_shards() const { return static_cast<int>(core_globals_.size()); }
+  NodeRef to_ref(NodeId global) const {
+    return NodeRef{local_of_[static_cast<std::size_t>(global)],
+                   shard_of_[static_cast<std::size_t>(global)]};
+  }
+  NodeId to_global(NodeRef ref) const {
+    return core_globals_[static_cast<std::size_t>(ref.shard)]
+                        [static_cast<std::size_t>(ref.local)];
+  }
+  NodeId num_core_nodes(ShardId shard) const {
+    return static_cast<NodeId>(
+        core_globals_[static_cast<std::size_t>(shard)].size());
+  }
+  std::span<const NodeId> core_globals(ShardId shard) const {
+    return core_globals_[static_cast<std::size_t>(shard)];
+  }
+
+ private:
+  std::vector<ShardId> shard_of_;
+  std::vector<NodeId> local_of_;
+  std::vector<std::vector<NodeId>> core_globals_;
+};
+
+/// Immutable per-machine graph partition in the core/halo CSR layout.
+class GraphShard {
+ public:
+  /// Build shard `shard_id` of `g` under `mapping`. With
+  /// `cache_halo_adjacency`, the shard additionally stores the full
+  /// neighbor rows of its 1-hop halo nodes — the "higher hop value"
+  /// direction of §3.2.1: more memory, fewer remote fetches (every
+  /// first-hop remote access of a query rooted in this shard becomes
+  /// local).
+  GraphShard(const Graph& g, const GlobalMapping& mapping, ShardId shard_id,
+             bool cache_halo_adjacency = false);
+
+  bool has_halo_cache() const { return halo_cache_enabled_; }
+  NodeId num_halo_rows() const {
+    return static_cast<NodeId>(halo_row_of_.size());
+  }
+
+  /// Neighborhood view of a cached halo node, or nullopt if `ref` is not
+  /// in this shard's halo cache. `ref` must belong to another shard.
+  std::optional<VertexProp> halo_vertex_prop(NodeRef ref) const;
+
+  ShardId shard_id() const { return shard_id_; }
+  NodeId num_core_nodes() const {
+    return static_cast<NodeId>(indptr_.size() - 1);
+  }
+  EdgeIndex num_stored_edges() const {
+    return static_cast<EdgeIndex>(nbr_local_ids_.size());
+  }
+  NodeId core_global_id(NodeId local) const {
+    return core_global_ids_[static_cast<std::size_t>(local)];
+  }
+  float core_weighted_degree(NodeId local) const {
+    return core_weighted_deg_[static_cast<std::size_t>(local)];
+  }
+
+  /// Zero-copy neighborhood view for one core node.
+  VertexProp vertex_prop(NodeId local) const;
+
+  /// Zero-copy views for a batch of core nodes (the shared-memory local
+  /// fetch path: no serialization, no copies).
+  std::vector<VertexProp> get_neighbor_infos(
+      std::span<const NodeId> locals) const;
+
+  /// Global id of the k-th stored neighbor of `local`.
+  NodeId nbr_global_id(NodeId local, std::size_t k) const;
+
+  /// Weighted sampling of one outgoing neighbor per source node.
+  /// Returns (local ids, shard ids, global ids) of the samples.
+  void sample_one_neighbor(std::span<const NodeId> locals, std::uint64_t seed,
+                           std::vector<NodeId>& out_local,
+                           std::vector<ShardId>& out_shard,
+                           std::vector<NodeId>& out_global) const;
+
+  /// GraphSAGE-style fan-out sampling: for each source, up to `k`
+  /// distinct neighbors drawn uniformly without replacement (all of them
+  /// when degree ≤ k). Results are CSR-shaped: `out_indptr[i]` delimits
+  /// source i's samples.
+  void sample_k_neighbors(std::span<const NodeId> locals, int k,
+                          std::uint64_t seed,
+                          std::vector<EdgeIndex>& out_indptr,
+                          std::vector<NodeId>& out_local,
+                          std::vector<ShardId>& out_shard,
+                          std::vector<NodeId>& out_global) const;
+
+  /// Serialize neighbor info for `locals` as one CSR-compressed response:
+  /// a handful of flat arrays (indptr + 4 per-edge arrays + per-source
+  /// weighted degrees). This is the "+Compress" wire format of §3.2.3.
+  void encode_neighbor_infos_csr(std::span<const NodeId> locals,
+                                 ByteWriter& w) const;
+
+  /// Serialize the same data as a list of per-node tensor-wrapped arrays
+  /// (4 small tensors per source node) — the uncompressed baseline format.
+  void encode_neighbor_infos_tensor_list(std::span<const NodeId> locals,
+                                         ByteWriter& w) const;
+
+  /// Raw array access (used by shard IO and tests).
+  const std::vector<EdgeIndex>& indptr() const { return indptr_; }
+  const std::vector<NodeId>& nbr_local_ids() const { return nbr_local_ids_; }
+  const std::vector<ShardId>& nbr_shard_ids() const { return nbr_shard_ids_; }
+  const std::vector<float>& edge_weights() const { return edge_weights_; }
+  const std::vector<float>& nbr_weighted_degrees() const {
+    return nbr_weighted_deg_;
+  }
+
+  /// Approximate resident bytes of the shard arrays.
+  std::size_t memory_bytes() const;
+
+ private:
+  ShardId shard_id_ = 0;
+  std::vector<EdgeIndex> indptr_;          // per core node
+  std::vector<NodeId> core_global_ids_;    // local -> original global id
+  std::vector<float> core_weighted_deg_;   // d_w of each core node
+  // Per-edge arrays (the five arrays of §3.2.2, plus neighbor global ids
+  // to support random-walk summaries).
+  std::vector<NodeId> nbr_local_ids_;
+  std::vector<ShardId> nbr_shard_ids_;
+  std::vector<float> edge_weights_;
+  std::vector<float> nbr_weighted_deg_;
+  std::vector<NodeId> nbr_global_ids_;
+
+  // Optional halo-adjacency cache: one CSR row per 1-hop halo node,
+  // indexed by packed NodeRef key.
+  bool halo_cache_enabled_ = false;
+  FlatMap<std::uint32_t> halo_row_of_;
+  std::vector<EdgeIndex> halo_indptr_;
+  std::vector<float> halo_weighted_deg_;
+  std::vector<NodeId> halo_nbr_local_ids_;
+  std::vector<ShardId> halo_nbr_shard_ids_;
+  std::vector<float> halo_edge_weights_;
+  std::vector<float> halo_nbr_weighted_deg_;
+};
+
+/// Decoded remote neighbor-info response. Owns its arrays; exposes the
+/// same VertexProp views as GraphShard so the push operator consumes local
+/// and remote data identically.
+class NeighborBatch {
+ public:
+  NeighborBatch() = default;
+
+  /// Decode a CSR-compressed response.
+  static NeighborBatch decode_csr(ByteReader& r);
+  /// Decode a tensor-list response for `num_nodes` source nodes.
+  static NeighborBatch decode_tensor_list(ByteReader& r);
+
+  std::size_t size() const { return src_weighted_deg_.size(); }
+  VertexProp operator[](std::size_t i) const;
+
+ private:
+  std::vector<EdgeIndex> indptr_;
+  std::vector<NodeId> nbr_local_ids_;
+  std::vector<ShardId> nbr_shard_ids_;
+  std::vector<float> edge_weights_;
+  std::vector<float> nbr_weighted_deg_;
+  std::vector<float> src_weighted_deg_;
+};
+
+/// Build every shard of `g` for `num_shards` partitions.
+/// Convenience used by the cluster bootstrap and tests.
+struct ShardedGraph {
+  GlobalMapping mapping;
+  std::vector<std::shared_ptr<const GraphShard>> shards;
+};
+ShardedGraph build_sharded_graph(const Graph& g,
+                                 const PartitionAssignment& assignment,
+                                 int num_shards,
+                                 bool cache_halo_adjacency = false);
+
+}  // namespace ppr

@@ -1,0 +1,73 @@
+#include "storage/storage_service.hpp"
+
+namespace ppr {
+
+GraphStorageService::GraphStorageService(
+    RpcEndpoint& endpoint, std::shared_ptr<const GraphShard> shard)
+    : shard_(std::move(shard)) {
+  GE_REQUIRE(shard_ != nullptr, "null shard");
+  endpoint.register_service(
+      kStorageServiceName,
+      [this](const std::string& method,
+             std::span<const std::uint8_t> payload) {
+        return handle(method, payload);
+      });
+}
+
+std::vector<std::uint8_t> GraphStorageService::handle(
+    const std::string& method, std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  ByteWriter w;
+  if (method == storage_method::kGetNeighborInfos) {
+    const auto compress = r.read<std::uint8_t>();
+    const auto locals = r.read_vec<NodeId>();
+    if (compress != 0) {
+      shard_->encode_neighbor_infos_csr(locals, w);
+    } else {
+      shard_->encode_neighbor_infos_tensor_list(locals, w);
+    }
+    return w.take();
+  }
+  if (method == storage_method::kGetNeighborInfoSingle) {
+    const auto local = r.read<NodeId>();
+    const NodeId one[] = {local};
+    shard_->encode_neighbor_infos_tensor_list(one, w);
+    return w.take();
+  }
+  if (method == storage_method::kSampleOneNeighbor) {
+    const auto seed = r.read<std::uint64_t>();
+    const auto locals = r.read_vec<NodeId>();
+    std::vector<NodeId> out_local;
+    std::vector<ShardId> out_shard;
+    std::vector<NodeId> out_global;
+    shard_->sample_one_neighbor(locals, seed, out_local, out_shard,
+                                out_global);
+    w.write_vec(out_local);
+    w.write_vec(out_shard);
+    w.write_vec(out_global);
+    return w.take();
+  }
+  if (method == storage_method::kSampleKNeighbors) {
+    const auto seed = r.read<std::uint64_t>();
+    const auto k = r.read<std::int32_t>();
+    const auto locals = r.read_vec<NodeId>();
+    std::vector<EdgeIndex> out_indptr;
+    std::vector<NodeId> out_local;
+    std::vector<ShardId> out_shard;
+    std::vector<NodeId> out_global;
+    shard_->sample_k_neighbors(locals, k, seed, out_indptr, out_local,
+                               out_shard, out_global);
+    w.write_vec(out_indptr);
+    w.write_vec(out_local);
+    w.write_vec(out_shard);
+    w.write_vec(out_global);
+    return w.take();
+  }
+  if (method == storage_method::kNumCoreNodes) {
+    w.write<std::int64_t>(shard_->num_core_nodes());
+    return w.take();
+  }
+  throw InvalidArgument("unknown storage method: " + method);
+}
+
+}  // namespace ppr

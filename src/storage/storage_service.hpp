@@ -1,0 +1,42 @@
+// Server side of the Distributed Graph Storage: registers the local shard
+// as an RPC service ("storage") so peers can fetch neighbor information.
+// One instance runs per machine, playing the role of the paper's dedicated
+// Graph Storage server process.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rpc/endpoint.hpp"
+#include "storage/shard.hpp"
+
+namespace ppr {
+
+/// Method names understood by the storage service.
+namespace storage_method {
+inline constexpr const char* kGetNeighborInfos = "get_neighbor_infos";
+inline constexpr const char* kGetNeighborInfoSingle =
+    "get_neighbor_info_single";
+inline constexpr const char* kSampleOneNeighbor = "sample_one_neighbor";
+inline constexpr const char* kSampleKNeighbors = "sample_k_neighbors";
+inline constexpr const char* kNumCoreNodes = "num_core_nodes";
+}  // namespace storage_method
+
+inline constexpr const char* kStorageServiceName = "storage";
+
+class GraphStorageService {
+ public:
+  /// Registers the service on `endpoint` under kStorageServiceName.
+  GraphStorageService(RpcEndpoint& endpoint,
+                      std::shared_ptr<const GraphShard> shard);
+
+  const GraphShard& shard() const { return *shard_; }
+
+ private:
+  std::vector<std::uint8_t> handle(const std::string& method,
+                                   std::span<const std::uint8_t> payload);
+
+  std::shared_ptr<const GraphShard> shard_;
+};
+
+}  // namespace ppr

@@ -1,0 +1,68 @@
+// Per-op dispatch cost model.
+//
+// The paper's tensor baseline runs in Python over PyTorch: every tensor
+// operation pays interpreter + dispatcher overhead (measured at a few
+// microseconds per op on CPU) regardless of tensor size. Our C++ kernels
+// have no such cost, which would make the reproduction's baseline
+// unrealistically strong. When enabled, every ops:: kernel busy-waits for
+// a fixed dispatch cost before executing, occupying the CPU exactly as
+// the interpreter would.
+//
+// Disabled (0) by default: unit tests and any non-baseline use of the
+// tensor library are unaffected. Benches that measure the "PyTorch
+// Tensor" baseline enable it with the documented 5µs/op value.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace ppr::ops {
+
+namespace detail {
+inline std::atomic<double>& dispatch_overhead_us_storage() {
+  static std::atomic<double> value{0.0};
+  return value;
+}
+
+/// Called at the top of every tensor kernel.
+inline void pay_dispatch() {
+  const double us = dispatch_overhead_us_storage().load(
+      std::memory_order_relaxed);
+  if (us <= 0) return;
+  // Busy-wait: interpreter overhead occupies the CPU, it does not sleep.
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::nanoseconds(
+      static_cast<long>(us * 1e3));
+  while (std::chrono::steady_clock::now() - start < budget) {
+  }
+}
+}  // namespace detail
+
+inline void set_dispatch_overhead_us(double us) {
+  detail::dispatch_overhead_us_storage().store(us,
+                                               std::memory_order_relaxed);
+}
+inline double dispatch_overhead_us() {
+  return detail::dispatch_overhead_us_storage().load(
+      std::memory_order_relaxed);
+}
+
+/// RAII: set a dispatch overhead for a scope, restore on exit.
+class DispatchOverheadGuard {
+ public:
+  explicit DispatchOverheadGuard(double us)
+      : saved_(dispatch_overhead_us()) {
+    set_dispatch_overhead_us(us);
+  }
+  ~DispatchOverheadGuard() { set_dispatch_overhead_us(saved_); }
+  DispatchOverheadGuard(const DispatchOverheadGuard&) = delete;
+  DispatchOverheadGuard& operator=(const DispatchOverheadGuard&) = delete;
+
+ private:
+  double saved_;
+};
+
+/// The PyTorch-CPU-measured default used by the reproduction benches.
+inline constexpr double kPyTorchDispatchUs = 5.0;
+
+}  // namespace ppr::ops

@@ -1,0 +1,11 @@
+#include "tensor/ops.hpp"
+
+namespace ppr::ops {
+
+LongTensor arange(std::size_t n) {
+  std::vector<std::int64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return LongTensor::from_vector(std::move(v));
+}
+
+}  // namespace ppr::ops

@@ -1,0 +1,279 @@
+// Whole-tensor kernels with PyTorch-like semantics. Every producing op
+// allocates its output, exactly as a tensor library does.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/dispatch.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ppr::ops {
+
+/// [0, n) as int64.
+LongTensor arange(std::size_t n);
+
+/// Indices (int64) where t != 0. The O(n) scan is the cost the paper's
+/// activated-node retrieval pays in the tensor baseline.
+template <typename T>
+LongTensor nonzero(const Tensor<T>& t) {
+  detail::pay_dispatch();
+  std::vector<std::int64_t> idx;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] != T{}) idx.push_back(static_cast<std::int64_t>(i));
+  }
+  return LongTensor::from_vector(std::move(idx));
+}
+
+/// Elementwise t > threshold as a 0/1 mask.
+template <typename T>
+BoolTensor greater(const Tensor<T>& t, T threshold) {
+  detail::pay_dispatch();
+  BoolTensor mask(t.size());
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    mask[i] = t[i] > threshold ? 1 : 0;
+  }
+  return mask;
+}
+
+/// Elementwise a > b (same shape) as a 0/1 mask.
+template <typename T>
+BoolTensor greater(const Tensor<T>& a, const Tensor<T>& b) {
+  detail::pay_dispatch();
+  GE_REQUIRE(a.size() == b.size(), "shape mismatch");
+  BoolTensor mask(a.size());
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mask[i] = a[i] > b[i] ? 1 : 0;
+  }
+  return mask;
+}
+
+/// Elements of t where mask != 0.
+template <typename T>
+Tensor<T> masked_select(const Tensor<T>& t, const BoolTensor& mask) {
+  detail::pay_dispatch();
+  GE_REQUIRE(t.size() == mask.size(), "shape mismatch");
+  std::vector<T> out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (mask[i]) out.push_back(t[i]);
+  }
+  return Tensor<T>::from_vector(std::move(out));
+}
+
+/// t[idx] gather.
+template <typename T, typename I>
+Tensor<T> index_select(const Tensor<T>& t, const Tensor<I>& idx) {
+  detail::pay_dispatch();
+  Tensor<T> out(idx.size());
+  // No OpenMP here: the bounds check may throw, and exceptions must not
+  // escape a parallel region.
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto j = static_cast<std::size_t>(idx[i]);
+    GE_CHECK(j < t.size(), "index out of range");
+    out[i] = t[j];
+  }
+  return out;
+}
+
+/// t[idx] = values (last write wins for duplicate indices).
+template <typename T, typename I>
+void index_put(Tensor<T>& t, const Tensor<I>& idx, const Tensor<T>& values) {
+  detail::pay_dispatch();
+  GE_REQUIRE(idx.size() == values.size(), "shape mismatch");
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto j = static_cast<std::size_t>(idx[i]);
+    GE_CHECK(j < t.size(), "index out of range");
+    t[j] = values[i];
+  }
+}
+
+/// t[idx] += values, accumulating duplicates.
+template <typename T, typename I>
+void scatter_add(Tensor<T>& t, const Tensor<I>& idx, const Tensor<T>& values) {
+  detail::pay_dispatch();
+  GE_REQUIRE(idx.size() == values.size(), "shape mismatch");
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto j = static_cast<std::size_t>(idx[i]);
+    GE_CHECK(j < t.size(), "index out of range");
+    t[j] += values[i];
+  }
+}
+
+/// t[idx] = scalar.
+template <typename T, typename I>
+void index_fill(Tensor<T>& t, const Tensor<I>& idx, T value) {
+  detail::pay_dispatch();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto j = static_cast<std::size_t>(idx[i]);
+    GE_CHECK(j < t.size(), "index out of range");
+    t[j] = value;
+  }
+}
+
+/// Elementwise t == value as a 0/1 mask.
+template <typename T>
+BoolTensor equal(const Tensor<T>& t, T value) {
+  detail::pay_dispatch();
+  BoolTensor mask(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    mask[i] = t[i] == value ? 1 : 0;
+  }
+  return mask;
+}
+
+/// Producing elementwise scale: t * s.
+template <typename T>
+Tensor<T> mul(const Tensor<T>& t, T s) {
+  detail::pay_dispatch();
+  Tensor<T> out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = t[i] * s;
+  return out;
+}
+
+/// Producing elementwise sum: a + b.
+template <typename T>
+Tensor<T> add(const Tensor<T>& a, const Tensor<T>& b) {
+  detail::pay_dispatch();
+  GE_REQUIRE(a.size() == b.size(), "shape mismatch");
+  Tensor<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+/// Producing elementwise product: a * b.
+template <typename T>
+Tensor<T> mul(const Tensor<T>& a, const Tensor<T>& b) {
+  detail::pay_dispatch();
+  GE_REQUIRE(a.size() == b.size(), "shape mismatch");
+  Tensor<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+/// Producing elementwise quotient: a / b (caller guarantees b != 0).
+template <typename T>
+Tensor<T> div(const Tensor<T>& a, const Tensor<T>& b) {
+  detail::pay_dispatch();
+  GE_REQUIRE(a.size() == b.size(), "shape mismatch");
+  Tensor<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] / b[i];
+  return out;
+}
+
+/// Elementwise select: mask ? a : b.
+template <typename T>
+Tensor<T> where(const BoolTensor& mask, const Tensor<T>& a,
+                const Tensor<T>& b) {
+  detail::pay_dispatch();
+  GE_REQUIRE(mask.size() == a.size() && a.size() == b.size(),
+             "shape mismatch");
+  Tensor<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = mask[i] ? a[i] : b[i];
+  return out;
+}
+
+/// torch.repeat_interleave(values, counts): values[i] repeated counts[i]
+/// times, concatenated.
+template <typename T, typename C>
+Tensor<T> repeat_interleave(const Tensor<T>& values,
+                            const Tensor<C>& counts) {
+  detail::pay_dispatch();
+  GE_REQUIRE(values.size() == counts.size(), "shape mismatch");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    GE_REQUIRE(counts[i] >= 0, "negative repeat count");
+    total += static_cast<std::size_t>(counts[i]);
+  }
+  Tensor<T> out(total);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (C k = 0; k < counts[i]; ++k) out[pos++] = values[i];
+  }
+  return out;
+}
+
+/// dtype cast, allocating the destination (torch .to(dtype)).
+template <typename To, typename From>
+Tensor<To> cast(const Tensor<From>& t) {
+  detail::pay_dispatch();
+  Tensor<To> out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = static_cast<To>(t[i]);
+  }
+  return out;
+}
+
+template <typename T>
+T sum(const Tensor<T>& t) {
+  detail::pay_dispatch();
+  return std::accumulate(t.span().begin(), t.span().end(), T{});
+}
+
+template <typename T>
+T max(const Tensor<T>& t) {
+  detail::pay_dispatch();
+  GE_REQUIRE(!t.empty(), "max of empty tensor");
+  return *std::max_element(t.span().begin(), t.span().end());
+}
+
+/// Indices that would sort t descending.
+template <typename T>
+LongTensor argsort_desc(const Tensor<T>& t) {
+  detail::pay_dispatch();
+  std::vector<std::int64_t> idx(t.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::int64_t a, std::int64_t b) {
+                     return t[static_cast<std::size_t>(a)] >
+                            t[static_cast<std::size_t>(b)];
+                   });
+  return LongTensor::from_vector(std::move(idx));
+}
+
+/// Indices of the k largest elements, descending.
+template <typename T>
+LongTensor topk_indices(const Tensor<T>& t, std::size_t k) {
+  detail::pay_dispatch();
+  k = std::min(k, t.size());
+  std::vector<std::int64_t> idx(t.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::int64_t a, std::int64_t b) {
+                      return t[static_cast<std::size_t>(a)] >
+                             t[static_cast<std::size_t>(b)];
+                    });
+  idx.resize(k);
+  return LongTensor::from_vector(std::move(idx));
+}
+
+/// a += b elementwise.
+template <typename T>
+void add_(Tensor<T>& a, const Tensor<T>& b) {
+  detail::pay_dispatch();
+  GE_REQUIRE(a.size() == b.size(), "shape mismatch");
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+/// a *= s.
+template <typename T>
+void mul_(Tensor<T>& a, T s) {
+  detail::pay_dispatch();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= s;
+}
+
+/// L1 distance between two tensors.
+template <typename T>
+double l1_distance(const Tensor<T>& a, const Tensor<T>& b) {
+  GE_REQUIRE(a.size() == b.size(), "shape mismatch");
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return d;
+}
+
+}  // namespace ppr::ops

@@ -1,0 +1,36 @@
+#include "tensor/sparse.hpp"
+
+#include "common/check.hpp"
+
+namespace ppr {
+
+CsrMatrix::CsrMatrix(std::vector<std::int64_t> indptr,
+                     std::vector<std::int32_t> indices,
+                     std::vector<float> values)
+    : indptr_(std::move(indptr)),
+      indices_(std::move(indices)),
+      values_(std::move(values)) {
+  GE_REQUIRE(!indptr_.empty(), "indptr must have at least one element");
+  GE_REQUIRE(indices_.size() == values_.size(),
+             "indices/values length mismatch");
+  GE_REQUIRE(static_cast<std::size_t>(indptr_.back()) == indices_.size(),
+             "indptr.back() must equal nnz");
+}
+
+DoubleTensor CsrMatrix::spmv(const DoubleTensor& x) const {
+  GE_REQUIRE(x.size() == num_rows(), "dimension mismatch in spmv");
+  DoubleTensor y(num_rows());
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::size_t row = 0; row < num_rows(); ++row) {
+    double acc = 0;
+    for (std::int64_t k = indptr_[row]; k < indptr_[row + 1]; ++k) {
+      acc += static_cast<double>(values_[static_cast<std::size_t>(k)]) *
+             x[static_cast<std::size_t>(
+                 indices_[static_cast<std::size_t>(k)])];
+    }
+    y[row] = acc;
+  }
+  return y;
+}
+
+}  // namespace ppr

@@ -1,0 +1,37 @@
+// CSR sparse matrix + SpMV, the substrate for the "DGL SpMM" power
+// iteration baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ppr {
+
+/// Square CSR matrix (n x n) of floats.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::vector<std::int64_t> indptr, std::vector<std::int32_t> indices,
+            std::vector<float> values);
+
+  std::size_t num_rows() const {
+    return indptr_.empty() ? 0 : indptr_.size() - 1;
+  }
+  std::size_t nnz() const { return indices_.size(); }
+
+  const std::vector<std::int64_t>& indptr() const { return indptr_; }
+  const std::vector<std::int32_t>& indices() const { return indices_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// y = A x (OpenMP-parallel over rows).
+  DoubleTensor spmv(const DoubleTensor& x) const;
+
+ private:
+  std::vector<std::int64_t> indptr_;
+  std::vector<std::int32_t> indices_;
+  std::vector<float> values_;
+};
+
+}  // namespace ppr

@@ -1,0 +1,3 @@
+#include "tensor/tensor.hpp"
+
+// Tensor is header-only; this TU anchors the library target.

@@ -1,0 +1,87 @@
+// Minimal dense tensor, the substrate for the paper's tensor-based
+// baselines ("PyTorch Tensor" forward push and "DGL SpMM" power iteration).
+//
+// Deliberately mirrors the cost profile of a real tensor library: dense
+// contiguous storage, O(n) whole-tensor kernels, and new allocations for
+// every producing op. The baseline's inefficiency on dynamic frontiers is
+// a property of this model, not an artifact of a sloppy implementation —
+// the kernels themselves are OpenMP-parallel where a real library's would
+// be.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppr {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// 1-D tensor of length n (zero-initialized).
+  explicit Tensor(std::size_t n) : rows_(n), cols_(1), data_(n) {}
+
+  /// 2-D tensor rows x cols (zero-initialized).
+  Tensor(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  Tensor(std::initializer_list<T> init)
+      : rows_(init.size()), cols_(1), data_(init) {}
+
+  static Tensor full(std::size_t n, T value) {
+    Tensor t(n);
+    std::fill(t.data_.begin(), t.data_.end(), value);
+    return t;
+  }
+
+  static Tensor from_vector(std::vector<T> v) {
+    Tensor t;
+    t.rows_ = v.size();
+    t.cols_ = 1;
+    t.data_ = std::move(v);
+    return t;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> span() { return std::span<T>(data_); }
+  std::span<const T> span() const { return std::span<const T>(data_); }
+  const std::vector<T>& vec() const { return data_; }
+  std::vector<T> take() { return std::move(data_); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  bool operator==(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 1;
+  std::vector<T> data_;
+};
+
+using FloatTensor = Tensor<float>;
+using DoubleTensor = Tensor<double>;
+using IntTensor = Tensor<std::int32_t>;
+using LongTensor = Tensor<std::int64_t>;
+using BoolTensor = Tensor<std::uint8_t>;
+
+}  // namespace ppr

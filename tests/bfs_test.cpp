@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "engine/cluster.hpp"
+#include "graph/generators.hpp"
+#include "ppr/bfs.hpp"
+
+namespace ppr {
+namespace {
+
+class BfsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = generate_rmat(700, 3000, 0.5, 0.2, 0.2, 51);
+    ClusterOptions opts;
+    opts.num_machines = 3;
+    opts.network = no_network_cost();
+    cluster_ = std::make_unique<Cluster>(
+        graph_, partition_multilevel(graph_, 3), opts);
+  }
+
+  Graph graph_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(BfsFixture, MatchesReferenceDistances) {
+  const NodeId source_global = 5;
+  const NodeRef src = cluster_->locate(source_global);
+  const NodeId locals[] = {src.local};
+  const BfsResult dist_res =
+      distributed_bfs(cluster_->storage(src.shard), locals);
+  const auto ref = bfs_reference(graph_, std::vector<NodeId>{source_global});
+
+  std::size_t reachable = 0;
+  for (const int d : ref) reachable += (d >= 0);
+  EXPECT_EQ(dist_res.num_visited, reachable);
+  for (const auto& [node, d] : dist_res.distances) {
+    const NodeId global = cluster_->mapping().to_global(node);
+    EXPECT_EQ(d, ref[static_cast<std::size_t>(global)]) << "node " << global;
+  }
+}
+
+TEST_F(BfsFixture, MultiSourceTakesMinimumDistance) {
+  // Two sources on the same shard; distances are min over sources.
+  const GraphShard& shard = cluster_->shard(0);
+  ASSERT_GE(shard.num_core_nodes(), 2);
+  const NodeId locals[] = {0, 1};
+  const BfsResult res = distributed_bfs(cluster_->storage(0), locals);
+  const std::vector<NodeId> globals{shard.core_global_id(0),
+                                    shard.core_global_id(1)};
+  const auto ref = bfs_reference(graph_, globals);
+  for (const auto& [node, d] : res.distances) {
+    EXPECT_EQ(d,
+              ref[static_cast<std::size_t>(cluster_->mapping().to_global(node))]);
+  }
+}
+
+TEST_F(BfsFixture, MaxDepthTruncates) {
+  const NodeRef src = cluster_->locate(7);
+  const NodeId locals[] = {src.local};
+  BfsOptions opts;
+  opts.max_depth = 2;
+  const BfsResult res =
+      distributed_bfs(cluster_->storage(src.shard), locals, opts);
+  EXPECT_LE(res.num_levels, 2u);
+  for (const auto& [node, d] : res.distances) {
+    EXPECT_LE(d, 2);
+    (void)node;
+  }
+  // Depth-2 ball equals reference's nodes within distance 2.
+  const auto ref = bfs_reference(graph_, std::vector<NodeId>{7}, 2);
+  std::size_t within = 0;
+  for (const int d : ref) within += (d >= 0);
+  EXPECT_EQ(res.num_visited, within);
+}
+
+TEST_F(BfsFixture, UncompressedResponsesGiveSameResult) {
+  const NodeRef src = cluster_->locate(11);
+  const NodeId locals[] = {src.local};
+  BfsOptions raw;
+  raw.compress = false;
+  const BfsResult a = distributed_bfs(cluster_->storage(src.shard), locals);
+  const BfsResult b =
+      distributed_bfs(cluster_->storage(src.shard), locals, raw);
+  EXPECT_EQ(a.num_visited, b.num_visited);
+  EXPECT_EQ(a.num_levels, b.num_levels);
+}
+
+TEST(BfsReference, DisconnectedStaysUnreached) {
+  // Two components: 0-1 and 2-3.
+  const WeightedEdge edges[] = {{0, 1, 1}, {2, 3, 1}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto dist = bfs_reference(g, std::vector<NodeId>{0});
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+}  // namespace
+}  // namespace ppr

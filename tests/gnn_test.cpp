@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/ssppr_driver.hpp"
+#include "gnn/trainer.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+
+namespace ppr::gnn {
+namespace {
+
+TEST(Matrix, MatmulAgainstHand) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy_n(av, 6, a.data());
+  std::copy_n(bv, 6, b.data());
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(Matrix, TransposedVariantsConsistent) {
+  const Matrix a = Matrix::randn(4, 3, 1.0f, 1);
+  const Matrix b = Matrix::randn(4, 5, 1.0f, 2);
+  // AᵀB computed two ways.
+  Matrix at(3, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Matrix direct = matmul_at_b(a, b);
+  const Matrix via_t = matmul(at, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(direct.at(i, j), via_t.at(i, j), 1e-5);
+    }
+  }
+  // ABᵀ: shape check + one spot value.
+  const Matrix c = matmul_a_bt(Matrix::randn(2, 5, 1.0f, 3), b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+}
+
+TEST(Matrix, ReluMasksNegative) {
+  Matrix m(1, 4);
+  float v[] = {-1, 0, 2, -3};
+  std::copy_n(v, 4, m.data());
+  const auto mask = relu_(m);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 2);
+  Matrix g(1, 4);
+  float gv[] = {1, 1, 1, 1};
+  std::copy_n(gv, 4, g.data());
+  relu_backward_(g, mask);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(g.at(0, 2), 1);
+}
+
+SubgraphBatch tiny_batch() {
+  // 3-node path 0-1-2, ego = node 0, label 1 of 2 classes.
+  SubgraphBatch b;
+  b.nodes = {{0, 0}, {1, 0}, {2, 0}};
+  b.indptr = {0, 1, 3, 4};
+  b.adj = {1, 0, 2, 1};
+  b.edge_weights = {1.0f, 1.0f, 2.0f, 2.0f};
+  b.x = Matrix::randn(3, 4, 1.0f, 11);
+  b.ego_idx = {0};
+  b.y = {1};
+  return b;
+}
+
+TEST(Aggregate, MeanRespectsWeights) {
+  SubgraphBatch b = tiny_batch();
+  Matrix h(3, 1);
+  h.at(0, 0) = 1.0f;
+  h.at(1, 0) = 10.0f;
+  h.at(2, 0) = 100.0f;
+  const Matrix agg = aggregate_mean(b, h);
+  EXPECT_FLOAT_EQ(agg.at(0, 0), 10.0f);  // only neighbor is node 1
+  // Node 1: (1*1 + 2*100)/3.
+  EXPECT_NEAR(agg.at(1, 0), (1.0f + 200.0f) / 3.0f, 1e-5);
+  EXPECT_FLOAT_EQ(agg.at(2, 0), 10.0f);
+}
+
+TEST(Aggregate, TransposeIsAdjoint) {
+  // <A h, g> == <h, Aᵀ g> for random h, g.
+  SubgraphBatch b = tiny_batch();
+  const Matrix h = Matrix::randn(3, 2, 1.0f, 4);
+  const Matrix g = Matrix::randn(3, 2, 1.0f, 5);
+  const Matrix ah = aggregate_mean(b, h);
+  const Matrix atg = aggregate_mean_transpose(b, g);
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      lhs += ah.at(i, j) * g.at(i, j);
+      rhs += h.at(i, j) * atg.at(i, j);
+    }
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-5);
+}
+
+TEST(SageNet, GradientCheckByFiniteDifferences) {
+  SubgraphBatch batch = tiny_batch();
+  SageNet net(4, 5, 2, 77);
+
+  net.zero_grad();
+  const Matrix logits = net.forward(batch);
+  const auto [loss0, _] = net.backward_from_loss(batch, logits);
+  (void)loss0;
+
+  // Check a handful of coordinates in every parameter tensor.
+  const auto params = net.parameters();
+  const auto grads = net.gradients();
+  const float h = 1e-3f;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (const std::size_t idx :
+         {std::size_t{0}, params[p]->rows() * params[p]->cols() / 2}) {
+      const float saved = params[p]->data()[idx];
+      params[p]->data()[idx] = saved + h;
+      SageNet probe = net;  // copy would share caches; recompute instead
+      // Recompute loss with perturbed weight (forward only).
+      const Matrix lp = net.forward(batch);
+      float loss_plus = 0;
+      {
+        // softmax xent at ego rows, same as backward_from_loss computes.
+        const auto row = static_cast<std::size_t>(batch.ego_idx[0]);
+        const auto label = static_cast<std::size_t>(batch.y[0]);
+        const float* lrow = lp.row(row);
+        float maxv = std::max(lrow[0], lrow[1]);
+        const float denom =
+            std::exp(lrow[0] - maxv) + std::exp(lrow[1] - maxv);
+        loss_plus = -(lrow[label] - maxv - std::log(denom));
+      }
+      params[p]->data()[idx] = saved - h;
+      const Matrix lm = net.forward(batch);
+      float loss_minus = 0;
+      {
+        const auto row = static_cast<std::size_t>(batch.ego_idx[0]);
+        const auto label = static_cast<std::size_t>(batch.y[0]);
+        const float* lrow = lm.row(row);
+        float maxv = std::max(lrow[0], lrow[1]);
+        const float denom =
+            std::exp(lrow[0] - maxv) + std::exp(lrow[1] - maxv);
+        loss_minus = -(lrow[label] - maxv - std::log(denom));
+      }
+      params[p]->data()[idx] = saved;
+      const float numeric = (loss_plus - loss_minus) / (2 * h);
+      const float analytic = grads[p]->data()[idx];
+      EXPECT_NEAR(numeric, analytic, 5e-2f + 0.05f * std::abs(numeric))
+          << "param " << p << " idx " << idx;
+      (void)probe;
+    }
+  }
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize ||w - target||² with Adam through the optimizer interface.
+  Matrix w(2, 2);
+  Matrix target(2, 2);
+  float tv[] = {1, -2, 3, 0.5f};
+  std::copy_n(tv, 4, target.data());
+  std::vector<float> bias(2, 0.0f);
+  std::vector<float> bias_target{0.3f, -0.7f};
+
+  Adam adam({&w}, {&bias}, 0.05f);
+  Matrix grad(2, 2);
+  std::vector<float> bias_grad(2);
+  for (int it = 0; it < 500; ++it) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      grad.data()[i] = 2 * (w.data()[i] - target.data()[i]);
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+      bias_grad[i] = 2 * (bias[i] - bias_target[i]);
+    }
+    adam.step({&grad}, {&bias_grad});
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.data()[i], target.data()[i], 1e-2);
+  }
+  EXPECT_NEAR(bias[0], 0.3f, 1e-2);
+}
+
+TEST(SyntheticData, LabelsMatchFeatureClusters) {
+  const Matrix x = make_synthetic_features(100, 8, 4, 99);
+  const auto y = make_synthetic_labels(100, 4, 99);
+  EXPECT_EQ(x.rows(), 100u);
+  EXPECT_EQ(y.size(), 100u);
+  // Nodes with the same label should be closer in feature space than
+  // nodes with different labels, on average.
+  double same = 0, diff = 0;
+  int same_n = 0, diff_n = 0;
+  for (std::size_t a = 0; a < 50; ++a) {
+    for (std::size_t b = a + 1; b < 50; ++b) {
+      double d = 0;
+      for (std::size_t j = 0; j < 8; ++j) {
+        const double delta = x.at(a, j) - x.at(b, j);
+        d += delta * delta;
+      }
+      if (y[a] == y[b]) {
+        same += d;
+        ++same_n;
+      } else {
+        diff += d;
+        ++diff_n;
+      }
+    }
+  }
+  EXPECT_LT(same / same_n, diff / diff_n);
+}
+
+TEST(Training, LossDecreasesOnCluster) {
+  const Graph g = generate_barabasi_albert(600, 5, 21);
+  ClusterOptions copts;
+  copts.num_machines = 2;
+  copts.network = no_network_cost();
+  Cluster cluster(g, partition_multilevel(g, 2), copts);
+
+  TrainOptions topts;
+  topts.num_epochs = 4;
+  topts.steps_per_epoch = 6;
+  topts.batch_size = 6;
+  topts.topk = 32;
+  topts.ppr.epsilon = 1e-4;
+  const TrainReport report = train_distributed(cluster, topts);
+  ASSERT_EQ(report.epoch_loss.size(), 4u);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front())
+      << "training must reduce the loss";
+  EXPECT_GT(report.epoch_accuracy.back(), 0.4)
+      << "4-class accuracy should beat chance after training";
+}
+
+}  // namespace
+}  // namespace ppr::gnn

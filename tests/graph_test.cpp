@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace ppr {
+namespace {
+
+Graph triangle() {
+  const WeightedEdge edges[] = {{0, 1, 1.0f}, {1, 2, 2.0f}, {0, 2, 3.0f}};
+  return Graph::from_edges(3, edges);
+}
+
+TEST(Graph, UndirectedMirroring) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 6);  // each undirected edge stored twice
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(Graph, NeighborsSortedAndWeightsAligned) {
+  const Graph g = triangle();
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1);
+  EXPECT_EQ(n0[1], 2);
+  const auto w0 = g.edge_weights(0);
+  EXPECT_FLOAT_EQ(w0[0], 1.0f);
+  EXPECT_FLOAT_EQ(w0[1], 3.0f);
+  // Mirror edge has the same weight.
+  const auto n2 = g.neighbors(2);
+  const auto w2 = g.edge_weights(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0], 0);
+  EXPECT_FLOAT_EQ(w2[0], 3.0f);
+}
+
+TEST(Graph, WeightedDegrees) {
+  const Graph g = triangle();
+  EXPECT_FLOAT_EQ(g.weighted_degree(0), 4.0f);
+  EXPECT_FLOAT_EQ(g.weighted_degree(1), 3.0f);
+  EXPECT_FLOAT_EQ(g.weighted_degree(2), 5.0f);
+}
+
+TEST(Graph, DuplicateEdgesMergeByWeight) {
+  const WeightedEdge edges[] = {{0, 1, 1.0f}, {0, 1, 2.5f}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 2);  // one merged edge, mirrored
+  EXPECT_FLOAT_EQ(g.edge_weights(0)[0], 3.5f);
+  EXPECT_FLOAT_EQ(g.edge_weights(1)[0], 3.5f);
+}
+
+TEST(Graph, DirectedModeKeepsOrientation) {
+  const WeightedEdge edges[] = {{0, 1, 1.0f}};
+  const Graph g = Graph::from_edges(2, edges, /*make_undirected=*/false);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(Graph, SelfLoopKeptOnce) {
+  const WeightedEdge edges[] = {{0, 0, 1.0f}, {0, 1, 1.0f}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.degree(0), 2);  // self loop + edge to 1
+}
+
+TEST(Graph, OutOfRangeEdgeThrows) {
+  const WeightedEdge edges[] = {{0, 5, 1.0f}};
+  EXPECT_THROW(Graph::from_edges(2, edges), InvalidArgument);
+}
+
+TEST(Graph, FromCsrValidation) {
+  EXPECT_THROW(Graph::from_csr(2, {0, 1}, {0}, {1.0f}), InvalidArgument);
+  EXPECT_THROW(Graph::from_csr(1, {0, 2}, {0}, {1.0f}), InvalidArgument);
+  const Graph g = Graph::from_csr(2, {0, 1, 2}, {1, 0}, {2.0f, 2.0f});
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Graph, DegreeStats) {
+  const WeightedEdge edges[] = {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}};
+  const Graph g = Graph::from_edges(4, edges);
+  const DegreeStats s = g.degree_stats();
+  EXPECT_EQ(s.max_degree, 3);
+  EXPECT_EQ(s.max_degree_node, 0);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 6.0 / 4.0);
+}
+
+TEST(Graph, RandomizeWeightsSymmetricAndPositive) {
+  Graph g = generate_erdos_renyi(200, 800, 11);
+  g.randomize_weights(99, 0.5f, 1.5f);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      EXPECT_GE(ws[k], 0.5f);
+      EXPECT_LT(ws[k], 1.5f);
+      // Find the mirror edge and check the weight matches.
+      const NodeId u = nbrs[k];
+      const auto back_nbrs = g.neighbors(u);
+      const auto back_ws = g.edge_weights(u);
+      bool found = false;
+      for (std::size_t j = 0; j < back_nbrs.size(); ++j) {
+        if (back_nbrs[j] == v) {
+          EXPECT_FLOAT_EQ(back_ws[j], ws[k]);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "missing mirror for " << v << "->" << u;
+    }
+  }
+}
+
+TEST(Generators, RmatShape) {
+  const Graph g = generate_rmat(1 << 10, 8000, 0.45, 0.22, 0.22, 5);
+  EXPECT_EQ(g.num_nodes(), 1 << 10);
+  EXPECT_GT(g.num_edges(), 8000);       // mirrored, some dropped/merged
+  EXPECT_LE(g.num_edges(), 2 * 8000);
+  const DegreeStats s = g.degree_stats();
+  EXPECT_GT(s.max_degree, static_cast<EdgeIndex>(4 * s.avg_degree))
+      << "R-MAT should be skewed";
+}
+
+TEST(Generators, RmatSkewIncreasesWithA) {
+  const Graph mild = generate_rmat(1 << 12, 40000, 0.45, 0.22, 0.22, 5);
+  const Graph skewed = generate_rmat(1 << 12, 40000, 0.62, 0.17, 0.17, 5);
+  EXPECT_GT(skewed.degree_stats().max_degree,
+            mild.degree_stats().max_degree);
+}
+
+TEST(Generators, RmatDeterministic) {
+  const Graph a = generate_rmat(512, 2000, 0.5, 0.2, 0.2, 9);
+  const Graph b = generate_rmat(512, 2000, 0.5, 0.2, 0.2, 9);
+  EXPECT_EQ(a.adj(), b.adj());
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  const Graph g = generate_barabasi_albert(2000, 5, 3);
+  EXPECT_EQ(g.num_nodes(), 2000);
+  // ~5 undirected edges per node → ~10 stored per node.
+  const DegreeStats s = g.degree_stats();
+  EXPECT_NEAR(s.avg_degree, 10.0, 2.0);
+  EXPECT_GT(s.max_degree, 40) << "preferential attachment grows hubs";
+  // Every node has at least one edge (attaches at birth).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_GT(g.degree(v), 0);
+}
+
+TEST(Generators, ErdosRenyiShape) {
+  const Graph g = generate_erdos_renyi(1000, 5000, 4);
+  EXPECT_EQ(g.num_nodes(), 1000);
+  const DegreeStats s = g.degree_stats();
+  EXPECT_NEAR(s.avg_degree, 10.0, 1.0);
+  EXPECT_LT(s.max_degree, 40) << "ER should not have extreme hubs";
+}
+
+TEST(Generators, ClusteredHasCommunityStructure) {
+  const Graph g = generate_clustered(4000, 20, 40000, 2000, 1.6, 9);
+  EXPECT_EQ(g.num_nodes(), 4000);
+  // Count intra-block vs cross-block stored edges: community structure
+  // means the vast majority stay inside a block.
+  const NodeId block = 4000 / 20;
+  EdgeIndex intra = 0, inter = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (v / block == u / block) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, inter * 5);
+  // Hub skew: max degree well above average.
+  const DegreeStats s = g.degree_stats();
+  EXPECT_GT(s.max_degree, static_cast<EdgeIndex>(5 * s.avg_degree));
+}
+
+TEST(Generators, ClusteredBetaControlsSkew) {
+  const Graph mild = generate_clustered(4000, 10, 40000, 2000, 1.1, 9);
+  const Graph skewed = generate_clustered(4000, 10, 40000, 2000, 2.2, 9);
+  EXPECT_GT(skewed.degree_stats().max_degree,
+            mild.degree_stats().max_degree);
+}
+
+TEST(Generators, GridStructure) {
+  const Graph g = generate_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  // Interior node degree 4, corner degree 2.
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(5), 4);
+  // Grid edges: 3*3 horizontal + 2*4 vertical = 17 undirected, 34 stored.
+  EXPECT_EQ(g.num_edges(), 34);
+}
+
+TEST(Generators, InvalidParamsThrow) {
+  EXPECT_THROW(generate_rmat(0, 10, 0.4, 0.3, 0.2, 1), InvalidArgument);
+  EXPECT_THROW(generate_rmat(10, 10, 0.6, 0.3, 0.2, 1), InvalidArgument);
+  EXPECT_THROW(generate_barabasi_albert(5, 5, 1), InvalidArgument);
+  EXPECT_THROW(generate_grid(0, 3), InvalidArgument);
+}
+
+TEST(GraphIo, BinaryRoundTrip) {
+  const Graph g = generate_rmat(256, 1000, 0.5, 0.2, 0.2, 3);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppr_graph_test.bin")
+          .string();
+  save_graph(g, path);
+  const Graph loaded = load_graph(path);
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.indptr(), g.indptr());
+  EXPECT_EQ(loaded.adj(), g.adj());
+  EXPECT_EQ(loaded.weights(), g.weights());
+  EXPECT_EQ(loaded.weighted_degrees(), g.weighted_degrees());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent/path.bin"), InvalidArgument);
+}
+
+TEST(GraphIo, EdgeListParsing) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppr_edges_test.txt")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "0 1 2.0\n";
+    out << "1 2\n";  // defaults to weight 1
+    out << "\n";
+    out << "2 3 0.5\n";
+  }
+  const Graph g = load_edge_list(path);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_FLOAT_EQ(g.edge_weights(0)[0], 2.0f);
+  EXPECT_FLOAT_EQ(g.edge_weights(1)[1], 1.0f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,144 @@
+// Tests for the halo-adjacency cache extension (the "higher hop value"
+// caching direction of §3.2.1).
+#include <gtest/gtest.h>
+
+#include "engine/cluster.hpp"
+#include "engine/ssppr_driver.hpp"
+#include "graph/generators.hpp"
+#include "ppr/forward_push.hpp"
+#include "ppr/metrics.hpp"
+
+namespace ppr {
+namespace {
+
+constexpr double kAlpha = 0.462;
+
+class HaloCacheFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = generate_clustered(1200, 8, 12000, 900, 1.5, 19);
+    assignment_ = partition_multilevel(graph_, 3);
+    plain_ = build_sharded_graph(graph_, assignment_, 3, false);
+    cached_ = build_sharded_graph(graph_, assignment_, 3, true);
+  }
+
+  Graph graph_;
+  PartitionAssignment assignment_;
+  ShardedGraph plain_;
+  ShardedGraph cached_;
+};
+
+TEST_F(HaloCacheFixture, DisabledByDefault) {
+  EXPECT_FALSE(plain_.shards[0]->has_halo_cache());
+  EXPECT_FALSE(
+      plain_.shards[0]->halo_vertex_prop(NodeRef{0, 1}).has_value());
+}
+
+TEST_F(HaloCacheFixture, EveryHaloNodeIsCached) {
+  for (int s = 0; s < 3; ++s) {
+    const GraphShard& shard = *cached_.shards[static_cast<std::size_t>(s)];
+    ASSERT_TRUE(shard.has_halo_cache());
+    EXPECT_GT(shard.num_halo_rows(), 0);
+    // Every foreign endpoint of a core row must be resident.
+    for (NodeId l = 0; l < shard.num_core_nodes(); ++l) {
+      const VertexProp vp = shard.vertex_prop(l);
+      for (std::size_t k = 0; k < vp.degree(); ++k) {
+        if (vp.nbr_shard_ids[k] == s) continue;
+        EXPECT_TRUE(shard
+                        .halo_vertex_prop(NodeRef{vp.nbr_local_ids[k],
+                                                  vp.nbr_shard_ids[k]})
+                        .has_value());
+      }
+    }
+  }
+}
+
+TEST_F(HaloCacheFixture, CachedRowsMatchOwnerShard) {
+  const GraphShard& shard0 = *cached_.shards[0];
+  const GraphShard& shard1 = *cached_.shards[1];
+  int checked = 0;
+  for (NodeId l = 0; l < shard1.num_core_nodes() && checked < 50; ++l) {
+    const auto cached = shard0.halo_vertex_prop(NodeRef{l, 1});
+    if (!cached.has_value()) continue;
+    ++checked;
+    const VertexProp truth = shard1.vertex_prop(l);
+    ASSERT_EQ(cached->degree(), truth.degree());
+    EXPECT_FLOAT_EQ(cached->weighted_degree, truth.weighted_degree);
+    for (std::size_t k = 0; k < truth.degree(); ++k) {
+      EXPECT_EQ(cached->nbr_local_ids[k], truth.nbr_local_ids[k]);
+      EXPECT_EQ(cached->nbr_shard_ids[k], truth.nbr_shard_ids[k]);
+      EXPECT_FLOAT_EQ(cached->edge_weights[k], truth.edge_weights[k]);
+      EXPECT_FLOAT_EQ(cached->nbr_weighted_degrees[k],
+                      truth.nbr_weighted_degrees[k]);
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(HaloCacheFixture, CacheCostsMemory) {
+  EXPECT_GT(cached_.shards[0]->memory_bytes(),
+            plain_.shards[0]->memory_bytes());
+}
+
+TEST(HaloCacheCluster, SameResultsFewerRemoteFetches) {
+  const Graph g = generate_clustered(1500, 10, 15000, 1200, 1.5, 29);
+  const auto assignment = partition_multilevel(g, 3);
+
+  ClusterOptions base;
+  base.num_machines = 3;
+  base.network = no_network_cost();
+  Cluster plain(g, assignment, base);
+  base.cache_halo_adjacency = true;
+  Cluster cached(g, assignment, base);
+  EXPECT_TRUE(cached.storage(0).halo_cache_enabled());
+
+  for (const NodeId source : {NodeId{2}, NodeId{700}}) {
+    const NodeRef ref = plain.locate(source);
+    plain.reset_stats();
+    cached.reset_stats();
+    SspprState a = compute_ssppr(plain.storage(ref.shard), ref,
+                                 SspprOptions{.alpha = kAlpha,
+                                              .epsilon = 1e-6});
+    SspprState b = compute_ssppr(cached.storage(ref.shard), ref,
+                                 SspprOptions{.alpha = kAlpha,
+                                              .epsilon = 1e-6});
+    // Same ε-approximation: the cache changes where data is read from and
+    // thus the floating-point push order, so ties at the activation
+    // threshold may flip — agreement is to the ε scale, not bitwise.
+    const auto da = a.to_dense(plain.mapping(), g.num_nodes());
+    const auto db = b.to_dense(cached.mapping(), g.num_nodes());
+    EXPECT_LT(l1_error(da, db), 1e-3);
+    EXPECT_GE(topk_precision(db, da, 25), 0.95);
+
+    const auto& sa = plain.storage(ref.shard).stats();
+    const auto& sb = cached.storage(ref.shard).stats();
+    EXPECT_GT(sb.halo_hits.load(), 0u);
+    EXPECT_LT(sb.remote_nodes.load(), sa.remote_nodes.load())
+        << "halo cache must absorb remote fetches";
+  }
+}
+
+TEST(HaloCacheCluster, WorksWithUncompressedAndOverlapModes) {
+  const Graph g = generate_clustered(800, 8, 8000, 700, 1.5, 31);
+  const auto assignment = partition_multilevel(g, 2);
+  ClusterOptions opts;
+  opts.num_machines = 2;
+  opts.network = no_network_cost();
+  opts.cache_halo_adjacency = true;
+  Cluster cluster(g, assignment, opts);
+
+  const auto reference = forward_push_sequential(g, 11, kAlpha, 1e-6);
+  const NodeRef ref = cluster.locate(11);
+  for (const DriverOptions mode :
+       {DriverOptions::batched(), DriverOptions::overlapped()}) {
+    SspprState state = compute_ssppr(
+        cluster.storage(ref.shard), ref,
+        SspprOptions{.alpha = kAlpha, .epsilon = 1e-6}, mode);
+    const auto dense = state.to_dense(cluster.mapping(), g.num_nodes());
+    EXPECT_GE(topk_precision(dense, reference.ppr, 25), 0.9);
+    EXPECT_NEAR(state.total_mass(), 1.0, 2e-6);
+  }
+}
+
+}  // namespace
+}  // namespace ppr

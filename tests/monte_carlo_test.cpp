@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "ppr/forward_push.hpp"
+#include "ppr/metrics.hpp"
+#include "ppr/monte_carlo.hpp"
+#include "ppr/power_iteration.hpp"
+
+namespace ppr {
+namespace {
+
+constexpr double kAlpha = 0.462;
+
+TEST(MonteCarlo, EstimateSumsToOne) {
+  const Graph g = generate_erdos_renyi(200, 800, 3);
+  const auto r = monte_carlo_ppr(g, 0, kAlpha, 5000, 7);
+  EXPECT_NEAR(std::accumulate(r.ppr.begin(), r.ppr.end(), 0.0), 1.0, 1e-9);
+  EXPECT_EQ(r.num_walks, 5000u);
+}
+
+TEST(MonteCarlo, ConvergesToGroundTruth) {
+  const Graph g = generate_rmat(256, 1300, 0.5, 0.2, 0.2, 5);
+  const auto exact = power_iteration(g, 3, kAlpha, 1e-12);
+  double prev_err = 1e18;
+  // Error should shrink roughly as 1/sqrt(W); check monotone trend over
+  // decades of walk counts (allowing MC noise slack).
+  for (const std::size_t walks : {1000u, 100000u}) {
+    const auto mc = monte_carlo_ppr(g, 3, kAlpha, walks, 11);
+    const double err = l1_error(mc.ppr, exact.ppr);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.05);
+  const auto mc = monte_carlo_ppr(g, 3, kAlpha, 100000, 11);
+  EXPECT_GE(topk_precision(mc.ppr, exact.ppr, 10), 0.9);
+}
+
+TEST(MonteCarlo, HighVarianceAtLowWalkCounts) {
+  // The paper's criticism of pure MC: few walks, poor tail accuracy.
+  const Graph g = generate_rmat(256, 1300, 0.5, 0.2, 0.2, 5);
+  const auto exact = power_iteration(g, 3, kAlpha, 1e-12);
+  const auto mc = monte_carlo_ppr(g, 3, kAlpha, 200, 13);
+  EXPECT_LT(topk_precision(mc.ppr, exact.ppr, 100), 0.9)
+      << "200 walks should not resolve the top-100 tail";
+}
+
+TEST(MonteCarlo, DanglingAbsorbs) {
+  const WeightedEdge e[] = {{0, 1, 1.0f}};
+  const Graph g = Graph::from_edges(2, e, /*make_undirected=*/false);
+  const auto r = monte_carlo_ppr(g, 0, kAlpha, 20000, 3);
+  // Walk terminates at 0 w.p. alpha, else moves to dangling 1 and stays.
+  EXPECT_NEAR(r.ppr[0], kAlpha, 0.02);
+  EXPECT_NEAR(r.ppr[1], 1 - kAlpha, 0.02);
+}
+
+TEST(MonteCarlo, RejectsBadArguments) {
+  const Graph g = generate_grid(3, 3);
+  EXPECT_THROW(monte_carlo_ppr(g, 99, kAlpha, 10, 1), InvalidArgument);
+  EXPECT_THROW(monte_carlo_ppr(g, 0, kAlpha, 0, 1), InvalidArgument);
+  EXPECT_THROW(monte_carlo_ppr(g, 0, 0.0, 10, 1), InvalidArgument);
+}
+
+TEST(Fora, MassConservedAndMoreAccurateThanPushAlone) {
+  const Graph g = generate_rmat(512, 2500, 0.5, 0.2, 0.2, 9);
+  const auto exact = power_iteration(g, 7, kAlpha, 1e-12);
+  // Coarse push leaves significant residual...
+  const auto push = forward_push_sequential(g, 7, kAlpha, 1e-3);
+  const double push_err = l1_error(push.ppr, exact.ppr);
+  // ...which FORA's residual-weighted walks reclaim.
+  const auto fora = fora_ppr(g, 7, kAlpha, 1e-3, 20000, 3);
+  EXPECT_NEAR(std::accumulate(fora.ppr.begin(), fora.ppr.end(), 0.0), 1.0,
+              2e-6);
+  const double fora_err = l1_error(fora.ppr, exact.ppr);
+  EXPECT_LT(fora_err, push_err * 0.5)
+      << "walks must reduce the push-only error substantially";
+  EXPECT_GT(fora.num_walks, 0u);
+  EXPECT_GE(topk_precision(fora.ppr, exact.ppr, 25), 0.85);
+}
+
+TEST(Fora, ZeroResidualNeedsNoWalks) {
+  // Push to exhaustion first: nothing left for phase 2.
+  const Graph g = generate_grid(5, 5);
+  const auto fora = fora_ppr(g, 0, kAlpha, 1e-15, 100, 3);
+  // Residuals below 1e-15*d_w are effectively zero => few or no walks.
+  EXPECT_LT(fora.num_walks, 50u);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+
+namespace ppr {
+namespace {
+
+void expect_valid_assignment(const PartitionAssignment& part, NodeId n,
+                             int k) {
+  ASSERT_EQ(part.size(), static_cast<std::size_t>(n));
+  for (const auto p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, k);
+  }
+}
+
+TEST(SimplePartitioners, RandomCoversAllParts) {
+  const Graph g = generate_erdos_renyi(2000, 6000, 1);
+  const auto part = partition_random(g, 4, 7);
+  expect_valid_assignment(part, g.num_nodes(), 4);
+  const auto q = evaluate_partition(g, part, 4);
+  EXPECT_LT(q.balance, 1.2);
+  for (const auto s : q.part_sizes) EXPECT_GT(s, 0);
+}
+
+TEST(SimplePartitioners, HashDeterministic) {
+  const Graph g = generate_erdos_renyi(500, 1500, 2);
+  EXPECT_EQ(partition_hash(g, 3), partition_hash(g, 3));
+  expect_valid_assignment(partition_hash(g, 3), g.num_nodes(), 3);
+}
+
+TEST(SimplePartitioners, BlockedIsContiguousAndBalanced) {
+  const Graph g = generate_erdos_renyi(1000, 3000, 3);
+  const auto part = partition_blocked(g, 4);
+  expect_valid_assignment(part, g.num_nodes(), 4);
+  for (std::size_t v = 1; v < part.size(); ++v) {
+    EXPECT_GE(part[v], part[v - 1]) << "blocked must be monotone";
+  }
+  const auto q = evaluate_partition(g, part, 4);
+  EXPECT_LE(q.balance, 1.01);
+}
+
+TEST(Quality, EdgeCutCountsCrossEdgesOnce) {
+  // Path 0-1-2-3 split in the middle: exactly one cut edge.
+  const WeightedEdge edges[] = {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}};
+  const Graph g = Graph::from_edges(4, edges);
+  const PartitionAssignment part{0, 0, 1, 1};
+  const auto q = evaluate_partition(g, part, 2);
+  EXPECT_EQ(q.edge_cut, 1);
+  EXPECT_DOUBLE_EQ(q.balance, 1.0);
+  EXPECT_NEAR(q.cut_ratio, 2.0 / 6.0, 1e-12);
+}
+
+TEST(Quality, RejectsBadAssignment) {
+  const Graph g = generate_grid(4, 4);
+  PartitionAssignment part(16, 0);
+  part[3] = 5;
+  EXPECT_THROW(evaluate_partition(g, part, 2), InvalidArgument);
+}
+
+TEST(Multilevel, SinglePartIsTrivial) {
+  const Graph g = generate_grid(8, 8);
+  const auto part = partition_multilevel(g, 1);
+  for (const auto p : part) EXPECT_EQ(p, 0);
+}
+
+TEST(Multilevel, GridCutBeatsRandomByFar) {
+  const Graph g = generate_grid(32, 32);
+  const auto ml = partition_multilevel(g, 2);
+  expect_valid_assignment(ml, g.num_nodes(), 2);
+  const auto ml_q = evaluate_partition(g, ml, 2);
+  const auto rnd_q = evaluate_partition(g, partition_random(g, 2, 3), 2);
+  EXPECT_LT(ml_q.edge_cut, rnd_q.edge_cut / 4)
+      << "min-cut partitioner should crush random on a grid";
+  // Ideal bisection of a 32x32 grid cuts ~32 edges; allow 3x slack.
+  EXPECT_LE(ml_q.edge_cut, 96);
+}
+
+TEST(Multilevel, PowerLawGraphCutBeatsRandom) {
+  const Graph g = generate_rmat(4096, 20000, 0.5, 0.2, 0.2, 17);
+  const auto ml_q = evaluate_partition(g, partition_multilevel(g, 4), 4);
+  const auto rnd_q =
+      evaluate_partition(g, partition_random(g, 4, 5), 4);
+  EXPECT_LT(ml_q.cut_ratio, rnd_q.cut_ratio);
+}
+
+TEST(Multilevel, Deterministic) {
+  const Graph g = generate_rmat(1024, 5000, 0.5, 0.2, 0.2, 6);
+  MultilevelOptions opts;
+  opts.seed = 11;
+  EXPECT_EQ(partition_multilevel(g, 4, opts),
+            partition_multilevel(g, 4, opts));
+}
+
+class MultilevelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultilevelSweep, BalancedAndCompleteForAnyK) {
+  const int k = GetParam();
+  const Graph g = generate_rmat(2048, 12000, 0.48, 0.21, 0.21, 23);
+  const auto part = partition_multilevel(g, k);
+  expect_valid_assignment(part, g.num_nodes(), k);
+  const auto q = evaluate_partition(g, part, k);
+  for (const auto s : q.part_sizes) EXPECT_GT(s, 0) << "empty part, k=" << k;
+  // The refinement honors the balance cap with modest slack for integral
+  // node moves on coarse levels.
+  EXPECT_LE(q.balance, 1.35) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, MultilevelSweep,
+                         ::testing::Values(2, 3, 4, 5, 8, 16));
+
+class PartitionerComparison
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionerComparison, MultilevelNeverWorseThanHash) {
+  const auto [k, seed] = GetParam();
+  const Graph g = generate_barabasi_albert(3000, 6,
+                                           static_cast<std::uint64_t>(seed));
+  const auto ml = evaluate_partition(g, partition_multilevel(g, k), k);
+  const auto hash = evaluate_partition(g, partition_hash(g, k), k);
+  EXPECT_LE(ml.edge_cut, hash.edge_cut) << "k=" << k << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionerComparison,
+    ::testing::Combine(::testing::Values(2, 4, 8), ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace ppr

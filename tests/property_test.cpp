@@ -1,0 +1,179 @@
+// Property-style sweeps: the end-to-end distributed engine must agree
+// with the single-machine reference and preserve the forward-push
+// invariants across graph families, epsilons, partitioners, and cluster
+// shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/cluster.hpp"
+#include "engine/ssppr_driver.hpp"
+#include "graph/generators.hpp"
+#include "ppr/forward_push.hpp"
+#include "ppr/metrics.hpp"
+
+namespace ppr {
+namespace {
+
+constexpr double kAlpha = 0.462;
+
+enum class GraphKind { kRmat, kBa, kEr, kGrid };
+
+Graph make_graph(GraphKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case GraphKind::kRmat:
+      return generate_rmat(500, 2500, 0.52, 0.19, 0.19, seed);
+    case GraphKind::kBa:
+      return generate_barabasi_albert(500, 4, seed);
+    case GraphKind::kEr:
+      return generate_erdos_renyi(500, 2000, seed);
+    case GraphKind::kGrid:
+      return generate_grid(22, 23);
+  }
+  throw InvalidArgument("unreachable");
+}
+
+std::string kind_name(GraphKind k) {
+  switch (k) {
+    case GraphKind::kRmat:
+      return "rmat";
+    case GraphKind::kBa:
+      return "ba";
+    case GraphKind::kEr:
+      return "er";
+    case GraphKind::kGrid:
+      return "grid";
+  }
+  return "?";
+}
+
+using DistributedParam = std::tuple<GraphKind, int /*machines*/,
+                                    double /*epsilon*/>;
+
+class DistributedEquivalence
+    : public ::testing::TestWithParam<DistributedParam> {};
+
+TEST_P(DistributedEquivalence, EngineMatchesReferenceAndConservesMass) {
+  const auto [kind, machines, epsilon] = GetParam();
+  const Graph g = make_graph(kind, 7);
+  const auto assignment = partition_multilevel(g, machines);
+  ClusterOptions copts;
+  copts.num_machines = machines;
+  copts.network = no_network_cost();
+  Cluster cluster(g, assignment, copts);
+
+  for (const NodeId source : {NodeId{1}, NodeId{250}, NodeId{499}}) {
+    const NodeRef ref = cluster.locate(source);
+    SspprState state = compute_ssppr(
+        cluster.storage(ref.shard), ref,
+        SspprOptions{.alpha = kAlpha, .epsilon = epsilon});
+    // Invariant 1: probability mass conservation.
+    EXPECT_NEAR(state.total_mass(), 1.0, 2e-6);
+    // Invariant 2: non-negativity.
+    for (const auto& [node, value] : state.ppr_entries()) {
+      EXPECT_GE(value, 0.0);
+      (void)node;
+    }
+    // Invariant 3: terminal residuals below the per-node bound.
+    for (const auto& [node, r] : state.residual_entries()) {
+      EXPECT_LE(r,
+                epsilon * g.weighted_degree(cluster.mapping().to_global(node)) +
+                    1e-12);
+    }
+    // Invariant 4: agreement with the single-machine reference. The L1
+    // gap between two ε-approximations is bounded by ~ε·Σd_w; scale the
+    // tolerance accordingly.
+    const auto reference =
+        forward_push_sequential(g, source, kAlpha, epsilon);
+    const auto dense = state.to_dense(cluster.mapping(), g.num_nodes());
+    const double tol =
+        2.0 * epsilon * static_cast<double>(g.num_edges()) + 1e-9;
+    EXPECT_LT(l1_error(dense, reference.ppr), tol)
+        << kind_name(kind) << " machines=" << machines
+        << " eps=" << epsilon << " source=" << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributedEquivalence,
+    ::testing::Combine(::testing::Values(GraphKind::kRmat, GraphKind::kBa,
+                                         GraphKind::kEr, GraphKind::kGrid),
+                       ::testing::Values(2, 4),
+                       ::testing::Values(1e-4, 1e-6)),
+    [](const ::testing::TestParamInfo<DistributedParam>& info) {
+      return kind_name(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param)) + "_e" +
+             std::to_string(
+                 static_cast<int>(-std::log10(std::get<2>(info.param))));
+    });
+
+using PartitionerParam = std::tuple<int /*machines*/, int /*which*/>;
+
+class PartitionerIndependence
+    : public ::testing::TestWithParam<PartitionerParam> {};
+
+TEST_P(PartitionerIndependence, ResultIndependentOfPartitioning) {
+  // PPR values are a property of the graph; however the nodes are laid
+  // out across shards, the engine must return the same vector.
+  const auto [machines, which] = GetParam();
+  const Graph g = generate_rmat(400, 2000, 0.5, 0.2, 0.2, 13);
+  PartitionAssignment assignment;
+  switch (which) {
+    case 0:
+      assignment = partition_multilevel(g, machines);
+      break;
+    case 1:
+      assignment = partition_random(g, machines, 3);
+      break;
+    default:
+      assignment = partition_blocked(g, machines);
+      break;
+  }
+  ClusterOptions copts;
+  copts.num_machines = machines;
+  copts.network = no_network_cost();
+  Cluster cluster(g, assignment, copts);
+
+  const auto reference = forward_push_sequential(g, 37, kAlpha, 1e-6);
+  const NodeRef ref = cluster.locate(37);
+  SspprState state = compute_ssppr(
+      cluster.storage(ref.shard), ref,
+      SspprOptions{.alpha = kAlpha, .epsilon = 1e-6});
+  const auto dense = state.to_dense(cluster.mapping(), g.num_nodes());
+  EXPECT_LT(l1_error(dense, reference.ppr), 1e-2);
+  EXPECT_GE(topk_precision(dense, reference.ppr, 25), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionerIndependence,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(0, 1, 2)));
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, PushThreadCountNeverChangesInvariants) {
+  const int threads = GetParam();
+  const Graph g = generate_barabasi_albert(600, 6, 29);
+  const auto assignment = partition_multilevel(g, 2);
+  ClusterOptions copts;
+  copts.num_machines = 2;
+  copts.network = no_network_cost();
+  Cluster cluster(g, assignment, copts);
+
+  SspprOptions o;
+  o.alpha = kAlpha;
+  o.epsilon = 1e-6;
+  o.num_threads = threads;
+  o.parallel_threshold = 4;
+  const NodeRef ref = cluster.locate(100);
+  SspprState state = compute_ssppr(cluster.storage(ref.shard), ref, o);
+  EXPECT_NEAR(state.total_mass(), 1.0, 2e-6);
+  const auto reference = forward_push_sequential(g, 100, kAlpha, 1e-6);
+  const auto dense = state.to_dense(cluster.mapping(), g.num_nodes());
+  EXPECT_GE(topk_precision(dense, reference.ppr, 25), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace ppr

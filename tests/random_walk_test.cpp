@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/cluster.hpp"
+#include "graph/generators.hpp"
+#include "ppr/random_walk.hpp"
+
+namespace ppr {
+namespace {
+
+class RandomWalkFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = generate_rmat(500, 2500, 0.5, 0.2, 0.2, 41);
+    ClusterOptions opts;
+    opts.num_machines = 3;
+    opts.network = no_network_cost();
+    cluster_ = std::make_unique<Cluster>(
+        graph_, partition_multilevel(graph_, 3), opts);
+  }
+
+  /// Check every step of every walk follows an actual edge of the graph.
+  void expect_walks_follow_edges(const RandomWalkResult& res,
+                                 std::span<const NodeId> root_globals) {
+    for (std::size_t i = 0; i < res.num_walks; ++i) {
+      NodeId prev = root_globals[i];
+      for (int t = 0; t < res.walk_length; ++t) {
+        const NodeId cur = res.at(i, t);
+        const auto nbrs = graph_.neighbors(prev);
+        const bool valid_step =
+            std::find(nbrs.begin(), nbrs.end(), cur) != nbrs.end() ||
+            (nbrs.empty() && cur == prev);
+        EXPECT_TRUE(valid_step)
+            << "walk " << i << " step " << t << ": " << prev << "->" << cur;
+        prev = cur;
+      }
+    }
+  }
+
+  Graph graph_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(RandomWalkFixture, BatchedWalksFollowEdges) {
+  const int machine = 0;
+  const GraphShard& shard = cluster_->shard(machine);
+  std::vector<NodeId> roots;
+  std::vector<NodeId> root_globals;
+  for (NodeId l = 0; l < std::min<NodeId>(30, shard.num_core_nodes()); ++l) {
+    roots.push_back(l);
+    root_globals.push_back(shard.core_global_id(l));
+  }
+  RandomWalkOptions opts;
+  opts.walk_length = 8;
+  opts.seed = 5;
+  const RandomWalkResult res =
+      distributed_random_walk(cluster_->storage(machine), roots, opts);
+  EXPECT_EQ(res.num_walks, roots.size());
+  EXPECT_EQ(res.walk_length, 8);
+  expect_walks_follow_edges(res, root_globals);
+}
+
+TEST_F(RandomWalkFixture, UnbatchedWalksFollowEdges) {
+  const int machine = 1;
+  const GraphShard& shard = cluster_->shard(machine);
+  std::vector<NodeId> roots;
+  std::vector<NodeId> root_globals;
+  for (NodeId l = 0; l < std::min<NodeId>(10, shard.num_core_nodes()); ++l) {
+    roots.push_back(l);
+    root_globals.push_back(shard.core_global_id(l));
+  }
+  RandomWalkOptions opts;
+  opts.walk_length = 5;
+  opts.batch = false;
+  const RandomWalkResult res =
+      distributed_random_walk(cluster_->storage(machine), roots, opts);
+  expect_walks_follow_edges(res, root_globals);
+}
+
+TEST_F(RandomWalkFixture, WalksCrossShards) {
+  // With 3 balanced partitions, 30 walks of length 10 must leave the home
+  // shard at least once.
+  const GraphShard& shard = cluster_->shard(0);
+  std::vector<NodeId> roots;
+  for (NodeId l = 0; l < std::min<NodeId>(30, shard.num_core_nodes()); ++l) {
+    roots.push_back(l);
+  }
+  RandomWalkOptions opts;
+  opts.walk_length = 10;
+  cluster_->storage(0).stats().reset();
+  (void)distributed_random_walk(cluster_->storage(0), roots, opts);
+  EXPECT_GT(cluster_->storage(0).stats().remote_nodes.load(), 0u);
+}
+
+TEST_F(RandomWalkFixture, WeightedSamplingPrefersHeavyEdges) {
+  // Build a tiny star with one dominant edge weight and verify sampling
+  // frequencies track the weights.
+  const WeightedEdge edges[] = {
+      {0, 1, 100.0f}, {0, 2, 1.0f}, {0, 3, 1.0f}};
+  const Graph star = Graph::from_edges(4, edges);
+  const PartitionAssignment part(4, 0);
+  ClusterOptions opts;
+  opts.num_machines = 1;
+  opts.network = no_network_cost();
+  Cluster cluster(star, part, opts);
+
+  std::map<NodeId, int> counts;
+  const NodeRef root = cluster.locate(0);
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    RandomWalkOptions w;
+    w.walk_length = 1;
+    w.seed = seed;
+    const NodeId roots[] = {root.local};
+    const RandomWalkResult res =
+        distributed_random_walk(cluster.storage(0), roots, w);
+    ++counts[res.at(0, 0)];
+  }
+  const NodeId heavy_global = 1;
+  EXPECT_GT(counts[heavy_global], 250)
+      << "edge with 98% of the weight should win ~98% of samples";
+}
+
+TEST_F(RandomWalkFixture, DeterministicForSeed) {
+  std::vector<NodeId> roots{0, 1, 2};
+  RandomWalkOptions opts;
+  opts.walk_length = 6;
+  opts.seed = 17;
+  const RandomWalkResult a =
+      distributed_random_walk(cluster_->storage(0), roots, opts);
+  const RandomWalkResult b =
+      distributed_random_walk(cluster_->storage(0), roots, opts);
+  EXPECT_EQ(a.walks, b.walks);
+}
+
+TEST_F(RandomWalkFixture, RejectsBadLength) {
+  RandomWalkOptions opts;
+  opts.walk_length = 0;
+  const std::vector<NodeId> roots{0};
+  EXPECT_THROW(distributed_random_walk(cluster_->storage(0), roots, opts),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppr

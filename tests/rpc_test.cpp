@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rpc/endpoint.hpp"
+#include "rpc/inproc_transport.hpp"
+#include "rpc/socket_transport.hpp"
+
+namespace ppr {
+namespace {
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  Message m;
+  m.call_id = 77;
+  m.kind = MessageKind::kResponse;
+  m.src_machine = 2;
+  m.dst_machine = 3;
+  m.service = "storage";
+  m.method = "get_neighbor_infos";
+  m.error = "oops";
+  m.payload = {1, 2, 3, 4, 5};
+  const Message d = Message::decode(m.encode());
+  EXPECT_EQ(d.call_id, 77u);
+  EXPECT_EQ(d.kind, MessageKind::kResponse);
+  EXPECT_EQ(d.src_machine, 2);
+  EXPECT_EQ(d.dst_machine, 3);
+  EXPECT_EQ(d.service, "storage");
+  EXPECT_EQ(d.method, "get_neighbor_infos");
+  EXPECT_EQ(d.error, "oops");
+  EXPECT_EQ(d.payload, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Message, WireSizeTracksPayload) {
+  Message m;
+  m.service = "s";
+  const std::size_t base = m.wire_size();
+  m.payload.assign(1000, 0);
+  EXPECT_EQ(m.wire_size(), base + 1000);
+}
+
+TEST(Future, SetValueThenWait) {
+  RpcPromise p;
+  RpcFuture f = p.get_future();
+  EXPECT_FALSE(f.ready());
+  p.set_value({9, 8, 7});
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.wait(), (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST(Future, WaitBlocksUntilValue) {
+  RpcPromise p;
+  RpcFuture f = p.get_future();
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    p.set_value({1});
+  });
+  EXPECT_EQ(f.wait().size(), 1u);
+  setter.join();
+}
+
+TEST(Future, ErrorPropagates) {
+  RpcPromise p;
+  RpcFuture f = p.get_future();
+  p.set_error("remote handler failed");
+  EXPECT_THROW(f.wait(), RpcError);
+}
+
+TEST(Future, InvalidFutureThrows) {
+  RpcFuture f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_THROW(f.wait(), InternalError);
+}
+
+TEST(NetworkModel, DelayScalesWithSize) {
+  NetworkModel model{10.0, 1.0};  // 10µs + 1 Gbps
+  EXPECT_NEAR(model.delay_us(0), 10.0, 1e-9);
+  // 1 Gbps = 125 bytes/µs.
+  EXPECT_NEAR(model.delay_us(125000), 10.0 + 1000.0, 1e-6);
+  NetworkModel off{0.0, 0.0};
+  EXPECT_FALSE(off.enabled());
+}
+
+class EchoFixture {
+ public:
+  explicit EchoFixture(std::shared_ptr<Transport> transport)
+      : transport_(std::move(transport)) {
+    for (int m = 0; m < transport_->num_machines(); ++m) {
+      endpoints_.push_back(std::make_unique<RpcEndpoint>(transport_, m, 2));
+      endpoints_.back()->register_service(
+          "echo", [m](const std::string& method,
+                      std::span<const std::uint8_t> payload) {
+            if (method == "fail") throw std::runtime_error("echo failure");
+            std::vector<std::uint8_t> out(payload.begin(), payload.end());
+            out.push_back(static_cast<std::uint8_t>(m));  // tag responder
+            return out;
+          });
+    }
+  }
+  RpcEndpoint& endpoint(int m) { return *endpoints_[static_cast<std::size_t>(m)]; }
+
+ private:
+  std::shared_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
+};
+
+void run_echo_suite(EchoFixture& fx) {
+  // Basic request/response.
+  auto reply = fx.endpoint(0).sync_call(1, "echo", "m", {10, 20});
+  EXPECT_EQ(reply, (std::vector<std::uint8_t>{10, 20, 1}));
+
+  // Self-call through the transport.
+  reply = fx.endpoint(0).sync_call(0, "echo", "m", {5});
+  EXPECT_EQ(reply, (std::vector<std::uint8_t>{5, 0}));
+
+  // Many in-flight async calls complete with the right payloads.
+  std::vector<RpcFuture> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(fx.endpoint(0).async_call(
+        1, "echo", "m", {static_cast<std::uint8_t>(i)}));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].wait(),
+              (std::vector<std::uint8_t>{static_cast<std::uint8_t>(i), 1}));
+  }
+
+  // Handler exceptions surface as RpcError at the caller.
+  EXPECT_THROW(fx.endpoint(0).sync_call(1, "echo", "fail", {}), RpcError);
+  // Unknown service also surfaces as an error.
+  EXPECT_THROW(fx.endpoint(0).sync_call(1, "nosuch", "m", {}), RpcError);
+
+  // Concurrent callers from several threads.
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fx, t, &failures] {
+      for (int i = 0; i < 50; ++i) {
+        const auto r = fx.endpoint(0).sync_call(
+            1, "echo", "m", {static_cast<std::uint8_t>(t)});
+        if (r != std::vector<std::uint8_t>{static_cast<std::uint8_t>(t), 1}) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(InProcTransport, EchoSuite) {
+  EchoFixture fx(std::make_shared<InProcTransport>(2, NetworkModel{0, 0}));
+  run_echo_suite(fx);
+}
+
+TEST(InProcTransport, EchoSuiteWithNetworkModel) {
+  EchoFixture fx(
+      std::make_shared<InProcTransport>(2, NetworkModel{5.0, 8.0}));
+  run_echo_suite(fx);
+}
+
+TEST(SocketTransport, EchoSuite) {
+  EchoFixture fx(std::make_shared<SocketTransport>(2));
+  run_echo_suite(fx);
+}
+
+TEST(SocketTransport, FourMachineMesh) {
+  EchoFixture fx(std::make_shared<SocketTransport>(4));
+  for (int src = 0; src < 4; ++src) {
+    for (int dst = 0; dst < 4; ++dst) {
+      const auto r = fx.endpoint(src).sync_call(dst, "echo", "m", {42});
+      EXPECT_EQ(r, (std::vector<std::uint8_t>{42,
+                                              static_cast<std::uint8_t>(dst)}));
+    }
+  }
+}
+
+TEST(SocketTransport, LargePayload) {
+  EchoFixture fx(std::make_shared<SocketTransport>(2));
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  auto reply = fx.endpoint(0).sync_call(1, "echo", "m", big);
+  ASSERT_EQ(reply.size(), big.size() + 1);
+  reply.pop_back();
+  EXPECT_EQ(reply, big);
+}
+
+TEST(Endpoint, LocalCallBypassesTransport) {
+  auto transport = std::make_shared<InProcTransport>(1, NetworkModel{0, 0});
+  RpcEndpoint ep(transport, 0);
+  int invocations = 0;
+  ep.register_service("svc", [&](const std::string&,
+                                 std::span<const std::uint8_t> p) {
+    ++invocations;
+    return std::vector<std::uint8_t>(p.begin(), p.end());
+  });
+  const std::vector<std::uint8_t> payload{1, 2};
+  EXPECT_EQ(ep.local_call("svc", "m", payload), payload);
+  EXPECT_EQ(invocations, 1);
+  EXPECT_THROW(ep.local_call("unknown", "m", payload), InvalidArgument);
+}
+
+TEST(Endpoint, DuplicateServiceRejected) {
+  auto transport = std::make_shared<InProcTransport>(1, NetworkModel{0, 0});
+  RpcEndpoint ep(transport, 0);
+  auto handler = [](const std::string&, std::span<const std::uint8_t>) {
+    return std::vector<std::uint8_t>{};
+  };
+  ep.register_service("svc", handler);
+  EXPECT_THROW(ep.register_service("svc", handler), InvalidArgument);
+}
+
+TEST(RemoteRef, LocalRefUsesDirectPath) {
+  auto transport = std::make_shared<InProcTransport>(2, NetworkModel{0, 0});
+  RpcEndpoint ep0(transport, 0);
+  RpcEndpoint ep1(transport, 1);
+  auto handler = [](const std::string&, std::span<const std::uint8_t> p) {
+    return std::vector<std::uint8_t>(p.begin(), p.end());
+  };
+  ep0.register_service("svc", handler);
+  ep1.register_service("svc", handler);
+
+  RemoteRef local_ref(&ep0, 0, "svc");
+  RemoteRef remote_ref(&ep0, 1, "svc");
+  EXPECT_TRUE(local_ref.is_local());
+  EXPECT_FALSE(remote_ref.is_local());
+
+  const std::vector<std::uint8_t> payload{7};
+  EXPECT_EQ(local_ref.call("m", payload), payload);
+  EXPECT_EQ(remote_ref.call("m", payload), payload);
+  EXPECT_EQ(remote_ref.async_call("m", {8}).wait(),
+            (std::vector<std::uint8_t>{8}));
+}
+
+}  // namespace
+}  // namespace ppr

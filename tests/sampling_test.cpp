@@ -1,0 +1,173 @@
+// Tests for the fan-out sampling primitives (sample_k_neighbors, the
+// k-hop sampler) and the adaptive top-k SSPPR wrapper.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/cluster.hpp"
+#include "engine/topk.hpp"
+#include "graph/generators.hpp"
+#include "ppr/forward_push.hpp"
+#include "ppr/khop_sampler.hpp"
+#include "ppr/metrics.hpp"
+#include "ppr/power_iteration.hpp"
+
+namespace ppr {
+namespace {
+
+class SamplingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = generate_rmat(600, 3600, 0.5, 0.2, 0.2, 61);
+    ClusterOptions opts;
+    opts.num_machines = 3;
+    opts.network = no_network_cost();
+    cluster_ = std::make_unique<Cluster>(
+        graph_, partition_multilevel(graph_, 3), opts);
+  }
+
+  Graph graph_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(SamplingFixture, KSampleRespectsFanoutAndMembership) {
+  const GraphShard& shard = *&cluster_->shard(0);
+  std::vector<NodeId> locals;
+  for (NodeId l = 0; l < std::min<NodeId>(40, shard.num_core_nodes()); ++l) {
+    locals.push_back(l);
+  }
+  const int k = 5;
+  const KSampleResult res =
+      cluster_->storage(0).sample_k_neighbors(0, locals, k, 7);
+  ASSERT_EQ(res.indptr.size(), locals.size() + 1);
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const NodeId v = shard.core_global_id(locals[i]);
+    const auto nbrs = graph_.neighbors(v);
+    const auto count = static_cast<std::size_t>(res.indptr[i + 1] -
+                                                res.indptr[i]);
+    EXPECT_EQ(count, std::min<std::size_t>(nbrs.size(),
+                                           static_cast<std::size_t>(k)));
+    std::set<NodeId> distinct;
+    for (EdgeIndex e = res.indptr[i]; e < res.indptr[i + 1]; ++e) {
+      const NodeId g = res.global_ids[static_cast<std::size_t>(e)];
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), g), nbrs.end())
+          << "sample must be an actual neighbor";
+      EXPECT_TRUE(distinct.insert(g).second) << "without replacement";
+      // local/shard ids agree with the mapping.
+      const NodeRef ref{res.local_ids[static_cast<std::size_t>(e)],
+                        res.shard_ids[static_cast<std::size_t>(e)]};
+      EXPECT_EQ(cluster_->mapping().to_global(ref), g);
+    }
+  }
+}
+
+TEST_F(SamplingFixture, RemoteKSampleMatchesContract) {
+  const GraphShard& shard1 = cluster_->shard(1);
+  std::vector<NodeId> locals{0, 1, 2};
+  const KSampleResult res =
+      cluster_->storage(0).sample_k_neighbors(1, locals, 3, 11);
+  ASSERT_EQ(res.indptr.size(), 4u);
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const NodeId v = shard1.core_global_id(locals[i]);
+    const auto nbrs = graph_.neighbors(v);
+    for (EdgeIndex e = res.indptr[i]; e < res.indptr[i + 1]; ++e) {
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(),
+                          res.global_ids[static_cast<std::size_t>(e)]),
+                nbrs.end());
+    }
+  }
+}
+
+TEST_F(SamplingFixture, KSampleDeterministicPerSeed) {
+  std::vector<NodeId> locals{0, 1, 2, 3};
+  const auto a = cluster_->storage(0).sample_k_neighbors(0, locals, 4, 9);
+  const auto b = cluster_->storage(0).sample_k_neighbors(0, locals, 4, 9);
+  EXPECT_EQ(a.global_ids, b.global_ids);
+  const auto c = cluster_->storage(0).sample_k_neighbors(0, locals, 4, 10);
+  EXPECT_NE(a.global_ids, c.global_ids);
+}
+
+TEST_F(SamplingFixture, KHopLevelsAndEdgesAreConsistent) {
+  std::vector<NodeId> roots{0, 1, 2};
+  KHopOptions opts;
+  opts.fanouts = {6, 3};
+  const KHopResult res = sample_khop(cluster_->storage(0), roots, opts);
+  ASSERT_EQ(res.levels.size(), 3u);
+  EXPECT_EQ(res.levels[0].size(), 3u);
+  // Level sizes bounded by fanout products.
+  EXPECT_LE(res.levels[1].size(), 3u * 6);
+  EXPECT_LE(res.levels[2].size(), res.levels[1].size() * 3);
+  // Levels are deduplicated.
+  for (const auto& level : res.levels) {
+    std::set<std::uint64_t> seen;
+    for (const NodeRef n : level) EXPECT_TRUE(seen.insert(n.key()).second);
+  }
+  // Every sampled edge is a real graph edge.
+  for (const auto& [src, dst] : res.edges) {
+    const NodeId sg = cluster_->mapping().to_global(src);
+    const NodeId dg = cluster_->mapping().to_global(dst);
+    const auto nbrs = graph_.neighbors(sg);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), dg), nbrs.end())
+        << sg << "->" << dg;
+  }
+}
+
+TEST_F(SamplingFixture, KHopRejectsBadFanouts) {
+  std::vector<NodeId> roots{0};
+  KHopOptions opts;
+  opts.fanouts = {};
+  EXPECT_THROW(sample_khop(cluster_->storage(0), roots, opts),
+               InvalidArgument);
+  opts.fanouts = {3, 0};
+  EXPECT_THROW(sample_khop(cluster_->storage(0), roots, opts),
+               InvalidArgument);
+}
+
+TEST_F(SamplingFixture, TopkMatchesGroundTruth) {
+  const NodeId source = 10;
+  const NodeRef ref = cluster_->locate(source);
+  TopkOptions opts;
+  opts.k = 20;
+  opts.ppr.epsilon = 1e-3;  // deliberately coarse start
+  const TopkResult res = topk_ssppr(cluster_->storage(ref.shard), ref, opts);
+  ASSERT_EQ(res.topk.size(), 20u);
+  EXPECT_GT(res.refinements, 1) << "coarse start must trigger refinement";
+  EXPECT_LT(res.final_epsilon, 1e-3);
+
+  // Compare the returned set against the exact top-20.
+  const auto exact = power_iteration(graph_, source, 0.462, 1e-12);
+  std::vector<double> approx(static_cast<std::size_t>(graph_.num_nodes()),
+                             0.0);
+  for (const auto& [node, value] : res.topk) {
+    approx[static_cast<std::size_t>(cluster_->mapping().to_global(node))] =
+        value;
+  }
+  EXPECT_GE(topk_precision(approx, exact.ppr, 20), 0.9);
+  // Descending order.
+  for (std::size_t i = 1; i < res.topk.size(); ++i) {
+    EXPECT_GE(res.topk[i - 1].second, res.topk[i].second);
+  }
+}
+
+TEST_F(SamplingFixture, TopkConvergedFlagStableAcrossExtraRefinement) {
+  const NodeRef ref = cluster_->locate(10);
+  TopkOptions opts;
+  opts.k = 10;
+  opts.ppr.epsilon = 1e-4;
+  opts.max_refinements = 5;
+  const TopkResult res = topk_ssppr(cluster_->storage(ref.shard), ref, opts);
+  EXPECT_TRUE(res.converged);
+  // A further refinement from the converged epsilon returns the same set.
+  TopkOptions finer = opts;
+  finer.ppr.epsilon = res.final_epsilon / 10;
+  finer.max_refinements = 1;
+  const TopkResult res2 =
+      topk_ssppr(cluster_->storage(ref.shard), ref, finer);
+  std::set<std::uint64_t> a, b;
+  for (const auto& [n, v] : res.topk) a.insert(n.key());
+  for (const auto& [n, v] : res2.topk) b.insert(n.key());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/cluster.hpp"
+#include "engine/ssppr_driver.hpp"
+#include "graph/generators.hpp"
+#include "ppr/forward_push.hpp"
+#include "ppr/metrics.hpp"
+
+namespace ppr {
+namespace {
+
+constexpr double kAlpha = 0.462;
+
+SspprOptions opts(double eps = 1e-6, int threads = 1) {
+  SspprOptions o;
+  o.alpha = kAlpha;
+  o.epsilon = eps;
+  o.num_threads = threads;
+  return o;
+}
+
+/// Single-shard fixture: the whole graph lives on shard 0, so SspprState
+/// can be driven directly against GraphShard::vertex_prop.
+class SingleShardFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = generate_rmat(400, 2000, 0.5, 0.2, 0.2, 55);
+    const PartitionAssignment all_zero(
+        static_cast<std::size_t>(graph_.num_nodes()), 0);
+    sharded_ = build_sharded_graph(graph_, all_zero, 1);
+  }
+
+  /// Drive a query to completion against the local shard only.
+  SspprState run_to_completion(NodeId source, const SspprOptions& o) {
+    SspprState state(NodeRef{source, 0}, o);
+    std::vector<NodeId> nodes;
+    std::vector<ShardId> shards;
+    for (;;) {
+      state.pop(nodes, shards);
+      if (nodes.empty()) break;
+      const auto infos = sharded_.shards[0]->get_neighbor_infos(nodes);
+      state.push(infos, nodes, shards);
+    }
+    return state;
+  }
+
+  Graph graph_;
+  ShardedGraph sharded_;
+};
+
+TEST_F(SingleShardFixture, InitialFrontierIsSource) {
+  SspprState state(NodeRef{5, 0}, opts());
+  EXPECT_EQ(state.frontier_size(), 1u);
+  std::vector<NodeId> nodes;
+  std::vector<ShardId> shards;
+  state.pop(nodes, shards);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], 5);
+  EXPECT_EQ(shards[0], 0);
+  EXPECT_TRUE(state.frontier_empty());
+}
+
+TEST_F(SingleShardFixture, MassConservedThroughout) {
+  SspprState state(NodeRef{3, 0}, opts());
+  std::vector<NodeId> nodes;
+  std::vector<ShardId> shards;
+  int iterations = 0;
+  for (;;) {
+    EXPECT_NEAR(state.total_mass(), 1.0, 2e-6)
+        << "iteration " << iterations;
+    state.pop(nodes, shards);
+    if (nodes.empty()) break;
+    state.push(sharded_.shards[0]->get_neighbor_infos(nodes), nodes, shards);
+    ++iterations;
+  }
+  EXPECT_GT(iterations, 1);
+}
+
+TEST_F(SingleShardFixture, MatchesSequentialReference) {
+  const NodeId source_global = sharded_.shards[0]->core_global_id(7);
+  const auto ref = forward_push_sequential(graph_, source_global, kAlpha,
+                                           1e-7);
+  const SspprState state = run_to_completion(7, opts(1e-7));
+  const auto dense = state.to_dense(sharded_.mapping, graph_.num_nodes());
+  EXPECT_LT(l1_error(dense, ref.ppr), 1e-3);
+  EXPECT_GE(topk_precision(dense, ref.ppr, 50), 0.95);
+}
+
+TEST_F(SingleShardFixture, ParallelPushMatchesSingleThread) {
+  SspprOptions par = opts(1e-7, 4);
+  par.parallel_threshold = 2;  // force the multi-threaded path
+  const SspprState single = run_to_completion(11, opts(1e-7));
+  const SspprState parallel = run_to_completion(11, par);
+  const auto a = single.to_dense(sharded_.mapping, graph_.num_nodes());
+  const auto b = parallel.to_dense(sharded_.mapping, graph_.num_nodes());
+  // Same frontier-synchronous algorithm; floating-point reordering and
+  // threshold ties may perturb the tail, but both are ε-approximations of
+  // the same vector.
+  EXPECT_LT(l1_error(a, b), 1e-4);
+  EXPECT_GE(topk_precision(b, a, 50), 0.98);
+  EXPECT_NEAR(static_cast<double>(parallel.num_pushes()),
+              static_cast<double>(single.num_pushes()),
+              0.05 * static_cast<double>(single.num_pushes()) + 4);
+}
+
+TEST_F(SingleShardFixture, TerminationResidualBound) {
+  const double eps = 1e-5;
+  const SspprState state = run_to_completion(2, opts(eps));
+  for (const auto& [ref, r] : state.residual_entries()) {
+    const NodeId global = sharded_.mapping.to_global(ref);
+    EXPECT_LE(r, eps * graph_.weighted_degree(global) + 1e-12);
+  }
+}
+
+TEST_F(SingleShardFixture, PprEntriesAreSparse) {
+  const SspprState state = run_to_completion(2, opts(1e-4));
+  const auto entries = state.ppr_entries();
+  EXPECT_GT(entries.size(), 0u);
+  EXPECT_LT(entries.size(), static_cast<std::size_t>(graph_.num_nodes()))
+      << "coarse epsilon must not touch every node";
+  for (const auto& [ref, v] : entries) EXPECT_GT(v, 0.0);
+}
+
+TEST_F(SingleShardFixture, NoDuplicateNodesInPop) {
+  SspprState state(NodeRef{3, 0}, opts());
+  std::vector<NodeId> nodes;
+  std::vector<ShardId> shards;
+  for (;;) {
+    state.pop(nodes, shards);
+    if (nodes.empty()) break;
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      EXPECT_TRUE(
+          seen.insert(NodeRef{nodes[i], shards[i]}.key()).second)
+          << "duplicate in frontier";
+    }
+    state.push(sharded_.shards[0]->get_neighbor_infos(nodes), nodes, shards);
+  }
+}
+
+TEST(SspprState, RejectsBadOptions) {
+  SspprOptions bad;
+  bad.alpha = 0;
+  EXPECT_THROW(SspprState(NodeRef{0, 0}, bad), InvalidArgument);
+  bad = SspprOptions{};
+  bad.epsilon = 0;
+  EXPECT_THROW(SspprState(NodeRef{0, 0}, bad), InvalidArgument);
+  bad = SspprOptions{};
+  bad.num_threads = 0;
+  EXPECT_THROW(SspprState(NodeRef{0, 0}, bad), InvalidArgument);
+}
+
+TEST(SspprState, PushBatchSizeMismatchThrows) {
+  SspprState state(NodeRef{0, 0}, SspprOptions{});
+  std::vector<VertexProp> infos(2);
+  const NodeId nodes[] = {0};
+  const ShardId shards[] = {0};
+  EXPECT_THROW(state.push(infos, nodes, shards), InvalidArgument);
+}
+
+TEST(SspprStateDistributed, TwoShardQueryMatchesReference) {
+  const Graph g = generate_rmat(600, 3000, 0.5, 0.2, 0.2, 66);
+  const auto assignment = partition_multilevel(g, 2);
+  ClusterOptions copts;
+  copts.num_machines = 2;
+  copts.network = no_network_cost();
+  Cluster cluster(g, assignment, copts);
+
+  const NodeRef source = cluster.locate(123);
+  SspprState state = compute_ssppr(cluster.storage(source.shard), source,
+                                   SspprOptions{.alpha = kAlpha,
+                                                .epsilon = 1e-7});
+  const auto dense = state.to_dense(cluster.mapping(), g.num_nodes());
+  const auto ref = forward_push_sequential(g, 123, kAlpha, 1e-7);
+  EXPECT_LT(l1_error(dense, ref.ppr), 1e-3);
+  EXPECT_NEAR(state.total_mass(), 1.0, 2e-6);
+}
+
+}  // namespace
+}  // namespace ppr

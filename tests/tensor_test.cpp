@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/sparse.hpp"
+
+namespace ppr {
+namespace {
+
+TEST(Tensor, ConstructionAndAccess) {
+  FloatTensor t(5);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 1u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 0.0f);
+
+  Tensor<int> m(2, 3);
+  m.at(1, 2) = 7;
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m.at(1, 2), 7);
+}
+
+TEST(Tensor, FullAndFromVector) {
+  const auto t = FloatTensor::full(3, 2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  EXPECT_EQ(t[2], 2.5f);
+  const auto v = IntTensor::from_vector({4, 5, 6});
+  EXPECT_EQ(v[1], 5);
+}
+
+TEST(TensorOps, Arange) {
+  const auto t = ops::arange(4);
+  EXPECT_EQ(t.vec(), (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(TensorOps, Nonzero) {
+  const auto t = FloatTensor::from_vector({0, 1.5f, 0, -2, 0});
+  const auto nz = ops::nonzero(t);
+  EXPECT_EQ(nz.vec(), (std::vector<std::int64_t>{1, 3}));
+}
+
+TEST(TensorOps, GreaterScalarAndTensor) {
+  const auto t = FloatTensor::from_vector({1, 5, 3});
+  EXPECT_EQ(ops::greater(t, 2.0f).vec(),
+            (std::vector<std::uint8_t>{0, 1, 1}));
+  const auto u = FloatTensor::from_vector({2, 5, 1});
+  EXPECT_EQ(ops::greater(t, u).vec(), (std::vector<std::uint8_t>{0, 0, 1}));
+}
+
+TEST(TensorOps, MaskedSelect) {
+  const auto t = IntTensor::from_vector({10, 20, 30});
+  const auto mask = BoolTensor::from_vector({1, 0, 1});
+  EXPECT_EQ(ops::masked_select(t, mask).vec(),
+            (std::vector<std::int32_t>{10, 30}));
+}
+
+TEST(TensorOps, IndexSelect) {
+  const auto t = FloatTensor::from_vector({1, 2, 3, 4});
+  const auto idx = LongTensor::from_vector({3, 0, 0});
+  EXPECT_EQ(ops::index_select(t, idx).vec(),
+            (std::vector<float>{4, 1, 1}));
+}
+
+TEST(TensorOps, IndexSelectOutOfRangeThrows) {
+  const auto t = FloatTensor::from_vector({1, 2});
+  const auto idx = LongTensor::from_vector({5});
+  EXPECT_THROW(ops::index_select(t, idx), InternalError);
+}
+
+TEST(TensorOps, ScatterAddAccumulatesDuplicates) {
+  auto t = FloatTensor(4);
+  const auto idx = LongTensor::from_vector({1, 1, 3});
+  const auto vals = FloatTensor::from_vector({0.5f, 0.25f, 2.0f});
+  ops::scatter_add(t, idx, vals);
+  EXPECT_FLOAT_EQ(t[1], 0.75f);
+  EXPECT_FLOAT_EQ(t[3], 2.0f);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+}
+
+TEST(TensorOps, IndexPutLastWriteWins) {
+  auto t = IntTensor(3);
+  ops::index_put(t, LongTensor::from_vector({0, 0}),
+                 IntTensor::from_vector({5, 9}));
+  EXPECT_EQ(t[0], 9);
+}
+
+TEST(TensorOps, IndexFill) {
+  auto t = FloatTensor::full(4, 1.0f);
+  ops::index_fill(t, LongTensor::from_vector({1, 2}), 0.0f);
+  EXPECT_EQ(t.vec(), (std::vector<float>{1, 0, 0, 1}));
+}
+
+TEST(TensorOps, EqualScalar) {
+  const auto t = IntTensor::from_vector({3, 5, 3});
+  EXPECT_EQ(ops::equal(t, 3).vec(), (std::vector<std::uint8_t>{1, 0, 1}));
+}
+
+TEST(TensorOps, ProducingArithmetic) {
+  const auto a = DoubleTensor::from_vector({2.0, 4.0});
+  const auto b = DoubleTensor::from_vector({1.0, 8.0});
+  EXPECT_EQ(ops::mul(a, 0.5).vec(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(ops::add(a, b).vec(), (std::vector<double>{3.0, 12.0}));
+  EXPECT_EQ(ops::mul(a, b).vec(), (std::vector<double>{2.0, 32.0}));
+  EXPECT_EQ(ops::div(a, b).vec(), (std::vector<double>{2.0, 0.5}));
+  EXPECT_THROW(ops::add(a, DoubleTensor(3)), InvalidArgument);
+}
+
+TEST(TensorOps, Where) {
+  const auto mask = BoolTensor::from_vector({1, 0, 1});
+  const auto a = FloatTensor::from_vector({1, 2, 3});
+  const auto b = FloatTensor::from_vector({9, 8, 7});
+  EXPECT_EQ(ops::where(mask, a, b).vec(), (std::vector<float>{1, 8, 3}));
+}
+
+TEST(TensorOps, RepeatInterleave) {
+  const auto v = DoubleTensor::from_vector({1.5, 2.5, 3.5});
+  const auto counts = IntTensor::from_vector({2, 0, 3});
+  EXPECT_EQ(ops::repeat_interleave(v, counts).vec(),
+            (std::vector<double>{1.5, 1.5, 3.5, 3.5, 3.5}));
+  EXPECT_THROW(
+      ops::repeat_interleave(v, IntTensor::from_vector({1, -1, 1})),
+      InvalidArgument);
+}
+
+TEST(TensorOps, Cast) {
+  const auto t = FloatTensor::from_vector({1.9f, -2.1f});
+  const auto i = ops::cast<std::int32_t>(t);
+  EXPECT_EQ(i.vec(), (std::vector<std::int32_t>{1, -2}));
+  const auto d = ops::cast<double>(t);
+  EXPECT_DOUBLE_EQ(d[0], static_cast<double>(1.9f));
+}
+
+TEST(TensorOps, SumMax) {
+  const auto t = FloatTensor::from_vector({1, 4, 2});
+  EXPECT_FLOAT_EQ(ops::sum(t), 7.0f);
+  EXPECT_FLOAT_EQ(ops::max(t), 4.0f);
+  EXPECT_THROW(ops::max(FloatTensor(0)), InvalidArgument);
+}
+
+TEST(TensorOps, ArgsortDescAndTopk) {
+  const auto t = FloatTensor::from_vector({0.1f, 0.9f, 0.5f, 0.9f});
+  const auto order = ops::argsort_desc(t);
+  EXPECT_EQ(order[0], 1);  // stable: first 0.9 wins
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_EQ(order[3], 0);
+  const auto top2 = ops::topk_indices(t, 2);
+  EXPECT_EQ(top2.size(), 2u);
+  EXPECT_TRUE((top2[0] == 1 && top2[1] == 3) ||
+              (top2[0] == 3 && top2[1] == 1));
+}
+
+TEST(TensorOps, AddMulInPlace) {
+  auto a = FloatTensor::from_vector({1, 2});
+  ops::add_(a, FloatTensor::from_vector({3, 4}));
+  EXPECT_EQ(a.vec(), (std::vector<float>{4, 6}));
+  ops::mul_(a, 0.5f);
+  EXPECT_EQ(a.vec(), (std::vector<float>{2, 3}));
+}
+
+TEST(TensorOps, L1Distance) {
+  const auto a = DoubleTensor::from_vector({1.0, 2.0});
+  const auto b = DoubleTensor::from_vector({1.5, 0.0});
+  EXPECT_DOUBLE_EQ(ops::l1_distance(a, b), 2.5);
+}
+
+TEST(CsrMatrix, SpmvMatchesDense) {
+  // [[1, 0, 2],
+  //  [0, 3, 0],
+  //  [4, 5, 6]]
+  CsrMatrix m({0, 2, 3, 6}, {0, 2, 1, 0, 1, 2}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.num_rows(), 3u);
+  EXPECT_EQ(m.nnz(), 6u);
+  const auto x = DoubleTensor::from_vector({1.0, 2.0, 3.0});
+  const auto y = m.spmv(x);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 32.0);
+}
+
+TEST(CsrMatrix, InvalidConstructionThrows) {
+  EXPECT_THROW(CsrMatrix({}, {}, {}), InvalidArgument);
+  EXPECT_THROW(CsrMatrix({0, 1}, {0}, {1.0f, 2.0f}), InvalidArgument);
+  EXPECT_THROW(CsrMatrix({0, 2}, {0}, {1.0f}), InvalidArgument);
+}
+
+TEST(CsrMatrix, SpmvDimensionMismatchThrows) {
+  CsrMatrix m({0, 1}, {0}, {1.0f});
+  EXPECT_THROW(m.spmv(DoubleTensor(3)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppr

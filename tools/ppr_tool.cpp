@@ -1,0 +1,212 @@
+// ppr_tool — command-line front end to the engine, for users who want the
+// system without writing C++:
+//
+//   ppr_tool generate --kind rmat --nodes 100000 --edges 2000000 --out g.bin
+//   ppr_tool info     --graph g.bin
+//   ppr_tool partition --graph g.bin --parts 4 [--method multilevel|random|hash]
+//   ppr_tool query    --graph g.bin --source 7 [--parts 4] [--eps 1e-6] [--topk 10]
+//   ppr_tool bfs      --graph g.bin --source 7 [--parts 4]
+//   ppr_tool walk     --graph g.bin --source 7 [--length 10] [--parts 2]
+//
+// Graphs can also be text edge lists ("src dst [weight]" per line); the
+// format is detected by extension (.txt/.el => edge list).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/argparse.hpp"
+#include "common/timer.hpp"
+#include "engine/cluster.hpp"
+#include "engine/ssppr_driver.hpp"
+#include "engine/topk.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "ppr/bfs.hpp"
+#include "ppr/random_walk.hpp"
+
+using namespace ppr;
+
+namespace {
+
+Graph load_any(const std::string& path) {
+  if (path.size() > 4 && (path.ends_with(".txt") || path.ends_with(".el"))) {
+    return load_edge_list(path);
+  }
+  return load_graph(path);
+}
+
+int cmd_generate(const ArgParser& args) {
+  const std::string kind = args.get_string("kind", "rmat");
+  const auto nodes = static_cast<NodeId>(args.get_int("nodes", 100000));
+  const auto edges = static_cast<EdgeIndex>(
+      args.get_int("edges", static_cast<long>(nodes) * 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string out = args.get_string("out", "graph.bin");
+
+  Graph g;
+  if (kind == "rmat") {
+    g = generate_rmat(nodes, edges, args.get_double("a", 0.5),
+                      args.get_double("b", 0.2), args.get_double("c", 0.2),
+                      seed);
+  } else if (kind == "ba") {
+    g = generate_barabasi_albert(
+        nodes, static_cast<int>(args.get_int("m", 8)), seed);
+  } else if (kind == "er") {
+    g = generate_erdos_renyi(nodes, edges, seed);
+  } else if (kind == "clustered") {
+    g = generate_clustered(nodes,
+                           static_cast<int>(args.get_int("communities", 64)),
+                           edges, edges / 10, args.get_double("beta", 1.5),
+                           seed);
+  } else {
+    std::fprintf(stderr, "unknown --kind %s (rmat|ba|er|clustered)\n",
+                 kind.c_str());
+    return 1;
+  }
+  save_graph(g, out);
+  std::printf("wrote %s: %d nodes, %lld directed edges\n", out.c_str(),
+              g.num_nodes(), static_cast<long long>(g.num_edges()));
+  return 0;
+}
+
+int cmd_info(const ArgParser& args) {
+  const Graph g = load_any(args.get_string("graph", "graph.bin"));
+  const DegreeStats s = g.degree_stats();
+  std::printf("nodes:        %d\n", g.num_nodes());
+  std::printf("edges:        %lld (directed)\n",
+              static_cast<long long>(g.num_edges()));
+  std::printf("avg degree:   %.2f\n", s.avg_degree);
+  std::printf("max degree:   %lld (node %d)\n",
+              static_cast<long long>(s.max_degree), s.max_degree_node);
+  return 0;
+}
+
+int cmd_partition(const ArgParser& args) {
+  const Graph g = load_any(args.get_string("graph", "graph.bin"));
+  const int parts = static_cast<int>(args.get_int("parts", 4));
+  const std::string method = args.get_string("method", "multilevel");
+  WallTimer timer;
+  PartitionAssignment assignment;
+  if (method == "multilevel") {
+    assignment = partition_multilevel(g, parts);
+  } else if (method == "random") {
+    assignment = partition_random(g, parts, 1);
+  } else if (method == "hash") {
+    assignment = partition_hash(g, parts);
+  } else {
+    std::fprintf(stderr, "unknown --method %s\n", method.c_str());
+    return 1;
+  }
+  const PartitionQuality q = evaluate_partition(g, assignment, parts);
+  std::printf("%s partition into %d parts in %.2fs\n", method.c_str(),
+              parts, timer.seconds());
+  std::printf("edge cut:     %lld (%.1f%% of edges)\n",
+              static_cast<long long>(q.edge_cut), 100 * q.cut_ratio);
+  std::printf("balance:      %.3f\n", q.balance);
+  for (int p = 0; p < parts; ++p) {
+    std::printf("part %d:       %d nodes\n", p, q.part_sizes[p]);
+  }
+  return 0;
+}
+
+std::unique_ptr<Cluster> boot(const Graph& g, const ArgParser& args) {
+  const int parts = static_cast<int>(args.get_int("parts", 4));
+  ClusterOptions opts;
+  opts.num_machines = parts;
+  opts.cache_halo_adjacency = args.get_bool("halo-cache", false);
+  return std::make_unique<Cluster>(g, partition_multilevel(g, parts), opts);
+}
+
+int cmd_query(const ArgParser& args) {
+  const Graph g = load_any(args.get_string("graph", "graph.bin"));
+  auto cluster = boot(g, args);
+  const auto source = static_cast<NodeId>(args.get_int("source", 0));
+  const auto k = static_cast<std::size_t>(args.get_int("topk", 10));
+  const NodeRef ref = cluster->locate(source);
+
+  WallTimer timer;
+  TopkOptions opts;
+  opts.k = k;
+  opts.ppr.alpha = args.get_double("alpha", 0.462);
+  opts.ppr.epsilon = args.get_double("eps", 1e-6);
+  opts.max_refinements = 1;  // single pass at the requested eps
+  const TopkResult res =
+      topk_ssppr(cluster->storage(ref.shard), ref, opts);
+  std::printf("SSPPR from %d (alpha=%.3f eps=%g): %zu pushes, %.1fms\n",
+              source, opts.ppr.alpha, opts.ppr.epsilon, res.total_pushes,
+              timer.millis());
+  std::printf("%-12s %s\n", "node", "ppr");
+  for (const auto& [node, value] : res.topk) {
+    std::printf("%-12d %.8g\n", cluster->mapping().to_global(node), value);
+  }
+  return 0;
+}
+
+int cmd_bfs(const ArgParser& args) {
+  const Graph g = load_any(args.get_string("graph", "graph.bin"));
+  auto cluster = boot(g, args);
+  const auto source = static_cast<NodeId>(args.get_int("source", 0));
+  const NodeRef ref = cluster->locate(source);
+  WallTimer timer;
+  const NodeId roots[] = {ref.local};
+  const BfsResult res = distributed_bfs(cluster->storage(ref.shard), roots);
+  std::printf("BFS from %d: %zu reachable nodes, %zu levels, %.1fms\n",
+              source, res.num_visited, res.num_levels, timer.millis());
+  // Histogram of distances.
+  std::vector<std::size_t> counts;
+  for (const auto& [node, d] : res.distances) {
+    if (static_cast<std::size_t>(d) >= counts.size()) {
+      counts.resize(static_cast<std::size_t>(d) + 1, 0);
+    }
+    ++counts[static_cast<std::size_t>(d)];
+  }
+  for (std::size_t d = 0; d < counts.size(); ++d) {
+    std::printf("  hop %2zu: %zu nodes\n", d, counts[d]);
+  }
+  return 0;
+}
+
+int cmd_walk(const ArgParser& args) {
+  const Graph g = load_any(args.get_string("graph", "graph.bin"));
+  auto cluster = boot(g, args);
+  const auto source = static_cast<NodeId>(args.get_int("source", 0));
+  const NodeRef ref = cluster->locate(source);
+  RandomWalkOptions opts;
+  opts.walk_length = static_cast<int>(args.get_int("length", 10));
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const NodeId roots[] = {ref.local};
+  const RandomWalkResult res =
+      distributed_random_walk(cluster->storage(ref.shard), roots, opts);
+  std::printf("walk from %d:", source);
+  for (int t = 0; t < res.walk_length; ++t) {
+    std::printf(" %d", res.at(0, t));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: ppr_tool <generate|info|partition|query|bfs|walk> "
+                 "[flags]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const ArgParser args(argc - 1, argv + 1);
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "partition") return cmd_partition(args);
+    if (cmd == "query") return cmd_query(args);
+    if (cmd == "bfs") return cmd_bfs(args);
+    if (cmd == "walk") return cmd_walk(args);
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
