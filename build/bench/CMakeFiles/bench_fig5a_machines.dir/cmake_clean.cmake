@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_machines.dir/bench_fig5a_machines.cpp.o"
+  "CMakeFiles/bench_fig5a_machines.dir/bench_fig5a_machines.cpp.o.d"
+  "bench_fig5a_machines"
+  "bench_fig5a_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_processes.dir/bench_fig5b_processes.cpp.o"
+  "CMakeFiles/bench_fig5b_processes.dir/bench_fig5b_processes.cpp.o.d"
+  "bench_fig5b_processes"
+  "bench_fig5b_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_ssppr.dir/distributed_ssppr.cpp.o"
+  "CMakeFiles/distributed_ssppr.dir/distributed_ssppr.cpp.o.d"
+  "distributed_ssppr"
+  "distributed_ssppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_ssppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

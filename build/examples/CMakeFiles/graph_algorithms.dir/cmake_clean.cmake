@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_algorithms.dir/graph_algorithms.cpp.o"
+  "CMakeFiles/graph_algorithms.dir/graph_algorithms.cpp.o.d"
+  "graph_algorithms"
+  "graph_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_walk.dir/random_walk.cpp.o"
+  "CMakeFiles/random_walk.dir/random_walk.cpp.o.d"
+  "random_walk"
+  "random_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_common.dir/common/argparse.cpp.o"
+  "CMakeFiles/ppr_common.dir/common/argparse.cpp.o.d"
+  "CMakeFiles/ppr_common.dir/common/log.cpp.o"
+  "CMakeFiles/ppr_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/ppr_common.dir/common/serialize.cpp.o"
+  "CMakeFiles/ppr_common.dir/common/serialize.cpp.o.d"
+  "CMakeFiles/ppr_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/ppr_common.dir/common/thread_pool.cpp.o.d"
+  "libppr_common.a"
+  "libppr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

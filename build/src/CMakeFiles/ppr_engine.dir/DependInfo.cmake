@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cluster.cpp" "src/CMakeFiles/ppr_engine.dir/engine/cluster.cpp.o" "gcc" "src/CMakeFiles/ppr_engine.dir/engine/cluster.cpp.o.d"
+  "/root/repo/src/engine/datasets.cpp" "src/CMakeFiles/ppr_engine.dir/engine/datasets.cpp.o" "gcc" "src/CMakeFiles/ppr_engine.dir/engine/datasets.cpp.o.d"
+  "/root/repo/src/engine/ssppr_driver.cpp" "src/CMakeFiles/ppr_engine.dir/engine/ssppr_driver.cpp.o" "gcc" "src/CMakeFiles/ppr_engine.dir/engine/ssppr_driver.cpp.o.d"
+  "/root/repo/src/engine/throughput.cpp" "src/CMakeFiles/ppr_engine.dir/engine/throughput.cpp.o" "gcc" "src/CMakeFiles/ppr_engine.dir/engine/throughput.cpp.o.d"
+  "/root/repo/src/engine/topk.cpp" "src/CMakeFiles/ppr_engine.dir/engine/topk.cpp.o" "gcc" "src/CMakeFiles/ppr_engine.dir/engine/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppr_ppr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_engine.dir/engine/cluster.cpp.o"
+  "CMakeFiles/ppr_engine.dir/engine/cluster.cpp.o.d"
+  "CMakeFiles/ppr_engine.dir/engine/datasets.cpp.o"
+  "CMakeFiles/ppr_engine.dir/engine/datasets.cpp.o.d"
+  "CMakeFiles/ppr_engine.dir/engine/ssppr_driver.cpp.o"
+  "CMakeFiles/ppr_engine.dir/engine/ssppr_driver.cpp.o.d"
+  "CMakeFiles/ppr_engine.dir/engine/throughput.cpp.o"
+  "CMakeFiles/ppr_engine.dir/engine/throughput.cpp.o.d"
+  "CMakeFiles/ppr_engine.dir/engine/topk.cpp.o"
+  "CMakeFiles/ppr_engine.dir/engine/topk.cpp.o.d"
+  "libppr_engine.a"
+  "libppr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

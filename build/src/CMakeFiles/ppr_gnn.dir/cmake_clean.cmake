@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_gnn.dir/gnn/matrix.cpp.o"
+  "CMakeFiles/ppr_gnn.dir/gnn/matrix.cpp.o.d"
+  "CMakeFiles/ppr_gnn.dir/gnn/sage.cpp.o"
+  "CMakeFiles/ppr_gnn.dir/gnn/sage.cpp.o.d"
+  "CMakeFiles/ppr_gnn.dir/gnn/subgraph.cpp.o"
+  "CMakeFiles/ppr_gnn.dir/gnn/subgraph.cpp.o.d"
+  "CMakeFiles/ppr_gnn.dir/gnn/trainer.cpp.o"
+  "CMakeFiles/ppr_gnn.dir/gnn/trainer.cpp.o.d"
+  "libppr_gnn.a"
+  "libppr_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/ppr_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/ppr_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/ppr_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/ppr_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/ppr_graph.dir/graph/io.cpp.o.d"
+  "libppr_graph.a"
+  "libppr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

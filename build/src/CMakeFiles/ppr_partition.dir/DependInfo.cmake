@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/multilevel.cpp" "src/CMakeFiles/ppr_partition.dir/partition/multilevel.cpp.o" "gcc" "src/CMakeFiles/ppr_partition.dir/partition/multilevel.cpp.o.d"
+  "/root/repo/src/partition/quality.cpp" "src/CMakeFiles/ppr_partition.dir/partition/quality.cpp.o" "gcc" "src/CMakeFiles/ppr_partition.dir/partition/quality.cpp.o.d"
+  "/root/repo/src/partition/simple.cpp" "src/CMakeFiles/ppr_partition.dir/partition/simple.cpp.o" "gcc" "src/CMakeFiles/ppr_partition.dir/partition/simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_partition.dir/partition/multilevel.cpp.o"
+  "CMakeFiles/ppr_partition.dir/partition/multilevel.cpp.o.d"
+  "CMakeFiles/ppr_partition.dir/partition/quality.cpp.o"
+  "CMakeFiles/ppr_partition.dir/partition/quality.cpp.o.d"
+  "CMakeFiles/ppr_partition.dir/partition/simple.cpp.o"
+  "CMakeFiles/ppr_partition.dir/partition/simple.cpp.o.d"
+  "libppr_partition.a"
+  "libppr_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

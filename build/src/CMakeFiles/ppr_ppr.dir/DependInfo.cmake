@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppr/bfs.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/bfs.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/bfs.cpp.o.d"
+  "/root/repo/src/ppr/forward_push.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/forward_push.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/forward_push.cpp.o.d"
+  "/root/repo/src/ppr/khop_sampler.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/khop_sampler.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/khop_sampler.cpp.o.d"
+  "/root/repo/src/ppr/metrics.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/metrics.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/metrics.cpp.o.d"
+  "/root/repo/src/ppr/monte_carlo.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/monte_carlo.cpp.o.d"
+  "/root/repo/src/ppr/node2vec.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/node2vec.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/node2vec.cpp.o.d"
+  "/root/repo/src/ppr/power_iteration.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/power_iteration.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/power_iteration.cpp.o.d"
+  "/root/repo/src/ppr/random_walk.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/random_walk.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/random_walk.cpp.o.d"
+  "/root/repo/src/ppr/ssppr_state.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/ssppr_state.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/ssppr_state.cpp.o.d"
+  "/root/repo/src/ppr/tensor_push.cpp" "src/CMakeFiles/ppr_ppr.dir/ppr/tensor_push.cpp.o" "gcc" "src/CMakeFiles/ppr_ppr.dir/ppr/tensor_push.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_ppr.dir/ppr/bfs.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/bfs.cpp.o.d"
+  "CMakeFiles/ppr_ppr.dir/ppr/forward_push.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/forward_push.cpp.o.d"
+  "CMakeFiles/ppr_ppr.dir/ppr/khop_sampler.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/khop_sampler.cpp.o.d"
+  "CMakeFiles/ppr_ppr.dir/ppr/metrics.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/metrics.cpp.o.d"
+  "CMakeFiles/ppr_ppr.dir/ppr/monte_carlo.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/monte_carlo.cpp.o.d"
+  "CMakeFiles/ppr_ppr.dir/ppr/node2vec.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/node2vec.cpp.o.d"
+  "CMakeFiles/ppr_ppr.dir/ppr/power_iteration.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/power_iteration.cpp.o.d"
+  "CMakeFiles/ppr_ppr.dir/ppr/random_walk.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/random_walk.cpp.o.d"
+  "CMakeFiles/ppr_ppr.dir/ppr/ssppr_state.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/ssppr_state.cpp.o.d"
+  "CMakeFiles/ppr_ppr.dir/ppr/tensor_push.cpp.o"
+  "CMakeFiles/ppr_ppr.dir/ppr/tensor_push.cpp.o.d"
+  "libppr_ppr.a"
+  "libppr_ppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/endpoint.cpp" "src/CMakeFiles/ppr_rpc.dir/rpc/endpoint.cpp.o" "gcc" "src/CMakeFiles/ppr_rpc.dir/rpc/endpoint.cpp.o.d"
+  "/root/repo/src/rpc/inproc_transport.cpp" "src/CMakeFiles/ppr_rpc.dir/rpc/inproc_transport.cpp.o" "gcc" "src/CMakeFiles/ppr_rpc.dir/rpc/inproc_transport.cpp.o.d"
+  "/root/repo/src/rpc/message.cpp" "src/CMakeFiles/ppr_rpc.dir/rpc/message.cpp.o" "gcc" "src/CMakeFiles/ppr_rpc.dir/rpc/message.cpp.o.d"
+  "/root/repo/src/rpc/socket_transport.cpp" "src/CMakeFiles/ppr_rpc.dir/rpc/socket_transport.cpp.o" "gcc" "src/CMakeFiles/ppr_rpc.dir/rpc/socket_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_rpc.dir/rpc/endpoint.cpp.o"
+  "CMakeFiles/ppr_rpc.dir/rpc/endpoint.cpp.o.d"
+  "CMakeFiles/ppr_rpc.dir/rpc/inproc_transport.cpp.o"
+  "CMakeFiles/ppr_rpc.dir/rpc/inproc_transport.cpp.o.d"
+  "CMakeFiles/ppr_rpc.dir/rpc/message.cpp.o"
+  "CMakeFiles/ppr_rpc.dir/rpc/message.cpp.o.d"
+  "CMakeFiles/ppr_rpc.dir/rpc/socket_transport.cpp.o"
+  "CMakeFiles/ppr_rpc.dir/rpc/socket_transport.cpp.o.d"
+  "libppr_rpc.a"
+  "libppr_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

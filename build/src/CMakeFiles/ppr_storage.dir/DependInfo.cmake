@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dist_storage.cpp" "src/CMakeFiles/ppr_storage.dir/storage/dist_storage.cpp.o" "gcc" "src/CMakeFiles/ppr_storage.dir/storage/dist_storage.cpp.o.d"
+  "/root/repo/src/storage/shard.cpp" "src/CMakeFiles/ppr_storage.dir/storage/shard.cpp.o" "gcc" "src/CMakeFiles/ppr_storage.dir/storage/shard.cpp.o.d"
+  "/root/repo/src/storage/storage_service.cpp" "src/CMakeFiles/ppr_storage.dir/storage/storage_service.cpp.o" "gcc" "src/CMakeFiles/ppr_storage.dir/storage/storage_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_storage.dir/storage/dist_storage.cpp.o"
+  "CMakeFiles/ppr_storage.dir/storage/dist_storage.cpp.o.d"
+  "CMakeFiles/ppr_storage.dir/storage/shard.cpp.o"
+  "CMakeFiles/ppr_storage.dir/storage/shard.cpp.o.d"
+  "CMakeFiles/ppr_storage.dir/storage/storage_service.cpp.o"
+  "CMakeFiles/ppr_storage.dir/storage/storage_service.cpp.o.d"
+  "libppr_storage.a"
+  "libppr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/ppr_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/ppr_tensor.dir/tensor/sparse.cpp.o"
+  "CMakeFiles/ppr_tensor.dir/tensor/sparse.cpp.o.d"
+  "CMakeFiles/ppr_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/ppr_tensor.dir/tensor/tensor.cpp.o.d"
+  "libppr_tensor.a"
+  "libppr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

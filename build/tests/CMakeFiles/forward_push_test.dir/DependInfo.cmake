@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/forward_push_test.cpp" "tests/CMakeFiles/forward_push_test.dir/forward_push_test.cpp.o" "gcc" "tests/CMakeFiles/forward_push_test.dir/forward_push_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppr_ppr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_cache_test.dir/halo_cache_test.cpp.o"
+  "CMakeFiles/halo_cache_test.dir/halo_cache_test.cpp.o.d"
+  "halo_cache_test"
+  "halo_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

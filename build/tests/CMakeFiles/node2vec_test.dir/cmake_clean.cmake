@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node2vec_test.dir/node2vec_test.cpp.o"
+  "CMakeFiles/node2vec_test.dir/node2vec_test.cpp.o.d"
+  "node2vec_test"
+  "node2vec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node2vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssppr_state_test.dir/ssppr_state_test.cpp.o"
+  "CMakeFiles/ssppr_state_test.dir/ssppr_state_test.cpp.o.d"
+  "ssppr_state_test"
+  "ssppr_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssppr_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_push_test.dir/tensor_push_test.cpp.o"
+  "CMakeFiles/tensor_push_test.dir/tensor_push_test.cpp.o.d"
+  "tensor_push_test"
+  "tensor_push_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_push_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_tool.dir/ppr_tool.cpp.o"
+  "CMakeFiles/ppr_tool.dir/ppr_tool.cpp.o.d"
+  "ppr_tool"
+  "ppr_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
