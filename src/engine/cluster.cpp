@@ -41,6 +41,9 @@ Cluster::Cluster(const Graph& g, const PartitionAssignment& assignment,
     storages_.push_back(std::make_unique<DistGraphStorage>(
         *endpoints_[static_cast<std::size_t>(m)], rrefs, m,
         sharded_.shards[static_cast<std::size_t>(m)]));
+    if (options_.adjacency_cache_rows > 0) {
+      storages_.back()->enable_adjacency_cache(options_.adjacency_cache_rows);
+    }
   }
 
   tensor_ctx_ = std::make_unique<TensorPushContext>(
@@ -55,7 +58,48 @@ Cluster::~Cluster() {
 }
 
 void Cluster::reset_stats() {
-  for (auto& s : storages_) s->stats().reset();
+  for (auto& s : storages_) {
+    s->stats().reset();
+    s->reset_adjacency_cache_stats();
+  }
+}
+
+std::uint64_t Cluster::total_remote_calls() const {
+  std::uint64_t n = 0;
+  for (const auto& s : storages_) n += s->stats().remote_calls.load();
+  return n;
+}
+
+std::uint64_t Cluster::total_remote_nodes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : storages_) n += s->stats().remote_nodes.load();
+  return n;
+}
+
+std::uint64_t Cluster::total_remote_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : storages_) n += s->stats().remote_bytes();
+  return n;
+}
+
+std::uint64_t Cluster::total_adjacency_cache_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& s : storages_) {
+    if (const AdjacencyCacheStats* cs = s->adjacency_cache_stats()) {
+      n += cs->hits.load();
+    }
+  }
+  return n;
+}
+
+std::uint64_t Cluster::total_adjacency_cache_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& s : storages_) {
+    if (const AdjacencyCacheStats* cs = s->adjacency_cache_stats()) {
+      n += cs->misses.load();
+    }
+  }
+  return n;
 }
 
 double Cluster::remote_ratio() const {

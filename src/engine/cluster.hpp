@@ -30,6 +30,10 @@ struct ClusterOptions {
   /// higher-hop caching direction of §3.2.1): trades shard memory for
   /// locally served first-hop remote fetches.
   bool cache_halo_adjacency = false;
+  /// Capacity (in neighbor rows) of each machine's dynamic adjacency
+  /// cache, filled with rows fetched over RPC by the batched drivers and
+  /// shared across that machine's computing processes; 0 disables it.
+  std::size_t adjacency_cache_rows = 0;
 };
 
 /// Zeroed network model convenience for tests.
@@ -64,10 +68,18 @@ class Cluster {
   /// Map a global node id to its owning shard's NodeRef.
   NodeRef locate(NodeId global) const { return sharded_.mapping.to_ref(global); }
 
-  /// Reset the per-machine fetch statistics (before a measured run).
+  /// Reset the per-machine fetch statistics (before a measured run); also
+  /// clears the adjacency-cache counters (cached rows stay resident).
   void reset_stats();
   /// Aggregate remote-traversal ratio across machines since last reset.
   double remote_ratio() const;
+  /// Aggregate remote-traffic counters across machines since last reset.
+  std::uint64_t total_remote_calls() const;
+  std::uint64_t total_remote_nodes() const;
+  std::uint64_t total_remote_bytes() const;
+  /// Aggregate adjacency-cache counters (0 when the cache is disabled).
+  std::uint64_t total_adjacency_cache_hits() const;
+  std::uint64_t total_adjacency_cache_misses() const;
 
  private:
   ClusterOptions options_;

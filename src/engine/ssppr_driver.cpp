@@ -35,6 +35,36 @@ void run_iteration_single(const DistGraphStorage& g, SspprState& state,
   }
 }
 
+/// Per-iteration buffers of the batched driver, allocated once per query
+/// (run_ssppr scope) and recycled every iteration so the steady-state loop
+/// performs no per-iteration allocations for its bookkeeping.
+struct IterationScratch {
+  explicit IterationScratch(int num_shards)
+      : by_shard(static_cast<std::size_t>(num_shards)),
+        locals(static_cast<std::size_t>(num_shards)),
+        shards(static_cast<std::size_t>(num_shards)),
+        fetches(static_cast<std::size_t>(num_shards)),
+        splits(static_cast<std::size_t>(num_shards)),
+        batches(static_cast<std::size_t>(num_shards)) {}
+
+  /// Drop per-iteration state but keep every vector's capacity. Fetches
+  /// must be invalidated explicitly: a stale future would otherwise be
+  /// waited on twice when a later iteration skips a shard.
+  void begin_iteration() {
+    for (auto& v : by_shard) v.clear();
+    for (auto& v : locals) v.clear();
+    for (auto& v : shards) v.clear();
+    for (auto& f : fetches) f = NeighborFetch();
+  }
+
+  std::vector<std::vector<std::size_t>> by_shard;
+  std::vector<std::vector<NodeId>> locals;
+  std::vector<std::vector<ShardId>> shards;
+  std::vector<NeighborFetch> fetches;
+  std::vector<DistGraphStorage::HaloSplit> splits;
+  std::vector<NeighborBatch> batches;
+};
+
 /// Batched iteration (Figure 4): group the popped set by destination
 /// shard, issue at most one request per remote shard, fetch the local
 /// portion through shared memory, and push.
@@ -42,17 +72,17 @@ void run_iteration_batched(const DistGraphStorage& g, SspprState& state,
                            std::span<const NodeId> node_ids,
                            std::span<const ShardId> shard_ids,
                            const DriverOptions& options, PhaseTimers& t,
-                           std::vector<std::vector<std::size_t>>& by_shard) {
+                           IterationScratch& scratch) {
   const int num_shards = g.num_shards();
-  for (auto& v : by_shard) v.clear();
+  scratch.begin_iteration();
+  auto& by_shard = scratch.by_shard;
   for (std::size_t i = 0; i < node_ids.size(); ++i) {
     by_shard[static_cast<std::size_t>(shard_ids[i])].push_back(i);
   }
 
   // Materialize the per-shard id lists (the mask_dict of Figure 4).
-  std::vector<std::vector<NodeId>> locals(static_cast<std::size_t>(num_shards));
-  std::vector<std::vector<ShardId>> shards(
-      static_cast<std::size_t>(num_shards));
+  auto& locals = scratch.locals;
+  auto& shards = scratch.shards;
   for (ShardId j = 0; j < num_shards; ++j) {
     const auto& idx = by_shard[static_cast<std::size_t>(j)];
     locals[static_cast<std::size_t>(j)].reserve(idx.size());
@@ -66,9 +96,8 @@ void run_iteration_batched(const DistGraphStorage& g, SspprState& state,
   // each remote group is first split by residency: cached rows are served
   // from shared memory and only the misses go over RPC.
   const bool use_halo = g.halo_cache_enabled();
-  std::vector<NeighborFetch> fetches(static_cast<std::size_t>(num_shards));
-  std::vector<DistGraphStorage::HaloSplit> splits(
-      static_cast<std::size_t>(num_shards));
+  auto& fetches = scratch.fetches;
+  auto& splits = scratch.splits;
   {
     ScopedPhase phase(t, Phase::kRemoteFetch);
     for (ShardId j = 0; j < num_shards; ++j) {
@@ -88,7 +117,7 @@ void run_iteration_batched(const DistGraphStorage& g, SspprState& state,
     }
   }
 
-  std::vector<NeighborBatch> batches(static_cast<std::size_t>(num_shards));
+  auto& batches = scratch.batches;
   if (!options.overlap) {
     // No-overlap mode waits for all responses before any local work, so
     // the remote-fetch phase is fully exposed in the breakdown.
@@ -165,8 +194,7 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
 
   std::vector<NodeId> node_ids;
   std::vector<ShardId> shard_ids;
-  std::vector<std::vector<std::size_t>> by_shard(
-      static_cast<std::size_t>(storage.num_shards()));
+  IterationScratch scratch(storage.num_shards());
   for (;;) {
     {
       ScopedPhase phase(t, Phase::kPop);
@@ -176,7 +204,7 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
     ++stats.num_iterations;
     if (options.batch) {
       run_iteration_batched(storage, state, node_ids, shard_ids, options, t,
-                            by_shard);
+                            scratch);
     } else {
       run_iteration_single(storage, state, node_ids, shard_ids, t);
     }

@@ -18,6 +18,10 @@ struct DriverOptions {
   bool batch = true;
   bool compress = true;
   bool overlap = true;
+  /// OpenMP threads the multi-query driver (run_ssppr_batch) spreads its
+  /// per-query push fan-out over; 1 keeps the fan-out serial and the
+  /// result bit-deterministic regardless of the OpenMP runtime.
+  int query_threads = 1;
 
   static DriverOptions single() { return {false, false, false}; }
   static DriverOptions batched() { return {true, false, false}; }

@@ -1,9 +1,12 @@
 #include "engine/throughput.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <span>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "engine/ssppr_batch.hpp"
 #include "ppr/power_iteration.hpp"
 
 namespace ppr {
@@ -32,10 +35,11 @@ std::vector<std::vector<NodeId>> make_query_sets(Cluster& cluster,
   return sets;
 }
 
-/// A query executor runs one machine-process's share of the query set.
-template <typename RunQuery>
+/// A query executor runs one machine-process's share of the query set —
+/// it receives the whole share at once so batched executors can chunk it.
+template <typename RunQueries>
 ThroughputResult measure(Cluster& cluster, const WorkloadOptions& options,
-                         RunQuery&& run_query) {
+                         RunQueries&& run_queries) {
   GE_REQUIRE(options.procs_per_machine >= 1, "need at least one process");
   GE_REQUIRE(options.queries_per_machine >= 1, "need at least one query");
   const int machines = cluster.num_machines();
@@ -68,13 +72,14 @@ ThroughputResult measure(Cluster& cluster, const WorkloadOptions& options,
           const int m = static_cast<int>(slot) / procs;
           const int p = static_cast<int>(slot) % procs;
           const auto& queries = query_sets[static_cast<std::size_t>(m)];
-          std::size_t my_pushes = 0;
           // Strided assignment of this machine's queries to its processes.
+          std::vector<NodeId> share;
           for (std::size_t q = static_cast<std::size_t>(p);
                q < queries.size(); q += static_cast<std::size_t>(procs)) {
-            my_pushes += run_query(m, queries[q], timers);
+            share.push_back(queries[q]);
           }
-          pushes.fetch_add(my_pushes, std::memory_order_relaxed);
+          pushes.fetch_add(run_queries(m, share, timers),
+                           std::memory_order_relaxed);
         });
     const double seconds = wall.seconds();
 
@@ -106,16 +111,45 @@ ThroughputResult measure(Cluster& cluster, const WorkloadOptions& options,
 
 ThroughputResult measure_engine_throughput(Cluster& cluster,
                                            const WorkloadOptions& options) {
-  return measure(cluster, options,
-                 [&](int machine, NodeId source_local, PhaseTimers& timers) {
-                   SspprState state(
-                       NodeRef{source_local, static_cast<ShardId>(machine)},
-                       options.ppr);
-                   const SspprRunStats stats = run_ssppr(
-                       cluster.storage(machine), state, options.driver,
-                       &timers);
-                   return stats.num_pushes;
-                 });
+  GE_REQUIRE(options.query_batch_size >= 1,
+             "query_batch_size must be >= 1");
+  const auto bsz = static_cast<std::size_t>(options.query_batch_size);
+  return measure(
+      cluster, options,
+      [&](int machine, std::span<const NodeId> sources,
+          PhaseTimers& timers) -> std::size_t {
+        const auto shard = static_cast<ShardId>(machine);
+        std::size_t num_pushes = 0;
+        if (bsz == 1) {
+          for (const NodeId source_local : sources) {
+            SspprState state(NodeRef{source_local, shard}, options.ppr);
+            num_pushes += run_ssppr(cluster.storage(machine), state,
+                                    options.driver, &timers)
+                              .num_pushes;
+          }
+          return num_pushes;
+        }
+        // Lockstep batches of up to `bsz` queries sharing one state pool;
+        // reset() keeps the submap capacity across chunks.
+        std::vector<SspprState> pool;
+        pool.reserve(bsz);
+        for (std::size_t lo = 0; lo < sources.size(); lo += bsz) {
+          const std::size_t b = std::min(bsz, sources.size() - lo);
+          for (std::size_t i = 0; i < b; ++i) {
+            const NodeRef source{sources[lo + i], shard};
+            if (i < pool.size()) {
+              pool[i].reset(source);
+            } else {
+              pool.emplace_back(source, options.ppr);
+            }
+          }
+          num_pushes += run_ssppr_batch(cluster.storage(machine),
+                                        std::span<SspprState>(pool.data(), b),
+                                        options.driver, &timers)
+                            .num_pushes;
+        }
+        return num_pushes;
+      });
 }
 
 ThroughputResult measure_tensor_throughput(Cluster& cluster,
@@ -126,14 +160,19 @@ ThroughputResult measure_tensor_throughput(Cluster& cluster,
   topts.compress = options.driver.compress;
   topts.overlap = options.driver.overlap;
   return measure(cluster, options,
-                 [&](int machine, NodeId source_local, PhaseTimers& timers) {
-                   const NodeId global = cluster.shard(machine).core_global_id(
-                       source_local);
-                   const TensorPushResult r =
-                       tensor_forward_push(cluster.storage(machine),
-                                           cluster.tensor_ctx(), global,
-                                           topts, &timers);
-                   return r.num_pushes;
+                 [&](int machine, std::span<const NodeId> sources,
+                     PhaseTimers& timers) -> std::size_t {
+                   std::size_t num_pushes = 0;
+                   for (const NodeId source_local : sources) {
+                     const NodeId global =
+                         cluster.shard(machine).core_global_id(source_local);
+                     const TensorPushResult r =
+                         tensor_forward_push(cluster.storage(machine),
+                                             cluster.tensor_ctx(), global,
+                                             topts, &timers);
+                     num_pushes += r.num_pushes;
+                   }
+                   return num_pushes;
                  });
 }
 

@@ -14,6 +14,10 @@ struct WorkloadOptions {
   int procs_per_machine = 1;
   /// Total queries assigned to each machine (split across its processes).
   int queries_per_machine = 32;
+  /// Queries each computing process advances in lockstep through
+  /// run_ssppr_batch so their remote fetches coalesce; 1 keeps the old
+  /// one-query-at-a-time run_ssppr path (engine harness only).
+  int query_batch_size = 1;
   int warmup_runs = 1;
   int measured_runs = 3;
   std::uint64_t seed = 7;

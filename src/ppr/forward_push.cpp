@@ -1,6 +1,11 @@
 #include "ppr/forward_push.hpp"
 
+#include <algorithm>
 #include <deque>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace ppr {
 
@@ -65,28 +70,111 @@ ForwardPushResult forward_push_parallel(const Graph& g, NodeId source,
                                         double alpha, double epsilon,
                                         int num_threads) {
   GE_REQUIRE(source >= 0 && source < g.num_nodes(), "source out of range");
-  (void)num_threads;  // rounds are applied serially here; the distributed
-                      // engine provides the parallel execution path.
+  GE_REQUIRE(num_threads >= 1, "num_threads must be >= 1");
   const auto n = static_cast<std::size_t>(g.num_nodes());
   ForwardPushResult res;
   res.ppr.assign(n, 0.0);
   res.residual.assign(n, 0.0);
   res.residual[static_cast<std::size_t>(source)] = 1.0;
 
+#ifndef _OPENMP
+  num_threads = 1;
+#endif
+
+  // Each round runs in two barrier-separated steps so residual reads in
+  // step 2 never race with the drains in step 1 (the same owner-partition
+  // scheme SspprState::push uses, here keyed by node id instead of submap
+  // index):
+  //   step 1: drain r(v) and settle the π(v) contribution of every
+  //           frontier vertex — frontier vertices are distinct, so the
+  //           loop is embarrassingly parallel;
+  //   step 2: every thread scans all (v, u) deltas but applies only those
+  //           whose target u it owns (u % nt == tid) — lock-free, and
+  //           each r(u) accumulates in canonical frontier order.
+  // The next frontier is sorted before the round ends, which makes the
+  // result bit-identical for every thread count.
   std::vector<std::uint8_t> in_frontier(n, 0);
   std::vector<NodeId> frontier{source};
   in_frontier[static_cast<std::size_t>(source)] = 1;
   std::vector<NodeId> next;
+  std::vector<double> rv;
+
+  const auto drain = [&](std::size_t i) {
+    const auto vi = static_cast<std::size_t>(frontier[i]);
+    const double r = res.residual[vi];
+    res.residual[vi] = 0;
+    in_frontier[vi] = 0;
+    if (r == 0) {
+      rv[i] = 0;
+      return;
+    }
+    const NodeId v = frontier[i];
+    const double dw = g.weighted_degree(v);
+    if (g.degree(v) == 0 || dw <= 0) {
+      res.ppr[vi] += r;  // dangling: all mass settles here
+      rv[i] = 0;
+    } else {
+      res.ppr[vi] += alpha * r;
+      rv[i] = r;
+    }
+  };
+
+  const auto scatter = [&](std::size_t i, std::size_t tid, std::size_t nt,
+                           std::vector<NodeId>& activated_out) {
+    if (rv[i] == 0) return;
+    const NodeId v = frontier[i];
+    const double m = (1.0 - alpha) * rv[i] / g.weighted_degree(v);
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const auto ui = static_cast<std::size_t>(nbrs[k]);
+      if (nt > 1 && ui % nt != tid) continue;
+      res.residual[ui] += weights[k] * m;
+      if (!in_frontier[ui] &&
+          res.residual[ui] > epsilon * g.weighted_degree(nbrs[k])) {
+        in_frontier[ui] = 1;
+        activated_out.push_back(nbrs[k]);
+      }
+    }
+  };
+
   while (!frontier.empty()) {
     ++res.num_iterations;
+    res.num_pushes += frontier.size();
+    rv.resize(frontier.size());
     next.clear();
-    // Frontier-synchronous round: all pushes read residuals drained in
-    // this round; newly activated vertices wait for the next round.
-    for (const NodeId v : frontier) {
-      push_vertex(g, v, alpha, epsilon, res.ppr, res.residual, in_frontier,
-                  next);
-      ++res.num_pushes;
+    if (num_threads <= 1 || frontier.size() < 2) {
+      for (std::size_t i = 0; i < frontier.size(); ++i) drain(i);
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        scatter(i, 0, 1, next);
+      }
+    } else {
+#ifdef _OPENMP
+#pragma omp parallel num_threads(num_threads)
+      {
+        const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+        const auto nt = static_cast<std::size_t>(omp_get_num_threads());
+#pragma omp for
+        for (std::size_t i = 0; i < frontier.size(); ++i) drain(i);
+        // Implicit barrier from the omp-for: scatters only start after
+        // every drain completed.
+        std::vector<NodeId> local_activated;
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+          scatter(i, tid, nt, local_activated);
+        }
+        // Merge in tid order so the pre-sort frontier is deterministic.
+#pragma omp for ordered schedule(static, 1)
+        for (int t = 0; t < static_cast<int>(nt); ++t) {
+#pragma omp ordered
+          next.insert(next.end(), local_activated.begin(),
+                      local_activated.end());
+        }
+      }
+#endif
     }
+    // Canonical frontier order: makes the accumulation order in the next
+    // round independent of the thread count.
+    std::sort(next.begin(), next.end());
     frontier.swap(next);
   }
   return res;

@@ -23,6 +23,20 @@ SspprState::SspprState(NodeRef source, SspprOptions options)
   activated_.push_back(key);
 }
 
+void SspprState::reset(NodeRef source) {
+  source_ = source;
+  pi_.clear();
+  residual_.clear();
+  activated_.clear();
+  num_pushes_ = 0;
+  const std::uint64_t key = source.key();
+  residual_.upsert(key, [](Residual& e) {
+    e.r = 1.0;
+    e.in_frontier = true;
+  });
+  activated_.push_back(key);
+}
+
 void SspprState::pop(std::vector<NodeId>& node_ids,
                      std::vector<ShardId>& shard_ids) {
   node_ids.resize(activated_.size());
@@ -35,12 +49,11 @@ void SspprState::pop(std::vector<NodeId>& node_ids,
   activated_.clear();
 }
 
-void SspprState::push(std::span<const VertexProp> infos,
-                      std::span<const NodeId> node_ids,
-                      std::span<const ShardId> shard_ids) {
+template <typename RowFn>
+void SspprState::push_rows(RowFn&& row, std::span<const NodeId> node_ids,
+                           std::span<const ShardId> shard_ids) {
   const std::size_t n = node_ids.size();
-  GE_REQUIRE(infos.size() == n && shard_ids.size() == n,
-             "push batch size mismatch");
+  GE_REQUIRE(shard_ids.size() == n, "push batch size mismatch");
   if (n == 0) return;
   num_pushes_ += n;
 
@@ -74,7 +87,8 @@ void SspprState::push(std::span<const VertexProp> infos,
       return;
     }
     double& pi = pi_.submap(idx)[key];
-    if (infos[i].degree() == 0 || infos[i].weighted_degree <= 0) {
+    const VertexProp vp = row(i);
+    if (vp.degree() == 0 || vp.weighted_degree <= 0) {
       // Dangling node: the walk can go nowhere, so all mass settles here.
       pi += r;
       rv[i] = 0;
@@ -87,7 +101,7 @@ void SspprState::push(std::span<const VertexProp> infos,
   const auto step2 = [&](std::size_t i, std::size_t tid, std::size_t nt,
                          std::vector<std::uint64_t>& activated_out) {
     if (rv[i] == 0) return;
-    const VertexProp& vp = infos[i];
+    const VertexProp vp = row(i);
     const double m = (1.0 - alpha) * rv[i] / vp.weighted_degree;
     for (std::size_t k = 0; k < vp.degree(); ++k) {
       const std::uint64_t key_u =
@@ -130,13 +144,18 @@ void SspprState::push(std::span<const VertexProp> infos,
 #endif
 }
 
+void SspprState::push(std::span<const VertexProp> infos,
+                      std::span<const NodeId> node_ids,
+                      std::span<const ShardId> shard_ids) {
+  GE_REQUIRE(infos.size() == node_ids.size(), "push batch size mismatch");
+  push_rows([&](std::size_t i) { return infos[i]; }, node_ids, shard_ids);
+}
+
 void SspprState::push(const NeighborBatch& batch,
                       std::span<const NodeId> node_ids,
                       std::span<const ShardId> shard_ids) {
-  std::vector<VertexProp> infos;
-  infos.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) infos.push_back(batch[i]);
-  push(infos, node_ids, shard_ids);
+  GE_REQUIRE(batch.size() == node_ids.size(), "push batch size mismatch");
+  push_rows([&](std::size_t i) { return batch[i]; }, node_ids, shard_ids);
 }
 
 std::vector<std::pair<NodeRef, double>> SspprState::ppr_entries() const {

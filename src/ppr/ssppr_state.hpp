@@ -42,6 +42,12 @@ class SspprState {
   /// that owns the query, per the owner-compute rule).
   SspprState(NodeRef source, SspprOptions options);
 
+  /// Recycle this state for a fresh query from `source`: clears π, r, and
+  /// the activated set but keeps every submap's allocated capacity, so a
+  /// pooled state serves many queries without reallocating (the batched
+  /// throughput harness relies on this).
+  void reset(NodeRef source);
+
   NodeRef source() const { return source_; }
   const SspprOptions& options() const { return options_; }
 
@@ -56,7 +62,9 @@ class SspprState {
             std::span<const NodeId> node_ids,
             std::span<const ShardId> shard_ids);
 
-  /// Convenience overload for decoded remote responses.
+  /// Overload for decoded remote responses: rows are read straight out of
+  /// the batch's CSR arrays (no per-push materialization of a VertexProp
+  /// vector — the core push is templated on a row accessor).
   void push(const NeighborBatch& batch, std::span<const NodeId> node_ids,
             std::span<const ShardId> shard_ids);
 
@@ -80,6 +88,12 @@ class SspprState {
   double total_mass() const;
 
  private:
+  /// Core push, templated on `row(i) -> VertexProp` so span-of-props and
+  /// NeighborBatch inputs share one zero-copy implementation.
+  template <typename RowFn>
+  void push_rows(RowFn&& row, std::span<const NodeId> node_ids,
+                 std::span<const ShardId> shard_ids);
+
   NodeRef source_;
   SspprOptions options_;
   ShardedMap<double> pi_;

@@ -1,0 +1,94 @@
+#include "storage/adjacency_cache.hpp"
+
+namespace ppr {
+
+AdjacencyCache::AdjacencyCache(std::size_t capacity_rows) {
+  GE_REQUIRE(capacity_rows > 0, "adjacency cache needs capacity > 0");
+  slots_.resize(capacity_rows);
+  index_.reserve(capacity_rows * 2);
+}
+
+std::size_t AdjacencyCache::size() const {
+  LockGuard<Spinlock> guard(lock_);
+  return used_slots_;
+}
+
+void AdjacencyCache::lookup(ShardId dst, std::span<const NodeId> locals,
+                            CachedRowArena& arena,
+                            std::vector<std::size_t>& hit_indices,
+                            std::vector<std::size_t>& hit_rows,
+                            std::vector<NodeId>& miss_locals,
+                            std::vector<std::size_t>& miss_indices) {
+  hit_indices.clear();
+  hit_rows.clear();
+  miss_locals.clear();
+  miss_indices.clear();
+  if (locals.empty()) return;
+
+  std::size_t hits = 0;
+  {
+    LockGuard<Spinlock> guard(lock_);
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      const std::uint64_t key = NodeRef{locals[i], dst}.key();
+      const auto it = index_.find(key);
+      if (it == index_.end()) {
+        miss_locals.push_back(locals[i]);
+        miss_indices.push_back(i);
+        continue;
+      }
+      Slot& slot = slots_[it->second];
+      slot.referenced = 1;
+      hit_indices.push_back(i);
+      hit_rows.push_back(arena.append_row(
+          slot.nbr_local_ids, slot.nbr_shard_ids, slot.edge_weights,
+          slot.nbr_weighted_deg, slot.weighted_degree));
+      ++hits;
+    }
+  }
+  stats_.hits.fetch_add(hits, std::memory_order_relaxed);
+  stats_.misses.fetch_add(locals.size() - hits, std::memory_order_relaxed);
+}
+
+std::size_t AdjacencyCache::victim_slot() {
+  if (used_slots_ < slots_.size()) return used_slots_++;
+  for (;;) {
+    Slot& slot = slots_[hand_];
+    const std::size_t idx = hand_;
+    hand_ = (hand_ + 1) % slots_.size();
+    if (slot.referenced) {
+      slot.referenced = 0;
+      continue;
+    }
+    index_.erase(slot.key);
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+  }
+}
+
+void AdjacencyCache::insert(ShardId dst, NodeId local,
+                            const VertexProp& row) {
+  const std::uint64_t key = NodeRef{local, dst}.key();
+  LockGuard<Spinlock> guard(lock_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    slots_[it->second].referenced = 1;
+    return;
+  }
+  const std::size_t idx = victim_slot();
+  Slot& slot = slots_[idx];
+  slot.key = key;
+  slot.used = true;
+  slot.referenced = 1;
+  slot.weighted_degree = row.weighted_degree;
+  slot.nbr_local_ids.assign(row.nbr_local_ids.begin(),
+                            row.nbr_local_ids.end());
+  slot.nbr_shard_ids.assign(row.nbr_shard_ids.begin(),
+                            row.nbr_shard_ids.end());
+  slot.edge_weights.assign(row.edge_weights.begin(), row.edge_weights.end());
+  slot.nbr_weighted_deg.assign(row.nbr_weighted_degrees.begin(),
+                               row.nbr_weighted_degrees.end());
+  index_[key] = static_cast<std::uint32_t>(idx);
+  stats_.insertions.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ppr

@@ -1,0 +1,146 @@
+// Shard-local adjacency cache: a bounded CLOCK-evicted store of neighbor
+// rows fetched from *remote* shards, shared by every query running on the
+// machine. Where the halo-adjacency cache (GraphShard) statically holds the
+// 1-hop halo set, this cache fills dynamically with whatever rows the
+// workload actually pulls over RPC — so rows fetched for one SSPPR query
+// serve later iterations and later queries of the batch without another
+// remote round-trip (the SALIENT++-style frequency caching direction).
+//
+// Thread safety: one spinlock guards the index and the slot arrays; hits
+// are *copied out* into a caller-owned CachedRowArena under the lock, so a
+// concurrent eviction can never invalidate a row another computing process
+// is still pushing from.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "concurrent/spinlock.hpp"
+#include "storage/shard.hpp"
+
+namespace ppr {
+
+/// Hit/miss/eviction counters, exposed like the halo-cache stats.
+struct AdjacencyCacheStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> insertions{0};
+  std::atomic<std::uint64_t> evictions{0};
+
+  void reset() {
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+};
+
+/// Owned CSR arena the cache copies hit rows into. Rows are appended by
+/// AdjacencyCache::lookup; views from row(i) stay valid until the next
+/// append or clear (materialize them only after all lookups of the
+/// iteration are done).
+class CachedRowArena {
+ public:
+  void clear() {
+    indptr_.clear();
+    nbr_local_ids_.clear();
+    nbr_shard_ids_.clear();
+    edge_weights_.clear();
+    nbr_weighted_deg_.clear();
+    src_weighted_deg_.clear();
+  }
+
+  std::size_t num_rows() const { return src_weighted_deg_.size(); }
+
+  std::size_t append_row(std::span<const NodeId> locals,
+                         std::span<const ShardId> shards,
+                         std::span<const float> weights,
+                         std::span<const float> nbr_wdeg, float src_wdeg) {
+    if (indptr_.empty()) indptr_.push_back(0);
+    nbr_local_ids_.insert(nbr_local_ids_.end(), locals.begin(), locals.end());
+    nbr_shard_ids_.insert(nbr_shard_ids_.end(), shards.begin(), shards.end());
+    edge_weights_.insert(edge_weights_.end(), weights.begin(), weights.end());
+    nbr_weighted_deg_.insert(nbr_weighted_deg_.end(), nbr_wdeg.begin(),
+                             nbr_wdeg.end());
+    indptr_.push_back(static_cast<EdgeIndex>(nbr_local_ids_.size()));
+    src_weighted_deg_.push_back(src_wdeg);
+    return src_weighted_deg_.size() - 1;
+  }
+
+  VertexProp row(std::size_t i) const {
+    const auto lo = static_cast<std::size_t>(indptr_[i]);
+    const auto hi = static_cast<std::size_t>(indptr_[i + 1]);
+    return VertexProp{
+        {nbr_local_ids_.data() + lo, nbr_local_ids_.data() + hi},
+        {nbr_shard_ids_.data() + lo, nbr_shard_ids_.data() + hi},
+        {edge_weights_.data() + lo, edge_weights_.data() + hi},
+        {nbr_weighted_deg_.data() + lo, nbr_weighted_deg_.data() + hi},
+        src_weighted_deg_[i]};
+  }
+
+ private:
+  std::vector<EdgeIndex> indptr_;
+  std::vector<NodeId> nbr_local_ids_;
+  std::vector<ShardId> nbr_shard_ids_;
+  std::vector<float> edge_weights_;
+  std::vector<float> nbr_weighted_deg_;
+  std::vector<float> src_weighted_deg_;
+};
+
+class AdjacencyCache {
+ public:
+  /// `capacity_rows`: maximum number of cached neighbor rows; above it the
+  /// CLOCK hand evicts the first row whose reference bit is clear.
+  explicit AdjacencyCache(std::size_t capacity_rows);
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const;
+
+  /// Probe `<locals[i], dst>` for every i. Hits are copied into `arena`
+  /// (hit_rows[t] = arena row of hit t, hit_indices[t] = its position in
+  /// `locals`); misses land in miss_locals/miss_indices. Output vectors
+  /// are cleared first.
+  void lookup(ShardId dst, std::span<const NodeId> locals,
+              CachedRowArena& arena, std::vector<std::size_t>& hit_indices,
+              std::vector<std::size_t>& hit_rows,
+              std::vector<NodeId>& miss_locals,
+              std::vector<std::size_t>& miss_indices);
+
+  /// Insert one row for `<local, dst>` (no-op if already resident, beyond
+  /// refreshing its reference bit).
+  void insert(ShardId dst, NodeId local, const VertexProp& row);
+
+  const AdjacencyCacheStats& stats() const { return stats_; }
+  AdjacencyCacheStats& stats() { return stats_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    bool used = false;
+    std::uint8_t referenced = 0;  // CLOCK second-chance bit
+    float weighted_degree = 0;
+    std::vector<NodeId> nbr_local_ids;
+    std::vector<ShardId> nbr_shard_ids;
+    std::vector<float> edge_weights;
+    std::vector<float> nbr_weighted_deg;
+  };
+
+  /// Pick the victim slot: first unused slot, else advance the CLOCK hand
+  /// until a slot with a clear reference bit comes up. Caller holds lock_.
+  std::size_t victim_slot();
+
+  mutable Spinlock lock_;
+  // The index needs per-key erase on eviction, which the repo's FlatMap
+  // deliberately omits (the PPR maps never erase), so the cache keeps a
+  // plain unordered_map — this is not the operator hot path.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  std::vector<Slot> slots_;
+  std::size_t used_slots_ = 0;
+  std::size_t hand_ = 0;
+  AdjacencyCacheStats stats_;
+};
+
+}  // namespace ppr

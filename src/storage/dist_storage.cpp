@@ -59,6 +59,41 @@ DistGraphStorage::HaloSplit DistGraphStorage::split_by_halo_cache(
   return split;
 }
 
+void DistGraphStorage::enable_adjacency_cache(std::size_t capacity_rows) {
+  GE_REQUIRE(adj_cache_ == nullptr, "adjacency cache already enabled");
+  adj_cache_ = std::make_unique<AdjacencyCache>(capacity_rows);
+}
+
+DistGraphStorage::AdjacencySplit DistGraphStorage::split_by_adjacency_cache(
+    ShardId dst, std::span<const NodeId> locals,
+    CachedRowArena& arena) const {
+  GE_REQUIRE(dst != shard_id_, "split is for remote shards");
+  AdjacencySplit split;
+  if (adj_cache_ == nullptr) {
+    split.miss_locals.assign(locals.begin(), locals.end());
+    split.miss_indices.resize(locals.size());
+    for (std::size_t i = 0; i < locals.size(); ++i) split.miss_indices[i] = i;
+    return split;
+  }
+  adj_cache_->lookup(dst, locals, arena, split.hit_indices, split.hit_rows,
+                     split.miss_locals, split.miss_indices);
+  // Cache hits count as locally served traversal, like halo hits.
+  stats_.local_nodes.fetch_add(split.hit_indices.size(),
+                               std::memory_order_relaxed);
+  return split;
+}
+
+void DistGraphStorage::insert_adjacency_rows(ShardId dst,
+                                             std::span<const NodeId> locals,
+                                             const NeighborBatch& rows) const {
+  if (adj_cache_ == nullptr) return;
+  GE_REQUIRE(locals.size() == rows.size(),
+             "adjacency insert size mismatch");
+  for (std::size_t t = 0; t < locals.size(); ++t) {
+    adj_cache_->insert(dst, locals[t], rows[t]);
+  }
+}
+
 std::vector<std::uint8_t> DistGraphStorage::encode_batch_request(
     std::span<const NodeId> locals, bool compress) {
   ByteWriter w;
@@ -73,11 +108,13 @@ NeighborFetch DistGraphStorage::get_neighbor_infos_async(
              "dst shard out of range");
   stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t> request = encode_batch_request(locals, compress);
+  stats_.remote_request_bytes.fetch_add(request.size(),
+                                        std::memory_order_relaxed);
   return NeighborFetch(
       rrefs_[static_cast<std::size_t>(dst)].async_call(
-          storage_method::kGetNeighborInfos,
-          encode_batch_request(locals, compress)),
-      compress);
+          storage_method::kGetNeighborInfos, std::move(request)),
+      compress, &stats_);
 }
 
 NeighborFetch DistGraphStorage::get_neighbor_info_single_async(
@@ -88,9 +125,13 @@ NeighborFetch DistGraphStorage::get_neighbor_info_single_async(
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
   ByteWriter w;
   w.write<NodeId>(local);
+  std::vector<std::uint8_t> request = w.take();
+  stats_.remote_request_bytes.fetch_add(request.size(),
+                                        std::memory_order_relaxed);
   return NeighborFetch(rrefs_[static_cast<std::size_t>(dst)].async_call(
-                           storage_method::kGetNeighborInfoSingle, w.take()),
-                       /*compressed=*/false);
+                           storage_method::kGetNeighborInfoSingle,
+                           std::move(request)),
+                       /*compressed=*/false, &stats_);
 }
 
 SampleResult DistGraphStorage::decode_sample(

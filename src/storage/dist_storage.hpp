@@ -11,29 +11,38 @@
 #include <vector>
 
 #include "rpc/endpoint.hpp"
+#include "storage/adjacency_cache.hpp"
 #include "storage/shard.hpp"
 #include "storage/storage_service.hpp"
 
 namespace ppr {
 
 /// Counters for the locality analysis (§4.3: fraction of graph traversal
-/// resolved locally vs. remotely).
+/// resolved locally vs. remotely) and the batched-driver traffic reports
+/// (request/response bytes actually put on the wire).
 struct FetchStats {
   std::atomic<std::uint64_t> local_nodes{0};
   std::atomic<std::uint64_t> remote_nodes{0};
   std::atomic<std::uint64_t> remote_calls{0};
   std::atomic<std::uint64_t> halo_hits{0};  // remote refs served locally
+  std::atomic<std::uint64_t> remote_request_bytes{0};
+  std::atomic<std::uint64_t> remote_response_bytes{0};
 
   double remote_ratio() const {
     const double l = static_cast<double>(local_nodes.load());
     const double r = static_cast<double>(remote_nodes.load());
     return (l + r) > 0 ? r / (l + r) : 0.0;
   }
+  std::uint64_t remote_bytes() const {
+    return remote_request_bytes.load() + remote_response_bytes.load();
+  }
   void reset() {
     local_nodes = 0;
     remote_nodes = 0;
     remote_calls = 0;
     halo_hits = 0;
+    remote_request_bytes = 0;
+    remote_response_bytes = 0;
   }
 };
 
@@ -52,17 +61,23 @@ struct KSampleResult {
   std::vector<NodeId> global_ids;
 };
 
-/// Pending remote neighbor-info fetch; wait() decodes the response.
+/// Pending remote neighbor-info fetch; wait() decodes the response (and
+/// credits the response payload to the issuing client's byte counters).
 class NeighborFetch {
  public:
   NeighborFetch() = default;
-  NeighborFetch(RpcFuture future, bool compressed)
-      : future_(std::move(future)), compressed_(compressed) {}
+  NeighborFetch(RpcFuture future, bool compressed,
+                FetchStats* stats = nullptr)
+      : future_(std::move(future)), compressed_(compressed), stats_(stats) {}
 
   bool valid() const { return future_.valid(); }
 
   NeighborBatch wait() {
     const std::vector<std::uint8_t> payload = future_.wait();
+    if (stats_ != nullptr) {
+      stats_->remote_response_bytes.fetch_add(payload.size(),
+                                              std::memory_order_relaxed);
+    }
     ByteReader r(payload);
     return compressed_ ? NeighborBatch::decode_csr(r)
                        : NeighborBatch::decode_tensor_list(r);
@@ -71,6 +86,7 @@ class NeighborFetch {
  private:
   RpcFuture future_;
   bool compressed_ = true;
+  FetchStats* stats_ = nullptr;
 };
 
 class DistGraphStorage {
@@ -108,6 +124,42 @@ class DistGraphStorage {
   };
   HaloSplit split_by_halo_cache(ShardId dst,
                                 std::span<const NodeId> locals) const;
+
+  /// Attach a bounded CLOCK-evicted adjacency cache (see AdjacencyCache)
+  /// shared by every computing process of this machine. Rows fetched over
+  /// RPC are inserted by the batched drivers and later requests for them
+  /// are served locally. Call once during cluster bootstrap.
+  void enable_adjacency_cache(std::size_t capacity_rows);
+  bool adjacency_cache_enabled() const { return adj_cache_ != nullptr; }
+  /// Cache hit/miss/eviction counters; nullptr when the cache is off.
+  const AdjacencyCacheStats* adjacency_cache_stats() const {
+    return adj_cache_ != nullptr ? &adj_cache_->stats() : nullptr;
+  }
+  /// Zero the cache counters (cached rows stay resident); no-op when off.
+  void reset_adjacency_cache_stats() const {
+    if (adj_cache_ != nullptr) adj_cache_->stats().reset();
+  }
+  std::size_t adjacency_cache_size() const {
+    return adj_cache_ != nullptr ? adj_cache_->size() : 0;
+  }
+
+  /// Partition a request for shard `dst` by adjacency-cache residency:
+  /// hit rows are copied into `arena` (hit_rows[t] = arena row index),
+  /// misses still need the RPC. Indices refer to positions in `locals`.
+  struct AdjacencySplit {
+    std::vector<std::size_t> hit_indices;
+    std::vector<std::size_t> hit_rows;
+    std::vector<NodeId> miss_locals;
+    std::vector<std::size_t> miss_indices;
+  };
+  AdjacencySplit split_by_adjacency_cache(ShardId dst,
+                                          std::span<const NodeId> locals,
+                                          CachedRowArena& arena) const;
+
+  /// Feed rows decoded from a remote response into the adjacency cache
+  /// (no-op when the cache is off). `locals[t]` names `rows[t]`.
+  void insert_adjacency_rows(ShardId dst, std::span<const NodeId> locals,
+                             const NeighborBatch& rows) const;
 
   /// Local fetch through the full serialize/deserialize path (used to
   /// quantify what the VertexProp zero-copy path saves).
@@ -153,6 +205,9 @@ class DistGraphStorage {
   ShardId shard_id_;
   std::shared_ptr<const GraphShard> local_shard_;
   mutable FetchStats stats_;
+  // Shared across the machine's computing processes; mutable because the
+  // cache self-updates (ref bits, eviction) on const fetch paths.
+  mutable std::unique_ptr<AdjacencyCache> adj_cache_;
 };
 
 }  // namespace ppr

@@ -75,6 +75,33 @@ TEST(ForwardPushParallel, MatchesSequentialClosely) {
   EXPECT_LT(l1, 1e-3);
 }
 
+TEST(ForwardPushParallel, ThreadCountDoesNotChangeResult) {
+  // Regression: num_threads used to be ignored. The two-phase owner-
+  // partitioned rounds must produce bit-identical output for every thread
+  // count (and actually honor the parameter).
+  const Graph g = generate_rmat(1024, 5000, 0.5, 0.2, 0.2, 5);
+  const double eps = 1e-7;
+  const auto one = forward_push_parallel(g, 3, kAlpha, eps, 1);
+  for (const int nt : {2, 4, 8}) {
+    const auto multi = forward_push_parallel(g, 3, kAlpha, eps, nt);
+    EXPECT_EQ(multi.num_pushes, one.num_pushes) << "threads " << nt;
+    EXPECT_EQ(multi.num_iterations, one.num_iterations) << "threads " << nt;
+    for (std::size_t v = 0; v < one.ppr.size(); ++v) {
+      ASSERT_EQ(multi.ppr[v], one.ppr[v]) << "threads " << nt << " node " << v;
+      ASSERT_EQ(multi.residual[v], one.residual[v])
+          << "threads " << nt << " node " << v;
+    }
+  }
+  // And the frontier-synchronous rounds stay an ε-approximation of the
+  // same vector the sequential queue-based variant computes.
+  const auto seq = forward_push_sequential(g, 3, kAlpha, eps);
+  double l1 = 0;
+  for (std::size_t v = 0; v < seq.ppr.size(); ++v) {
+    l1 += std::abs(seq.ppr[v] - one.ppr[v]);
+  }
+  EXPECT_LT(l1, 1e-3);
+}
+
 TEST(ForwardPushParallel, MoreIterationsLowerEpsilon) {
   const Graph g = generate_rmat(1024, 5000, 0.5, 0.2, 0.2, 5);
   const auto coarse = forward_push_parallel(g, 3, kAlpha, 1e-4);

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification under AddressSanitizer: configures a separate
+# build-asan tree with -DGE_SANITIZE=address, builds the test suite, and
+# runs it. Usage: tools/check.sh [address|thread|undefined]
+set -euo pipefail
+
+SANITIZER="${1:-address}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-${SANITIZER}san"
+
+cmake -S "${ROOT}" -B "${BUILD}" -DGE_SANITIZE="${SANITIZER}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j"$(nproc)"
+ctest --test-dir "${BUILD}" --output-on-failure -j"$(nproc)"
