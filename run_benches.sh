@@ -11,6 +11,13 @@ cd /root/repo
     ./build/bench/$b "$@" 2>&1
     echo
   done
+  echo "##### bench_batch_queries (smoke: tiny graph, capped)"
+  ./build/bench/bench_batch_queries --nodes 4000 --edges 16000 \
+      --queries 64 --batches 1,16 2>&1
+  echo
+  echo "##### bench_serving (smoke: tiny graph, 2s cap per point)"
+  ./build/bench/bench_serving --smoke 2>&1
+  echo
   echo "##### bench_micro_ops"
   ./build/bench/bench_micro_ops --benchmark_min_time=0.2 2>&1
-} 
+}

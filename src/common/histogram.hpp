@@ -1,0 +1,137 @@
+// Lock-free log-bucketed latency histogram (HdrHistogram-lite).
+//
+// Values (microseconds, rounded to integers) land in buckets that are
+// linear up to 2^kSubBucketBits and geometric above, with kSubBuckets
+// sub-buckets per octave, so relative quantization error is bounded by
+// 1/kSubBuckets (12.5%) at every magnitude. record() is one relaxed
+// atomic increment, safe from any number of threads; percentiles are
+// computed from an immutable snapshot() so readers never see a torn view
+// of count vs buckets.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ppr {
+
+/// Plain-value copy of a histogram, queryable for percentiles/mean/max.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;   // of recorded (rounded) values
+  std::uint64_t max = 0;
+
+  bool empty() const { return count == 0; }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Value at quantile `p` in [0, 1]: the midpoint of the first bucket
+  /// whose cumulative count reaches ceil(p * count). 0 when empty.
+  double percentile(double p) const;
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 3;
+  static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBucketBits;
+  /// Octaves above the linear region; the top bucket's lower edge is
+  /// ~2^42 µs (~50 days), far beyond any latency this engine produces.
+  static constexpr int kOctaves = 40;
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kOctaves + 1) * kSubBuckets;
+
+  /// Map a value to its bucket. Linear below kSubBuckets, then
+  /// kSubBuckets sub-buckets per power of two; saturates at the top.
+  static std::size_t bucket_of(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int octave = msb - kSubBucketBits + 1;
+    const std::uint64_t sub =
+        (v >> (msb - kSubBucketBits)) - kSubBuckets;  // in [0, kSubBuckets)
+    const std::size_t idx =
+        (static_cast<std::size_t>(octave) << kSubBucketBits) +
+        static_cast<std::size_t>(sub);
+    return idx < kNumBuckets ? idx : kNumBuckets - 1;
+  }
+
+  /// Inclusive lower / exclusive upper edge of a bucket.
+  static std::uint64_t bucket_lower(std::size_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const std::uint64_t octave = idx >> kSubBucketBits;
+    const std::uint64_t sub = idx & (kSubBuckets - 1);
+    return (kSubBuckets + sub) << (octave - 1);
+  }
+  static std::uint64_t bucket_upper(std::size_t idx) {
+    if (idx < kSubBuckets) return idx + 1;
+    return bucket_lower(idx) + (1ULL << ((idx >> kSubBucketBits) - 1));
+  }
+
+  void record(double value_us) {
+    if (value_us < 0) value_us = 0;
+    record(static_cast<std::uint64_t>(std::llround(value_us)));
+  }
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    s.buckets.resize(kNumBuckets);
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+      s.count += s.buckets[i];
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+inline double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= target && buckets[i] > 0) {
+      return 0.5 * static_cast<double>(LatencyHistogram::bucket_lower(i) +
+                                       LatencyHistogram::bucket_upper(i));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace ppr

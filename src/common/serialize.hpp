@@ -75,6 +75,7 @@ class ByteWriter {
   }
 
   void write_bytes(const void* data, std::size_t n) {
+    if (n == 0) return;  // data may be null for empty arrays
     const auto* p = static_cast<const std::uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -158,7 +159,7 @@ class ByteReader {
     GE_CHECK(pos_ + n * sizeof(T) <= data_.size(),
              "serialized buffer underflow");
     std::vector<T> v(n);
-    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    if (n != 0) std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return v;
   }
@@ -175,7 +176,7 @@ class ByteReader {
     GE_CHECK(pos_ + n * sizeof(T) <= data_.size(),
              "serialized buffer underflow");
     std::vector<T> v(n);
-    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    if (n != 0) std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     const std::size_t rem = (n * sizeof(T)) % kTensorAlignBytes;
     if (rem != 0) pos_ += kTensorAlignBytes - rem;

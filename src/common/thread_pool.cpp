@@ -4,7 +4,8 @@
 
 namespace ppr {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t max_queued)
+    : max_queued_(max_queued) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/ssppr_batch.hpp"
+#include "engine/state_pool.hpp"
 #include "ppr/power_iteration.hpp"
 
 namespace ppr {
@@ -130,22 +131,21 @@ ThroughputResult measure_engine_throughput(Cluster& cluster,
           return num_pushes;
         }
         // Lockstep batches of up to `bsz` queries sharing one state pool;
-        // reset() keeps the submap capacity across chunks.
-        std::vector<SspprState> pool;
-        pool.reserve(bsz);
+        // leased blocks keep their submap capacity across chunks (the same
+        // pool class serves the online QueryService).
+        SspprStatePool pool(options.ppr);
+        std::vector<NodeRef> refs;
+        refs.reserve(bsz);
         for (std::size_t lo = 0; lo < sources.size(); lo += bsz) {
           const std::size_t b = std::min(bsz, sources.size() - lo);
+          refs.clear();
           for (std::size_t i = 0; i < b; ++i) {
-            const NodeRef source{sources[lo + i], shard};
-            if (i < pool.size()) {
-              pool[i].reset(source);
-            } else {
-              pool.emplace_back(source, options.ppr);
-            }
+            refs.push_back(NodeRef{sources[lo + i], shard});
           }
+          SspprStatePool::Lease lease = pool.acquire(refs);
           num_pushes += run_ssppr_batch(cluster.storage(machine),
-                                        std::span<SspprState>(pool.data(), b),
-                                        options.driver, &timers)
+                                        lease.states(), options.driver,
+                                        &timers)
                             .num_pushes;
         }
         return num_pushes;

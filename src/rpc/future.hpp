@@ -1,7 +1,10 @@
-// Future/promise pair for asynchronous RPC results.
+// Future/promise pair for asynchronous results.
 //
 // Matches the semantics the paper relies on from torch.futures: issue many
-// async calls, keep computing locally, then wait() on each future.
+// async calls, keep computing locally, then wait() on each future. The
+// templated Future<T>/Promise<T> carry any payload type; the RPC layer
+// instantiates them with raw response bytes (RpcFuture/RpcPromise), the
+// online query service with typed query results.
 #pragma once
 
 #include <condition_variable>
@@ -16,19 +19,21 @@
 namespace ppr {
 
 namespace detail {
+template <typename T>
 struct FutureState {
   std::mutex mutex;
   std::condition_variable cv;
   bool ready = false;
-  std::vector<std::uint8_t> payload;
+  T value{};
   std::string error;  // non-empty => wait() throws RpcError
 };
 }  // namespace detail
 
-class RpcFuture {
+template <typename T>
+class Future {
  public:
-  RpcFuture() = default;
-  explicit RpcFuture(std::shared_ptr<detail::FutureState> state)
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> state)
       : state_(std::move(state)) {}
 
   bool valid() const { return state_ != nullptr; }
@@ -39,31 +44,32 @@ class RpcFuture {
     return state_->ready;
   }
 
-  /// Blocks until the response arrives; returns the response payload.
-  /// Throws RpcError if the remote handler failed.
-  std::vector<std::uint8_t> wait() {
+  /// Blocks until the result arrives; returns the value (moved out, so
+  /// wait() consumes the future). Throws RpcError if the producer failed.
+  T wait() {
     GE_CHECK(valid(), "wait on invalid future");
     std::unique_lock<std::mutex> lock(state_->mutex);
     state_->cv.wait(lock, [&] { return state_->ready; });
     if (!state_->error.empty()) throw RpcError(state_->error);
-    return std::move(state_->payload);
+    return std::move(state_->value);
   }
 
  private:
-  std::shared_ptr<detail::FutureState> state_;
+  std::shared_ptr<detail::FutureState<T>> state_;
 };
 
-class RpcPromise {
+template <typename T>
+class Promise {
  public:
-  RpcPromise() : state_(std::make_shared<detail::FutureState>()) {}
+  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
 
-  RpcFuture get_future() const { return RpcFuture(state_); }
+  Future<T> get_future() const { return Future<T>(state_); }
 
-  void set_value(std::vector<std::uint8_t> payload) {
+  void set_value(T value) {
     {
       std::lock_guard<std::mutex> lock(state_->mutex);
       GE_CHECK(!state_->ready, "promise already satisfied");
-      state_->payload = std::move(payload);
+      state_->value = std::move(value);
       state_->ready = true;
     }
     state_->cv.notify_all();
@@ -80,7 +86,11 @@ class RpcPromise {
   }
 
  private:
-  std::shared_ptr<detail::FutureState> state_;
+  std::shared_ptr<detail::FutureState<T>> state_;
 };
+
+/// The RPC layer's instantiation: futures of raw response payloads.
+using RpcFuture = Future<std::vector<std::uint8_t>>;
+using RpcPromise = Promise<std::vector<std::uint8_t>>;
 
 }  // namespace ppr

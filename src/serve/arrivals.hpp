@@ -1,0 +1,55 @@
+// Deterministic arrival schedules for the serving load generator.
+//
+// Open-loop (Poisson) arrivals model independent clients: exponential
+// inter-arrival gaps at the offered rate, sources uniform over the graph.
+// Everything derives from one WorkloadOptions-style seed through the
+// repo's xoshiro Rng, so two schedules built with the same arguments are
+// identical — bench_serving replays them faithfully and serving_test
+// asserts the determinism (schedule AND the admission/rejection sequence
+// it induces against a staged queue).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ppr::serve {
+
+struct ArrivalSchedule {
+  /// Arrival offsets from the start of the run, seconds, non-decreasing.
+  std::vector<double> at_seconds;
+  /// Global source node id per arrival.
+  std::vector<NodeId> sources;
+
+  std::size_t size() const { return at_seconds.size(); }
+};
+
+/// Poisson process at `offered_qps` over `num_queries` arrivals, sources
+/// uniform in [0, num_nodes).
+inline ArrivalSchedule make_poisson_schedule(double offered_qps,
+                                             std::size_t num_queries,
+                                             NodeId num_nodes,
+                                             std::uint64_t seed) {
+  GE_REQUIRE(offered_qps > 0, "offered_qps must be positive");
+  GE_REQUIRE(num_nodes > 0, "need a non-empty graph");
+  ArrivalSchedule s;
+  s.at_seconds.reserve(num_queries);
+  s.sources.reserve(num_queries);
+  Rng rng(seed);
+  double t = 0;
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    // Exponential gap: -ln(1-u)/λ, u in [0,1) so the log argument is
+    // never zero.
+    t += -std::log(1.0 - rng.next_double()) / offered_qps;
+    s.at_seconds.push_back(t);
+    s.sources.push_back(static_cast<NodeId>(
+        rng.next_u64(static_cast<std::uint64_t>(num_nodes))));
+  }
+  return s;
+}
+
+}  // namespace ppr::serve

@@ -1,0 +1,232 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+#include "engine/ssppr_batch.hpp"
+
+namespace ppr::serve {
+
+namespace {
+
+double micros_between(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+MachineScheduler::MachineScheduler(const DistGraphStorage& storage,
+                                   const ServeOptions& options,
+                                   ServiceStats& stats)
+    : storage_(storage),
+      options_(options),
+      stats_(stats),
+      pool_(options.ppr),
+      executors_(static_cast<std::size_t>(
+                     std::max(1, options.executors_per_machine)),
+                 std::max<std::size_t>(1, options.max_pending_batches)),
+      paused_(options.start_paused) {
+  GE_REQUIRE(options.max_queue >= 1, "max_queue must be >= 1");
+  GE_REQUIRE(options.max_batch_size >= 1, "max_batch_size must be >= 1");
+  GE_REQUIRE(options.max_batch_delay_us >= 0,
+             "max_batch_delay_us must be >= 0");
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+MachineScheduler::~MachineScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    paused_ = false;  // a paused scheduler still flushes on shutdown
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+  // ~ThreadPool runs any batches still queued, completing their promises.
+}
+
+bool MachineScheduler::try_enqueue(PendingQuery&& q) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || queue_.size() >= options_.max_queue) return false;
+    queue_.push_back(std::move(q));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void MachineScheduler::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void MachineScheduler::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void MachineScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return queue_.empty() && inflight_batches_ == 0;
+  });
+}
+
+void MachineScheduler::sweep_expired_locked(
+    std::vector<PendingQuery>& expired) {
+  const auto now = Clock::now();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline <= now) {
+      expired.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MachineScheduler::dispatcher_loop() {
+  const auto delay = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::micro>(options_.max_batch_delay_us));
+  for (;;) {
+    std::vector<PendingQuery> expired;
+    std::vector<PendingQuery> batch;
+    Clock::time_point oldest{};
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (!paused_ && !queue_.empty());
+      });
+      if (stop_ && queue_.empty()) break;
+      if (!stop_) {
+        sweep_expired_locked(expired);
+        // Wait for the batch to fill, but never past the oldest query's
+        // batch-delay deadline nor past the earliest per-query deadline.
+        while (!stop_ && !paused_ && !queue_.empty() &&
+               queue_.size() < options_.max_batch_size) {
+          auto wake = queue_.front().enqueue_time + delay;
+          for (const PendingQuery& q : queue_) {
+            wake = std::min(wake, q.deadline);
+          }
+          if (Clock::now() >= wake) break;
+          work_cv_.wait_until(lock, wake);
+          sweep_expired_locked(expired);
+        }
+        if (paused_ && !stop_) {
+          // Timeouts resolved below; batch formation resumes on resume().
+          lock.unlock();
+          for (PendingQuery& q : expired) {
+            stats_.on_timed_out();
+            QueryResult r;
+            r.status = QueryStatus::kTimedOut;
+            r.source = q.source;
+            r.e2e_us = micros_between(q.enqueue_time, Clock::now());
+            q.promise.set_value(std::move(r));
+          }
+          continue;
+        }
+      }
+      // Form the batch (shutdown flushes everything left, ignoring the
+      // delay knob so no promise is abandoned).
+      const std::size_t take =
+          stop_ ? queue_.size()
+                : std::min(queue_.size(), options_.max_batch_size);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (!batch.empty()) {
+        oldest = batch.front().enqueue_time;
+        for (const PendingQuery& q : batch) {
+          oldest = std::min(oldest, q.enqueue_time);
+        }
+        ++inflight_batches_;
+      }
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+
+    for (PendingQuery& q : expired) {
+      stats_.on_timed_out();
+      QueryResult r;
+      r.status = QueryStatus::kTimedOut;
+      r.source = q.source;
+      r.e2e_us = micros_between(q.enqueue_time, Clock::now());
+      q.promise.set_value(std::move(r));
+    }
+    if (batch.empty()) continue;
+
+    const auto dispatch_time = Clock::now();
+    stats_.on_batch(batch.size(), micros_between(oldest, dispatch_time));
+    auto job = [this, b = std::move(batch), oldest, dispatch_time]() mutable {
+      execute_batch(std::move(b), oldest, dispatch_time);
+    };
+    // Bounded handoff to the executors: when max_pending_batches batches
+    // are already waiting, hold the batch here until a slot frees up —
+    // the admission queue keeps absorbing (and eventually rejecting)
+    // arrivals in the meantime.
+    for (;;) {
+      if (executors_.try_submit(job)) break;
+      std::unique_lock<std::mutex> lock(mutex_);
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return executors_.queued() < executors_.max_queued();
+      });
+    }
+  }
+}
+
+void MachineScheduler::execute_batch(std::vector<PendingQuery> batch,
+                                     Clock::time_point /*oldest*/,
+                                     Clock::time_point dispatch_time) {
+  std::vector<NodeRef> sources;
+  sources.reserve(batch.size());
+  for (const PendingQuery& q : batch) sources.push_back(q.source);
+
+  QueryResult error_result;
+  std::string error;
+  std::vector<QueryResult> results(batch.size());
+  try {
+    SspprStatePool::Lease lease = pool_.acquire(sources);
+    const std::span<SspprState> states = lease.states();
+    WallTimer wall;
+    run_ssppr_batch(storage_, states, options_.driver);
+    const double execute_us = wall.micros();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      QueryResult& r = results[i];
+      r.status = QueryStatus::kOk;
+      r.source = batch[i].source;
+      if (options_.collect_entries) r.ppr = states[i].ppr_entries();
+      r.num_pushes = states[i].num_pushes();
+      r.batch_size = batch.size();
+      r.queue_wait_us = micros_between(batch[i].enqueue_time, dispatch_time);
+      r.execute_us = execute_us;
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  const auto done = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!error.empty()) {
+      batch[i].promise.set_error(error);
+      continue;
+    }
+    QueryResult& r = results[i];
+    r.e2e_us = micros_between(batch[i].enqueue_time, done);
+    stats_.on_completed(r.queue_wait_us, r.execute_us, r.e2e_us);
+    batch[i].promise.set_value(std::move(r));
+  }
+  finish_batch();
+}
+
+void MachineScheduler::finish_batch() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_batches_;
+  }
+  idle_cv_.notify_all();
+}
+
+}  // namespace ppr::serve

@@ -1,0 +1,99 @@
+// Per-machine admission queue + adaptive micro-batching scheduler.
+//
+// Each machine of the cluster gets one MachineScheduler (owner-compute
+// rule: a query runs on the machine owning its source). Lifecycle of a
+// query inside the scheduler:
+//
+//   submit ─▶ [bounded admission queue] ─▶ dispatcher thread forms a
+//   micro-batch ─▶ executor pool runs run_ssppr_batch over pooled states
+//   ─▶ per-query futures complete.
+//
+// * Admission is non-blocking with explicit backpressure: when the queue
+//   already holds `max_queue` queries, try_enqueue refuses and the caller
+//   resolves the future as REJECTED — the service never blocks a client
+//   on a saturated machine.
+// * The dispatcher implements the classic inference-serving tradeoff: a
+//   batch goes out when `max_batch_size` queries have accumulated OR
+//   `max_batch_delay_us` has elapsed since the OLDEST enqueued query,
+//   whichever comes first — small batches under light load (latency),
+//   full batches under heavy load (throughput, since run_ssppr_batch
+//   coalesces the batch's remote fetches per shard per round).
+// * Deadlines: every wake-up sweeps queued queries whose deadline passed
+//   and resolves them TIMED_OUT without executing them (their would-be
+//   states go unallocated, so an expired query costs nothing downstream).
+//   The dispatcher's sleep is capped by the earliest queued deadline, so
+//   a timeout fires on time even with no further arrivals.
+// * Execution runs on a bounded ThreadPool via try_submit: when
+//   `max_pending_batches` batches are already queued behind the
+//   executors, the dispatcher waits for a slot instead of growing the
+//   executor queue — backpressure then propagates to the admission queue
+//   and from there to submit() rejections.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "engine/state_pool.hpp"
+#include "serve/service_types.hpp"
+#include "serve/stats.hpp"
+#include "storage/dist_storage.hpp"
+
+namespace ppr::serve {
+
+class MachineScheduler {
+ public:
+  MachineScheduler(const DistGraphStorage& storage, const ServeOptions& options,
+                   ServiceStats& stats);
+  ~MachineScheduler();
+
+  MachineScheduler(const MachineScheduler&) = delete;
+  MachineScheduler& operator=(const MachineScheduler&) = delete;
+
+  /// Non-blocking admission. Returns false (queue full or shutting down)
+  /// without touching `q`; the caller rejects the query. On success the
+  /// scheduler takes ownership of `q` and will resolve its promise.
+  bool try_enqueue(PendingQuery&& q);
+
+  void pause();
+  void resume();
+
+  /// Block until the admission queue is empty and no batch is executing.
+  /// Precondition: not paused (a paused scheduler never drains).
+  void drain();
+
+  std::size_t states_created() const { return pool_.states_created(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void dispatcher_loop();
+  /// Resolve every queued query whose deadline has passed (caller holds
+  /// `mutex_`); promises complete outside the lock via the returned list.
+  void sweep_expired_locked(std::vector<PendingQuery>& expired);
+  void execute_batch(std::vector<PendingQuery> batch, Clock::time_point oldest,
+                     Clock::time_point dispatch_time);
+  void finish_batch();
+
+  const DistGraphStorage& storage_;
+  const ServeOptions& options_;
+  ServiceStats& stats_;
+  SspprStatePool pool_;
+  ThreadPool executors_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // dispatcher wake-ups
+  std::condition_variable idle_cv_;   // drain() / executor-slot waits
+  std::deque<PendingQuery> queue_;
+  int inflight_batches_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ppr::serve

@@ -1,0 +1,78 @@
+#include "serve/service.hpp"
+
+namespace ppr::serve {
+
+QueryService::QueryService(Cluster& cluster, ServeOptions options)
+    : cluster_(cluster), options_(options) {
+  schedulers_.reserve(static_cast<std::size_t>(cluster.num_machines()));
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    schedulers_.push_back(std::make_unique<MachineScheduler>(
+        cluster.storage(m), options_, stats_));
+  }
+}
+
+QueryService::~QueryService() = default;
+
+QueryFuture QueryService::submit(NodeId global_source, double deadline_us) {
+  GE_REQUIRE(global_source >= 0 && global_source < cluster_.num_nodes(),
+             "source node id out of range");
+  return submit(cluster_.locate(global_source), deadline_us);
+}
+
+QueryFuture QueryService::submit(NodeRef source, double deadline_us) {
+  GE_REQUIRE(source.shard >= 0 &&
+                 source.shard < static_cast<ShardId>(cluster_.num_machines()),
+             "source shard out of range");
+  GE_REQUIRE(source.local >= 0 &&
+                 source.local < cluster_.shard(source.shard).num_core_nodes(),
+             "source local id out of range");
+  stats_.on_submitted();
+
+  if (deadline_us < 0) deadline_us = options_.default_deadline_us;
+  PendingQuery q;
+  q.source = source;
+  q.enqueue_time = std::chrono::steady_clock::now();
+  q.deadline =
+      deadline_us > 0
+          ? q.enqueue_time + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double, std::micro>(
+                                     deadline_us))
+          : std::chrono::steady_clock::time_point::max();
+  QueryFuture future = q.promise.get_future();
+
+  auto& sched = *schedulers_[static_cast<std::size_t>(source.shard)];
+  if (sched.try_enqueue(std::move(q))) {
+    stats_.on_admitted();
+    return future;
+  }
+  // Queue full: resolve immediately with an explicit reject — the caller
+  // is never blocked on a saturated machine. (try_enqueue leaves `q`
+  // untouched on refusal, so its promise is still ours to satisfy.)
+  stats_.on_rejected();
+  QueryResult r;
+  r.status = QueryStatus::kRejected;
+  r.source = source;
+  q.promise.set_value(std::move(r));
+  return future;
+}
+
+void QueryService::pause() {
+  for (auto& s : schedulers_) s->pause();
+}
+
+void QueryService::resume() {
+  for (auto& s : schedulers_) s->resume();
+}
+
+void QueryService::drain() {
+  for (auto& s : schedulers_) s->drain();
+}
+
+ServiceStatsSnapshot QueryService::stats() const {
+  std::uint64_t states_created = 0;
+  for (const auto& s : schedulers_) states_created += s->states_created();
+  return stats_.snapshot(states_created);
+}
+
+}  // namespace ppr::serve

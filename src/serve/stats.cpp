@@ -1,0 +1,37 @@
+#include "serve/stats.hpp"
+
+namespace ppr::serve {
+
+ServiceStatsSnapshot ServiceStats::snapshot(
+    std::uint64_t states_created) const {
+  ServiceStatsSnapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  s.states_created = states_created;
+  s.queue_wait_us = queue_wait_us_.snapshot();
+  s.batch_form_us = batch_form_us_.snapshot();
+  s.execute_us = execute_us_.snapshot();
+  s.e2e_us = e2e_us_.snapshot();
+  return s;
+}
+
+void ServiceStats::reset() {
+  submitted_.store(0, std::memory_order_relaxed);
+  admitted_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  timed_out_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  batched_queries_.store(0, std::memory_order_relaxed);
+  queue_wait_us_.reset();
+  batch_form_us_.reset();
+  execute_us_.reset();
+  e2e_us_.reset();
+}
+
+}  // namespace ppr::serve

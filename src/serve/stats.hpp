@@ -1,0 +1,85 @@
+// SLO metrics for the online SSPPR query service.
+//
+// One ServiceStats instance is shared by every per-machine scheduler of a
+// QueryService: counters are relaxed atomics, latency distributions are
+// lock-free log-bucketed histograms (common/histogram.hpp), so the serving
+// hot path never takes a lock to record a sample. snapshot() produces a
+// plain-value view with the p50/p95/p99 latencies the load generator and
+// tests report.
+//
+// Latency stages per query (all microseconds):
+//   queue_wait — submit() accept to batch dispatch;
+//   execute    — wall time of the run_ssppr_batch call that served the
+//                query (shared by every query of the batch);
+//   e2e        — submit() accept to future completion.
+// Per batch: batch_form — dispatch minus the OLDEST member's enqueue time
+// (how long the scheduler held the batch open; bounded by max_batch_delay).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/histogram.hpp"
+
+namespace ppr::serve {
+
+struct ServiceStatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t completed = 0;  // status OK
+  std::uint64_t batches = 0;
+  std::uint64_t batched_queries = 0;  // executed queries, for mean size
+  std::uint64_t states_created = 0;   // lifetime SspprState constructions
+
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_queries) /
+                              static_cast<double>(batches);
+  }
+
+  HistogramSnapshot queue_wait_us;
+  HistogramSnapshot batch_form_us;
+  HistogramSnapshot execute_us;
+  HistogramSnapshot e2e_us;
+};
+
+class ServiceStats {
+ public:
+  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void on_timed_out() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
+  void on_completed(double queue_wait_us, double execute_us, double e2e_us) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    queue_wait_us_.record(queue_wait_us);
+    execute_us_.record(execute_us);
+    e2e_us_.record(e2e_us);
+  }
+  void on_batch(std::size_t num_queries, double form_us) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_queries_.fetch_add(num_queries, std::memory_order_relaxed);
+    batch_form_us_.record(form_us);
+  }
+
+  /// `states_created` comes from the service's pools at snapshot time.
+  ServiceStatsSnapshot snapshot(std::uint64_t states_created = 0) const;
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_queries_{0};
+  LatencyHistogram queue_wait_us_;
+  LatencyHistogram batch_form_us_;
+  LatencyHistogram execute_us_;
+  LatencyHistogram e2e_us_;
+};
+
+}  // namespace ppr::serve

@@ -6,6 +6,7 @@
 
 #include "common/argparse.hpp"
 #include "common/check.hpp"
+#include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "common/thread_pool.hpp"
@@ -213,6 +214,83 @@ TEST(ThreadPool, PropagatesExceptions) {
   ThreadPool pool(2);
   auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TrySubmitRejectsWhenQueueFull) {
+  ThreadPool pool(1, /*max_queued=*/2);
+  // Park the single worker so queued tasks pile up deterministically.
+  std::mutex gate;
+  gate.lock();
+  auto blocker = pool.submit([&gate] { std::lock_guard<std::mutex> l(gate); });
+  // Give the worker a moment to pick the blocker up (it may briefly count
+  // as queued otherwise and eat one slot).
+  while (pool.queued() > 0) std::this_thread::yield();
+
+  auto a = pool.try_submit([] { return 1; });
+  auto b = pool.try_submit([] { return 2; });
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(pool.queued(), 2u);
+  // Queue is at max_queued: the bounded path refuses, non-blocking.
+  auto c = pool.try_submit([] { return 3; });
+  EXPECT_FALSE(c.has_value());
+  // Unbounded submit still accepts (only try_submit honors the bound).
+  auto d = pool.submit([] { return 4; });
+
+  gate.unlock();
+  blocker.get();
+  EXPECT_EQ(a->get(), 1);
+  EXPECT_EQ(b->get(), 2);
+  EXPECT_EQ(d.get(), 4);
+  // Capacity freed: try_submit works again.
+  auto e = pool.try_submit([] { return 5; });
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->get(), 5);
+}
+
+TEST(Histogram, BucketsAreContiguousAndMonotonic) {
+  // Every value maps into a bucket whose [lower, upper) range contains it.
+  for (std::uint64_t v = 0; v < 100000; v = v < 512 ? v + 1 : v * 17 / 16) {
+    const std::size_t idx = LatencyHistogram::bucket_of(v);
+    EXPECT_LE(LatencyHistogram::bucket_lower(idx), v) << v;
+    EXPECT_GT(LatencyHistogram::bucket_upper(idx), v) << v;
+  }
+}
+
+TEST(Histogram, PercentilesWithinQuantizationError) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<std::uint64_t>(i));
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_NEAR(s.mean(), 500.5, 1e-9);
+  // 1/kSubBuckets relative quantization (12.5%) plus the bucket midpoint.
+  EXPECT_NEAR(s.percentile(0.5), 500.0, 500.0 * 0.14);
+  EXPECT_NEAR(s.percentile(0.95), 950.0, 950.0 * 0.14);
+  EXPECT_NEAR(s.percentile(0.99), 990.0, 990.0 * 0.14);
+  EXPECT_NEAR(s.percentile(1.0), 1000.0, 1000.0 * 0.14);
+}
+
+TEST(Histogram, ConcurrentRecordsAllCounted) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < 1000; ++i) {
+        h.record(static_cast<std::uint64_t>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.snapshot().count, 8000u);
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  LatencyHistogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.percentile(0.99), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
 }
 
 TEST(ParallelForThreads, CoversAllIndicesOnce) {

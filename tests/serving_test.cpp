@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/ssppr_driver.hpp"
+#include "graph/generators.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/service.hpp"
+
+namespace ppr {
+namespace {
+
+using serve::ArrivalSchedule;
+using serve::QueryFuture;
+using serve::QueryResult;
+using serve::QueryService;
+using serve::QueryStatus;
+using serve::ServeOptions;
+
+constexpr double kAlpha = 0.462;
+
+using Entries = std::vector<std::pair<NodeRef, double>>;
+
+Entries sorted_entries(Entries e) {
+  std::sort(e.begin(), e.end(), [](const auto& a, const auto& b) {
+    return a.first.key() < b.first.key();
+  });
+  return e;
+}
+
+class ServingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = generate_rmat(800, 4000, 0.5, 0.2, 0.2, 99);
+    assignment_ = partition_multilevel(graph_, 4);
+    cluster_ = std::make_unique<Cluster>(
+        graph_, assignment_,
+        ClusterOptions{.num_machines = 4, .network = no_network_cost()});
+  }
+
+  ServeOptions base_options() const {
+    ServeOptions o;
+    o.ppr = SspprOptions{.alpha = kAlpha, .epsilon = 1e-6};
+    return o;
+  }
+
+  Graph graph_;
+  PartitionAssignment assignment_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+// (a) Results served through the queue/scheduler/batch pipeline are
+// bit-identical to direct run_ssppr for the same sources and options.
+TEST_F(ServingFixture, ResultsBitIdenticalToDirectRun) {
+  ServeOptions o = base_options();
+  o.max_batch_size = 4;
+  o.max_batch_delay_us = 500;
+  QueryService service(*cluster_, o);
+
+  std::vector<NodeId> sources;
+  for (NodeId g = 0; g < 16; ++g) {
+    sources.push_back((g * 37 + 5) % graph_.num_nodes());
+  }
+  std::vector<QueryFuture> futures;
+  for (const NodeId g : sources) futures.push_back(service.submit(g));
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    QueryResult r = futures[i].wait();
+    ASSERT_EQ(r.status, QueryStatus::kOk) << "query " << i;
+    const NodeRef src = cluster_->locate(sources[i]);
+    EXPECT_EQ(r.source, src);
+    const SspprState ref =
+        compute_ssppr(cluster_->storage(src.shard), src, o.ppr, o.driver);
+    const Entries want = sorted_entries(ref.ppr_entries());
+    const Entries got = sorted_entries(r.ppr);
+    ASSERT_EQ(got.size(), want.size()) << "query " << i;
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      ASSERT_EQ(got[k].first.key(), want[k].first.key());
+      ASSERT_EQ(got[k].second, want[k].second);  // bit-identical doubles
+    }
+    EXPECT_EQ(r.num_pushes, ref.num_pushes());
+    EXPECT_GE(r.batch_size, 1u);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, sources.size());
+  EXPECT_EQ(stats.completed, sources.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.e2e_us.count, sources.size());
+  EXPECT_GT(stats.e2e_us.percentile(0.99), 0.0);
+}
+
+// (b) A full admission queue rejects with status instead of blocking.
+TEST_F(ServingFixture, FullQueueRejectsWithStatus) {
+  ServeOptions o = base_options();
+  o.max_queue = 4;
+  o.start_paused = true;  // stage the queue deterministically
+  QueryService service(*cluster_, o);
+
+  // All sources on machine 0 so they hit the same bounded queue.
+  const auto shard0 = static_cast<ShardId>(0);
+  const NodeId core = cluster_->shard(0).num_core_nodes();
+  std::vector<QueryFuture> futures;
+  for (NodeId i = 0; i < 7; ++i) {
+    futures.push_back(service.submit(NodeRef{i % core, shard0}));
+  }
+  // First 4 admitted (pending), last 3 rejected (already resolved).
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(futures[i].ready()) << i;
+  for (int i = 4; i < 7; ++i) {
+    ASSERT_TRUE(futures[i].ready()) << i;
+    EXPECT_EQ(futures[i].wait().status, QueryStatus::kRejected);
+  }
+  auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 7u);
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.rejected, 3u);
+
+  service.resume();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(futures[i].wait().status, QueryStatus::kOk);
+  }
+  stats = service.stats();
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+// (c) An expired deadline resolves TIMED_OUT without executing, and the
+// pooled states are recycled (a timed-out query allocates none at all).
+TEST_F(ServingFixture, ExpiredDeadlineTimesOutAndRecyclesState) {
+  ServeOptions o = base_options();
+  o.start_paused = true;
+  o.max_batch_size = 8;
+  QueryService service(*cluster_, o);
+
+  const auto shard0 = static_cast<ShardId>(0);
+  QueryFuture doomed =
+      service.submit(NodeRef{0, shard0}, /*deadline_us=*/100);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.resume();
+  const QueryResult r = doomed.wait();
+  EXPECT_EQ(r.status, QueryStatus::kTimedOut);
+  EXPECT_TRUE(r.ppr.empty());
+  auto stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.states_created, 0u)
+      << "a timed-out query must not consume a pooled state";
+
+  // The service keeps serving afterwards and the pool warms up normally.
+  QueryFuture ok = service.submit(NodeRef{1, shard0});
+  EXPECT_EQ(ok.wait().status, QueryStatus::kOk);
+  stats = service.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_GE(stats.states_created, 1u);
+}
+
+// (d) Adaptive batching: with no further arrivals, a partial batch goes
+// out after max_batch_delay instead of waiting for max_batch_size.
+TEST_F(ServingFixture, PartialBatchDispatchesAfterDelay) {
+  ServeOptions o = base_options();
+  o.max_batch_size = 64;           // never reached
+  o.max_batch_delay_us = 3000;     // 3ms
+  QueryService service(*cluster_, o);
+
+  const auto shard2 = static_cast<ShardId>(2);
+  const NodeId core = cluster_->shard(2).num_core_nodes();
+  std::vector<QueryFuture> futures;
+  for (NodeId i = 0; i < 3; ++i) {
+    futures.push_back(service.submit(NodeRef{i % core, shard2}));
+  }
+  for (auto& f : futures) {
+    const QueryResult r = f.wait();  // blocks until the delay fires
+    EXPECT_EQ(r.status, QueryStatus::kOk);
+    EXPECT_LE(r.batch_size, 3u);
+    EXPECT_GE(r.batch_size, 1u);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, 3u);
+  EXPECT_GT(stats.batch_form_us.count, 0u);
+}
+
+// Steady-state serving performs zero per-query SspprState allocations:
+// after the first full-size batch, every batch reuses reset() states.
+TEST_F(ServingFixture, SteadyStateServingAllocatesNoStates) {
+  ServeOptions o = base_options();
+  o.max_batch_size = 8;
+  o.max_queue = 64;
+  o.start_paused = true;
+  QueryService service(*cluster_, o);
+
+  const auto shard1 = static_cast<ShardId>(1);
+  const NodeId core = cluster_->shard(1).num_core_nodes();
+  const auto run_wave = [&](NodeId salt) {
+    std::vector<QueryFuture> futures;
+    for (NodeId i = 0; i < 8; ++i) {
+      futures.push_back(
+          service.submit(NodeRef{(i * 13 + salt) % core, shard1}));
+    }
+    service.resume();
+    for (auto& f : futures) EXPECT_EQ(f.wait().status, QueryStatus::kOk);
+    service.drain();
+    service.pause();
+  };
+
+  run_wave(0);  // warm-up: one batch of 8 states gets constructed
+  const auto warm = service.stats().states_created;
+  EXPECT_EQ(warm, 8u);
+  for (NodeId wave = 1; wave <= 3; ++wave) run_wave(wave);
+  EXPECT_EQ(service.stats().states_created, warm)
+      << "steady-state batches must reuse pooled states";
+  EXPECT_EQ(service.stats().completed, 32u);
+}
+
+// Seeded Poisson schedules are bit-identical across runs, and so is the
+// admission/rejection sequence they induce against a staged queue.
+TEST_F(ServingFixture, SeededArrivalsAndAdmissionAreDeterministic) {
+  const ArrivalSchedule a =
+      serve::make_poisson_schedule(500.0, 64, graph_.num_nodes(), 7);
+  const ArrivalSchedule b =
+      serve::make_poisson_schedule(500.0, 64, graph_.num_nodes(), 7);
+  ASSERT_EQ(a.size(), 64u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.at_seconds[i], b.at_seconds[i]) << i;  // bitwise doubles
+    ASSERT_EQ(a.sources[i], b.sources[i]) << i;
+  }
+  ASSERT_TRUE(std::is_sorted(a.at_seconds.begin(), a.at_seconds.end()));
+  const ArrivalSchedule c =
+      serve::make_poisson_schedule(500.0, 64, graph_.num_nodes(), 8);
+  EXPECT_NE(c.at_seconds, a.at_seconds);
+
+  // Replaying the schedule as a burst against a paused service yields the
+  // same admission/rejection sequence both times (per-machine queues fill
+  // in schedule order).
+  const auto statuses_of = [&] {
+    ServeOptions o = base_options();
+    o.max_queue = 8;
+    o.start_paused = true;
+    QueryService service(*cluster_, o);
+    std::vector<bool> admitted;
+    std::vector<QueryFuture> futures;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      QueryFuture f = service.submit(a.sources[i]);
+      admitted.push_back(!f.ready());  // rejected futures resolve at once
+      futures.push_back(std::move(f));
+    }
+    service.resume();
+    for (auto& f : futures) f.wait();
+    return admitted;
+  };
+  const std::vector<bool> first = statuses_of();
+  const std::vector<bool> second = statuses_of();
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(std::find(first.begin(), first.end(), false) != first.end())
+      << "the burst must overflow at least one 8-deep machine queue";
+}
+
+// Destroying a service with admitted-but-undispatched queries flushes
+// them: every future resolves.
+TEST_F(ServingFixture, ShutdownFlushesPendingQueries) {
+  std::vector<QueryFuture> futures;
+  {
+    ServeOptions o = base_options();
+    o.start_paused = true;
+    QueryService service(*cluster_, o);
+    for (NodeId g = 0; g < 8; ++g) {
+      futures.push_back(service.submit((g * 11 + 1) % graph_.num_nodes()));
+    }
+  }  // destructor flushes while still paused
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait().status, QueryStatus::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace ppr

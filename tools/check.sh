@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 verification under AddressSanitizer: configures a separate
-# build-asan tree with -DGE_SANITIZE=address, builds the test suite, and
-# runs it. Usage: tools/check.sh [address|thread|undefined]
+# Tier-1 verification under sanitizers: for each requested configuration,
+# configures a separate build-<san>san tree with -DGE_SANITIZE=<san>,
+# builds the test suite, and runs it.
+#
+# Usage: tools/check.sh [sanitizer ...]
+#   tools/check.sh                      # address, then undefined (default)
+#   tools/check.sh thread               # just TSan
+#   tools/check.sh address,undefined    # one combined ASan+UBSan build
 set -euo pipefail
 
-SANITIZER="${1:-address}"
+if [ $# -eq 0 ]; then
+  SANITIZERS=(address undefined)
+else
+  SANITIZERS=("$@")
+fi
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${ROOT}/build-${SANITIZER}san"
 
-cmake -S "${ROOT}" -B "${BUILD}" -DGE_SANITIZE="${SANITIZER}" \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD}" -j"$(nproc)"
-ctest --test-dir "${BUILD}" --output-on-failure -j"$(nproc)"
+for SANITIZER in "${SANITIZERS[@]}"; do
+  BUILD="${ROOT}/build-$(echo "${SANITIZER}" | tr ',' '-')san"
+  echo "=== ${SANITIZER}: ${BUILD} ==="
+  cmake -S "${ROOT}" -B "${BUILD}" -DGE_SANITIZE="${SANITIZER}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD}" -j"$(nproc)"
+  ctest --test-dir "${BUILD}" --output-on-failure -j"$(nproc)"
+done
