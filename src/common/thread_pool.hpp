@@ -45,19 +45,21 @@ class ThreadPool {
   /// Non-blocking bounded enqueue: refuses (returns nullopt, task not
   /// queued) when `max_queued` tasks are already waiting. The explicit
   /// reject is what backpressure paths need — a caller that gets nullopt
-  /// sheds load instead of growing the queue without bound.
+  /// sheds load instead of growing the queue without bound. The capacity
+  /// check happens before the task is constructed, so a reject performs
+  /// no allocation and leaves `f` unmoved — callers may retry with the
+  /// same callable (even after passing it by std::move).
   template <typename F>
   auto try_submit(F&& f)
       -> std::optional<std::future<std::invoke_result_t<F>>> {
     using R = std::invoke_result_t<F>;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_ || queue_.size() >= max_queued_) return std::nullopt;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stop_ || queue_.size() >= max_queued_) return std::nullopt;
-      queue_.emplace_back([task] { (*task)(); });
-    }
+    queue_.emplace_back([task] { (*task)(); });
+    lock.unlock();
     cv_.notify_one();
     return fut;
   }

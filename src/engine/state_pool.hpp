@@ -35,8 +35,29 @@ class SspprStatePool {
     Lease(SspprStatePool* pool, std::unique_ptr<std::vector<SspprState>> block,
           std::size_t used)
         : pool_(pool), block_(std::move(block)), used_(used) {}
-    Lease(Lease&&) = default;
-    Lease& operator=(Lease&&) = default;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_),
+          block_(std::move(other.block_)),
+          used_(other.used_) {
+      other.pool_ = nullptr;
+      other.used_ = 0;
+    }
+    // Returns the target's current block to the pool (a defaulted move
+    // would destroy it, silently shrinking the pool) before adopting the
+    // source's.
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        if (pool_ != nullptr && block_ != nullptr) {
+          pool_->release(std::move(block_));
+        }
+        pool_ = other.pool_;
+        block_ = std::move(other.block_);
+        used_ = other.used_;
+        other.pool_ = nullptr;
+        other.used_ = 0;
+      }
+      return *this;
+    }
     Lease(const Lease&) = delete;
     Lease& operator=(const Lease&) = delete;
     ~Lease() {

@@ -23,10 +23,10 @@ MachineScheduler::MachineScheduler(const DistGraphStorage& storage,
       options_(options),
       stats_(stats),
       pool_(options.ppr),
+      paused_(options.start_paused),
       executors_(static_cast<std::size_t>(
                      std::max(1, options.executors_per_machine)),
-                 std::max<std::size_t>(1, options.max_pending_batches)),
-      paused_(options.start_paused) {
+                 std::max<std::size_t>(1, options.max_pending_batches)) {
   GE_REQUIRE(options.max_queue >= 1, "max_queue must be >= 1");
   GE_REQUIRE(options.max_batch_size >= 1, "max_batch_size must be >= 1");
   GE_REQUIRE(options.max_batch_delay_us >= 0,
@@ -97,9 +97,23 @@ void MachineScheduler::dispatcher_loop() {
     Clock::time_point oldest{};
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] {
-        return stop_ || (!paused_ && !queue_.empty());
-      });
+      // Idle / paused wait. While paused with queries still queued, the
+      // wait is capped at the earliest per-query deadline so timeouts
+      // fire on time even though batch formation is suspended.
+      for (;;) {
+        if (stop_ || (!paused_ && !queue_.empty())) break;
+        sweep_expired_locked(expired);
+        if (!expired.empty()) break;
+        if (queue_.empty()) {
+          work_cv_.wait(lock);
+        } else {
+          auto wake = queue_.front().deadline;
+          for (const PendingQuery& q : queue_) {
+            wake = std::min(wake, q.deadline);
+          }
+          work_cv_.wait_until(lock, wake);
+        }
+      }
       if (stop_ && queue_.empty()) break;
       if (!stop_) {
         sweep_expired_locked(expired);
@@ -166,9 +180,10 @@ void MachineScheduler::dispatcher_loop() {
     // Bounded handoff to the executors: when max_pending_batches batches
     // are already waiting, hold the batch here until a slot frees up —
     // the admission queue keeps absorbing (and eventually rejecting)
-    // arrivals in the meantime.
+    // arrivals in the meantime. try_submit leaves `job` untouched on a
+    // reject, so moving it is safe across retries.
     for (;;) {
-      if (executors_.try_submit(job)) break;
+      if (executors_.try_submit(std::move(job))) break;
       std::unique_lock<std::mutex> lock(mutex_);
       idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
         return executors_.queued() < executors_.max_queued();

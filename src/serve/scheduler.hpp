@@ -59,6 +59,9 @@ class MachineScheduler {
   /// scheduler takes ownership of `q` and will resolve its promise.
   bool try_enqueue(PendingQuery&& q);
 
+  /// Suspend batch formation. Per-query deadlines still fire while
+  /// paused: the dispatcher keeps sweeping expired queries and resolving
+  /// them TIMED_OUT, it just dispatches no batches until resume().
   void pause();
   void resume();
 
@@ -83,7 +86,6 @@ class MachineScheduler {
   const ServeOptions& options_;
   ServiceStats& stats_;
   SspprStatePool pool_;
-  ThreadPool executors_;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;   // dispatcher wake-ups
@@ -92,6 +94,12 @@ class MachineScheduler {
   int inflight_batches_ = 0;
   bool paused_ = false;
   bool stop_ = false;
+
+  // Declared after every member its queued batches touch: ~ThreadPool
+  // runs still-queued batches, and execute_batch/finish_batch use pool_,
+  // stats_, mutex_ and idle_cv_ — so executors_ must be destroyed first,
+  // while those are still alive.
+  ThreadPool executors_;
 
   std::thread dispatcher_;
 };
