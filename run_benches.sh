@@ -11,6 +11,9 @@ cd /root/repo
     ./build/bench/$b "$@" 2>&1
     echo
   done
+  echo "##### bench_traversal_cache (smoke: BFS/random-walk cache ablation)"
+  ./build/bench/bench_traversal_cache --scale 0.05 --quick 2>&1
+  echo
   echo "##### bench_batch_queries (smoke: tiny graph, capped)"
   ./build/bench/bench_batch_queries --nodes 4000 --edges 16000 \
       --queries 64 --batches 1,16 2>&1

@@ -2,46 +2,24 @@
 
 #include <algorithm>
 
-#include "concurrent/flat_map.hpp"
+#include "storage/fetch_pipeline.hpp"
 
 namespace ppr {
 
 namespace {
 
-/// Buffers of the lockstep loop, allocated once per run_ssppr_batch call
-/// and recycled every round (same discipline as the single-query driver's
-/// IterationScratch). Indexed [query] or [shard] as named.
+/// Per-query buffers of the lockstep loop, allocated once per
+/// run_ssppr_batch call and recycled every round. The cross-query union,
+/// cache splits, and RPCs all live in the shared FetchPipeline; this only
+/// keeps each query's popped frontier and its per-shard group positions.
 struct BatchScratch {
   BatchScratch(std::size_t num_queries, std::size_t num_shards)
       : node_ids(num_queries),
         shard_ids(num_queries),
         groups(num_queries,
-               std::vector<std::vector<std::size_t>>(num_shards)),
-        union_locals(num_shards),
-        union_index(num_shards),
-        resolved(num_shards),
-        row_is_halo(num_shards),
-        arenas(num_shards),
-        halo_splits(num_shards),
-        adj_splits(num_shards),
-        fetch_locals(num_shards),
-        fetch_rows(num_shards),
-        fetches(num_shards),
-        batches(num_shards) {}
+               std::vector<std::vector<std::size_t>>(num_shards)) {}
 
-  void begin_round(std::size_t num_queries, std::size_t num_shards) {
-    for (std::size_t j = 0; j < num_shards; ++j) {
-      union_locals[j].clear();
-      union_index[j].clear();
-      resolved[j].clear();
-      row_is_halo[j].clear();
-      arenas[j].clear();
-      fetch_locals[j].clear();
-      fetch_rows[j].clear();
-      // A stale future would be waited on twice when a later round skips
-      // this shard, and RpcFuture::wait() moves its payload out.
-      fetches[j] = NeighborFetch();
-    }
+  void begin_round(std::size_t num_queries) {
     for (std::size_t q = 0; q < num_queries; ++q) {
       for (auto& g : groups[q]) g.clear();
     }
@@ -52,22 +30,6 @@ struct BatchScratch {
   std::vector<std::vector<NodeId>> node_ids;
   std::vector<std::vector<ShardId>> shard_ids;
   std::vector<std::vector<std::vector<std::size_t>>> groups;
-
-  // Per shard: the deduplicated cross-query union, local id -> union row,
-  // and the resolved neighbor row for every union entry.
-  std::vector<std::vector<NodeId>> union_locals;
-  std::vector<FlatMap<std::uint32_t>> union_index;
-  std::vector<std::vector<VertexProp>> resolved;
-  std::vector<std::vector<std::uint8_t>> row_is_halo;
-  std::vector<CachedRowArena> arenas;
-  std::vector<DistGraphStorage::HaloSplit> halo_splits;
-  std::vector<DistGraphStorage::AdjacencySplit> adj_splits;
-  // Per shard: what actually goes on the wire (cache misses) and the
-  // union row each response row lands in.
-  std::vector<std::vector<NodeId>> fetch_locals;
-  std::vector<std::vector<std::size_t>> fetch_rows;
-  std::vector<NeighborFetch> fetches;
-  std::vector<NeighborBatch> batches;
 };
 
 }  // namespace
@@ -90,9 +52,8 @@ BatchRunStats run_ssppr_batch(const DistGraphStorage& storage,
                "owner-compute rule: every source must live on this shard");
   }
 
-  const bool use_halo = storage.halo_cache_enabled();
-  const bool use_cache = storage.adjacency_cache_enabled();
   BatchScratch scratch(nq, ns);
+  FetchPipeline pipeline(storage);
 
   for (;;) {
     // --- Pop every query's frontier; stop once all are exhausted. ------
@@ -106,113 +67,28 @@ BatchRunStats run_ssppr_batch(const DistGraphStorage& storage,
     }
     if (!any_active) break;
     ++stats.num_iterations;
-    scratch.begin_round(nq, ns);
+    scratch.begin_round(nq);
+    pipeline.begin_round();
 
-    // --- Build the per-shard cross-query unions and per-query groups. --
+    // --- Cross-query dedup: every wanted vertex joins its shard's union
+    // once, however many queries requested it.
     for (std::size_t q = 0; q < nq; ++q) {
       const auto& nids = scratch.node_ids[q];
       const auto& sids = scratch.shard_ids[q];
       for (std::size_t i = 0; i < nids.size(); ++i) {
-        const auto j = static_cast<std::size_t>(sids[i]);
-        scratch.groups[q][j].push_back(i);
-        const auto key = static_cast<std::uint64_t>(nids[i]);
-        if (scratch.union_index[j].find(key) == nullptr) {
-          scratch.union_index[j][key] =
-              static_cast<std::uint32_t>(scratch.union_locals[j].size());
-          scratch.union_locals[j].push_back(nids[i]);
-        }
+        scratch.groups[q][static_cast<std::size_t>(sids[i])].push_back(i);
+        pipeline.add(sids[i], nids[i]);
       }
     }
 
-    // --- Issue at most one RPC per remote shard for the union misses. --
-    for (std::size_t j = 0; j < ns; ++j) {
-      const auto& uni = scratch.union_locals[j];
-      if (j == static_cast<std::size_t>(self) || uni.empty()) continue;
-      scratch.resolved[j].assign(uni.size(), VertexProp{});
-      scratch.row_is_halo[j].assign(uni.size(), 0);
-
-      // Rows still unresolved after the halo split, as union rows.
-      std::span<const NodeId> pending_locals = uni;
-      const std::vector<std::size_t>* pending_rows = nullptr;  // identity
-      if (use_halo) {
-        auto& hs = scratch.halo_splits[j];
-        hs = storage.split_by_halo_cache(static_cast<ShardId>(j), uni);
-        for (std::size_t h = 0; h < hs.hit_indices.size(); ++h) {
-          scratch.resolved[j][hs.hit_indices[h]] = hs.hit_props[h];
-          scratch.row_is_halo[j][hs.hit_indices[h]] = 1;
-        }
-        pending_locals = hs.miss_locals;
-        pending_rows = &hs.miss_indices;
-      }
-      const auto pending_row = [&](std::size_t p) {
-        return pending_rows != nullptr ? (*pending_rows)[p] : p;
-      };
-      if (use_cache) {
-        auto& as = scratch.adj_splits[j];
-        as = storage.split_by_adjacency_cache(static_cast<ShardId>(j),
-                                              pending_locals,
-                                              scratch.arenas[j]);
-        // All of this shard's arena appends happened inside that one
-        // lookup, so the views handed out below stay valid.
-        for (std::size_t h = 0; h < as.hit_indices.size(); ++h) {
-          scratch.resolved[j][pending_row(as.hit_indices[h])] =
-              scratch.arenas[j].row(as.hit_rows[h]);
-        }
-        for (std::size_t m = 0; m < as.miss_locals.size(); ++m) {
-          scratch.fetch_locals[j].push_back(as.miss_locals[m]);
-          scratch.fetch_rows[j].push_back(pending_row(as.miss_indices[m]));
-        }
-      } else {
-        for (std::size_t p = 0; p < pending_locals.size(); ++p) {
-          scratch.fetch_locals[j].push_back(pending_locals[p]);
-          scratch.fetch_rows[j].push_back(pending_row(p));
-        }
-      }
-      if (!scratch.fetch_locals[j].empty()) {
-        ScopedPhase phase(t, Phase::kRemoteFetch);
-        scratch.fetches[j] = storage.get_neighbor_infos_async(
-            static_cast<ShardId>(j), scratch.fetch_locals[j],
-            options.compress);
-      }
-    }
-
-    const auto wait_all = [&] {
-      ScopedPhase phase(t, Phase::kRemoteFetch);
-      for (std::size_t j = 0; j < ns; ++j) {
-        if (scratch.fetches[j].valid()) {
-          scratch.batches[j] = scratch.fetches[j].wait();
-        }
-      }
-    };
-    // No-overlap mode waits before any local work so the remote phase is
-    // fully exposed; overlap mode resolves the local union first.
-    if (!options.overlap) wait_all();
-
-    // --- Resolve the self-shard union through shared memory. -----------
-    const auto self_idx = static_cast<std::size_t>(self);
-    if (!scratch.union_locals[self_idx].empty()) {
-      ScopedPhase phase(t, Phase::kLocalFetch);
-      scratch.resolved[self_idx] =
-          storage.get_neighbor_infos_local(scratch.union_locals[self_idx]);
-    }
-
-    if (options.overlap) wait_all();
-
-    // --- Fan responses into the union rows; feed the adjacency cache. --
-    for (std::size_t j = 0; j < ns; ++j) {
-      if (scratch.fetch_locals[j].empty()) continue;
-      storage.insert_adjacency_rows(static_cast<ShardId>(j),
-                                    scratch.fetch_locals[j],
-                                    scratch.batches[j]);
-      for (std::size_t m = 0; m < scratch.fetch_rows[j].size(); ++m) {
-        scratch.resolved[j][scratch.fetch_rows[j][m]] =
-            scratch.batches[j][m];
-      }
-    }
+    // --- One pipeline round resolves the whole union: halo/adjacency
+    // splits, at most one RPC per remote shard, self-shard rows through
+    // shared memory while responses are in flight.
+    pipeline.execute({options.compress, options.overlap}, &t);
 
     // --- Per-query push fan-out, replaying the single-query driver's ---
-    // push-call structure exactly (own shard first, then remote shards
-    // ascending; halo hits before fetched misses) so results stay
+    // push-call structure exactly (own shard, then halo hits per remote
+    // shard ascending, then the non-halo rest) so results stay
     // bit-identical to independent runs.
     const auto push_query = [&](std::size_t q) {
       const auto& nids = scratch.node_ids[q];
@@ -228,34 +104,34 @@ BatchRunStats run_ssppr_batch(const DistGraphStorage& storage,
         shv.clear();
       };
       // halo_filter: -1 takes the whole group, 0/1 only rows whose
-      // halo-residency bit matches.
+      // halo provenance matches.
       const auto gather = [&](std::size_t j, int halo_filter) {
+        const auto shard = static_cast<ShardId>(j);
         for (const std::size_t i : scratch.groups[q][j]) {
           const NodeId local = nids[i];
-          const std::uint32_t row = *scratch.union_index[j].find(
-              static_cast<std::uint64_t>(local));
-          if (halo_filter >= 0 &&
-              static_cast<int>(scratch.row_is_halo[j][row]) != halo_filter) {
-            continue;
+          const std::uint32_t row = pipeline.row_of(shard, local);
+          if (halo_filter >= 0) {
+            const bool is_halo =
+                pipeline.source(shard, row) == RowSource::kHalo;
+            if (static_cast<int>(is_halo) != halo_filter) continue;
           }
-          infos.push_back(scratch.resolved[j][row]);
+          infos.push_back(pipeline.row(shard, row));
           loc.push_back(local);
-          shv.push_back(static_cast<ShardId>(j));
+          shv.push_back(shard);
         }
       };
+      const auto self_idx = static_cast<std::size_t>(self);
       gather(self_idx, -1);
       flush();
       for (std::size_t j = 0; j < ns; ++j) {
         if (j == self_idx || scratch.groups[q][j].empty()) continue;
-        if (use_halo) {
-          gather(j, 1);
-          flush();
-          gather(j, 0);
-          flush();
-        } else {
-          gather(j, -1);
-          flush();
-        }
+        gather(j, 1);
+        flush();
+      }
+      for (std::size_t j = 0; j < ns; ++j) {
+        if (j == self_idx || scratch.groups[q][j].empty()) continue;
+        gather(j, 0);
+        flush();
       }
     };
 

@@ -1,5 +1,7 @@
 #include "engine/ssppr_driver.hpp"
 
+#include "storage/fetch_pipeline.hpp"
+
 namespace ppr {
 
 namespace {
@@ -35,152 +37,66 @@ void run_iteration_single(const DistGraphStorage& g, SspprState& state,
   }
 }
 
-/// Per-iteration buffers of the batched driver, allocated once per query
-/// (run_ssppr scope) and recycled every iteration so the steady-state loop
-/// performs no per-iteration allocations for its bookkeeping.
-struct IterationScratch {
-  explicit IterationScratch(int num_shards)
-      : by_shard(static_cast<std::size_t>(num_shards)),
-        locals(static_cast<std::size_t>(num_shards)),
-        shards(static_cast<std::size_t>(num_shards)),
-        fetches(static_cast<std::size_t>(num_shards)),
-        splits(static_cast<std::size_t>(num_shards)),
-        batches(static_cast<std::size_t>(num_shards)) {}
-
-  /// Drop per-iteration state but keep every vector's capacity. Fetches
-  /// must be invalidated explicitly: a stale future would otherwise be
-  /// waited on twice when a later iteration skips a shard.
-  void begin_iteration() {
-    for (auto& v : by_shard) v.clear();
-    for (auto& v : locals) v.clear();
-    for (auto& v : shards) v.clear();
-    for (auto& f : fetches) f = NeighborFetch();
+/// Gather-and-push helper shared by the batched iteration's fan-out:
+/// collects the union rows of `shard` whose provenance matches
+/// `halo_filter` (-1 = all) into one push call, preserving request order.
+void push_group(const FetchPipeline& pipeline, SspprState& state,
+                ShardId shard, int halo_filter, PhaseTimers& t,
+                std::vector<VertexProp>& infos, std::vector<NodeId>& loc,
+                std::vector<ShardId>& shv) {
+  infos.clear();
+  loc.clear();
+  shv.clear();
+  const std::span<const NodeId> group = pipeline.requested(shard);
+  for (std::uint32_t r = 0; r < group.size(); ++r) {
+    if (halo_filter >= 0) {
+      const bool is_halo = pipeline.source(shard, r) == RowSource::kHalo;
+      if (static_cast<int>(is_halo) != halo_filter) continue;
+    }
+    infos.push_back(pipeline.row(shard, r));
+    loc.push_back(group[r]);
+    shv.push_back(shard);
   }
+  if (loc.empty()) return;
+  ScopedPhase phase(t, Phase::kPush);
+  state.push(infos, loc, shv);
+}
 
-  std::vector<std::vector<std::size_t>> by_shard;
-  std::vector<std::vector<NodeId>> locals;
-  std::vector<std::vector<ShardId>> shards;
-  std::vector<NeighborFetch> fetches;
-  std::vector<DistGraphStorage::HaloSplit> splits;
-  std::vector<NeighborBatch> batches;
-};
-
-/// Batched iteration (Figure 4): group the popped set by destination
-/// shard, issue at most one request per remote shard, fetch the local
-/// portion through shared memory, and push.
+/// Batched iteration (Figure 4) on the shared fetch pipeline: the popped
+/// set becomes one pipeline round (at most one RPC per remote shard,
+/// after the halo/adjacency-cache splits); the push fan-out replays the
+/// pre-pipeline driver's exact push-call structure — own shard first
+/// (inside the overlap hook), then per remote shard halo hits before the
+/// non-halo rest, rows in request order — so results are bit-identical
+/// regardless of which caches are enabled or warm.
 void run_iteration_batched(const DistGraphStorage& g, SspprState& state,
                            std::span<const NodeId> node_ids,
                            std::span<const ShardId> shard_ids,
                            const DriverOptions& options, PhaseTimers& t,
-                           IterationScratch& scratch) {
+                           FetchPipeline& pipeline) {
   const int num_shards = g.num_shards();
-  scratch.begin_iteration();
-  auto& by_shard = scratch.by_shard;
+  const ShardId self = g.shard_id();
+  pipeline.begin_round();
   for (std::size_t i = 0; i < node_ids.size(); ++i) {
-    by_shard[static_cast<std::size_t>(shard_ids[i])].push_back(i);
+    pipeline.add(shard_ids[i], node_ids[i]);
   }
 
-  // Materialize the per-shard id lists (the mask_dict of Figure 4).
-  auto& locals = scratch.locals;
-  auto& shards = scratch.shards;
-  for (ShardId j = 0; j < num_shards; ++j) {
-    const auto& idx = by_shard[static_cast<std::size_t>(j)];
-    locals[static_cast<std::size_t>(j)].reserve(idx.size());
-    shards[static_cast<std::size_t>(j)].assign(idx.size(), j);
-    for (const std::size_t i : idx) {
-      locals[static_cast<std::size_t>(j)].push_back(node_ids[i]);
-    }
-  }
-
-  // Issue all remote requests up front. With the halo-adjacency cache,
-  // each remote group is first split by residency: cached rows are served
-  // from shared memory and only the misses go over RPC.
-  const bool use_halo = g.halo_cache_enabled();
-  auto& fetches = scratch.fetches;
-  auto& splits = scratch.splits;
-  {
-    ScopedPhase phase(t, Phase::kRemoteFetch);
+  std::vector<VertexProp> infos;
+  std::vector<NodeId> loc;
+  std::vector<ShardId> shv;
+  const FetchPipeline::Plan plan{options.compress, options.overlap};
+  // Own-shard push and the halo-hit pushes only need rows resolved before
+  // the RPCs return, so they ride in the overlap hook.
+  pipeline.execute(plan, &t, [&] {
+    push_group(pipeline, state, self, -1, t, infos, loc, shv);
     for (ShardId j = 0; j < num_shards; ++j) {
-      auto& group = locals[static_cast<std::size_t>(j)];
-      if (j == g.shard_id() || group.empty()) continue;
-      if (use_halo) {
-        auto& split = splits[static_cast<std::size_t>(j)];
-        split = g.split_by_halo_cache(j, group);
-        if (!split.miss_locals.empty()) {
-          fetches[static_cast<std::size_t>(j)] = g.get_neighbor_infos_async(
-              j, split.miss_locals, options.compress);
-        }
-      } else {
-        fetches[static_cast<std::size_t>(j)] = g.get_neighbor_infos_async(
-            j, group, options.compress);
-      }
+      if (j == self || pipeline.num_rows(j) == 0) continue;
+      push_group(pipeline, state, j, 1, t, infos, loc, shv);
     }
-  }
-
-  auto& batches = scratch.batches;
-  if (!options.overlap) {
-    // No-overlap mode waits for all responses before any local work, so
-    // the remote-fetch phase is fully exposed in the breakdown.
-    ScopedPhase phase(t, Phase::kRemoteFetch);
-    for (ShardId j = 0; j < num_shards; ++j) {
-      if (fetches[static_cast<std::size_t>(j)].valid()) {
-        batches[static_cast<std::size_t>(j)] =
-            fetches[static_cast<std::size_t>(j)].wait();
-      }
-    }
-  }
-
-  // Local fetch + local push proceed while remote responses are in flight
-  // (when overlapping).
-  const auto& own = locals[static_cast<std::size_t>(g.shard_id())];
-  if (!own.empty()) {
-    std::vector<VertexProp> infos;
-    {
-      ScopedPhase phase(t, Phase::kLocalFetch);
-      infos = g.get_neighbor_infos_local(own);
-    }
-    ScopedPhase phase(t, Phase::kPush);
-    state.push(infos, own, shards[static_cast<std::size_t>(g.shard_id())]);
-  }
+  });
   for (ShardId j = 0; j < num_shards; ++j) {
-    const auto& group = locals[static_cast<std::size_t>(j)];
-    if (j == g.shard_id() || group.empty()) continue;
-    if (use_halo) {
-      // Push the halo-cache hits (zero-copy) ...
-      const auto& split = splits[static_cast<std::size_t>(j)];
-      if (!split.hit_props.empty()) {
-        std::vector<NodeId> hit_locals;
-        hit_locals.reserve(split.hit_indices.size());
-        for (const std::size_t i : split.hit_indices) {
-          hit_locals.push_back(group[i]);
-        }
-        const std::vector<ShardId> hit_shards(hit_locals.size(), j);
-        ScopedPhase phase(t, Phase::kPush);
-        state.push(split.hit_props, hit_locals, hit_shards);
-      }
-      // ... then the fetched misses.
-      if (!split.miss_locals.empty()) {
-        if (options.overlap) {
-          ScopedPhase phase(t, Phase::kRemoteFetch);
-          batches[static_cast<std::size_t>(j)] =
-              fetches[static_cast<std::size_t>(j)].wait();
-        }
-        const std::vector<ShardId> miss_shards(split.miss_locals.size(), j);
-        ScopedPhase phase(t, Phase::kPush);
-        state.push(batches[static_cast<std::size_t>(j)], split.miss_locals,
-                   miss_shards);
-      }
-      continue;
-    }
-    if (options.overlap) {
-      ScopedPhase phase(t, Phase::kRemoteFetch);
-      batches[static_cast<std::size_t>(j)] =
-          fetches[static_cast<std::size_t>(j)].wait();
-    }
-    ScopedPhase phase(t, Phase::kPush);
-    state.push(batches[static_cast<std::size_t>(j)],
-               locals[static_cast<std::size_t>(j)],
-               shards[static_cast<std::size_t>(j)]);
+    if (j == self || pipeline.num_rows(j) == 0) continue;
+    push_group(pipeline, state, j, 0, t, infos, loc, shv);
   }
 }
 
@@ -194,7 +110,7 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
 
   std::vector<NodeId> node_ids;
   std::vector<ShardId> shard_ids;
-  IterationScratch scratch(storage.num_shards());
+  FetchPipeline pipeline(storage);
   for (;;) {
     {
       ScopedPhase phase(t, Phase::kPop);
@@ -204,7 +120,7 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
     ++stats.num_iterations;
     if (options.batch) {
       run_iteration_batched(storage, state, node_ids, shard_ids, options, t,
-                            scratch);
+                            pipeline);
     } else {
       run_iteration_single(storage, state, node_ids, shard_ids, t);
     }

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "concurrent/flat_map.hpp"
+#include "storage/fetch_pipeline.hpp"
 
 namespace ppr {
 
@@ -10,6 +11,7 @@ BfsResult distributed_bfs(const DistGraphStorage& storage,
                           std::span<const NodeId> source_locals,
                           const BfsOptions& options) {
   const int num_shards = storage.num_shards();
+  const ShardId self = storage.shard_id();
   BfsResult res;
   // Visited set: packed NodeRef -> distance. A single FlatMap suffices —
   // one BFS runs on one computing process (inter-query parallelism is
@@ -18,33 +20,26 @@ BfsResult distributed_bfs(const DistGraphStorage& storage,
 
   std::vector<NodeId> frontier_locals(source_locals.begin(),
                                       source_locals.end());
-  std::vector<ShardId> frontier_shards(source_locals.size(),
-                                       storage.shard_id());
+  std::vector<ShardId> frontier_shards(source_locals.size(), self);
   for (const NodeId l : source_locals) {
-    visited[NodeRef{l, storage.shard_id()}.key()] = 0;
+    visited[NodeRef{l, self}.key()] = 0;
   }
 
+  // Each level is one pipeline round: the frontier rows resolve through
+  // the halo/adjacency caches where resident, at most one (optionally
+  // compressed) RPC per remote shard fetches the rest, and the own-shard
+  // frontier expands while responses are in flight. Expansion always
+  // walks each shard's rows in request order regardless of where a row
+  // was resolved from, so the traversal — and the next frontier's request
+  // order — is identical under every cache configuration.
+  FetchPipeline pipeline(storage);
   int depth = 0;
-  std::vector<std::vector<NodeId>> by_shard(
-      static_cast<std::size_t>(num_shards));
   while (!frontier_locals.empty() &&
          (options.max_depth < 0 || depth < options.max_depth)) {
     ++res.num_levels;
-    for (auto& v : by_shard) v.clear();
+    pipeline.begin_round();
     for (std::size_t i = 0; i < frontier_locals.size(); ++i) {
-      by_shard[static_cast<std::size_t>(frontier_shards[i])].push_back(
-          frontier_locals[i]);
-    }
-
-    // One async request per remote shard; local portion via shared memory.
-    std::vector<NeighborFetch> fetches(static_cast<std::size_t>(num_shards));
-    for (ShardId j = 0; j < num_shards; ++j) {
-      if (j == storage.shard_id() ||
-          by_shard[static_cast<std::size_t>(j)].empty()) {
-        continue;
-      }
-      fetches[static_cast<std::size_t>(j)] = storage.get_neighbor_infos_async(
-          j, by_shard[static_cast<std::size_t>(j)], options.compress);
+      pipeline.add(frontier_shards[i], frontier_locals[i]);
     }
 
     std::vector<NodeId> next_locals;
@@ -59,17 +54,15 @@ BfsResult distributed_bfs(const DistGraphStorage& storage,
         next_shards.push_back(u.shard);
       }
     };
+    const auto expand_shard = [&](ShardId j) {
+      const auto n = static_cast<std::uint32_t>(pipeline.num_rows(j));
+      for (std::uint32_t r = 0; r < n; ++r) expand(pipeline.row(j, r));
+    };
 
-    const auto& own = by_shard[static_cast<std::size_t>(storage.shard_id())];
-    if (!own.empty()) {
-      for (const VertexProp& vp : storage.get_neighbor_infos_local(own)) {
-        expand(vp);
-      }
-    }
+    pipeline.execute({options.compress, options.overlap}, nullptr,
+                     [&] { expand_shard(self); });
     for (ShardId j = 0; j < num_shards; ++j) {
-      if (!fetches[static_cast<std::size_t>(j)].valid()) continue;
-      const NeighborBatch batch = fetches[static_cast<std::size_t>(j)].wait();
-      for (std::size_t i = 0; i < batch.size(); ++i) expand(batch[i]);
+      if (j != self) expand_shard(j);
     }
 
     frontier_locals.swap(next_locals);

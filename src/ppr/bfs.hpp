@@ -21,6 +21,10 @@ struct BfsOptions {
   int max_depth = -1;
   /// Response compression (same switch as the SSPPR driver).
   bool compress = true;
+  /// Expand the own-shard frontier while remote responses are in flight
+  /// (same switch as the SSPPR driver). Either setting yields identical
+  /// results; the switch only changes when the waiting happens.
+  bool overlap = true;
 };
 
 struct BfsResult {

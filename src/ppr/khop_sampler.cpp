@@ -36,13 +36,13 @@ KHopResult sample_khop(const DistGraphStorage& storage,
 
     // One request per shard with sources on it; own shard served locally
     // while the remote futures are in flight.
-    std::vector<RpcFuture> futures(static_cast<std::size_t>(num_shards));
+    std::vector<KSampleFetch> fetches(static_cast<std::size_t>(num_shards));
     for (ShardId j = 0; j < num_shards; ++j) {
       if (j == storage.shard_id() ||
           by_shard_locals[static_cast<std::size_t>(j)].empty()) {
         continue;
       }
-      futures[static_cast<std::size_t>(j)] = storage.sample_k_neighbors_async(
+      fetches[static_cast<std::size_t>(j)] = storage.sample_k_neighbors_async(
           j, by_shard_locals[static_cast<std::size_t>(j)], k, seed);
     }
 
@@ -74,9 +74,8 @@ KHopResult sample_khop(const DistGraphStorage& storage,
              storage.sample_k_neighbors(storage.shard_id(), own, k, seed));
     }
     for (ShardId j = 0; j < num_shards; ++j) {
-      if (!futures[static_cast<std::size_t>(j)].valid()) continue;
-      absorb(j, DistGraphStorage::decode_k_sample(
-                    futures[static_cast<std::size_t>(j)].wait()));
+      if (!fetches[static_cast<std::size_t>(j)].valid()) continue;
+      absorb(j, fetches[static_cast<std::size_t>(j)].wait());
     }
     res.levels.push_back(std::move(next_level));
   }

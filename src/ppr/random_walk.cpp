@@ -1,13 +1,46 @@
 #include "ppr/random_walk.hpp"
 
+#include "common/rng.hpp"
+#include "storage/fetch_pipeline.hpp"
+
 namespace ppr {
+
+namespace {
+
+/// Seed of walker `i`'s private RNG stream at one step. Shared by both
+/// modes: the unbatched baseline passes it to the server-side sampler
+/// (whose first draw is exactly the client-side pick below), the batched
+/// mode seeds a client-side Rng — which is what keeps the two modes
+/// bit-identical for a given seed.
+std::uint64_t walker_seed(std::uint64_t step_seed, std::size_t i) {
+  return step_seed ^ (static_cast<std::uint64_t>(i) * 0x2545f4914f6cdd1dULL);
+}
+
+/// Weighted choice proportional to edge weight — the same pick the
+/// server-side sampler makes from the same RNG stream.
+std::size_t weighted_pick(const VertexProp& prop, std::uint64_t seed) {
+  Rng rng(seed);
+  const float target = rng.next_float(0.0f, prop.weighted_degree);
+  float acc = 0;
+  std::size_t pick = prop.degree() - 1;
+  for (std::size_t k = 0; k < prop.degree(); ++k) {
+    acc += prop.edge_weights[k];
+    if (acc >= target) {
+      pick = k;
+      break;
+    }
+  }
+  return pick;
+}
+
+}  // namespace
 
 RandomWalkResult distributed_random_walk(const DistGraphStorage& g,
                                          std::span<const NodeId> root_locals,
                                          const RandomWalkOptions& options) {
   GE_REQUIRE(options.walk_length > 0, "walk_length must be positive");
   const std::size_t n = root_locals.size();
-  const int num_shards = g.num_shards();
+  const ShardId self = g.shard_id();
 
   RandomWalkResult res;
   res.num_walks = n;
@@ -15,67 +48,78 @@ RandomWalkResult distributed_random_walk(const DistGraphStorage& g,
   res.walks.resize(n * static_cast<std::size_t>(options.walk_length));
 
   std::vector<NodeId> node_ids(root_locals.begin(), root_locals.end());
-  std::vector<ShardId> shard_ids(n, g.shard_id());
+  std::vector<ShardId> shard_ids(n, self);
+  // Current global id per walker: needed so a dangling node (degree 0)
+  // can record itself without a reverse lookup.
+  std::vector<NodeId> cur_global(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cur_global[i] = g.local_shard().core_global_id(root_locals[i]);
+  }
 
-  std::vector<std::vector<std::size_t>> by_shard(
-      static_cast<std::size_t>(num_shards));
-  std::vector<NodeId> request;
+  if (options.batch) {
+    // Each step is one pipeline round over the walkers' current nodes
+    // (deduplicated per shard — colocated walkers share one row), then a
+    // client-side weighted pick per walker from its private RNG stream.
+    // Sampling client-side is what lets walks ride the halo/adjacency
+    // caches: the row crosses the wire (at most once), not the sample.
+    FetchPipeline pipeline(g);
+    std::vector<std::uint8_t> advanced(n);
+    for (int step = 0; step < options.walk_length; ++step) {
+      const std::uint64_t step_seed =
+          options.seed * 0x9e3779b97f4a7c15ULL +
+          static_cast<std::uint64_t>(step);
+      pipeline.begin_round();
+      for (std::size_t i = 0; i < n; ++i) {
+        pipeline.add(shard_ids[i], node_ids[i]);
+      }
 
+      const auto advance = [&](std::size_t i) {
+        const ShardId shard = shard_ids[i];
+        const VertexProp prop =
+            pipeline.row(shard, pipeline.row_of(shard, node_ids[i]));
+        if (prop.degree() > 0) {
+          const std::size_t pick =
+              weighted_pick(prop, walker_seed(step_seed, i));
+          node_ids[i] = prop.nbr_local_ids[pick];
+          shard_ids[i] = prop.nbr_shard_ids[pick];
+          cur_global[i] = prop.nbr_global_ids[pick];
+        }
+        // Dangling node: the walk restarts at itself.
+        res.walks[i * static_cast<std::size_t>(options.walk_length) +
+                  static_cast<std::size_t>(step)] = cur_global[i];
+      };
+
+      advanced.assign(n, 0);
+      pipeline.execute({options.compress, options.overlap}, nullptr, [&] {
+        // Advance own-shard walkers while remote rows are in flight.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (shard_ids[i] == self) {
+            advance(i);
+            advanced[i] = 1;
+          }
+        }
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!advanced[i]) advance(i);
+      }
+    }
+    return res;
+  }
+
+  // Unbatched baseline: one server-side sampling request per walker per
+  // step.
   for (int step = 0; step < options.walk_length; ++step) {
     const std::uint64_t step_seed =
-        options.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(step);
-    for (auto& v : by_shard) v.clear();
+        options.seed * 0x9e3779b97f4a7c15ULL +
+        static_cast<std::uint64_t>(step);
     for (std::size_t i = 0; i < n; ++i) {
-      by_shard[static_cast<std::size_t>(shard_ids[i])].push_back(i);
-    }
-
-    if (options.batch) {
-      // One async request per destination shard, then apply results.
-      std::vector<RpcFuture> futures(static_cast<std::size_t>(num_shards));
-      std::vector<bool> is_local(static_cast<std::size_t>(num_shards), false);
-      for (ShardId j = 0; j < num_shards; ++j) {
-        const auto& idx = by_shard[static_cast<std::size_t>(j)];
-        if (idx.empty()) continue;
-        if (j == g.shard_id()) {
-          is_local[static_cast<std::size_t>(j)] = true;
-          continue;
-        }
-        request.clear();
-        for (const std::size_t i : idx) request.push_back(node_ids[i]);
-        futures[static_cast<std::size_t>(j)] =
-            g.sample_one_neighbor_async(j, request, step_seed);
-      }
-      for (ShardId j = 0; j < num_shards; ++j) {
-        const auto& idx = by_shard[static_cast<std::size_t>(j)];
-        if (idx.empty()) continue;
-        SampleResult sample;
-        if (is_local[static_cast<std::size_t>(j)]) {
-          request.clear();
-          for (const std::size_t i : idx) request.push_back(node_ids[i]);
-          sample = g.sample_one_neighbor(j, request, step_seed);
-        } else {
-          sample = DistGraphStorage::decode_sample(
-              futures[static_cast<std::size_t>(j)].wait());
-        }
-        for (std::size_t k = 0; k < idx.size(); ++k) {
-          const std::size_t i = idx[k];
-          node_ids[i] = sample.local_ids[k];
-          shard_ids[i] = sample.shard_ids[k];
-          res.walks[i * static_cast<std::size_t>(options.walk_length) +
-                    static_cast<std::size_t>(step)] = sample.global_ids[k];
-        }
-      }
-    } else {
-      // Unbatched baseline: one request per walker per step.
-      for (std::size_t i = 0; i < n; ++i) {
-        const NodeId one[] = {node_ids[i]};
-        const SampleResult sample = g.sample_one_neighbor(
-            shard_ids[i], one, step_seed ^ (i * 0x2545f4914f6cdd1dULL));
-        node_ids[i] = sample.local_ids[0];
-        shard_ids[i] = sample.shard_ids[0];
-        res.walks[i * static_cast<std::size_t>(options.walk_length) +
-                  static_cast<std::size_t>(step)] = sample.global_ids[0];
-      }
+      const NodeId one[] = {node_ids[i]};
+      const SampleResult sample =
+          g.sample_one_neighbor(shard_ids[i], one, walker_seed(step_seed, i));
+      node_ids[i] = sample.local_ids[0];
+      shard_ids[i] = sample.shard_ids[0];
+      res.walks[i * static_cast<std::size_t>(options.walk_length) +
+                static_cast<std::size_t>(step)] = sample.global_ids[0];
     }
   }
   return res;

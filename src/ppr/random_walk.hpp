@@ -14,10 +14,20 @@ namespace ppr {
 struct RandomWalkOptions {
   int walk_length = 10;
   std::uint64_t seed = 1;
-  /// Batch per-shard sampling requests (one RPC per shard per step). When
-  /// false, every walker issues its own request every step — the
-  /// unbatched baseline.
+  /// Batch each step through the shared fetch pipeline: the walkers'
+  /// neighbor rows resolve through the halo/adjacency caches where
+  /// resident, at most one RPC per shard fetches the rest, and sampling
+  /// happens client-side per walker. When false, every walker issues its
+  /// own server-side sampling request every step — the unbatched
+  /// baseline. Both modes draw from the same per-walker RNG stream, so
+  /// they produce identical walks for a given seed.
   bool batch = true;
+  /// Response compression for the batched mode (same switch as the SSPPR
+  /// driver); ignored when batch is false.
+  bool compress = true;
+  /// Advance own-shard walkers while remote responses are in flight;
+  /// ignored when batch is false. Either setting yields identical walks.
+  bool overlap = true;
 };
 
 struct RandomWalkResult {

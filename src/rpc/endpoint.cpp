@@ -15,7 +15,12 @@ RpcEndpoint::RpcEndpoint(std::shared_ptr<Transport> transport, int machine_id,
   });
 }
 
-RpcEndpoint::~RpcEndpoint() = default;
+RpcEndpoint::~RpcEndpoint() {
+  // Quiesce delivery before any member is torn down: after detach() no
+  // transport thread can be inside on_message, so the server pool (and
+  // the pending-call table) cannot be touched mid-destruction.
+  transport_->detach(machine_id_);
+}
 
 void RpcEndpoint::register_service(const std::string& name,
                                    ServiceHandler handler) {

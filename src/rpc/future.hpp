@@ -24,6 +24,7 @@ struct FutureState {
   std::mutex mutex;
   std::condition_variable cv;
   bool ready = false;
+  bool consumed = false;  // wait() already moved the value out
   T value{};
   std::string error;  // non-empty => wait() throws RpcError
 };
@@ -46,12 +47,25 @@ class Future {
 
   /// Blocks until the result arrives; returns the value (moved out, so
   /// wait() consumes the future). Throws RpcError if the producer failed.
+  /// A consumed future is invalid: waiting twice — on this handle or on a
+  /// copy sharing the same state — fails a GE_REQUIRE instead of silently
+  /// returning a moved-out payload.
   T wait() {
-    GE_CHECK(valid(), "wait on invalid future");
+    GE_REQUIRE(valid(), "wait on invalid future");
     std::unique_lock<std::mutex> lock(state_->mutex);
     state_->cv.wait(lock, [&] { return state_->ready; });
-    if (!state_->error.empty()) throw RpcError(state_->error);
-    return std::move(state_->value);
+    GE_REQUIRE(!state_->consumed, "future already waited (value consumed)");
+    if (!state_->error.empty()) {
+      const std::string error = state_->error;
+      lock.unlock();
+      state_.reset();
+      throw RpcError(error);
+    }
+    state_->consumed = true;
+    T value = std::move(state_->value);
+    lock.unlock();
+    state_.reset();  // this handle reads as invalid after wait()
+    return value;
   }
 
  private:

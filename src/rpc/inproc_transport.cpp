@@ -60,6 +60,19 @@ void InProcTransport::dispatch_loop(Box& box) {
   }
 }
 
+void InProcTransport::detach(int machine_id) {
+  GE_REQUIRE(machine_id >= 0 && machine_id < num_machines(),
+             "machine_id out of range");
+  Box& box = *boxes_[static_cast<std::size_t>(machine_id)];
+  if (!box.started) return;
+  // Closing the inbox makes the dispatcher drain and exit; joining it
+  // guarantees no thread is inside box.handler afterwards. `started`
+  // stays true so late peer sends are queued (and dropped) rather than
+  // failing the send-side check.
+  box.inbox.close();
+  if (box.dispatcher.joinable()) box.dispatcher.join();
+}
+
 void InProcTransport::stop() {
   if (stopped_) return;
   stopped_ = true;

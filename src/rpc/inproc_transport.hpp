@@ -21,6 +21,7 @@ class InProcTransport final : public Transport {
 
   void start(int machine_id, MessageHandler handler) override;
   void send(Message msg) override;
+  void detach(int machine_id) override;
   void stop() override;
   int num_machines() const override { return static_cast<int>(boxes_.size()); }
 

@@ -107,6 +107,22 @@ void SocketTransport::reader_loop(Machine& m, int fd) {
   }
 }
 
+void SocketTransport::detach(int machine_id) {
+  GE_REQUIRE(machine_id >= 0 && machine_id < num_machines_,
+             "machine_id out of range");
+  Machine& m = *machines_[static_cast<std::size_t>(machine_id)];
+  if (!m.started) return;
+  // Half-close this machine's receive side only: its readers see EOF and
+  // exit, and joining them guarantees no thread is inside m.handler
+  // afterwards. Fds are closed later by stop().
+  for (const int fd : m.read_fds) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RD);
+  }
+  for (auto& t : m.readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
 void SocketTransport::stop() {
   if (stopped_) return;
   stopped_ = true;

@@ -23,6 +23,7 @@ class SocketTransport final : public Transport {
 
   void start(int machine_id, MessageHandler handler) override;
   void send(Message msg) override;
+  void detach(int machine_id) override;
   void stop() override;
   int num_machines() const override { return num_machines_; }
 

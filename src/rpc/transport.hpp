@@ -50,6 +50,12 @@ class Transport {
   /// destination's handler.
   virtual void send(Message msg) = 0;
 
+  /// Stop delivery to one machine and join its delivery threads; after
+  /// this returns no thread is inside that machine's handler. Endpoints
+  /// call this from their destructor so a handler can never outlive the
+  /// state it captures. Idempotent; other machines are unaffected.
+  virtual void detach(int machine_id) = 0;
+
   /// Stop all delivery threads. Idempotent.
   virtual void stop() = 0;
 

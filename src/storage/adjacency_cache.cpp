@@ -41,7 +41,8 @@ void AdjacencyCache::lookup(ShardId dst, std::span<const NodeId> locals,
       hit_indices.push_back(i);
       hit_rows.push_back(arena.append_row(
           slot.nbr_local_ids, slot.nbr_shard_ids, slot.edge_weights,
-          slot.nbr_weighted_deg, slot.weighted_degree));
+          slot.nbr_weighted_deg, slot.nbr_global_ids,
+          slot.weighted_degree));
       ++hits;
     }
   }
@@ -87,6 +88,8 @@ void AdjacencyCache::insert(ShardId dst, NodeId local,
   slot.edge_weights.assign(row.edge_weights.begin(), row.edge_weights.end());
   slot.nbr_weighted_deg.assign(row.nbr_weighted_degrees.begin(),
                                row.nbr_weighted_degrees.end());
+  slot.nbr_global_ids.assign(row.nbr_global_ids.begin(),
+                             row.nbr_global_ids.end());
   index_[key] = static_cast<std::uint32_t>(idx);
   stats_.insertions.fetch_add(1, std::memory_order_relaxed);
 }

@@ -50,6 +50,7 @@ class CachedRowArena {
     nbr_shard_ids_.clear();
     edge_weights_.clear();
     nbr_weighted_deg_.clear();
+    nbr_global_ids_.clear();
     src_weighted_deg_.clear();
   }
 
@@ -58,13 +59,16 @@ class CachedRowArena {
   std::size_t append_row(std::span<const NodeId> locals,
                          std::span<const ShardId> shards,
                          std::span<const float> weights,
-                         std::span<const float> nbr_wdeg, float src_wdeg) {
+                         std::span<const float> nbr_wdeg,
+                         std::span<const NodeId> globals, float src_wdeg) {
     if (indptr_.empty()) indptr_.push_back(0);
     nbr_local_ids_.insert(nbr_local_ids_.end(), locals.begin(), locals.end());
     nbr_shard_ids_.insert(nbr_shard_ids_.end(), shards.begin(), shards.end());
     edge_weights_.insert(edge_weights_.end(), weights.begin(), weights.end());
     nbr_weighted_deg_.insert(nbr_weighted_deg_.end(), nbr_wdeg.begin(),
                              nbr_wdeg.end());
+    nbr_global_ids_.insert(nbr_global_ids_.end(), globals.begin(),
+                           globals.end());
     indptr_.push_back(static_cast<EdgeIndex>(nbr_local_ids_.size()));
     src_weighted_deg_.push_back(src_wdeg);
     return src_weighted_deg_.size() - 1;
@@ -78,6 +82,7 @@ class CachedRowArena {
         {nbr_shard_ids_.data() + lo, nbr_shard_ids_.data() + hi},
         {edge_weights_.data() + lo, edge_weights_.data() + hi},
         {nbr_weighted_deg_.data() + lo, nbr_weighted_deg_.data() + hi},
+        {nbr_global_ids_.data() + lo, nbr_global_ids_.data() + hi},
         src_weighted_deg_[i]};
   }
 
@@ -87,6 +92,7 @@ class CachedRowArena {
   std::vector<ShardId> nbr_shard_ids_;
   std::vector<float> edge_weights_;
   std::vector<float> nbr_weighted_deg_;
+  std::vector<NodeId> nbr_global_ids_;
   std::vector<float> src_weighted_deg_;
 };
 
@@ -126,6 +132,7 @@ class AdjacencyCache {
     std::vector<ShardId> nbr_shard_ids;
     std::vector<float> edge_weights;
     std::vector<float> nbr_weighted_deg;
+    std::vector<NodeId> nbr_global_ids;
   };
 
   /// Pick the victim slot: first unused slot, else advance the CLOCK hand

@@ -144,21 +144,46 @@ SampleResult DistGraphStorage::decode_sample(
   return res;
 }
 
-RpcFuture DistGraphStorage::sample_one_neighbor_async(
+SampleResult SampleFetch::wait() {
+  const std::vector<std::uint8_t> payload = future_.wait();
+  if (stats_ != nullptr) {
+    stats_->remote_response_bytes.fetch_add(payload.size(),
+                                            std::memory_order_relaxed);
+  }
+  return DistGraphStorage::decode_sample(payload);
+}
+
+KSampleResult KSampleFetch::wait() {
+  const std::vector<std::uint8_t> payload = future_.wait();
+  if (stats_ != nullptr) {
+    stats_->remote_response_bytes.fetch_add(payload.size(),
+                                            std::memory_order_relaxed);
+  }
+  return DistGraphStorage::decode_k_sample(payload);
+}
+
+SampleFetch DistGraphStorage::sample_one_neighbor_async(
     ShardId dst, std::span<const NodeId> locals, std::uint64_t seed) const {
   GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
              "dst shard out of range");
-  if (dst != shard_id_) {
-    stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
-    stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
-  }
   ByteWriter w;
   w.write<std::uint64_t>(seed);
   w.write_span(locals);
-  return rrefs_[static_cast<std::size_t>(dst)].async_call(
-      storage_method::kSampleOneNeighbor, w.take());
+  std::vector<std::uint8_t> request = w.take();
+  FetchStats* stats = nullptr;
+  if (dst != shard_id_) {
+    stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+    stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
+    stats_.remote_request_bytes.fetch_add(request.size(),
+                                          std::memory_order_relaxed);
+    stats = &stats_;
+  } else {
+    stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+  }
+  return SampleFetch(rrefs_[static_cast<std::size_t>(dst)].async_call(
+                         storage_method::kSampleOneNeighbor,
+                         std::move(request)),
+                     stats);
 }
 
 KSampleResult DistGraphStorage::decode_k_sample(
@@ -172,23 +197,30 @@ KSampleResult DistGraphStorage::decode_k_sample(
   return res;
 }
 
-RpcFuture DistGraphStorage::sample_k_neighbors_async(
+KSampleFetch DistGraphStorage::sample_k_neighbors_async(
     ShardId dst, std::span<const NodeId> locals, int k,
     std::uint64_t seed) const {
   GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
              "dst shard out of range");
-  if (dst != shard_id_) {
-    stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
-    stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
-  }
   ByteWriter w;
   w.write<std::uint64_t>(seed);
   w.write<std::int32_t>(k);
   w.write_span(locals);
-  return rrefs_[static_cast<std::size_t>(dst)].async_call(
-      storage_method::kSampleKNeighbors, w.take());
+  std::vector<std::uint8_t> request = w.take();
+  FetchStats* stats = nullptr;
+  if (dst != shard_id_) {
+    stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+    stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
+    stats_.remote_request_bytes.fetch_add(request.size(),
+                                          std::memory_order_relaxed);
+    stats = &stats_;
+  } else {
+    stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
+  }
+  return KSampleFetch(rrefs_[static_cast<std::size_t>(dst)].async_call(
+                          storage_method::kSampleKNeighbors,
+                          std::move(request)),
+                      stats);
 }
 
 KSampleResult DistGraphStorage::sample_k_neighbors(
@@ -202,8 +234,7 @@ KSampleResult DistGraphStorage::sample_k_neighbors(
                                      res.global_ids);
     return res;
   }
-  return decode_k_sample(
-      sample_k_neighbors_async(dst, locals, k, seed).wait());
+  return sample_k_neighbors_async(dst, locals, k, seed).wait();
 }
 
 SampleResult DistGraphStorage::sample_one_neighbor(
@@ -215,7 +246,7 @@ SampleResult DistGraphStorage::sample_one_neighbor(
                                       res.shard_ids, res.global_ids);
     return res;
   }
-  return decode_sample(sample_one_neighbor_async(dst, locals, seed).wait());
+  return sample_one_neighbor_async(dst, locals, seed).wait();
 }
 
 }  // namespace ppr

@@ -89,6 +89,39 @@ class NeighborFetch {
   FetchStats* stats_ = nullptr;
 };
 
+/// Pending sample_one_neighbor RPC; wait() decodes the response and, for
+/// genuinely remote calls, credits the payload to the issuing client's
+/// byte counters (loopback calls carry no stats pointer).
+class SampleFetch {
+ public:
+  SampleFetch() = default;
+  explicit SampleFetch(RpcFuture future, FetchStats* stats = nullptr)
+      : future_(std::move(future)), stats_(stats) {}
+
+  bool valid() const { return future_.valid(); }
+  SampleResult wait();
+
+ private:
+  RpcFuture future_;
+  FetchStats* stats_ = nullptr;
+};
+
+/// Pending sample_k_neighbors RPC; same byte-crediting contract as
+/// SampleFetch.
+class KSampleFetch {
+ public:
+  KSampleFetch() = default;
+  explicit KSampleFetch(RpcFuture future, FetchStats* stats = nullptr)
+      : future_(std::move(future)), stats_(stats) {}
+
+  bool valid() const { return future_.valid(); }
+  KSampleResult wait();
+
+ private:
+  RpcFuture future_;
+  FetchStats* stats_ = nullptr;
+};
+
 class DistGraphStorage {
  public:
   /// `rrefs[j]` must reference machine j's storage service; `shard_id` is
@@ -178,9 +211,9 @@ class DistGraphStorage {
   /// Sample one outgoing neighbor for each source; local or remote.
   SampleResult sample_one_neighbor(ShardId dst, std::span<const NodeId> locals,
                                    std::uint64_t seed) const;
-  RpcFuture sample_one_neighbor_async(ShardId dst,
-                                      std::span<const NodeId> locals,
-                                      std::uint64_t seed) const;
+  SampleFetch sample_one_neighbor_async(ShardId dst,
+                                        std::span<const NodeId> locals,
+                                        std::uint64_t seed) const;
   static SampleResult decode_sample(std::span<const std::uint8_t> payload);
 
   /// GraphSAGE-style fan-out sampling (≤ k distinct neighbors per
@@ -188,9 +221,9 @@ class DistGraphStorage {
   KSampleResult sample_k_neighbors(ShardId dst,
                                    std::span<const NodeId> locals, int k,
                                    std::uint64_t seed) const;
-  RpcFuture sample_k_neighbors_async(ShardId dst,
-                                     std::span<const NodeId> locals, int k,
-                                     std::uint64_t seed) const;
+  KSampleFetch sample_k_neighbors_async(ShardId dst,
+                                        std::span<const NodeId> locals, int k,
+                                        std::uint64_t seed) const;
   static KSampleResult decode_k_sample(
       std::span<const std::uint8_t> payload);
 

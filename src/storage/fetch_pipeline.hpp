@@ -1,0 +1,159 @@
+// Unified remote-fetch pipeline: the one cache-aware Batch/Compress/
+// Overlap resolution path shared by every distributed traversal operator
+// (single-query SSPPR, the multi-query lockstep driver, BFS, random walk).
+//
+// Each round, callers add the <shard, local id> pairs their frontier
+// needs; execute() then runs the full resolution cascade per shard:
+//
+//   1. halo-cache split      — rows resident in the static 1-hop halo
+//                              cache are served zero-copy (§3.2.1);
+//   2. adjacency-cache split — rows resident in the CLOCK-evicted
+//                              dynamic cache are arena-copied out;
+//   3. one batched RPC       — at most one async, optionally compressed,
+//                              request per remote shard for the misses
+//                              (§3.2.3 Batch/Compress);
+//   4. overlap hook          — the caller-supplied callback runs local
+//                              work while responses are in flight
+//                              (§3.2.3 Overlap);
+//   5. decode + feedback     — responses fan into their union rows and
+//                              freshly fetched rows feed the adjacency
+//                              cache.
+//
+// Every resolved row is addressable by (shard, union row) and carries its
+// provenance (local / halo / cache / wire), which is what lets the SSPPR
+// drivers replay their exact push-call structure — own shard first, halo
+// hits before fetched misses, rows in request order — so results stay
+// bit-identical no matter which caches happen to be warm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "concurrent/flat_map.hpp"
+#include "storage/dist_storage.hpp"
+
+namespace ppr {
+
+/// Provenance of one resolved union row.
+enum class RowSource : std::uint8_t {
+  kLocal = 0,   // own-shard shared-memory fetch
+  kHalo = 1,    // static halo-adjacency cache hit
+  kCache = 2,   // dynamic adjacency-cache hit (arena copy)
+  kRemote = 3,  // arrived over the wire this round
+};
+
+inline const char* row_source_name(RowSource s) {
+  switch (s) {
+    case RowSource::kLocal:
+      return "local";
+    case RowSource::kHalo:
+      return "halo";
+    case RowSource::kCache:
+      return "cache";
+    case RowSource::kRemote:
+      return "remote";
+  }
+  return "?";
+}
+
+/// Cumulative split accounting across every executed round. For each
+/// round, rows_local + rows_halo + rows_cached + rows_wire ==
+/// rows_requested (the cascade partitions the request set).
+struct FetchPipelineStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t rows_requested = 0;
+  std::uint64_t rows_local = 0;   // own-shard rows
+  std::uint64_t rows_halo = 0;    // halo-cache hits
+  std::uint64_t rows_cached = 0;  // adjacency-cache hits
+  std::uint64_t rows_wire = 0;    // rows actually fetched over RPC
+  std::uint64_t rpcs_issued = 0;  // at most one per remote shard per round
+
+  void reset() { *this = FetchPipelineStats{}; }
+};
+
+/// Round-recycled resolution engine bound to one DistGraphStorage (one
+/// computing process). Not thread-safe: each driver owns its own pipeline,
+/// like the scratch structs it replaces. All scratch keeps its capacity
+/// across rounds, so the steady-state loop performs no allocations for
+/// its bookkeeping.
+class FetchPipeline {
+ public:
+  /// The per-round RPC plan (the Compress/Overlap switches of §3.2.3;
+  /// Batch is inherent — the pipeline never issues per-vertex requests).
+  struct Plan {
+    bool compress = true;
+    bool overlap = true;
+  };
+
+  explicit FetchPipeline(const DistGraphStorage& storage);
+
+  const DistGraphStorage& storage() const { return storage_; }
+
+  /// Drop the previous round's rows and pending fetches (capacity kept).
+  void begin_round();
+
+  /// Request the neighbor row of `<local, shard>`; duplicate adds collapse
+  /// onto one union row. Returns the row index within `shard`'s union.
+  std::uint32_t add(ShardId shard, NodeId local);
+
+  /// Union row of a previously add()ed pair (GE_CHECKs that it exists).
+  std::uint32_t row_of(ShardId shard, NodeId local) const;
+
+  /// This round's deduplicated request list for `shard`, in add() order.
+  std::span<const NodeId> requested(ShardId shard) const;
+  std::size_t num_rows(ShardId shard) const;
+
+  /// Run the cascade for every shard with requests. `local_work`, if
+  /// non-null, runs while remote responses are in flight (under
+  /// `plan.overlap`; without it, after all responses arrived) — by then
+  /// own-shard, halo, and cache rows are already resolved and readable
+  /// through row()/source(). Phase time lands in `timers` when given,
+  /// else in the pipeline's own timers().
+  void execute(const Plan& plan, PhaseTimers* timers = nullptr,
+               const std::function<void()>& local_work = nullptr);
+
+  /// Resolved neighbor row view. Valid until the next begin_round();
+  /// rows of remote provenance only after execute() returned, the rest
+  /// already inside the overlap callback.
+  VertexProp row(ShardId shard, std::uint32_t r) const {
+    return resolved_[static_cast<std::size_t>(shard)][r];
+  }
+  /// Where row `r` of `shard`'s union was resolved from.
+  RowSource source(ShardId shard, std::uint32_t r) const {
+    return sources_[static_cast<std::size_t>(shard)][r];
+  }
+
+  const FetchPipelineStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+  /// Pop/local-fetch/remote-fetch/push accumulators used when execute()
+  /// is called without an external PhaseTimers.
+  const PhaseTimers& timers() const { return timers_; }
+
+ private:
+  void resolve_remote_shard(std::size_t j, const Plan& plan);
+
+  const DistGraphStorage& storage_;
+
+  // All indexed [shard].
+  std::vector<std::vector<NodeId>> union_locals_;
+  std::vector<FlatMap<std::uint32_t>> union_index_;
+  std::vector<std::vector<VertexProp>> resolved_;
+  std::vector<std::vector<RowSource>> sources_;
+  std::vector<CachedRowArena> arenas_;
+  std::vector<DistGraphStorage::HaloSplit> halo_splits_;
+  std::vector<DistGraphStorage::AdjacencySplit> adj_splits_;
+  // What actually goes on the wire and the union row each response row
+  // fans into.
+  std::vector<std::vector<NodeId>> fetch_locals_;
+  std::vector<std::vector<std::uint32_t>> fetch_rows_;
+  std::vector<NeighborFetch> fetches_;
+  std::vector<NeighborBatch> batches_;
+
+  FetchPipelineStats stats_;
+  PhaseTimers timers_;
+};
+
+}  // namespace ppr

@@ -83,6 +83,7 @@ GraphShard::GraphShard(const Graph& g, const GlobalMapping& mapping,
       halo_nbr_shard_ids_.push_back(href.shard);
       halo_edge_weights_.push_back(hws[k]);
       halo_nbr_weighted_deg_.push_back(g.weighted_degree(hnbrs[k]));
+      halo_nbr_global_ids_.push_back(hnbrs[k]);
     }
     halo_indptr_.push_back(
         static_cast<EdgeIndex>(halo_nbr_local_ids_.size()));
@@ -101,6 +102,7 @@ std::optional<VertexProp> GraphShard::halo_vertex_prop(NodeRef ref) const {
       {halo_edge_weights_.data() + lo, halo_edge_weights_.data() + hi},
       {halo_nbr_weighted_deg_.data() + lo,
        halo_nbr_weighted_deg_.data() + hi},
+      {halo_nbr_global_ids_.data() + lo, halo_nbr_global_ids_.data() + hi},
       halo_weighted_deg_[*row]};
 }
 
@@ -116,6 +118,7 @@ VertexProp GraphShard::vertex_prop(NodeId local) const {
       {nbr_shard_ids_.data() + lo, nbr_shard_ids_.data() + hi},
       {edge_weights_.data() + lo, edge_weights_.data() + hi},
       {nbr_weighted_deg_.data() + lo, nbr_weighted_deg_.data() + hi},
+      {nbr_global_ids_.data() + lo, nbr_global_ids_.data() + hi},
       core_weighted_deg_[static_cast<std::size_t>(local)]};
 }
 
@@ -225,6 +228,7 @@ void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
   std::vector<ShardId> nbr_shard(total);
   std::vector<float> weights(total);
   std::vector<float> nbr_dw(total);
+  std::vector<NodeId> nbr_global(total);
   std::vector<float> src_dw(locals.size());
   std::size_t pos = 0;
   for (std::size_t i = 0; i < locals.size(); ++i) {
@@ -238,6 +242,7 @@ void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
     std::copy_n(nbr_shard_ids_.data() + lo, len, nbr_shard.data() + pos);
     std::copy_n(edge_weights_.data() + lo, len, weights.data() + pos);
     std::copy_n(nbr_weighted_deg_.data() + lo, len, nbr_dw.data() + pos);
+    std::copy_n(nbr_global_ids_.data() + lo, len, nbr_global.data() + pos);
     src_dw[i] = core_weighted_deg_[static_cast<std::size_t>(l)];
     pos += len;
   }
@@ -246,6 +251,7 @@ void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
   w.write_vec(nbr_shard);
   w.write_vec(weights);
   w.write_vec(nbr_dw);
+  w.write_vec(nbr_global);
   w.write_vec(src_dw);
 }
 
@@ -259,7 +265,7 @@ void GraphShard::encode_neighbor_infos_tensor_list(
     const auto hi = static_cast<std::size_t>(
         indptr_[static_cast<std::size_t>(l) + 1]);
     w.write<float>(core_weighted_deg_[static_cast<std::size_t>(l)]);
-    // Four small tensors per node, each paying header + padding — the
+    // Five small tensors per node, each paying header + padding — the
     // list-of-small-tensors cost the Compress optimization removes.
     w.write_tensor(std::span<const NodeId>(nbr_local_ids_.data() + lo,
                                            nbr_local_ids_.data() + hi));
@@ -269,6 +275,8 @@ void GraphShard::encode_neighbor_infos_tensor_list(
                                           edge_weights_.data() + hi));
     w.write_tensor(std::span<const float>(nbr_weighted_deg_.data() + lo,
                                           nbr_weighted_deg_.data() + hi));
+    w.write_tensor(std::span<const NodeId>(nbr_global_ids_.data() + lo,
+                                           nbr_global_ids_.data() + hi));
   }
 }
 
@@ -284,7 +292,7 @@ std::size_t GraphShard::memory_bytes() const {
          halo_indptr_.size() * sizeof(EdgeIndex) +
          halo_weighted_deg_.size() * sizeof(float) +
          halo_nbr_local_ids_.size() *
-             (2 * sizeof(NodeId) + 2 * sizeof(float)) +
+             (3 * sizeof(NodeId) + 2 * sizeof(float)) +
          halo_row_of_.capacity() * (sizeof(std::uint64_t) + sizeof(int));
 }
 
@@ -295,6 +303,7 @@ NeighborBatch NeighborBatch::decode_csr(ByteReader& r) {
   b.nbr_shard_ids_ = r.read_vec<ShardId>();
   b.edge_weights_ = r.read_vec<float>();
   b.nbr_weighted_deg_ = r.read_vec<float>();
+  b.nbr_global_ids_ = r.read_vec<NodeId>();
   b.src_weighted_deg_ = r.read_vec<float>();
   GE_CHECK(b.indptr_.size() == b.src_weighted_deg_.size() + 1,
            "inconsistent CSR response");
@@ -315,9 +324,11 @@ NeighborBatch NeighborBatch::decode_tensor_list(ByteReader& r) {
     auto shards = r.read_tensor<ShardId>();
     auto weights = r.read_tensor<float>();
     auto dws = r.read_tensor<float>();
+    auto globals = r.read_tensor<NodeId>();
     GE_CHECK(locals.size() == shards.size() &&
                  locals.size() == weights.size() &&
-                 locals.size() == dws.size(),
+                 locals.size() == dws.size() &&
+                 locals.size() == globals.size(),
              "ragged tensor-list response");
     b.nbr_local_ids_.insert(b.nbr_local_ids_.end(), locals.begin(),
                             locals.end());
@@ -327,6 +338,8 @@ NeighborBatch NeighborBatch::decode_tensor_list(ByteReader& r) {
                            weights.end());
     b.nbr_weighted_deg_.insert(b.nbr_weighted_deg_.end(), dws.begin(),
                                dws.end());
+    b.nbr_global_ids_.insert(b.nbr_global_ids_.end(), globals.begin(),
+                             globals.end());
     b.indptr_.push_back(static_cast<EdgeIndex>(b.nbr_local_ids_.size()));
   }
   return b;
@@ -340,6 +353,7 @@ VertexProp NeighborBatch::operator[](std::size_t i) const {
       {nbr_shard_ids_.data() + lo, nbr_shard_ids_.data() + hi},
       {edge_weights_.data() + lo, edge_weights_.data() + hi},
       {nbr_weighted_deg_.data() + lo, nbr_weighted_deg_.data() + hi},
+      {nbr_global_ids_.data() + lo, nbr_global_ids_.data() + hi},
       src_weighted_deg_[i]};
 }
 

@@ -51,6 +51,10 @@ struct VertexProp {
   std::span<const ShardId> nbr_shard_ids;
   std::span<const float> edge_weights;
   std::span<const float> nbr_weighted_degrees;
+  /// Original graph ids of the neighbors. Carried through every resolution
+  /// path (shard, halo cache, adjacency cache, wire) so client-side
+  /// samplers (random walk) can emit global ids without a second lookup.
+  std::span<const NodeId> nbr_global_ids;
   float weighted_degree = 0;  // d_w of the source node itself
 
   std::size_t degree() const { return nbr_local_ids.size(); }
@@ -196,6 +200,7 @@ class GraphShard {
   std::vector<ShardId> halo_nbr_shard_ids_;
   std::vector<float> halo_edge_weights_;
   std::vector<float> halo_nbr_weighted_deg_;
+  std::vector<NodeId> halo_nbr_global_ids_;
 };
 
 /// Decoded remote neighbor-info response. Owns its arrays; exposes the
@@ -219,6 +224,7 @@ class NeighborBatch {
   std::vector<ShardId> nbr_shard_ids_;
   std::vector<float> edge_weights_;
   std::vector<float> nbr_weighted_deg_;
+  std::vector<NodeId> nbr_global_ids_;
   std::vector<float> src_weighted_deg_;
 };
 

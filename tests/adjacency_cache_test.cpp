@@ -15,10 +15,11 @@ struct RowData {
   std::vector<ShardId> shards;
   std::vector<float> weights;
   std::vector<float> nbr_wdeg;
+  std::vector<NodeId> globals;
   float wdeg = 0;
 
   VertexProp prop() const {
-    return VertexProp{locals, shards, weights, nbr_wdeg, wdeg};
+    return VertexProp{locals, shards, weights, nbr_wdeg, globals, wdeg};
   }
 };
 
@@ -29,6 +30,7 @@ RowData make_row(NodeId local, ShardId dst, int degree) {
     r.shards.push_back(static_cast<ShardId>((dst + k) % 4));
     r.weights.push_back(static_cast<float>(k + 1));
     r.nbr_wdeg.push_back(static_cast<float>(local + k));
+    r.globals.push_back(local * 1000 + k);
   }
   r.wdeg = static_cast<float>(local) + 0.5f;
   return r;
@@ -78,6 +80,7 @@ TEST(AdjacencyCache, RoundTripPreservesRowContent) {
       EXPECT_EQ(got.nbr_shard_ids[k], want.shards[k]);
       EXPECT_EQ(got.edge_weights[k], want.weights[k]);
       EXPECT_EQ(got.nbr_weighted_degrees[k], want.nbr_wdeg[k]);
+      EXPECT_EQ(got.nbr_global_ids[k], want.globals[k]);
     }
   }
 }

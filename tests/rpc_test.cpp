@@ -68,7 +68,40 @@ TEST(Future, ErrorPropagates) {
 TEST(Future, InvalidFutureThrows) {
   RpcFuture f;
   EXPECT_FALSE(f.valid());
-  EXPECT_THROW(f.wait(), InternalError);
+  EXPECT_THROW(f.wait(), InvalidArgument);
+}
+
+TEST(Future, WaitConsumesTheHandle) {
+  RpcPromise p;
+  RpcFuture f = p.get_future();
+  p.set_value({4, 2});
+  EXPECT_EQ(f.wait(), (std::vector<std::uint8_t>{4, 2}));
+  // wait() moved the payload out and invalidated this handle; a second
+  // wait() must fail loudly instead of returning a moved-out vector.
+  EXPECT_FALSE(f.valid());
+  EXPECT_THROW(f.wait(), InvalidArgument);
+}
+
+TEST(Future, CopySharingConsumedStateCannotWaitAgain) {
+  RpcPromise p;
+  RpcFuture f = p.get_future();
+  RpcFuture copy = f;
+  p.set_value({1, 2, 3});
+  EXPECT_EQ(f.wait(), (std::vector<std::uint8_t>{1, 2, 3}));
+  // The copy still reads as valid (it holds the shared state), but the
+  // value was consumed through the other handle.
+  EXPECT_TRUE(copy.valid());
+  EXPECT_THROW(copy.wait(), InvalidArgument);
+}
+
+TEST(Future, ErrorObservableThroughEveryCopy) {
+  RpcPromise p;
+  RpcFuture f = p.get_future();
+  RpcFuture copy = f;
+  p.set_error("remote handler failed");
+  EXPECT_THROW(f.wait(), RpcError);
+  // Errors are not consumed: every copy sees the same failure.
+  EXPECT_THROW(copy.wait(), RpcError);
 }
 
 TEST(NetworkModel, DelayScalesWithSize) {

@@ -1,0 +1,221 @@
+// Equality matrix for the traversal operators now riding the shared fetch
+// pipeline: BFS and random walk must produce identical results under every
+// combination of {halo cache, adjacency cache, compress, overlap}, and the
+// adjacency cache must demonstrably cut wire traffic on repeated
+// frontiers. Also covers the sampling-RPC byte crediting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/cluster.hpp"
+#include "graph/generators.hpp"
+#include "ppr/bfs.hpp"
+#include "ppr/khop_sampler.hpp"
+#include "ppr/random_walk.hpp"
+
+namespace ppr {
+namespace {
+
+struct Config {
+  const char* name;
+  bool halo;
+  std::size_t adj_rows;
+  bool compress;
+  bool overlap;
+};
+
+constexpr Config kMatrix[] = {
+    {"baseline", false, 0, true, true},
+    {"halo", true, 0, true, true},
+    {"adjacency", false, 8192, true, true},
+    {"uncompressed", false, 0, false, true},
+    {"no-overlap", false, 0, true, false},
+    {"everything", true, 8192, true, true},
+    {"everything-raw-sync", true, 8192, false, false},
+};
+
+class TraversalPipelineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = generate_rmat(600, 2800, 0.5, 0.2, 0.2, 71);
+    part_ = partition_multilevel(graph_, 3);
+  }
+
+  std::unique_ptr<Cluster> make_cluster(const Config& c) {
+    ClusterOptions opts;
+    opts.num_machines = 3;
+    opts.network = no_network_cost();
+    opts.cache_halo_adjacency = c.halo;
+    opts.adjacency_cache_rows = c.adj_rows;
+    return std::make_unique<Cluster>(graph_, part_, opts);
+  }
+
+  Graph graph_;
+  PartitionAssignment part_;
+};
+
+/// Canonical form of a BFS result for comparison across runs.
+std::vector<std::pair<std::uint64_t, int>> canon(const BfsResult& res) {
+  std::vector<std::pair<std::uint64_t, int>> out;
+  out.reserve(res.distances.size());
+  for (const auto& [node, d] : res.distances) out.emplace_back(node.key(), d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST_F(TraversalPipelineFixture, BfsIdenticalUnderEveryCacheConfig) {
+  const NodeId source_global = 3;
+  std::vector<std::pair<std::uint64_t, int>> reference;
+  std::size_t ref_levels = 0;
+  for (const Config& c : kMatrix) {
+    const auto cluster = make_cluster(c);
+    const NodeRef s = cluster->locate(source_global);
+    const NodeId locals[] = {s.local};
+    BfsOptions opts;
+    opts.compress = c.compress;
+    opts.overlap = c.overlap;
+    const BfsResult res =
+        distributed_bfs(cluster->storage(s.shard), locals, opts);
+    // Run twice on the same cluster: a warm adjacency cache must not
+    // change the result either.
+    const BfsResult warm =
+        distributed_bfs(cluster->storage(s.shard), locals, opts);
+    const auto got = canon(res);
+    EXPECT_EQ(got, canon(warm)) << "warm-cache drift under " << c.name;
+    if (reference.empty()) {
+      reference = got;
+      ref_levels = res.num_levels;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(got, reference) << "BFS drift under config " << c.name;
+      EXPECT_EQ(res.num_levels, ref_levels) << c.name;
+    }
+  }
+}
+
+TEST_F(TraversalPipelineFixture, RandomWalkIdenticalUnderEveryCacheConfig) {
+  std::vector<NodeId> reference;
+  for (const Config& c : kMatrix) {
+    const auto cluster = make_cluster(c);
+    const GraphShard& shard = cluster->shard(0);
+    std::vector<NodeId> roots;
+    for (NodeId l = 0; l < std::min<NodeId>(25, shard.num_core_nodes()); ++l) {
+      roots.push_back(l);
+    }
+    RandomWalkOptions opts;
+    opts.walk_length = 9;
+    opts.seed = 13;
+    opts.compress = c.compress;
+    opts.overlap = c.overlap;
+    const RandomWalkResult res =
+        distributed_random_walk(cluster->storage(0), roots, opts);
+    const RandomWalkResult warm =
+        distributed_random_walk(cluster->storage(0), roots, opts);
+    EXPECT_EQ(res.walks, warm.walks) << "warm-cache drift under " << c.name;
+    if (reference.empty()) {
+      reference = res.walks;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(res.walks, reference) << "walk drift under config " << c.name;
+    }
+  }
+}
+
+TEST_F(TraversalPipelineFixture, BatchedWalkMatchesUnbatchedBaseline) {
+  // Both modes draw every walker's step from the same per-walker RNG
+  // stream (the server's first draw for a single source is exactly the
+  // client-side pick), so the trajectories agree bit-for-bit.
+  const auto cluster = make_cluster(kMatrix[0]);
+  const GraphShard& shard = cluster->shard(1);
+  std::vector<NodeId> roots;
+  for (NodeId l = 0; l < std::min<NodeId>(15, shard.num_core_nodes()); ++l) {
+    roots.push_back(l);
+  }
+  RandomWalkOptions batched;
+  batched.walk_length = 7;
+  batched.seed = 29;
+  RandomWalkOptions unbatched = batched;
+  unbatched.batch = false;
+  const RandomWalkResult a =
+      distributed_random_walk(cluster->storage(1), roots, batched);
+  const RandomWalkResult b =
+      distributed_random_walk(cluster->storage(1), roots, unbatched);
+  EXPECT_EQ(a.walks, b.walks);
+}
+
+TEST_F(TraversalPipelineFixture,
+       RepeatedFrontierBfsFetchesStrictlyLessWithAdjacencyCache) {
+  const NodeId source_global = 3;
+
+  const auto count_second_run = [&](std::size_t adj_rows) {
+    Config c{"", false, adj_rows, true, true};
+    const auto cluster = make_cluster(c);
+    const NodeRef s = cluster->locate(source_global);
+    const NodeId locals[] = {s.local};
+    (void)distributed_bfs(cluster->storage(s.shard), locals);  // warm
+    cluster->reset_stats();
+    (void)distributed_bfs(cluster->storage(s.shard), locals);  // measure
+    return cluster->storage(s.shard).stats().remote_nodes.load();
+  };
+
+  const std::uint64_t without = count_second_run(0);
+  const std::uint64_t with = count_second_run(1 << 16);
+  ASSERT_GT(without, 0u) << "BFS must cross shards for this test to bite";
+  EXPECT_LT(with, without)
+      << "a warm adjacency cache must cut wire-fetched rows";
+}
+
+TEST_F(TraversalPipelineFixture, WalkCachesCutWireTrafficToo) {
+  Config c{"", false, 1 << 16, true, true};
+  const auto cluster = make_cluster(c);
+  std::vector<NodeId> roots;
+  for (NodeId l = 0; l < std::min<NodeId>(20, cluster->shard(0).num_core_nodes());
+       ++l) {
+    roots.push_back(l);
+  }
+  RandomWalkOptions opts;
+  opts.walk_length = 10;
+  opts.seed = 3;
+  cluster->reset_stats();
+  (void)distributed_random_walk(cluster->storage(0), roots, opts);
+  const std::uint64_t cold = cluster->storage(0).stats().remote_nodes.load();
+  cluster->reset_stats();
+  (void)distributed_random_walk(cluster->storage(0), roots, opts);
+  const std::uint64_t warm = cluster->storage(0).stats().remote_nodes.load();
+  ASSERT_GT(cold, 0u) << "walks must cross shards for this test to bite";
+  EXPECT_LT(warm, cold);
+}
+
+TEST_F(TraversalPipelineFixture, SamplingRpcPathsCreditBytes) {
+  // The server-side sampling RPCs (unbatched walk, k-hop sampler) must
+  // account their request/response payloads like the neighbor-info path.
+  const auto cluster = make_cluster(kMatrix[0]);
+  std::vector<NodeId> roots;
+  for (NodeId l = 0; l < std::min<NodeId>(25, cluster->shard(0).num_core_nodes());
+       ++l) {
+    roots.push_back(l);
+  }
+
+  RandomWalkOptions opts;
+  opts.walk_length = 10;
+  opts.batch = false;
+  cluster->reset_stats();
+  (void)distributed_random_walk(cluster->storage(0), roots, opts);
+  const FetchStats& walk_stats = cluster->storage(0).stats();
+  ASSERT_GT(walk_stats.remote_calls.load(), 0u);
+  EXPECT_GT(walk_stats.remote_request_bytes.load(), 0u);
+  EXPECT_GT(walk_stats.remote_response_bytes.load(), 0u);
+
+  cluster->reset_stats();
+  KHopOptions khop;
+  khop.fanouts = {4, 4};
+  khop.seed = 11;
+  (void)sample_khop(cluster->storage(0), roots, khop);
+  const FetchStats& khop_stats = cluster->storage(0).stats();
+  ASSERT_GT(khop_stats.remote_calls.load(), 0u);
+  EXPECT_GT(khop_stats.remote_request_bytes.load(), 0u);
+  EXPECT_GT(khop_stats.remote_response_bytes.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ppr
