@@ -10,6 +10,8 @@
 // Flags: --nodes N --edges M --machines K --procs P --queries Q
 //        --cache-rows R (0 disables the adjacency cache)
 //        --eps E --batches 1,2,4,8,16
+//        --codecs flat,varint (wire-codec ablation: each batch point runs
+//        once per codec; identical results, different bytes on the wire)
 #include "bench_common.hpp"
 
 #include "graph/generators.hpp"
@@ -36,6 +38,20 @@ int main(int argc, char** argv) {
       if (!item.empty()) batch_sizes.push_back(std::stoi(item));
     }
   }
+  std::vector<WireCodec> codecs;
+  {
+    std::stringstream ss(args.get_string("codecs", "flat"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item == "flat") codecs.push_back(WireCodec::kFlat);
+      else if (item == "varint") codecs.push_back(WireCodec::kDeltaVarint);
+      else if (!item.empty()) {
+        std::fprintf(stderr, "unknown codec '%s' (want flat|varint)\n",
+                     item.c_str());
+        return 1;
+      }
+    }
+  }
 
   const Graph g = generate_rmat(nodes, edges, 0.5, 0.2, 0.2, 99);
   const PartitionAssignment assignment = partition_multilevel(g, machines);
@@ -50,39 +66,43 @@ int main(int argc, char** argv) {
 
   double base_qps = 0;
   for (const int b : batch_sizes) {
-    Cluster cluster(g, assignment,
-                    ClusterOptions{.num_machines = machines,
-                                   .network = bench::bench_network(),
-                                   .adjacency_cache_rows = cache_rows});
-    WorkloadOptions w;
-    w.procs_per_machine = procs;
-    w.queries_per_machine = queries;
-    w.query_batch_size = b;
-    // One cold measured run so the traffic counters describe exactly the
-    // work reported (reset_stats runs right before the measured pass).
-    w.warmup_runs = 0;
-    w.measured_runs = 1;
-    w.ppr.alpha = 0.462;
-    w.ppr.epsilon = eps;
-    w.driver = DriverOptions::overlapped();
+    for (const WireCodec codec : codecs) {
+      Cluster cluster(g, assignment,
+                      ClusterOptions{.num_machines = machines,
+                                     .network = bench::bench_network(),
+                                     .adjacency_cache_rows = cache_rows});
+      WorkloadOptions w;
+      w.procs_per_machine = procs;
+      w.queries_per_machine = queries;
+      w.query_batch_size = b;
+      // One cold measured run so the traffic counters describe exactly the
+      // work reported (reset_stats runs right before the measured pass).
+      w.warmup_runs = 0;
+      w.measured_runs = 1;
+      w.ppr.alpha = 0.462;
+      w.ppr.epsilon = eps;
+      w.driver = DriverOptions::overlapped();
+      w.driver.codec = codec;
 
-    const ThroughputResult r = measure_engine_throughput(cluster, w);
-    if (base_qps == 0) base_qps = r.queries_per_second;
-    std::printf(
-        "{\"batch_size\": %d, \"qps\": %.2f, \"speedup_vs_1\": %.2f, "
-        "\"seconds\": %.4f, \"total_pushes\": %zu, "
-        "\"remote_calls\": %llu, \"remote_nodes\": %llu, "
-        "\"remote_bytes\": %llu, \"adj_cache_hits\": %llu, "
-        "\"adj_cache_misses\": %llu}\n",
-        b, r.queries_per_second, r.queries_per_second / base_qps,
-        r.seconds_per_run, r.total_pushes,
-        static_cast<unsigned long long>(cluster.total_remote_calls()),
-        static_cast<unsigned long long>(cluster.total_remote_nodes()),
-        static_cast<unsigned long long>(cluster.total_remote_bytes()),
-        static_cast<unsigned long long>(
-            cluster.total_adjacency_cache_hits()),
-        static_cast<unsigned long long>(
-            cluster.total_adjacency_cache_misses()));
+      const ThroughputResult r = measure_engine_throughput(cluster, w);
+      if (base_qps == 0) base_qps = r.queries_per_second;
+      std::printf(
+          "{\"batch_size\": %d, \"codec\": \"%s\", \"qps\": %.2f, "
+          "\"speedup_vs_1\": %.2f, "
+          "\"seconds\": %.4f, \"total_pushes\": %zu, "
+          "\"remote_calls\": %llu, \"remote_nodes\": %llu, "
+          "\"remote_bytes\": %llu, \"adj_cache_hits\": %llu, "
+          "\"adj_cache_misses\": %llu}\n",
+          b, wire_codec_name(codec), r.queries_per_second,
+          r.queries_per_second / base_qps, r.seconds_per_run, r.total_pushes,
+          static_cast<unsigned long long>(cluster.total_remote_calls()),
+          static_cast<unsigned long long>(cluster.total_remote_nodes()),
+          static_cast<unsigned long long>(cluster.total_remote_bytes()),
+          static_cast<unsigned long long>(
+              cluster.total_adjacency_cache_hits()),
+          static_cast<unsigned long long>(
+              cluster.total_adjacency_cache_misses()));
+    }
   }
   return 0;
 }

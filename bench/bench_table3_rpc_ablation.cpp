@@ -37,13 +37,19 @@ int main(int argc, char** argv) {
       {"+Batch", DriverOptions::batched(), 7.1},
       {"+Compress", DriverOptions::compressed(), 26.2},
       {"+Overlap", DriverOptions::overlapped(), 35.7},
+      // Wire-codec ablation beyond the paper: same Batch/Compress/Overlap
+      // plan, delta-varint arrays instead of full-width flat ones.
+      {"+Varint", DriverOptions::varint(), 35.7},
   };
 
   bench::print_header("Table 3: RPC optimization ablation on " + name);
-  std::printf("%-10s %12s %12s %10s %10s %10s %12s\n", "mode", "local(s)",
-              "remote(s)", "push(s)", "total(s)", "speedup", "paper");
+  std::printf("%-10s %10s %10s %8s %8s %8s %11s %11s %10s\n", "mode",
+              "local(s)", "remote(s)", "push(s)", "total(s)", "speedup",
+              "req(KB)", "resp(KB)", "paper");
 
   double baseline_total = 0;
+  double flat_response_bytes = 0;
+  double varint_response_bytes = 0;
   for (const Mode& mode : modes) {
     WorkloadOptions w;
     w.procs_per_machine = 1;
@@ -53,18 +59,39 @@ int main(int argc, char** argv) {
     w.ppr.alpha = 0.462;
     w.ppr.epsilon = 1e-6;
     w.driver = mode.options;
+    cluster->reset_stats();
     const ThroughputResult r = measure_engine_throughput(*cluster, w);
     if (baseline_total == 0) baseline_total = r.seconds_per_run;
+    // Actual bytes put on the wire across all machines and runs
+    // (request flags + id arrays out, codec-encoded CSR frames back).
+    double req_bytes = 0, resp_bytes = 0;
+    for (int m = 0; m < machines; ++m) {
+      const FetchStats& fs = cluster->storage(m).stats();
+      req_bytes += static_cast<double>(fs.remote_request_bytes.load());
+      resp_bytes += static_cast<double>(fs.remote_response_bytes.load());
+    }
+    if (mode.options.compress && mode.options.overlap) {
+      (mode.options.codec == WireCodec::kDeltaVarint ? varint_response_bytes
+                                                     : flat_response_bytes) =
+          resp_bytes;
+    }
     // Phase timers are summed over all computing processes; report the
     // per-process mean so the phases are comparable to the wall time.
     const double procs = static_cast<double>(machines);
-    std::printf("%-10s %12.3f %12.3f %10.3f %10.3f %9.1fx %11.1fx\n",
+    std::printf("%-10s %10.3f %10.3f %8.3f %8.3f %7.1fx %11.1f %11.1f %9.1fx\n",
                 mode.label,
                 r.phase_seconds[static_cast<int>(Phase::kLocalFetch)] / procs,
                 r.phase_seconds[static_cast<int>(Phase::kRemoteFetch)] / procs,
                 r.phase_seconds[static_cast<int>(Phase::kPush)] / procs,
                 r.seconds_per_run, baseline_total / r.seconds_per_run,
-                mode.paper_speedup);
+                req_bytes / 1024.0, resp_bytes / 1024.0, mode.paper_speedup);
+  }
+  if (flat_response_bytes > 0 && varint_response_bytes > 0) {
+    std::printf(
+        "\ndelta-varint codec: remote_response_bytes %.1f%% of flat "
+        "(%.1f%% reduction)\n",
+        100.0 * varint_response_bytes / flat_response_bytes,
+        100.0 * (1.0 - varint_response_bytes / flat_response_bytes));
   }
   std::printf(
       "\npaper Table 3 (s): Single {0.38, 6.59, 0.87, 7.85}, +Batch {0.16, "

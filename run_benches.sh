@@ -18,6 +18,10 @@ cd /root/repo
   ./build/bench/bench_batch_queries --nodes 4000 --edges 16000 \
       --queries 64 --batches 1,16 2>&1
   echo
+  echo "##### bench_batch_queries (smoke: flat vs delta-varint wire codec)"
+  ./build/bench/bench_batch_queries --nodes 4000 --edges 16000 \
+      --queries 64 --batches 16 --codecs flat,varint 2>&1
+  echo
   echo "##### bench_serving (smoke: tiny graph, 2s cap per point)"
   ./build/bench/bench_serving --smoke 2>&1
   echo

@@ -62,10 +62,31 @@ inline constexpr std::size_t kTensorHeaderBytes = 64;
 /// aligns each tensor buffer independently.
 inline constexpr std::size_t kTensorAlignBytes = 16;
 
+/// ZigZag mapping for signed deltas: small-magnitude values of either
+/// sign become small unsigned varints (-1 -> 1, 1 -> 2, -2 -> 3, ...).
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Maximum encoded length of a LEB128 varint carrying 64 bits.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
 /// Append-only byte buffer writer.
 class ByteWriter {
  public:
   ByteWriter() = default;
+  /// Adopt `storage` as the backing buffer (cleared, capacity kept). Used
+  /// with BufferPool so steady-state encoding reuses recycled buffers
+  /// instead of allocating fresh ones per message.
+  explicit ByteWriter(std::vector<std::uint8_t> storage)
+      : buf_(std::move(storage)) {
+    buf_.clear();
+  }
 
   template <typename T>
   void write(const T& v) {
@@ -84,6 +105,17 @@ class ByteWriter {
     write<std::uint64_t>(s.size());
     write_bytes(s.data(), s.size());
   }
+
+  /// LEB128 unsigned varint: 7 value bits per byte, high bit = "more".
+  void write_uvarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  /// Signed value as zigzag-mapped varint (for deltas of either sign).
+  void write_svarint(std::int64_t v) { write_uvarint(zigzag_encode(v)); }
 
   /// Flat length-prefixed array: 8-byte count then raw elements.
   template <typename T>
@@ -155,13 +187,53 @@ class ByteReader {
 
   template <typename T>
   std::vector<T> read_vec() {
-    const auto n = read<std::uint64_t>();
-    GE_CHECK(pos_ + n * sizeof(T) <= data_.size(),
-             "serialized buffer underflow");
-    std::vector<T> v(n);
-    if (n != 0) std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
-    pos_ += n * sizeof(T);
+    std::vector<T> v;
+    read_vec_into(v);
     return v;
+  }
+
+  /// read_vec decoding into `out` (capacity reused). The length check is
+  /// division-based so a hostile 2^61-element count cannot overflow the
+  /// byte arithmetic and slip past it.
+  template <typename T>
+  void read_vec_into(std::vector<T>& out) {
+    const auto n = read<std::uint64_t>();
+    GE_REQUIRE(n <= (data_.size() - pos_) / sizeof(T),
+               "serialized buffer underflow");
+    out.resize(n);
+    if (n != 0) std::memcpy(out.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+  }
+
+  /// LEB128 unsigned varint. Truncated or overlong frames are rejected
+  /// with GE_REQUIRE (malformed remote input, not an engine bug): at most
+  /// kMaxVarintBytes bytes, and the 10th byte may only carry the top bit
+  /// of the 64-bit value.
+  std::uint64_t read_uvarint() {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+      GE_REQUIRE(pos_ < data_.size(), "truncated varint");
+      const std::uint8_t byte = data_[pos_++];
+      if (i == kMaxVarintBytes - 1) {
+        GE_REQUIRE((byte & ~std::uint8_t{1}) == 0,
+                   "varint overflows 64 bits");
+      }
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+      if ((byte & 0x80) == 0) return v;
+    }
+    GE_REQUIRE(false, "varint longer than 10 bytes");
+    return 0;  // unreachable
+  }
+  std::int64_t read_svarint() { return zigzag_decode(read_uvarint()); }
+
+  /// Raw unprefixed element block (count known from context).
+  template <typename T>
+  void read_raw(std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t n = out.size() * sizeof(T);
+    GE_REQUIRE(n <= data_.size() - pos_, "truncated raw array");
+    if (n != 0) std::memcpy(out.data(), data_.data() + pos_, n);
+    pos_ += n;
   }
 
   template <typename T>
@@ -173,7 +245,7 @@ class ByteReader {
     std::memcpy(&n, data_.data() + pos_, sizeof(n));
     GE_CHECK(data_[pos_ + 8] == sizeof(T), "tensor dtype mismatch");
     pos_ += kTensorHeaderBytes;
-    GE_CHECK(pos_ + n * sizeof(T) <= data_.size(),
+    GE_CHECK(n <= (data_.size() - pos_) / sizeof(T),
              "serialized buffer underflow");
     std::vector<T> v(n);
     if (n != 0) std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));

@@ -84,7 +84,7 @@ BatchRunStats run_ssppr_batch(const DistGraphStorage& storage,
     // --- One pipeline round resolves the whole union: halo/adjacency
     // splits, at most one RPC per remote shard, self-shard rows through
     // shared memory while responses are in flight.
-    pipeline.execute({options.compress, options.overlap}, &t);
+    pipeline.execute({options.compress, options.overlap, options.codec}, &t);
 
     // --- Per-query push fan-out, replaying the single-query driver's ---
     // push-call structure exactly (own shard, then halo hits per remote

@@ -84,7 +84,8 @@ void run_iteration_batched(const DistGraphStorage& g, SspprState& state,
   std::vector<VertexProp> infos;
   std::vector<NodeId> loc;
   std::vector<ShardId> shv;
-  const FetchPipeline::Plan plan{options.compress, options.overlap};
+  const FetchPipeline::Plan plan{options.compress, options.overlap,
+                                 options.codec};
   // Own-shard push and the halo-hit pushes only need rows resolved before
   // the RPCs return, so they ride in the overlap hook.
   pipeline.execute(plan, &t, [&] {

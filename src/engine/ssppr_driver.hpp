@@ -18,6 +18,10 @@ struct DriverOptions {
   bool batch = true;
   bool compress = true;
   bool overlap = true;
+  /// Array encoding of CSR-compressed responses (flat vs delta-varint);
+  /// ignored when compress is off. Results are bit-identical under either
+  /// codec — only bytes-on-wire change.
+  WireCodec codec = WireCodec::kFlat;
   /// OpenMP threads the multi-query driver (run_ssppr_batch) spreads its
   /// per-query push fan-out over; 1 keeps the fan-out serial and the
   /// result bit-deterministic regardless of the OpenMP runtime.
@@ -27,6 +31,10 @@ struct DriverOptions {
   static DriverOptions batched() { return {true, false, false}; }
   static DriverOptions compressed() { return {true, true, false}; }
   static DriverOptions overlapped() { return {true, true, true}; }
+  /// All three RPC optimizations plus the delta-varint wire codec.
+  static DriverOptions varint() {
+    return {true, true, true, WireCodec::kDeltaVarint};
+  }
 };
 
 struct SspprRunStats {

@@ -146,7 +146,7 @@ SubgraphBatch convert_batch(const DistGraphStorage& storage,
       continue;
     }
     fetches[static_cast<std::size_t>(s)] = storage.get_neighbor_infos_async(
-        s, locals[static_cast<std::size_t>(s)], /*compress=*/true);
+        s, locals[static_cast<std::size_t>(s)]);
   }
 
   // Induce edges: keep (v,u) when both endpoints are selected.

@@ -59,8 +59,9 @@ BfsResult distributed_bfs(const DistGraphStorage& storage,
       for (std::uint32_t r = 0; r < n; ++r) expand(pipeline.row(j, r));
     };
 
-    pipeline.execute({options.compress, options.overlap}, nullptr,
-                     [&] { expand_shard(self); });
+    pipeline.execute({options.compress, options.overlap, options.codec,
+                      options.fetch_weights},
+                     nullptr, [&] { expand_shard(self); });
     for (ShardId j = 0; j < num_shards; ++j) {
       if (j != self) expand_shard(j);
     }

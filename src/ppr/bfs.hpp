@@ -25,6 +25,14 @@ struct BfsOptions {
   /// (same switch as the SSPPR driver). Either setting yields identical
   /// results; the switch only changes when the waiting happens.
   bool overlap = true;
+  /// Wire codec of the CSR response (same knob as DriverOptions::codec).
+  WireCodec codec = WireCodec::kFlat;
+  /// BFS only consumes neighbor ids, so the weight/degree floats can be
+  /// dropped from remote responses entirely (fetch_weights = false).
+  /// Traversal results are identical either way, but weightless rows
+  /// never enter the adjacency cache, so the default keeps responses
+  /// cache-feedable.
+  bool fetch_weights = true;
 };
 
 struct BfsResult {

@@ -28,6 +28,9 @@ struct RandomWalkOptions {
   /// Advance own-shard walkers while remote responses are in flight;
   /// ignored when batch is false. Either setting yields identical walks.
   bool overlap = true;
+  /// Wire codec of the CSR response (same knob as DriverOptions::codec);
+  /// ignored when batch is false. Walks are identical under either codec.
+  WireCodec codec = WireCodec::kFlat;
 };
 
 struct RandomWalkResult {

@@ -131,9 +131,8 @@ TensorPushResult tensor_forward_push(const DistGraphStorage& storage,
       for (ShardId j = 0; j < num_shards; ++j) {
         const auto& locals = locals_by_shard[static_cast<std::size_t>(j)];
         if (j == storage.shard_id() || locals.empty()) continue;
-        fetches[static_cast<std::size_t>(j)] =
-            storage.get_neighbor_infos_async(j, locals.span(),
-                                             options.compress);
+        fetches[static_cast<std::size_t>(j)] = storage.get_neighbor_infos_async(
+            j, locals.span(), FetchOptions{.compress = options.compress});
       }
     }
     std::vector<NeighborBatch> batches(static_cast<std::size_t>(num_shards));
@@ -159,7 +158,7 @@ TensorPushResult tensor_forward_push(const DistGraphStorage& storage,
       ScopedPhase phase(t, Phase::kLocalFetch);
       if (!own_locals.empty()) {
         local_batch = storage.get_neighbor_infos_local_serialized(
-            own_locals.span(), options.compress);
+            own_locals.span(), FetchOptions{.compress = options.compress});
       }
     }
 

@@ -1,0 +1,51 @@
+#include "rpc/buffer_pool.hpp"
+
+namespace ppr {
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+std::vector<std::uint8_t> BufferPool::acquire(std::size_t reserve) {
+  stats_.acquired.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t> buf;
+  {
+    LockGuard<Spinlock> guard(lock_);
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (buf.capacity() == 0) {
+    stats_.created.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.reused.fetch_add(1, std::memory_order_relaxed);
+    if (buf.capacity() < reserve) {
+      stats_.grown.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  buf.clear();
+  if (reserve != 0) buf.reserve(reserve);
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& buf) {
+  if (buf.capacity() == 0) return;  // moved-from or never-filled vector
+  stats_.released.fetch_add(1, std::memory_order_relaxed);
+  {
+    LockGuard<Spinlock> guard(lock_);
+    if (free_.size() < max_pooled_) {
+      free_.push_back(std::move(buf));
+      return;
+    }
+  }
+  stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t BufferPool::idle_buffers() const {
+  LockGuard<Spinlock> guard(lock_);
+  return free_.size();
+}
+
+}  // namespace ppr

@@ -1,0 +1,85 @@
+// Pooled byte-buffer arena for the RPC wire path.
+//
+// Every hop of a remote fetch used to allocate fresh heap buffers: the
+// request encode, the frame copy, the server's response encode, and the
+// delivered payload. BufferPool recycles those vectors across rounds so
+// steady-state RPC traffic performs no buffer allocations: acquire() hands
+// out a cleared buffer with its old capacity intact, release() returns it.
+//
+// Ownership contract (see DESIGN.md §10): a buffer has exactly one owner
+// at a time. Whoever consumes the bytes releases the buffer — the socket
+// sender after writev() returns, the server after the handler ran over the
+// request payload, the fetch wrapper after decoding a response. Buffers
+// that escape the RPC path (caller keeps the vector) are simply never
+// released; the pool does not track them.
+//
+// Stats follow the SspprStatePool idiom: `created` counts lifetime buffer
+// constructions and `grown` counts capacity growths on recycled buffers,
+// so tests can warm the path and then assert both stay flat.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/spinlock.hpp"
+
+namespace ppr {
+
+struct BufferPoolStats {
+  std::atomic<std::uint64_t> acquired{0};  // total acquire() calls
+  std::atomic<std::uint64_t> reused{0};    // served from the free list
+  std::atomic<std::uint64_t> created{0};   // brand-new buffer constructed
+  std::atomic<std::uint64_t> grown{0};     // recycled buffer had to realloc
+  std::atomic<std::uint64_t> released{0};  // buffers returned
+  std::atomic<std::uint64_t> dropped{0};   // returns beyond max_pooled
+
+  /// Allocation events total: flat once the path is warm.
+  std::uint64_t allocations() const {
+    return created.load(std::memory_order_relaxed) +
+           grown.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    acquired = 0;
+    reused = 0;
+    created = 0;
+    grown = 0;
+    released = 0;
+    dropped = 0;
+  }
+};
+
+class BufferPool {
+ public:
+  /// Keep at most `max_pooled` idle buffers; surplus releases free their
+  /// memory (bounds the pool under bursty fan-out).
+  explicit BufferPool(std::size_t max_pooled = 256)
+      : max_pooled_(max_pooled) {}
+
+  /// Process-wide pool shared by every transport/endpoint/pipeline. One
+  /// pool (rather than per-endpoint) lets a buffer filled on machine A be
+  /// recycled by machine B in the simulated cluster, exactly like a
+  /// process-wide allocator would.
+  static BufferPool& global();
+
+  /// A cleared buffer with at least `reserve` capacity. Capacity from the
+  /// free list is kept, so a warm pool serves any steady-state size
+  /// without touching the allocator.
+  std::vector<std::uint8_t> acquire(std::size_t reserve = 0);
+
+  /// Return a buffer for reuse. Accepts any vector (not only ones that
+  /// came from acquire()); moved-from empty vectors are dropped.
+  void release(std::vector<std::uint8_t>&& buf);
+
+  const BufferPoolStats& stats() const { return stats_; }
+  BufferPoolStats& stats() { return stats_; }
+  std::size_t idle_buffers() const;
+
+ private:
+  std::size_t max_pooled_;
+  mutable Spinlock lock_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace ppr

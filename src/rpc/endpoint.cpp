@@ -1,6 +1,7 @@
 #include "rpc/endpoint.hpp"
 
 #include "common/log.hpp"
+#include "rpc/buffer_pool.hpp"
 
 namespace ppr {
 
@@ -109,6 +110,9 @@ void RpcEndpoint::handle_request(Message msg) {
   } catch (const std::exception& e) {
     reply.error = e.what();
   }
+  // The request payload is fully consumed by the handler; recycle it for
+  // the next frame instead of freeing it.
+  BufferPool::global().release(std::move(msg.payload));
   transport_->send(std::move(reply));
 }
 

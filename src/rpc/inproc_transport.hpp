@@ -14,6 +14,12 @@ namespace ppr {
 /// handler, modeling a single serialized delivery channel per machine
 /// (receive-side NIC). Messages between a machine and itself bypass the
 /// network model (shared-memory access in the paper's setup).
+///
+/// Delivery is frame-free: the Message moves through the queue intact, so
+/// neither end pays an encode/decode or a payload copy. The cost model
+/// still charges Message::wire_size() — the exact header + payload bytes
+/// the frame *would* occupy — so simulated bandwidth matches the socket
+/// transport's scatter-gather framing byte for byte.
 class InProcTransport final : public Transport {
  public:
   InProcTransport(int num_machines, NetworkModel model = NetworkModel{});

@@ -1,5 +1,7 @@
 #include "storage/dist_storage.hpp"
 
+#include "rpc/buffer_pool.hpp"
+
 namespace ppr {
 
 DistGraphStorage::DistGraphStorage(
@@ -24,17 +26,21 @@ std::vector<VertexProp> DistGraphStorage::get_neighbor_infos_local(
 }
 
 NeighborBatch DistGraphStorage::get_neighbor_infos_local_serialized(
-    std::span<const NodeId> locals, bool compress) const {
+    std::span<const NodeId> locals, const FetchOptions& options) const {
   stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
-  ByteWriter w;
-  if (compress) {
-    local_shard_->encode_neighbor_infos_csr(locals, w);
+  ByteWriter w(BufferPool::global().acquire());
+  NeighborBatch batch;
+  if (options.compress) {
+    local_shard_->encode_neighbor_infos_csr(locals, w, options);
     ByteReader r(w.bytes());
-    return NeighborBatch::decode_csr(r);
+    batch = NeighborBatch::decode_csr(r);
+  } else {
+    local_shard_->encode_neighbor_infos_tensor_list(locals, w);
+    ByteReader r(w.bytes());
+    batch = NeighborBatch::decode_tensor_list(r);
   }
-  local_shard_->encode_neighbor_infos_tensor_list(locals, w);
-  ByteReader r(w.bytes());
-  return NeighborBatch::decode_tensor_list(r);
+  BufferPool::global().release(w.take());
+  return batch;
 }
 
 DistGraphStorage::HaloSplit DistGraphStorage::split_by_halo_cache(
@@ -95,26 +101,38 @@ void DistGraphStorage::insert_adjacency_rows(ShardId dst,
 }
 
 std::vector<std::uint8_t> DistGraphStorage::encode_batch_request(
-    std::span<const NodeId> locals, bool compress) {
-  ByteWriter w;
-  w.write<std::uint8_t>(compress ? 1 : 0);
-  w.write_span(locals);
+    std::span<const NodeId> locals, const FetchOptions& options) {
+  ByteWriter w(BufferPool::global().acquire());
+  std::uint8_t flags = options.compress ? kFetchFlagCompress : 0;
+  if (options.codec == WireCodec::kDeltaVarint) flags |= kFetchFlagVarint;
+  if (!options.need_weights) flags |= kFetchFlagNoWeights;
+  w.write<std::uint8_t>(flags);
+  if (options.codec == WireCodec::kDeltaVarint) {
+    // Local ids are small non-negative ints; varint-pack the request too.
+    w.write_uvarint(locals.size());
+    for (const NodeId local : locals) {
+      w.write_uvarint(static_cast<std::uint64_t>(local));
+    }
+  } else {
+    w.write_span(locals);
+  }
   return w.take();
 }
 
 NeighborFetch DistGraphStorage::get_neighbor_infos_async(
-    ShardId dst, std::span<const NodeId> locals, bool compress) const {
+    ShardId dst, std::span<const NodeId> locals,
+    const FetchOptions& options) const {
   GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
              "dst shard out of range");
   stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
-  std::vector<std::uint8_t> request = encode_batch_request(locals, compress);
+  std::vector<std::uint8_t> request = encode_batch_request(locals, options);
   stats_.remote_request_bytes.fetch_add(request.size(),
                                         std::memory_order_relaxed);
   return NeighborFetch(
       rrefs_[static_cast<std::size_t>(dst)].async_call(
           storage_method::kGetNeighborInfos, std::move(request)),
-      compress, &stats_);
+      options.compress, &stats_);
 }
 
 NeighborFetch DistGraphStorage::get_neighbor_info_single_async(
@@ -144,22 +162,41 @@ SampleResult DistGraphStorage::decode_sample(
   return res;
 }
 
-SampleResult SampleFetch::wait() {
-  const std::vector<std::uint8_t> payload = future_.wait();
+void NeighborFetch::wait_into(NeighborBatch& out) {
+  std::vector<std::uint8_t> payload = future_.wait();
   if (stats_ != nullptr) {
     stats_->remote_response_bytes.fetch_add(payload.size(),
                                             std::memory_order_relaxed);
   }
-  return DistGraphStorage::decode_sample(payload);
+  ByteReader r(payload);
+  if (compressed_) {
+    NeighborBatch::decode_csr_into(r, out);
+  } else {
+    out = NeighborBatch::decode_tensor_list(r);
+  }
+  BufferPool::global().release(std::move(payload));
+}
+
+SampleResult SampleFetch::wait() {
+  std::vector<std::uint8_t> payload = future_.wait();
+  if (stats_ != nullptr) {
+    stats_->remote_response_bytes.fetch_add(payload.size(),
+                                            std::memory_order_relaxed);
+  }
+  SampleResult res = DistGraphStorage::decode_sample(payload);
+  BufferPool::global().release(std::move(payload));
+  return res;
 }
 
 KSampleResult KSampleFetch::wait() {
-  const std::vector<std::uint8_t> payload = future_.wait();
+  std::vector<std::uint8_t> payload = future_.wait();
   if (stats_ != nullptr) {
     stats_->remote_response_bytes.fetch_add(payload.size(),
                                             std::memory_order_relaxed);
   }
-  return DistGraphStorage::decode_k_sample(payload);
+  KSampleResult res = DistGraphStorage::decode_k_sample(payload);
+  BufferPool::global().release(std::move(payload));
+  return res;
 }
 
 SampleFetch DistGraphStorage::sample_one_neighbor_async(

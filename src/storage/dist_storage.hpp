@@ -63,6 +63,7 @@ struct KSampleResult {
 
 /// Pending remote neighbor-info fetch; wait() decodes the response (and
 /// credits the response payload to the issuing client's byte counters).
+/// The payload buffer is recycled through the BufferPool after decoding.
 class NeighborFetch {
  public:
   NeighborFetch() = default;
@@ -73,15 +74,14 @@ class NeighborFetch {
   bool valid() const { return future_.valid(); }
 
   NeighborBatch wait() {
-    const std::vector<std::uint8_t> payload = future_.wait();
-    if (stats_ != nullptr) {
-      stats_->remote_response_bytes.fetch_add(payload.size(),
-                                              std::memory_order_relaxed);
-    }
-    ByteReader r(payload);
-    return compressed_ ? NeighborBatch::decode_csr(r)
-                       : NeighborBatch::decode_tensor_list(r);
+    NeighborBatch batch;
+    wait_into(batch);
+    return batch;
   }
+
+  /// Decode into `out`, reusing its vectors' capacity — the steady-state
+  /// path of the fetch pipeline's round-recycled batches.
+  void wait_into(NeighborBatch& out);
 
  private:
   RpcFuture future_;
@@ -197,12 +197,14 @@ class DistGraphStorage {
   /// Local fetch through the full serialize/deserialize path (used to
   /// quantify what the VertexProp zero-copy path saves).
   NeighborBatch get_neighbor_infos_local_serialized(
-      std::span<const NodeId> locals, bool compress) const;
+      std::span<const NodeId> locals, const FetchOptions& options = {}) const;
 
-  /// Asynchronous batched remote fetch from shard `dst`.
+  /// Asynchronous batched remote fetch from shard `dst`. `options` picks
+  /// the response shape: CSR vs tensor list, flat vs delta-varint arrays,
+  /// weights shipped or dropped (see FetchOptions).
   NeighborFetch get_neighbor_infos_async(ShardId dst,
                                          std::span<const NodeId> locals,
-                                         bool compress = true) const;
+                                         const FetchOptions& options = {}) const;
 
   /// One node per request — the unbatched "Single" ablation baseline.
   NeighborFetch get_neighbor_info_single_async(ShardId dst,
@@ -231,7 +233,7 @@ class DistGraphStorage {
 
  private:
   static std::vector<std::uint8_t> encode_batch_request(
-      std::span<const NodeId> locals, bool compress);
+      std::span<const NodeId> locals, const FetchOptions& options);
 
   RpcEndpoint& endpoint_;
   std::vector<RemoteRef> rrefs_;

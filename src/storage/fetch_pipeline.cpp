@@ -104,7 +104,7 @@ void FetchPipeline::resolve_remote_shard(std::size_t j, const Plan& plan) {
 
   if (!fetch_locals_[j].empty()) {
     fetches_[j] = storage_.get_neighbor_infos_async(
-        static_cast<ShardId>(j), fetch_locals_[j], plan.compress);
+        static_cast<ShardId>(j), fetch_locals_[j], plan.fetch_options());
     stats_.rows_wire += fetch_locals_[j].size();
     ++stats_.rpcs_issued;
   }
@@ -130,7 +130,9 @@ void FetchPipeline::execute(const Plan& plan, PhaseTimers* timers,
   const auto wait_all = [&] {
     ScopedPhase phase(t, Phase::kRemoteFetch);
     for (std::size_t j = 0; j < ns; ++j) {
-      if (fetches_[j].valid()) batches_[j] = fetches_[j].wait();
+      // Decode into the round-recycled batch so steady-state rounds reuse
+      // its vectors' capacity instead of allocating fresh arrays.
+      if (fetches_[j].valid()) fetches_[j].wait_into(batches_[j]);
     }
   };
   // No-overlap mode waits before any local work, so the remote-fetch
@@ -153,8 +155,12 @@ void FetchPipeline::execute(const Plan& plan, PhaseTimers* timers,
   // --- Fan responses into their union rows; feed the adjacency cache. ---
   for (std::size_t j = 0; j < ns; ++j) {
     if (fetch_locals_[j].empty()) continue;
-    storage_.insert_adjacency_rows(static_cast<ShardId>(j), fetch_locals_[j],
-                                   batches_[j]);
+    // Weightless rows (need_weights off) carry zero-filled float arrays;
+    // caching them would poison weight-consuming queries.
+    if (batches_[j].has_weights()) {
+      storage_.insert_adjacency_rows(static_cast<ShardId>(j),
+                                     fetch_locals_[j], batches_[j]);
+    }
     for (std::size_t m = 0; m < fetch_rows_[j].size(); ++m) {
       resolved_[j][fetch_rows_[j][m]] = batches_[j][m];
     }

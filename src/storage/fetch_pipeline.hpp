@@ -86,6 +86,15 @@ class FetchPipeline {
   struct Plan {
     bool compress = true;
     bool overlap = true;
+    /// Array encoding of the CSR response (flat vs delta-varint).
+    WireCodec codec = WireCodec::kFlat;
+    /// When false, weight/degree floats are dropped from responses.
+    /// Weightless batches never feed the adjacency cache.
+    bool need_weights = true;
+
+    FetchOptions fetch_options() const {
+      return FetchOptions{compress, codec, need_weights};
+    }
   };
 
   explicit FetchPipeline(const DistGraphStorage& storage);

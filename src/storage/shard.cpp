@@ -1,6 +1,7 @@
 #include "storage/shard.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/rng.hpp"
 
@@ -211,9 +212,78 @@ void GraphShard::sample_k_neighbors(std::span<const NodeId> locals, int k,
   }
 }
 
+namespace {
+/// CSR frame preamble: codec tag, then a flags byte (bit0 = the weight /
+/// degree float sections are present). See DESIGN.md §10.
+constexpr std::uint8_t kCsrHasWeightsFlag = 0x01;
+}  // namespace
+
 void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
-                                           ByteWriter& w) const {
-  // Gather into contiguous CSR arrays, then write each as one flat array.
+                                           ByteWriter& w,
+                                           const FetchOptions& options) const {
+  w.write<std::uint8_t>(static_cast<std::uint8_t>(options.codec));
+  w.write<std::uint8_t>(options.need_weights ? kCsrHasWeightsFlag : 0);
+
+  if (options.codec == WireCodec::kDeltaVarint) {
+    // Scatter-gather straight off the shard arrays: each section streams
+    // row by row with no intermediate gather buffers.
+    w.write_uvarint(locals.size());
+    const auto row = [&](std::size_t i) {
+      const NodeId l = locals[i];
+      GE_REQUIRE(l >= 0 && l < num_core_nodes(), "local id out of range");
+      const auto lo =
+          static_cast<std::size_t>(indptr_[static_cast<std::size_t>(l)]);
+      const auto hi =
+          static_cast<std::size_t>(indptr_[static_cast<std::size_t>(l) + 1]);
+      return std::pair<std::size_t, std::size_t>(lo, hi);
+    };
+    // Row offsets as per-row degrees (the varint delta of indptr).
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      const auto [lo, hi] = row(i);
+      w.write_uvarint(hi - lo);
+    }
+    // Neighbor global ids: delta within the row (neighbor lists are
+    // sorted, so deltas are small positive varints; zigzag keeps any
+    // unsorted row correct too).
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      const auto [lo, hi] = row(i);
+      NodeId prev = 0;
+      for (std::size_t e = lo; e < hi; ++e) {
+        w.write_svarint(static_cast<std::int64_t>(nbr_global_ids_[e]) - prev);
+        prev = nbr_global_ids_[e];
+      }
+    }
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      const auto [lo, hi] = row(i);
+      for (std::size_t e = lo; e < hi; ++e) {
+        w.write_uvarint(static_cast<std::uint64_t>(nbr_local_ids_[e]));
+      }
+    }
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      const auto [lo, hi] = row(i);
+      for (std::size_t e = lo; e < hi; ++e) {
+        w.write_uvarint(static_cast<std::uint64_t>(nbr_shard_ids_[e]));
+      }
+    }
+    if (options.need_weights) {
+      for (std::size_t i = 0; i < locals.size(); ++i) {
+        const auto [lo, hi] = row(i);
+        w.write_bytes(edge_weights_.data() + lo, (hi - lo) * sizeof(float));
+      }
+      for (std::size_t i = 0; i < locals.size(); ++i) {
+        const auto [lo, hi] = row(i);
+        w.write_bytes(nbr_weighted_deg_.data() + lo,
+                      (hi - lo) * sizeof(float));
+      }
+      for (const NodeId l : locals) {
+        w.write<float>(core_weighted_deg_[static_cast<std::size_t>(l)]);
+      }
+    }
+    return;
+  }
+
+  // Flat codec: gather into contiguous CSR arrays, then write each as one
+  // full-width length-prefixed array.
   std::vector<EdgeIndex> indptr(locals.size() + 1, 0);
   std::size_t total = 0;
   for (std::size_t i = 0; i < locals.size(); ++i) {
@@ -249,10 +319,14 @@ void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
   w.write_vec(indptr);
   w.write_vec(nbr_local);
   w.write_vec(nbr_shard);
-  w.write_vec(weights);
-  w.write_vec(nbr_dw);
+  if (options.need_weights) {
+    w.write_vec(weights);
+    w.write_vec(nbr_dw);
+  }
   w.write_vec(nbr_global);
-  w.write_vec(src_dw);
+  if (options.need_weights) {
+    w.write_vec(src_dw);
+  }
 }
 
 void GraphShard::encode_neighbor_infos_tensor_list(
@@ -298,16 +372,116 @@ std::size_t GraphShard::memory_bytes() const {
 
 NeighborBatch NeighborBatch::decode_csr(ByteReader& r) {
   NeighborBatch b;
-  b.indptr_ = r.read_vec<EdgeIndex>();
-  b.nbr_local_ids_ = r.read_vec<NodeId>();
-  b.nbr_shard_ids_ = r.read_vec<ShardId>();
-  b.edge_weights_ = r.read_vec<float>();
-  b.nbr_weighted_deg_ = r.read_vec<float>();
-  b.nbr_global_ids_ = r.read_vec<NodeId>();
-  b.src_weighted_deg_ = r.read_vec<float>();
-  GE_CHECK(b.indptr_.size() == b.src_weighted_deg_.size() + 1,
-           "inconsistent CSR response");
+  decode_csr_into(r, b);
   return b;
+}
+
+void NeighborBatch::decode_csr_into(ByteReader& r, NeighborBatch& out) {
+  const auto tag = r.read<std::uint8_t>();
+  GE_REQUIRE(tag == static_cast<std::uint8_t>(WireCodec::kFlat) ||
+                 tag == static_cast<std::uint8_t>(WireCodec::kDeltaVarint),
+             "unknown CSR codec tag");
+  const auto flags = r.read<std::uint8_t>();
+  out.has_weights_ = (flags & kCsrHasWeightsFlag) != 0;
+
+  if (tag == static_cast<std::uint8_t>(WireCodec::kDeltaVarint)) {
+    const std::uint64_t n = r.read_uvarint();
+    // Each row costs at least one degree byte, so a hostile count cannot
+    // exceed the frame and force a huge allocation.
+    GE_REQUIRE(n <= r.remaining(), "CSR row count exceeds frame");
+    out.indptr_.resize(n + 1);
+    out.indptr_[0] = 0;
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t deg = r.read_uvarint();
+      GE_REQUIRE(deg <= r.remaining(), "CSR row degree exceeds frame");
+      total += deg;
+      GE_REQUIRE(total <= r.remaining(),
+                 "CSR edge total exceeds frame");
+      out.indptr_[i + 1] = static_cast<EdgeIndex>(total);
+    }
+    // Every remaining edge still owes ≥3 bytes (global + local + shard
+    // varints), so this bounds the array allocations by the frame size.
+    GE_REQUIRE(total <= r.remaining() / 3, "CSR edge total exceeds frame");
+    const auto e = static_cast<std::size_t>(total);
+    out.nbr_global_ids_.resize(e);
+    out.nbr_local_ids_.resize(e);
+    out.nbr_shard_ids_.resize(e);
+    std::size_t at = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::int64_t prev = 0;
+      const auto hi = static_cast<std::size_t>(out.indptr_[i + 1]);
+      for (; at < hi; ++at) {
+        prev += r.read_svarint();
+        GE_REQUIRE(prev >= 0 && prev <= std::numeric_limits<NodeId>::max(),
+                   "neighbor global id out of range");
+        out.nbr_global_ids_[at] = static_cast<NodeId>(prev);
+      }
+    }
+    for (std::size_t k = 0; k < e; ++k) {
+      const std::uint64_t v = r.read_uvarint();
+      GE_REQUIRE(v <= std::numeric_limits<NodeId>::max(),
+                 "neighbor local id out of range");
+      out.nbr_local_ids_[k] = static_cast<NodeId>(v);
+    }
+    for (std::size_t k = 0; k < e; ++k) {
+      const std::uint64_t v = r.read_uvarint();
+      GE_REQUIRE(v <= std::numeric_limits<ShardId>::max(),
+                 "neighbor shard id out of range");
+      out.nbr_shard_ids_[k] = static_cast<ShardId>(v);
+    }
+    out.edge_weights_.resize(e);
+    out.nbr_weighted_deg_.resize(e);
+    out.src_weighted_deg_.resize(n);
+    if (out.has_weights_) {
+      r.read_raw(std::span<float>(out.edge_weights_));
+      r.read_raw(std::span<float>(out.nbr_weighted_deg_));
+      r.read_raw(std::span<float>(out.src_weighted_deg_));
+    } else {
+      std::fill(out.edge_weights_.begin(), out.edge_weights_.end(), 0.0f);
+      std::fill(out.nbr_weighted_deg_.begin(), out.nbr_weighted_deg_.end(),
+                0.0f);
+      std::fill(out.src_weighted_deg_.begin(), out.src_weighted_deg_.end(),
+                0.0f);
+    }
+    return;
+  }
+
+  r.read_vec_into(out.indptr_);
+  r.read_vec_into(out.nbr_local_ids_);
+  r.read_vec_into(out.nbr_shard_ids_);
+  if (out.has_weights_) {
+    r.read_vec_into(out.edge_weights_);
+    r.read_vec_into(out.nbr_weighted_deg_);
+  }
+  r.read_vec_into(out.nbr_global_ids_);
+  GE_REQUIRE(!out.indptr_.empty(), "CSR response missing indptr");
+  const std::size_t n = out.indptr_.size() - 1;
+  const std::size_t e = out.nbr_local_ids_.size();
+  if (out.has_weights_) {
+    r.read_vec_into(out.src_weighted_deg_);
+    GE_REQUIRE(out.src_weighted_deg_.size() == n,
+               "inconsistent CSR response");
+    GE_REQUIRE(out.edge_weights_.size() == e &&
+                   out.nbr_weighted_deg_.size() == e,
+               "ragged CSR edge arrays");
+  } else {
+    out.edge_weights_.assign(e, 0.0f);
+    out.nbr_weighted_deg_.assign(e, 0.0f);
+    out.src_weighted_deg_.assign(n, 0.0f);
+  }
+  GE_REQUIRE(out.nbr_shard_ids_.size() == e &&
+                 out.nbr_global_ids_.size() == e,
+             "ragged CSR edge arrays");
+  // The indptr offsets index the edge arrays directly in operator[]; a
+  // malformed frame here would otherwise become out-of-bounds UB later.
+  GE_REQUIRE(out.indptr_.front() == 0 &&
+                 out.indptr_.back() == static_cast<EdgeIndex>(e),
+             "CSR indptr endpoints inconsistent");
+  for (std::size_t i = 0; i + 1 < out.indptr_.size(); ++i) {
+    GE_REQUIRE(out.indptr_[i] <= out.indptr_[i + 1],
+               "CSR indptr not monotone");
+  }
 }
 
 NeighborBatch NeighborBatch::decode_tensor_list(ByteReader& r) {

@@ -24,6 +24,37 @@ namespace ppr {
 
 using ShardId = std::int32_t;
 
+/// Array encoding of the CSR-compressed neighbor response (§3.2.3
+/// "Compress" decides *whether* to ship CSR; the codec decides *how*).
+enum class WireCodec : std::uint8_t {
+  /// Full-width length-prefixed arrays — the historic flat encoding.
+  kFlat = 0,
+  /// Row offsets shipped as per-row degree varints; neighbor global ids
+  /// delta-encoded within each (sorted) row and LEB128-packed, local and
+  /// shard ids varint-packed. Floats stay raw. Typically 35-60% smaller
+  /// on the wire; decodes to bit-identical arrays.
+  kDeltaVarint = 1,
+};
+
+inline const char* wire_codec_name(WireCodec c) {
+  return c == WireCodec::kDeltaVarint ? "varint" : "flat";
+}
+
+/// Per-fetch wire options, next to the pre-existing `compress` knob. The
+/// response frame self-describes its codec, so decoders never need these.
+struct FetchOptions {
+  /// CSR response (a few flat arrays) vs per-node tensor list (§3.2.3).
+  bool compress = true;
+  /// Array encoding of the CSR response; ignored for tensor lists.
+  WireCodec codec = WireCodec::kFlat;
+  /// When false the edge-weight / weighted-degree floats are dropped from
+  /// the frame entirely (decoded as zeros) — for callers like BFS that
+  /// only consume neighbor ids. Weightless rows are never fed into the
+  /// adjacency cache (the cache must stay fit for weight-consuming
+  /// queries).
+  bool need_weights = true;
+};
+
 /// A node reference: local id within a shard + the shard id.
 struct NodeRef {
   NodeId local = 0;
@@ -155,10 +186,12 @@ class GraphShard {
                           std::vector<NodeId>& out_global) const;
 
   /// Serialize neighbor info for `locals` as one CSR-compressed response:
-  /// a handful of flat arrays (indptr + 4 per-edge arrays + per-source
-  /// weighted degrees). This is the "+Compress" wire format of §3.2.3.
+  /// a self-describing frame of either full-width flat arrays or the
+  /// delta-varint packing, per `options.codec` (the "+Compress" wire
+  /// format of §3.2.3; see DESIGN.md §10 for the frame layout).
   void encode_neighbor_infos_csr(std::span<const NodeId> locals,
-                                 ByteWriter& w) const;
+                                 ByteWriter& w,
+                                 const FetchOptions& options = {}) const;
 
   /// Serialize the same data as a list of per-node tensor-wrapped arrays
   /// (4 small tensors per source node) — the uncompressed baseline format.
@@ -210,13 +243,25 @@ class NeighborBatch {
  public:
   NeighborBatch() = default;
 
-  /// Decode a CSR-compressed response.
+  /// Decode a CSR-compressed response of either codec (the frame's tag
+  /// byte says which). Malformed frames — truncated sections, overlong
+  /// varints, inconsistent offsets, out-of-range ids — are rejected with
+  /// GE_REQUIRE, never undefined behaviour.
   static NeighborBatch decode_csr(ByteReader& r);
+  /// Same, decoding into `out` so its vectors' capacity is reused —
+  /// steady-state rounds of the fetch pipeline decode with zero
+  /// allocations once warm.
+  static void decode_csr_into(ByteReader& r, NeighborBatch& out);
   /// Decode a tensor-list response for `num_nodes` source nodes.
   static NeighborBatch decode_tensor_list(ByteReader& r);
 
   std::size_t size() const { return src_weighted_deg_.size(); }
   VertexProp operator[](std::size_t i) const;
+
+  /// False when the frame was encoded with need_weights off: the weight /
+  /// degree arrays are zero-filled placeholders and the rows must not be
+  /// fed into the adjacency cache.
+  bool has_weights() const { return has_weights_; }
 
  private:
   std::vector<EdgeIndex> indptr_;
@@ -226,6 +271,7 @@ class NeighborBatch {
   std::vector<float> nbr_weighted_deg_;
   std::vector<NodeId> nbr_global_ids_;
   std::vector<float> src_weighted_deg_;
+  bool has_weights_ = true;
 };
 
 /// Build every shard of `g` for `num_shards` partitions.

@@ -1,5 +1,9 @@
 #include "storage/storage_service.hpp"
 
+#include <limits>
+
+#include "rpc/buffer_pool.hpp"
+
 namespace ppr {
 
 GraphStorageService::GraphStorageService(
@@ -17,12 +21,30 @@ GraphStorageService::GraphStorageService(
 std::vector<std::uint8_t> GraphStorageService::handle(
     const std::string& method, std::span<const std::uint8_t> payload) {
   ByteReader r(payload);
-  ByteWriter w;
+  // Response buffers come from the shared pool; ownership passes to the
+  // reply Message and the transport recycles them after the bytes hit the
+  // wire (see rpc/buffer_pool.hpp).
+  ByteWriter w(BufferPool::global().acquire());
   if (method == storage_method::kGetNeighborInfos) {
-    const auto compress = r.read<std::uint8_t>();
-    const auto locals = r.read_vec<NodeId>();
-    if (compress != 0) {
-      shard_->encode_neighbor_infos_csr(locals, w);
+    const auto flags = r.read<std::uint8_t>();
+    const FetchOptions options = fetch_options_from_flags(flags);
+    std::vector<NodeId> locals;
+    if (options.codec == WireCodec::kDeltaVarint) {
+      const std::uint64_t n = r.read_uvarint();
+      GE_REQUIRE(n <= r.remaining(), "request node count exceeds frame");
+      locals.resize(n);
+      for (auto& local : locals) {
+        const std::uint64_t v = r.read_uvarint();
+        GE_REQUIRE(v <= static_cast<std::uint64_t>(
+                            std::numeric_limits<NodeId>::max()),
+                   "request local id out of range");
+        local = static_cast<NodeId>(v);
+      }
+    } else {
+      locals = r.read_vec<NodeId>();
+    }
+    if (options.compress) {
+      shard_->encode_neighbor_infos_csr(locals, w, options);
     } else {
       shard_->encode_neighbor_infos_tensor_list(locals, w);
     }

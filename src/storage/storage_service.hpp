@@ -24,6 +24,23 @@ inline constexpr const char* kNumCoreNodes = "num_core_nodes";
 
 inline constexpr const char* kStorageServiceName = "storage";
 
+/// Flag bits of the kGetNeighborInfos request's leading byte (the wire
+/// form of FetchOptions). Historic requests carried `u8 compress` alone,
+/// so bit 0 keeps that meaning and the new bits extend it compatibly.
+inline constexpr std::uint8_t kFetchFlagCompress = 0x01;
+inline constexpr std::uint8_t kFetchFlagVarint = 0x02;
+inline constexpr std::uint8_t kFetchFlagNoWeights = 0x04;
+
+/// Decode the request flag byte back into FetchOptions.
+inline FetchOptions fetch_options_from_flags(std::uint8_t flags) {
+  FetchOptions options;
+  options.compress = (flags & kFetchFlagCompress) != 0;
+  options.codec = (flags & kFetchFlagVarint) != 0 ? WireCodec::kDeltaVarint
+                                                  : WireCodec::kFlat;
+  options.need_weights = (flags & kFetchFlagNoWeights) == 0;
+  return options;
+}
+
 class GraphStorageService {
  public:
   /// Registers the service on `endpoint` under kStorageServiceName.

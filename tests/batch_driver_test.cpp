@@ -85,6 +85,7 @@ TEST_F(BatchDriverFixture, BatchedResultsBitIdenticalToIndependentRuns) {
     std::size_t cache_rows;
     bool compress;
     bool overlap;
+    WireCodec codec = WireCodec::kFlat;
   };
   std::vector<Config> configs;
   for (const std::size_t cache_rows : {std::size_t{0}, std::size_t{256}}) {
@@ -97,14 +98,18 @@ TEST_F(BatchDriverFixture, BatchedResultsBitIdenticalToIndependentRuns) {
   // The halo cache and the adjacency cache also have to compose.
   configs.push_back({true, 0, true, true});
   configs.push_back({true, 256, true, true});
+  // The delta-varint wire codec must be invisible to results: alone, and
+  // composed with both caches.
+  configs.push_back({false, 0, true, true, WireCodec::kDeltaVarint});
+  configs.push_back({true, 256, true, true, WireCodec::kDeltaVarint});
 
   for (const Config& cfg : configs) {
     SCOPED_TRACE(::testing::Message()
                  << "halo=" << cfg.halo << " cache=" << cfg.cache_rows
-                 << " compress=" << cfg.compress
-                 << " overlap=" << cfg.overlap);
+                 << " compress=" << cfg.compress << " overlap=" << cfg.overlap
+                 << " codec=" << wire_codec_name(cfg.codec));
     auto cluster = make_cluster(cfg.halo, cfg.cache_rows);
-    const DriverOptions driver{true, cfg.compress, cfg.overlap};
+    const DriverOptions driver{true, cfg.compress, cfg.overlap, cfg.codec};
     const auto sources = pick_sources(*cluster, kMachine, kQueries);
 
     // Reference: each query alone (compute_ssppr never consults the

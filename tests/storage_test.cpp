@@ -206,7 +206,10 @@ TEST_F(DistStorageFixture, RemoteFetchEqualsLocalTruth) {
   }
   for (const bool compress : {true, false}) {
     NeighborBatch batch =
-        storages_[0]->get_neighbor_infos_async(1, locals, compress).wait();
+        storages_[0]
+            ->get_neighbor_infos_async(1, locals,
+                                       FetchOptions{.compress = compress})
+            .wait();
     ASSERT_EQ(batch.size(), locals.size());
     for (std::size_t i = 0; i < locals.size(); ++i) {
       const VertexProp expected = shard1.vertex_prop(locals[i]);
@@ -236,7 +239,7 @@ TEST_F(DistStorageFixture, LocalSerializedPathMatchesZeroCopy) {
   std::vector<NodeId> locals{0, 1, 2};
   const auto views = storages_[0]->get_neighbor_infos_local(locals);
   const NeighborBatch ser =
-      storages_[0]->get_neighbor_infos_local_serialized(locals, true);
+      storages_[0]->get_neighbor_infos_local_serialized(locals);
   ASSERT_EQ(views.size(), ser.size());
   for (std::size_t i = 0; i < views.size(); ++i) {
     ASSERT_EQ(views[i].degree(), ser[i].degree());
@@ -251,7 +254,7 @@ TEST_F(DistStorageFixture, StatsCountLocalAndRemote) {
   storages_[0]->stats().reset();
   std::vector<NodeId> locals{0, 1};
   (void)storages_[0]->get_neighbor_infos_local(locals);
-  (void)storages_[0]->get_neighbor_infos_async(1, locals, true).wait();
+  (void)storages_[0]->get_neighbor_infos_async(1, locals).wait();
   EXPECT_EQ(storages_[0]->stats().local_nodes.load(), 2u);
   EXPECT_EQ(storages_[0]->stats().remote_nodes.load(), 2u);
   EXPECT_EQ(storages_[0]->stats().remote_calls.load(), 1u);
@@ -274,11 +277,11 @@ TEST_F(DistStorageFixture, RemoteSampleMatchesMapping) {
 
 TEST_F(DistStorageFixture, OutOfRangeRequestsSurfaceAsErrors) {
   std::vector<NodeId> bogus{999999};
-  EXPECT_THROW(storages_[0]->get_neighbor_infos_async(1, bogus, true).wait(),
+  EXPECT_THROW(storages_[0]->get_neighbor_infos_async(1, bogus).wait(),
                RpcError);
   EXPECT_THROW(storages_[0]->get_neighbor_infos_local(bogus),
                InvalidArgument);
-  EXPECT_THROW((void)storages_[0]->get_neighbor_infos_async(99, bogus, true),
+  EXPECT_THROW((void)storages_[0]->get_neighbor_infos_async(99, bogus),
                InvalidArgument);
 }
 

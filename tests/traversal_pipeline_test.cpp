@@ -22,6 +22,7 @@ struct Config {
   std::size_t adj_rows;
   bool compress;
   bool overlap;
+  WireCodec codec = WireCodec::kFlat;
 };
 
 constexpr Config kMatrix[] = {
@@ -32,6 +33,8 @@ constexpr Config kMatrix[] = {
     {"no-overlap", false, 0, true, false},
     {"everything", true, 8192, true, true},
     {"everything-raw-sync", true, 8192, false, false},
+    {"varint", false, 0, true, true, WireCodec::kDeltaVarint},
+    {"varint-everything", true, 8192, true, true, WireCodec::kDeltaVarint},
 };
 
 class TraversalPipelineFixture : public ::testing::Test {
@@ -74,6 +77,7 @@ TEST_F(TraversalPipelineFixture, BfsIdenticalUnderEveryCacheConfig) {
     BfsOptions opts;
     opts.compress = c.compress;
     opts.overlap = c.overlap;
+    opts.codec = c.codec;
     const BfsResult res =
         distributed_bfs(cluster->storage(s.shard), locals, opts);
     // Run twice on the same cluster: a warm adjacency cache must not
@@ -107,6 +111,7 @@ TEST_F(TraversalPipelineFixture, RandomWalkIdenticalUnderEveryCacheConfig) {
     opts.seed = 13;
     opts.compress = c.compress;
     opts.overlap = c.overlap;
+    opts.codec = c.codec;
     const RandomWalkResult res =
         distributed_random_walk(cluster->storage(0), roots, opts);
     const RandomWalkResult warm =

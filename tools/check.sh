@@ -27,4 +27,15 @@ for SANITIZER in "${SANITIZERS[@]}"; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "${BUILD}" -j"$(nproc)"
   ctest --test-dir "${BUILD}" --output-on-failure -j"$(nproc)"
+  case "${SANITIZER}" in
+    *address*|*undefined*)
+      # Wire-codec fuzz-style tests again with the tensor-marshal cost
+      # model live, so the sanitizer sees the exact serialization paths
+      # the benches exercise (the busy-wait hook changes no bytes but
+      # must stay UB-free alongside the varint decoder).
+      echo "=== ${SANITIZER}: wire_codec_test with GE_TENSOR_MARSHAL_US=2 ==="
+      GE_TENSOR_MARSHAL_US=2 "${BUILD}/tests/wire_codec_test" \
+          --gtest_brief=1
+      ;;
+  esac
 done
