@@ -20,6 +20,7 @@ using namespace ppr;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
   const auto nodes = static_cast<NodeId>(args.get_int("nodes", 20000));
   const auto edges = static_cast<EdgeIndex>(args.get_int("edges", 100000));
   const int machines = static_cast<int>(args.get_int("machines", 4));

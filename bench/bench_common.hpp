@@ -9,18 +9,68 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/argparse.hpp"
 #include "common/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/dispatch.hpp"
 #include "engine/cluster.hpp"
 #include "engine/datasets.hpp"
 #include "engine/throughput.hpp"
 
 namespace ppr::bench {
+
+/// Shared observability export, accepted by every bench (DESIGN.md §11):
+///   --metrics-json <path|->  dump the registry snapshot as schema-1 JSON
+///                            when the bench exits ("-" = stdout)
+///   --trace-json <path>      enable tracing for the whole run and write a
+///                            chrome://tracing "traceEvents" file at exit
+/// Construct right after the ArgParser so tracing covers the full run; the
+/// destructor (or an explicit flush()) writes the files.
+class ObsExport {
+ public:
+  explicit ObsExport(const ArgParser& args)
+      : metrics_path_(args.get_string("metrics-json", "")),
+        trace_path_(args.get_string("trace-json", "")) {
+    if (!trace_path_.empty()) obs::Tracer::global().set_enabled(true);
+  }
+  ~ObsExport() { flush(); }
+  ObsExport(const ObsExport&) = delete;
+  ObsExport& operator=(const ObsExport&) = delete;
+
+  /// Write the requested files once; later calls are no-ops.
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    if (!metrics_path_.empty()) {
+      const std::string json =
+          obs::MetricRegistry::global().snapshot().to_json();
+      if (metrics_path_ == "-") {
+        std::printf("%s\n", json.c_str());
+      } else {
+        std::ofstream out(metrics_path_);
+        out << json << '\n';
+        std::fprintf(stderr, "metrics snapshot -> %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      obs::Tracer::global().write_chrome_json(trace_path_);
+      std::fprintf(stderr, "chrome://tracing file -> %s\n",
+                   trace_path_.c_str());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  bool flushed_ = false;
+};
 
 /// Enable the simulated-substrate cost models shared by all reproduction
 /// benches (overridable per run):

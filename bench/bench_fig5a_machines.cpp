@@ -12,6 +12,7 @@ using namespace ppr;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
   const double s = bench::scale(args);
   const bool quick = args.get_bool("quick", false);
   const int total_queries =

@@ -34,6 +34,7 @@ void print_row(const char* impl, const std::string& dataset,
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
   const double s = bench::scale(args);
   const bool quick = args.get_bool("quick", false);
   const int machines = static_cast<int>(args.get_int("machines", 4));

@@ -31,6 +31,7 @@ double measure_remote_ratio(const Graph& g,
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
   const double s = bench::scale(args);
   const bool quick = args.get_bool("quick", false);
   const int queries = static_cast<int>(args.get_int("queries", quick ? 4 : 16));

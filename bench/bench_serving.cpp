@@ -133,6 +133,7 @@ void run_closed_loop(Cluster& cluster, const ServeOptions& o, int clients,
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
   const bool smoke = args.has("smoke");
   const auto nodes =
       static_cast<NodeId>(args.get_int("nodes", smoke ? 4000 : 20000));

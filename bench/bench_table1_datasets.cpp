@@ -25,6 +25,7 @@ const PaperRow kPaper[] = {
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
   const double s = bench::scale(args);
 
   bench::print_header("Table 1: Datasets (scaled synthetic replicas)");

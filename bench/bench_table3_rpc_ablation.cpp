@@ -15,6 +15,7 @@ using namespace ppr;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
   const double s = bench::scale(args);
   const bool quick = args.get_bool("quick", false);
   const std::string name = args.get_string("dataset", "friendster-sim");
@@ -63,13 +64,14 @@ int main(int argc, char** argv) {
     const ThroughputResult r = measure_engine_throughput(*cluster, w);
     if (baseline_total == 0) baseline_total = r.seconds_per_run;
     // Actual bytes put on the wire across all machines and runs
-    // (request flags + id arrays out, codec-encoded CSR frames back).
-    double req_bytes = 0, resp_bytes = 0;
-    for (int m = 0; m < machines; ++m) {
-      const FetchStats& fs = cluster->storage(m).stats();
-      req_bytes += static_cast<double>(fs.remote_request_bytes.load());
-      resp_bytes += static_cast<double>(fs.remote_response_bytes.load());
-    }
+    // (request flags + id arrays out, codec-encoded CSR frames back),
+    // summed over the per-shard FetchStats instruments by the registry.
+    const obs::MetricsSnapshot snap =
+        obs::MetricRegistry::global().snapshot();
+    const double req_bytes = static_cast<double>(
+        snap.counter_total("storage.fetch.remote_request_bytes"));
+    const double resp_bytes = static_cast<double>(
+        snap.counter_total("storage.fetch.remote_response_bytes"));
     if (mode.options.compress && mode.options.overlap) {
       (mode.options.codec == WireCodec::kDeltaVarint ? varint_response_bytes
                                                      : flat_response_bytes) =

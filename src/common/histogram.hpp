@@ -34,6 +34,21 @@ struct HistogramSnapshot {
   /// Value at quantile `p` in [0, 1]: the midpoint of the first bucket
   /// whose cumulative count reaches ceil(p * count). 0 when empty.
   double percentile(double p) const;
+
+  /// Fold `other` into this snapshot: bucketwise sum, count/sum added,
+  /// max taken. Merging snapshots from two histograms is exact — the
+  /// buckets are position-aligned by construction.
+  void merge(const HistogramSnapshot& other) {
+    if (other.buckets.size() > buckets.size()) {
+      buckets.resize(other.buckets.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+      buckets[i] += other.buckets[i];
+    }
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+  }
 };
 
 class LatencyHistogram {

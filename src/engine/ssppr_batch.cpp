@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "storage/fetch_pipeline.hpp"
 
 namespace ppr {
@@ -67,6 +68,7 @@ BatchRunStats run_ssppr_batch(const DistGraphStorage& storage,
     }
     if (!any_active) break;
     ++stats.num_iterations;
+    obs::ScopedSpan round_span("ssppr.batch_round");
     scratch.begin_round(nq);
     pipeline.begin_round();
 
@@ -155,6 +157,12 @@ BatchRunStats run_ssppr_batch(const DistGraphStorage& storage,
   }
 
   for (const SspprState& s : states) stats.num_pushes += s.num_pushes();
+  static auto& batches =
+      obs::MetricRegistry::global().counter("engine.ssppr.batches");
+  static auto& rounds =
+      obs::MetricRegistry::global().counter("engine.ssppr.batch_rounds");
+  batches.add(1);
+  rounds.add(stats.num_iterations);
   return stats;
 }
 

@@ -1,5 +1,6 @@
 #include "engine/ssppr_driver.hpp"
 
+#include "obs/trace.hpp"
 #include "storage/fetch_pipeline.hpp"
 
 namespace ppr {
@@ -108,6 +109,7 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
   PhaseTimers local_timers;
   PhaseTimers& t = timers != nullptr ? *timers : local_timers;
   SspprRunStats stats;
+  obs::ScopedSpan query_span("ssppr.query");
 
   std::vector<NodeId> node_ids;
   std::vector<ShardId> shard_ids;
@@ -119,6 +121,7 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
     }
     if (node_ids.empty()) break;
     ++stats.num_iterations;
+    obs::ScopedSpan round_span("ssppr.round");
     if (options.batch) {
       run_iteration_batched(storage, state, node_ids, shard_ids, options, t,
                             pipeline);
@@ -127,6 +130,16 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
     }
   }
   stats.num_pushes = state.num_pushes();
+  // Registry mirrors of this run's totals (process-wide across queries).
+  static auto& queries =
+      obs::MetricRegistry::global().counter("engine.ssppr.queries");
+  static auto& iterations =
+      obs::MetricRegistry::global().counter("engine.ssppr.iterations");
+  static auto& pushes =
+      obs::MetricRegistry::global().counter("engine.ssppr.pushes");
+  queries.add(1);
+  iterations.add(stats.num_iterations);
+  pushes.add(stats.num_pushes);
   return stats;
 }
 

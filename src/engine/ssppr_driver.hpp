@@ -37,6 +37,9 @@ struct DriverOptions {
   }
 };
 
+/// Per-run snapshot view. The process-wide totals live in the registry as
+/// `engine.ssppr.queries` / `.iterations` / `.pushes`, which run_ssppr
+/// increments alongside filling this struct.
 struct SspprRunStats {
   std::size_t num_iterations = 0;
   std::size_t num_pushes = 0;

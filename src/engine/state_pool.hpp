@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "ppr/ssppr_state.hpp"
 
 namespace ppr {
@@ -89,13 +90,21 @@ class SspprStatePool {
     }
     if (block == nullptr) block = std::make_unique<std::vector<SspprState>>();
     if (block->capacity() < sources.size()) block->reserve(sources.size());
+    std::size_t created = 0;
     for (std::size_t i = 0; i < sources.size(); ++i) {
       if (i < block->size()) {
         (*block)[i].reset(sources[i]);
       } else {
         block->emplace_back(sources[i], options_);
-        states_created_.fetch_add(1, std::memory_order_relaxed);
+        ++created;
       }
+    }
+    if (created > 0) {
+      states_created_.fetch_add(created, std::memory_order_relaxed);
+      // Registry mirror: process-wide construction count across pools.
+      static auto& reg_created = obs::MetricRegistry::global().counter(
+          "engine.state_pool.states_created");
+      reg_created.add(created);
     }
     return Lease(this, std::move(block), sources.size());
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace ppr {
 
 namespace {
@@ -107,6 +109,16 @@ DegreeStats Graph::degree_stats() const {
       s.max_degree_node = v;
     }
   }
+  // Registry mirror: the most recently profiled graph's shape, so a
+  // metrics snapshot taken by a bench or the serving loop records which
+  // graph it measured.
+  auto& reg = obs::MetricRegistry::global();
+  static auto& nodes = reg.gauge("graph.num_nodes");
+  static auto& edges = reg.gauge("graph.num_edges");
+  static auto& max_degree = reg.gauge("graph.max_degree");
+  nodes.set(static_cast<std::int64_t>(num_nodes_));
+  edges.set(static_cast<std::int64_t>(num_edges()));
+  max_degree.set(static_cast<std::int64_t>(s.max_degree));
   return s;
 }
 

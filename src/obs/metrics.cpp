@@ -1,0 +1,301 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ppr::obs {
+
+std::string metric_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += labels[i].first;
+    key += '=';
+    key += labels[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+namespace {
+
+/// Family name of a key: everything before the label block.
+std::string family_of(const std::string& key) {
+  const auto brace = key.find('{');
+  return brace == std::string::npos ? key : key.substr(0, brace);
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+Registration& Registration::operator=(Registration&& other) noexcept {
+  if (this != &other) {
+    detach();
+    registry_ = other.registry_;
+    key_ = std::move(other.key_);
+    metric_ = other.metric_;
+    other.registry_ = nullptr;
+    other.metric_ = nullptr;
+  }
+  return *this;
+}
+
+void Registration::detach() {
+  if (registry_ != nullptr && metric_ != nullptr) {
+    registry_->detach(key_, metric_);
+  }
+  registry_ = nullptr;
+  metric_ = nullptr;
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+Registration MetricRegistry::attach(const std::string& name,
+                                    const Labels& labels, Metric& metric) {
+  std::string key = metric_key(name, labels);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    live_[key].push_back(&metric);
+  }
+  return Registration(this, std::move(key), &metric);
+}
+
+void MetricRegistry::detach(const std::string& key, Metric* metric) {
+  std::lock_guard<std::mutex> g(mu_);
+  const auto it = live_.find(key);
+  if (it == live_.end()) return;
+  auto& v = it->second;
+  const auto pos = std::find(v.begin(), v.end(), metric);
+  if (pos == v.end()) return;
+  v.erase(pos);
+  // Fold the departing instrument's final value into the retired totals so
+  // process-wide counts keep including it. Gauges are point-in-time and
+  // simply disappear.
+  if (metric->kind() == MetricKind::kGauge) return;
+  Retired& r = retired_[key];
+  r.kind = metric->kind();
+  if (metric->kind() == MetricKind::kCounter) {
+    r.counter += metric->value_u64();
+  } else {
+    r.hist.merge(metric->value_hist());
+  }
+}
+
+Counter& MetricRegistry::counter(const std::string& name,
+                                 const Labels& labels) {
+  const std::string key = metric_key(name, labels);
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = owned_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+    live_[key].push_back(slot.get());
+  }
+  return static_cast<Counter&>(*slot);
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name, const Labels& labels) {
+  const std::string key = metric_key(name, labels);
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = owned_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+    live_[key].push_back(slot.get());
+  }
+  return static_cast<Gauge&>(*slot);
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name,
+                                     const Labels& labels) {
+  const std::string key = metric_key(name, labels);
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = owned_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+    live_[key].push_back(slot.get());
+  }
+  return static_cast<Histogram&>(*slot);
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> g(mu_);
+  snap.entries.reserve(live_.size() + retired_.size());
+  for (const auto& [key, metrics] : live_) {
+    if (metrics.empty() && retired_.find(key) == retired_.end()) continue;
+    MetricsSnapshot::Entry e;
+    e.key = key;
+    e.name = family_of(key);
+    if (!metrics.empty()) e.kind = metrics.front()->kind();
+    for (const Metric* m : metrics) {
+      switch (m->kind()) {
+        case MetricKind::kCounter:
+          e.counter += m->value_u64();
+          break;
+        case MetricKind::kGauge:
+          e.gauge += m->value_i64();
+          break;
+        case MetricKind::kHistogram:
+          e.hist.merge(m->value_hist());
+          break;
+      }
+    }
+    if (const auto rit = retired_.find(key); rit != retired_.end()) {
+      if (metrics.empty()) e.kind = rit->second.kind;
+      e.counter += rit->second.counter;
+      e.hist.merge(rit->second.hist);
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  // Keys whose instruments were only ever attached and have all detached
+  // (live_ keeps an entry per seen key, so this covers registries that
+  // dropped the live record entirely).
+  for (const auto& [key, r] : retired_) {
+    if (live_.find(key) != live_.end()) continue;  // folded above
+    MetricsSnapshot::Entry e;
+    e.key = key;
+    e.name = family_of(key);
+    e.kind = r.kind;
+    e.counter = r.counter;
+    e.hist = r.hist;
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  return snap;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [key, metrics] : live_) {
+    for (Metric* m : metrics) m->reset_value();
+  }
+  retired_.clear();
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    const std::string& key) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const Entry& e, const std::string& k) { return e.key < k; });
+  return (it != entries.end() && it->key == key) ? &*it : nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& key) const {
+  const Entry* e = find(key);
+  return e != nullptr ? e->counter : 0;
+}
+
+std::uint64_t MetricsSnapshot::counter_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries) {
+    if (e.kind == MetricKind::kCounter && e.name == name) total += e.counter;
+  }
+  return total;
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(
+    const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  out.entries.reserve(entries.size());
+  for (const Entry& e : entries) {
+    Entry d = e;
+    if (const Entry* b = base.find(e.key)) {
+      d.counter = e.counter >= b->counter ? e.counter - b->counter : 0;
+      if (!d.hist.buckets.empty() && !b->hist.buckets.empty()) {
+        for (std::size_t i = 0; i < d.hist.buckets.size() &&
+                                i < b->hist.buckets.size();
+             ++i) {
+          const std::uint64_t cur = d.hist.buckets[i];
+          const std::uint64_t old = b->hist.buckets[i];
+          d.hist.buckets[i] = cur >= old ? cur - old : 0;
+        }
+        d.hist.count =
+            e.hist.count >= b->hist.count ? e.hist.count - b->hist.count : 0;
+        d.hist.sum = e.hist.sum >= b->hist.sum ? e.hist.sum - b->hist.sum : 0;
+        // A maximum cannot be un-observed; keep the current one.
+      }
+    }
+    out.entries.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"schema\": 1, \"counters\": {";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (e.kind != MetricKind::kCounter) continue;
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, e.key);
+    out += ": ";
+    out += std::to_string(e.counter);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const Entry& e : entries) {
+    if (e.kind != MetricKind::kGauge) continue;
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, e.key);
+    out += ": ";
+    out += std::to_string(e.gauge);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const Entry& e : entries) {
+    if (e.kind != MetricKind::kHistogram) continue;
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, e.key);
+    out += ": {\"count\": ";
+    out += std::to_string(e.hist.count);
+    out += ", \"mean_us\": ";
+    append_double(out, e.hist.mean());
+    out += ", \"max_us\": ";
+    out += std::to_string(e.hist.max);
+    out += ", \"p50_us\": ";
+    append_double(out, e.hist.percentile(0.50));
+    out += ", \"p90_us\": ";
+    append_double(out, e.hist.percentile(0.90));
+    out += ", \"p95_us\": ";
+    append_double(out, e.hist.percentile(0.95));
+    out += ", \"p99_us\": ";
+    append_double(out, e.hist.percentile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ppr::obs

@@ -1,0 +1,312 @@
+// Process-wide metric registry: the one instrumentation plane behind every
+// stats struct in the tree (DESIGN.md §11).
+//
+// Instruments (Counter, ShardedCounter, Gauge, Histogram) are plain objects
+// owned by whoever measures — a stats struct, a pool, the registry itself —
+// and *attached* to the MetricRegistry under a `name{label=value,...}` key
+// via RAII Registration handles. A snapshot walks the live attachments and
+// folds in the values of instruments that have already detached (retired
+// counters keep counting toward the process totals; a short-lived
+// FetchPipeline's rows are not lost when the query finishes).
+//
+// Counter::add is one relaxed atomic increment; ShardedCounter spreads the
+// increment over cacheline-padded per-thread cells so write-heavy counters
+// (wire bytes, pool recycling) never bounce a cacheline between threads.
+// Histograms reuse the lock-free log-bucketed common/histogram.hpp.
+//
+// The legacy stats structs (FetchStats, BufferPoolStats, ...) keep their
+// exact public field names and accessors — fields simply changed type from
+// std::atomic<uint64_t> to these instruments, which mimic the atomic API
+// (fetch_add / load / operator= / operator+= / operator++).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace ppr::obs {
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1,
+                                       kHistogram = 2 };
+
+/// Base of every registrable instrument. The typed value_* accessors exist
+/// so the registry can snapshot heterogeneous attachments without RTTI;
+/// each subclass overrides the one matching its kind.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+  virtual MetricKind kind() const = 0;
+  virtual std::uint64_t value_u64() const { return 0; }
+  virtual std::int64_t value_i64() const { return 0; }
+  virtual HistogramSnapshot value_hist() const { return {}; }
+  virtual void reset_value() = 0;
+};
+
+/// Monotonic counter: one relaxed atomic. API mirrors std::atomic<uint64_t>
+/// so existing `stats.field.fetch_add(n, relaxed)` / `.load()` /
+/// `field = 0` call sites compile unchanged.
+class Counter : public Metric {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  MetricKind kind() const override { return MetricKind::kCounter; }
+  std::uint64_t value_u64() const override { return load(); }
+  void reset_value() override { store(0); }
+
+  void add(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t fetch_add(std::uint64_t n,
+                          std::memory_order mo = std::memory_order_relaxed) {
+    return v_.fetch_add(n, mo);
+  }
+  std::uint64_t load(std::memory_order mo = std::memory_order_relaxed) const {
+    return v_.load(mo);
+  }
+  void store(std::uint64_t v,
+             std::memory_order mo = std::memory_order_relaxed) {
+    v_.store(v, mo);
+  }
+  std::uint64_t value() const { return load(); }
+  operator std::uint64_t() const { return load(); }
+  Counter& operator=(std::uint64_t v) {
+    store(v);
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    add(n);
+    return *this;
+  }
+  Counter& operator++() {
+    add(1);
+    return *this;
+  }
+  std::uint64_t operator++(int) { return fetch_add(1); }
+  void reset() { store(0); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Write-optimized counter: increments land in one of kShards cacheline-
+/// padded cells picked by a thread-local index, so concurrent writers never
+/// contend. Reads sum the cells (exactly-once per increment, but a read
+/// concurrent with writes may miss in-flight increments — same relaxed
+/// semantics as the plain Counter).
+class ShardedCounter : public Metric {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  MetricKind kind() const override { return MetricKind::kCounter; }
+  std::uint64_t value_u64() const override { return load(); }
+  void reset_value() override { store(0); }
+
+  void add(std::uint64_t n = 1) {
+    cell().fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Matches std::atomic's signature at existing call sites; the previous
+  /// total is not observable cheaply, so nothing is returned.
+  void fetch_add(std::uint64_t n,
+                 std::memory_order = std::memory_order_relaxed) {
+    add(n);
+  }
+  std::uint64_t load(std::memory_order = std::memory_order_relaxed) const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  /// Clears every cell, then seeds cell 0 (only reset-to-zero and
+  /// test seeding use this; it is not atomic across cells).
+  void store(std::uint64_t v,
+             std::memory_order = std::memory_order_relaxed) {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+    if (v != 0) cells_[0].v.store(v, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return load(); }
+  operator std::uint64_t() const { return load(); }
+  ShardedCounter& operator=(std::uint64_t v) {
+    store(v);
+    return *this;
+  }
+  ShardedCounter& operator+=(std::uint64_t n) {
+    add(n);
+    return *this;
+  }
+  ShardedCounter& operator++() {
+    add(1);
+    return *this;
+  }
+  void reset() { store(0); }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  std::atomic<std::uint64_t>& cell() {
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return cells_[id % kShards].v;
+  }
+
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Point-in-time signed value (queue depths, resident rows, graph sizes).
+class Gauge : public Metric {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  MetricKind kind() const override { return MetricKind::kGauge; }
+  std::int64_t value_i64() const override { return load(); }
+  void reset_value() override { set(0); }
+
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t load() const { return v_.load(std::memory_order_relaxed); }
+  std::int64_t value() const { return load(); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Registrable wrapper over the lock-free log-bucketed LatencyHistogram.
+/// Inherits record()/snapshot()/reset() unchanged.
+class Histogram : public Metric, public LatencyHistogram {
+ public:
+  MetricKind kind() const override { return MetricKind::kHistogram; }
+  HistogramSnapshot value_hist() const override { return snapshot(); }
+  void reset_value() override { LatencyHistogram::reset(); }
+};
+
+/// Metric labels; rendered into the key as `name{k=v,k2=v2}` in the given
+/// order (callers keep a consistent order per family).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// `name{k=v,...}` — the registry's canonical instrument key.
+std::string metric_key(const std::string& name, const Labels& labels);
+
+class MetricRegistry;
+
+/// RAII attachment handle: detaching (destruction) removes the instrument
+/// from the live set and folds its final value into the registry's retired
+/// totals, so process-wide counts survive short-lived owners.
+class Registration {
+ public:
+  Registration() = default;
+  Registration(Registration&& other) noexcept { *this = std::move(other); }
+  Registration& operator=(Registration&& other) noexcept;
+  Registration(const Registration&) = delete;
+  Registration& operator=(const Registration&) = delete;
+  ~Registration() { detach(); }
+
+  void detach();
+
+ private:
+  friend class MetricRegistry;
+  Registration(MetricRegistry* registry, std::string key, Metric* metric)
+      : registry_(registry), key_(std::move(key)), metric_(metric) {}
+
+  MetricRegistry* registry_ = nullptr;
+  std::string key_;
+  Metric* metric_ = nullptr;
+};
+
+/// One entry of a MetricsSnapshot: the resolved value of every instrument
+/// (live + retired) sharing a key.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string key;   // name{labels}
+    std::string name;  // family name without labels
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;
+    std::int64_t gauge = 0;
+    HistogramSnapshot hist;
+  };
+
+  std::vector<Entry> entries;  // sorted by key
+
+  const Entry* find(const std::string& key) const;
+  /// Counter value at `key`; 0 when absent.
+  std::uint64_t counter(const std::string& key) const;
+  /// Sum of every counter entry whose family name is `name` (all labels).
+  std::uint64_t counter_total(const std::string& name) const;
+
+  /// Per-interval view: counters and histogram buckets become this-minus-
+  /// base differences (entries absent from `base` pass through; gauges keep
+  /// their current value; histogram max is the current max, since a maximum
+  /// cannot be un-observed).
+  MetricsSnapshot delta_since(const MetricsSnapshot& base) const;
+
+  /// Versioned export (`"schema": 1`): counters, gauges, and histogram
+  /// digests (count/mean/max/p50/p90/p95/p99) keyed by `name{labels}`.
+  std::string to_json() const;
+};
+
+/// Process-wide instrument directory. attach() registers an externally
+/// owned instrument; counter()/gauge()/histogram() lazily create registry-
+/// owned ones (for function-local statics on hot paths). Thread-safe.
+class MetricRegistry {
+ public:
+  static MetricRegistry& global();
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Attach an instrument the caller owns. The instrument must outlive the
+  /// returned Registration. Multiple instruments may share a key (e.g. one
+  /// FetchStats per cluster in a multi-cluster test); snapshots sum them.
+  Registration attach(const std::string& name, const Labels& labels,
+                      Metric& metric);
+
+  /// Get-or-create registry-owned instruments, permanently live. The
+  /// returned reference is stable for the registry's lifetime.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  /// Live + retired values of every key ever attached.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every live instrument and drop all retired totals.
+  void reset();
+
+ private:
+  friend class Registration;
+  void detach(const std::string& key, Metric* metric);
+
+  struct Retired {
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;
+    HistogramSnapshot hist;
+  };
+
+  mutable std::mutex mu_;
+  // key -> every live instrument attached under it.
+  std::unordered_map<std::string, std::vector<Metric*>> live_;
+  // Registry-owned instruments (counter()/gauge()/histogram()).
+  std::unordered_map<std::string, std::unique_ptr<Metric>> owned_;
+  // Final values of detached instruments, folded per key.
+  std::unordered_map<std::string, Retired> retired_;
+};
+
+}  // namespace ppr::obs

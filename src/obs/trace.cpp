@@ -1,0 +1,150 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace ppr::obs {
+
+namespace {
+
+/// Small per-thread ordinal for the chrome://tracing "tid" field (actual
+/// OS thread ids are wide and unstable across runs).
+std::uint32_t this_thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local TraceContext t_current{};
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext current_trace() { return t_current; }
+void set_current_trace(TraceContext ctx) { t_current = ctx; }
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_capacity(std::size_t max_spans) {
+  LockGuard<Spinlock> g(lock_);
+  capacity_ = max_spans;
+}
+
+void Tracer::record(SpanRecord&& rec) {
+  rec.tid = rec.tid != 0 ? rec.tid : this_thread_ordinal();
+  LockGuard<Spinlock> g(lock_);
+  if (records_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  records_.push_back(std::move(rec));
+}
+
+void Tracer::record_span(std::string name, std::uint64_t trace_id,
+                         std::uint64_t span_id, std::uint64_t parent_id,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end) {
+  SpanRecord rec;
+  rec.trace_id = trace_id;
+  rec.span_id = span_id;
+  rec.parent_id = parent_id;
+  rec.name = std::move(name);
+  rec.start_ns = since_epoch_ns(start);
+  rec.end_ns = since_epoch_ns(end);
+  record(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  LockGuard<Spinlock> g(lock_);
+  return records_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  LockGuard<Spinlock> g(lock_);
+  records_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<SpanRecord> recs = spans();
+  std::string out = "{\"traceEvents\": [";
+  char buf[160];
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const SpanRecord& r = recs[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"name\": ";
+    append_json_string(out, r.name);
+    // Complete events: ts/dur are microseconds (chrome://tracing's unit).
+    std::snprintf(buf, sizeof(buf),
+                  ", \"cat\": \"ppr\", \"ph\": \"X\", \"pid\": 0, "
+                  "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f",
+                  r.tid, static_cast<double>(r.start_ns) / 1000.0,
+                  static_cast<double>(r.end_ns - r.start_ns) / 1000.0);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ", \"args\": {\"trace\": %llu, \"span\": %llu, "
+                  "\"parent\": %llu}}",
+                  static_cast<unsigned long long>(r.trace_id),
+                  static_cast<unsigned long long>(r.span_id),
+                  static_cast<unsigned long long>(r.parent_id));
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << to_chrome_json();
+}
+
+void ScopedSpan::open(std::string name) {
+  name_ = std::move(name);
+  prev_ = current_trace();
+  if (prev_.active()) {
+    trace_id_ = prev_.trace_id;
+    parent_id_ = prev_.span_id;
+  } else {
+    trace_id_ = next_trace_id();
+    parent_id_ = 0;
+  }
+  span_id_ = next_span_id();
+  set_current_trace(TraceContext{trace_id_, span_id_});
+  start_ = std::chrono::steady_clock::now();
+}
+
+void ScopedSpan::close() {
+  const auto end = std::chrono::steady_clock::now();
+  set_current_trace(prev_);
+  Tracer::global().record_span(std::move(name_), trace_id_, span_id_,
+                               parent_id_, start_, end);
+  span_id_ = 0;
+}
+
+}  // namespace ppr::obs

@@ -1,0 +1,163 @@
+// Per-query tracing: trace ids, nestable phase spans, chrome://tracing
+// export (DESIGN.md §11).
+//
+// Model: a *trace* is one query's journey through the engine; a *span* is
+// one timed phase within it (queue wait, a batch execution, one pipeline
+// round, the server side of an RPC). Spans nest through their
+// parent_span_id chain — each thread carries a current TraceContext
+// (trace id + innermost open span id), ScopedSpan pushes onto it, and the
+// RPC layer ships the context in the frame header so server-side work
+// lands under the caller's span even on another "machine"/thread.
+//
+// Everything is inert until Tracer::set_enabled(true): ScopedSpan checks
+// one relaxed atomic and does nothing when tracing is off, so traced code
+// paths cost nothing in production runs. Records go into a bounded
+// in-memory buffer (drops are counted, never blocking the hot path).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "concurrent/spinlock.hpp"
+
+namespace ppr::obs {
+
+/// The ambient trace a thread is working under. trace_id == 0 means "not
+/// tracing"; span_id is the innermost open span (the parent of any span
+/// opened next).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// One finished span. Times are nanoseconds since the tracer's epoch (a
+/// process-wide steady_clock origin), so spans from every thread and
+/// simulated machine share one timeline.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root span of its trace
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint32_t tid = 0;  // small per-thread ordinal for the export
+};
+
+/// Fresh non-zero ids (process-wide atomics).
+std::uint64_t next_trace_id();
+std::uint64_t next_span_id();
+
+/// This thread's ambient context (see TraceBinding / ScopedSpan).
+TraceContext current_trace();
+void set_current_trace(TraceContext ctx);
+
+/// Process-wide span sink.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Cheap global switch consulted by every ScopedSpan.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Bound on buffered spans; records beyond it are counted in dropped().
+  void set_capacity(std::size_t max_spans);
+
+  void record(SpanRecord&& rec);
+
+  /// Record a span retroactively from explicit steady_clock time points —
+  /// how the scheduler emits queue-wait spans (whose start happened before
+  /// anyone knew the wait was worth a span).
+  void record_span(std::string name, std::uint64_t trace_id,
+                   std::uint64_t span_id, std::uint64_t parent_id,
+                   std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end);
+
+  std::vector<SpanRecord> spans() const;
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Origin of every SpanRecord's timestamps.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+  std::int64_t since_epoch_ns(
+      std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+        .count();
+  }
+
+  /// chrome://tracing / Perfetto "traceEvents" JSON: one complete ("ph":
+  /// "X") event per span, args carrying trace/span/parent ids.
+  std::string to_chrome_json() const;
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  inline static std::atomic<bool> enabled_{false};
+
+  mutable Spinlock lock_;
+  std::vector<SpanRecord> records_;
+  std::size_t capacity_ = 1 << 20;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Adopt a context for the current scope (restores the previous one on
+/// destruction). Used where a trace crosses threads: the RPC server
+/// handler and the scheduler's batch executor bind the caller's context
+/// before opening their own spans.
+class TraceBinding {
+ public:
+  explicit TraceBinding(TraceContext ctx) : prev_(current_trace()) {
+    set_current_trace(ctx);
+  }
+  ~TraceBinding() { set_current_trace(prev_); }
+  TraceBinding(const TraceBinding&) = delete;
+  TraceBinding& operator=(const TraceBinding&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// RAII phase span. Inert (two relaxed loads) when tracing is disabled.
+/// When enabled: continues the thread's current trace as a child span, or
+/// roots a brand-new trace if none is active; the context is restored and
+/// the record emitted on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name) {
+    if (!Tracer::enabled()) return;
+    open(std::move(name));
+  }
+  ~ScopedSpan() {
+    if (span_id_ != 0) close();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return span_id_ != 0; }
+  std::uint64_t trace_id() const { return trace_id_; }
+  std::uint64_t span_id() const { return span_id_; }
+
+ private:
+  void open(std::string name);
+  void close();
+
+  std::string name_;
+  TraceContext prev_;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ppr::obs

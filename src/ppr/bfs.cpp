@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "concurrent/flat_map.hpp"
+#include "obs/trace.hpp"
 #include "storage/fetch_pipeline.hpp"
 
 namespace ppr {
@@ -33,10 +34,12 @@ BfsResult distributed_bfs(const DistGraphStorage& storage,
   // was resolved from, so the traversal — and the next frontier's request
   // order — is identical under every cache configuration.
   FetchPipeline pipeline(storage);
+  obs::ScopedSpan query_span("bfs.query");
   int depth = 0;
   while (!frontier_locals.empty() &&
          (options.max_depth < 0 || depth < options.max_depth)) {
     ++res.num_levels;
+    obs::ScopedSpan level_span("bfs.level");
     pipeline.begin_round();
     for (std::size_t i = 0; i < frontier_locals.size(); ++i) {
       pipeline.add(frontier_shards[i], frontier_locals[i]);

@@ -1,6 +1,7 @@
 #include "ppr/random_walk.hpp"
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "storage/fetch_pipeline.hpp"
 
 namespace ppr {
@@ -63,8 +64,10 @@ RandomWalkResult distributed_random_walk(const DistGraphStorage& g,
     // Sampling client-side is what lets walks ride the halo/adjacency
     // caches: the row crosses the wire (at most once), not the sample.
     FetchPipeline pipeline(g);
+    obs::ScopedSpan query_span("walk.query");
     std::vector<std::uint8_t> advanced(n);
     for (int step = 0; step < options.walk_length; ++step) {
+      obs::ScopedSpan step_span("walk.step");
       const std::uint64_t step_seed =
           options.seed * 0x9e3779b97f4a7c15ULL +
           static_cast<std::uint64_t>(step);

@@ -2,8 +2,30 @@
 
 namespace ppr {
 
+BufferPool::BufferPool(std::size_t max_pooled, bool register_metrics)
+    : max_pooled_(max_pooled) {
+  if (register_metrics) {
+    auto& reg = obs::MetricRegistry::global();
+    metric_regs_.push_back(
+        reg.attach("rpc.buffer_pool.acquired", {}, stats_.acquired));
+    metric_regs_.push_back(
+        reg.attach("rpc.buffer_pool.reused", {}, stats_.reused));
+    metric_regs_.push_back(
+        reg.attach("rpc.buffer_pool.created", {}, stats_.created));
+    metric_regs_.push_back(
+        reg.attach("rpc.buffer_pool.grown", {}, stats_.grown));
+    metric_regs_.push_back(
+        reg.attach("rpc.buffer_pool.released", {}, stats_.released));
+    metric_regs_.push_back(
+        reg.attach("rpc.buffer_pool.dropped", {}, stats_.dropped));
+  }
+}
+
 BufferPool& BufferPool::global() {
-  static BufferPool pool;
+  // Attaching forces MetricRegistry::global() to be constructed first, so
+  // it is destroyed after this pool and the detach in ~Registration always
+  // hits a live registry.
+  static BufferPool pool(256, /*register_metrics=*/true);
   return pool;
 }
 

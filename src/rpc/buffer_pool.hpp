@@ -18,21 +18,24 @@
 // so tests can warm the path and then assert both stay flat.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "concurrent/spinlock.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppr {
 
+/// Recycling counters, now registry instruments (obs/metrics.hpp): fields
+/// keep the atomic-style API the tests use, and the global pool attaches
+/// them under `rpc.buffer_pool.*` so they land in every metrics export.
 struct BufferPoolStats {
-  std::atomic<std::uint64_t> acquired{0};  // total acquire() calls
-  std::atomic<std::uint64_t> reused{0};    // served from the free list
-  std::atomic<std::uint64_t> created{0};   // brand-new buffer constructed
-  std::atomic<std::uint64_t> grown{0};     // recycled buffer had to realloc
-  std::atomic<std::uint64_t> released{0};  // buffers returned
-  std::atomic<std::uint64_t> dropped{0};   // returns beyond max_pooled
+  obs::ShardedCounter acquired;  // total acquire() calls
+  obs::ShardedCounter reused;    // served from the free list
+  obs::ShardedCounter created;   // brand-new buffer constructed
+  obs::ShardedCounter grown;     // recycled buffer had to realloc
+  obs::ShardedCounter released;  // buffers returned
+  obs::ShardedCounter dropped;   // returns beyond max_pooled
 
   /// Allocation events total: flat once the path is warm.
   std::uint64_t allocations() const {
@@ -52,9 +55,12 @@ struct BufferPoolStats {
 class BufferPool {
  public:
   /// Keep at most `max_pooled` idle buffers; surplus releases free their
-  /// memory (bounds the pool under bursty fan-out).
-  explicit BufferPool(std::size_t max_pooled = 256)
-      : max_pooled_(max_pooled) {}
+  /// memory (bounds the pool under bursty fan-out). `register_metrics`
+  /// attaches the counters to the global MetricRegistry as
+  /// `rpc.buffer_pool.*` — on for the process-wide global() pool only, so
+  /// transient pools in tests don't pollute the export.
+  explicit BufferPool(std::size_t max_pooled = 256,
+                      bool register_metrics = false);
 
   /// Process-wide pool shared by every transport/endpoint/pipeline. One
   /// pool (rather than per-endpoint) lets a buffer filled on machine A be
@@ -80,6 +86,7 @@ class BufferPool {
   mutable Spinlock lock_;
   std::vector<std::vector<std::uint8_t>> free_;
   BufferPoolStats stats_;
+  std::vector<obs::Registration> metric_regs_;
 };
 
 }  // namespace ppr

@@ -1,6 +1,7 @@
 #include "rpc/endpoint.hpp"
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "rpc/buffer_pool.hpp"
 
 namespace ppr {
@@ -41,6 +42,13 @@ RpcFuture RpcEndpoint::async_call(int dst, const std::string& service,
   msg.service = service;
   msg.method = method;
   msg.payload = std::move(payload);
+  // Ship the caller's trace context in the frame header so the server-side
+  // handler's spans nest under the span that issued this call.
+  if (obs::Tracer::enabled()) {
+    const obs::TraceContext ctx = obs::current_trace();
+    msg.trace_id = ctx.trace_id;
+    msg.parent_span = ctx.span_id;
+  }
 
   RpcPromise promise;
   RpcFuture future = promise.get_future();
@@ -106,7 +114,16 @@ void RpcEndpoint::handle_request(Message msg) {
   reply.src_machine = machine_id_;
   reply.dst_machine = msg.src_machine;
   try {
-    reply.payload = local_call(msg.service, msg.method, msg.payload);
+    if (msg.trace_id != 0 && obs::Tracer::enabled()) {
+      // Adopt the caller's context: the handler span carries the client's
+      // trace id and parents onto the span that issued the call.
+      obs::TraceBinding bind(
+          obs::TraceContext{msg.trace_id, msg.parent_span});
+      obs::ScopedSpan span("rpc.server." + msg.method);
+      reply.payload = local_call(msg.service, msg.method, msg.payload);
+    } else {
+      reply.payload = local_call(msg.service, msg.method, msg.payload);
+    }
   } catch (const std::exception& e) {
     reply.error = e.what();
   }

@@ -14,6 +14,8 @@ void write_header(ByteWriter& w, const Message& m) {
   w.write(static_cast<std::uint8_t>(m.kind));
   w.write(m.src_machine);
   w.write(m.dst_machine);
+  w.write(m.trace_id);
+  w.write(m.parent_span);
   w.write_string(m.service);
   w.write_string(m.method);
   w.write_string(m.error);
@@ -21,8 +23,8 @@ void write_header(ByteWriter& w, const Message& m) {
 }
 
 std::size_t header_size(const Message& m) {
-  return 8 + 1 + 4 + 4 + 8 * 4 + m.service.size() + m.method.size() +
-         m.error.size();
+  return 8 + 1 + 4 + 4 + 8 + 8 + 8 * 4 + m.service.size() +
+         m.method.size() + m.error.size();
 }
 }  // namespace
 
@@ -48,6 +50,8 @@ Message Message::decode_header(std::span<const std::uint8_t> header,
   m.kind = static_cast<MessageKind>(r.read<std::uint8_t>());
   m.src_machine = r.read<std::int32_t>();
   m.dst_machine = r.read<std::int32_t>();
+  m.trace_id = r.read<std::uint64_t>();
+  m.parent_span = r.read<std::uint64_t>();
   m.service = r.read_string();
   m.method = r.read_string();
   m.error = r.read_string();
@@ -64,6 +68,8 @@ Message Message::decode(std::span<const std::uint8_t> frame) {
   m.kind = static_cast<MessageKind>(r.read<std::uint8_t>());
   m.src_machine = r.read<std::int32_t>();
   m.dst_machine = r.read<std::int32_t>();
+  m.trace_id = r.read<std::uint64_t>();
+  m.parent_span = r.read<std::uint64_t>();
   m.service = r.read_string();
   m.method = r.read_string();
   m.error = r.read_string();

@@ -33,6 +33,11 @@ struct Message {
   MessageKind kind = MessageKind::kRequest;
   std::int32_t src_machine = -1;
   std::int32_t dst_machine = -1;
+  /// Trace context of the issuing caller (obs/trace.hpp), carried in the
+  /// frame header so the server-side handler's spans land in the caller's
+  /// trace. 0 = untraced (the default; frames decode identically).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
   std::string service;  // request only
   std::string method;   // request only
   std::string error;    // response only; empty on success

@@ -1,9 +1,11 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/timer.hpp"
 #include "engine/ssppr_batch.hpp"
+#include "obs/trace.hpp"
 
 namespace ppr::serve {
 
@@ -12,6 +14,15 @@ namespace {
 double micros_between(std::chrono::steady_clock::time_point from,
                       std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Retroactive root span of a resolved query (enqueue -> resolution).
+/// Inert for untraced queries.
+void record_query_span(const PendingQuery& q,
+                       std::chrono::steady_clock::time_point end) {
+  if (!q.trace.active()) return;
+  obs::Tracer::global().record_span("serve.query", q.trace.trace_id,
+                                    q.trace.span_id, 0, q.enqueue_time, end);
 }
 
 }  // namespace
@@ -138,6 +149,7 @@ void MachineScheduler::dispatcher_loop() {
             r.status = QueryStatus::kTimedOut;
             r.source = q.source;
             r.e2e_us = micros_between(q.enqueue_time, Clock::now());
+            record_query_span(q, Clock::now());
             q.promise.set_value(std::move(r));
           }
           continue;
@@ -168,6 +180,7 @@ void MachineScheduler::dispatcher_loop() {
       r.status = QueryStatus::kTimedOut;
       r.source = q.source;
       r.e2e_us = micros_between(q.enqueue_time, Clock::now());
+      record_query_span(q, Clock::now());
       q.promise.set_value(std::move(r));
     }
     if (batch.empty()) continue;
@@ -199,6 +212,25 @@ void MachineScheduler::execute_batch(std::vector<PendingQuery> batch,
   sources.reserve(batch.size());
   for (const PendingQuery& q : batch) sources.push_back(q.source);
 
+  // Per-query queue-wait spans, recorded retroactively now that the wait
+  // is over. Each parents onto its query's root span.
+  for (const PendingQuery& q : batch) {
+    if (!q.trace.active()) continue;
+    obs::Tracer::global().record_span("serve.queue_wait", q.trace.trace_id,
+                                      obs::next_span_id(), q.trace.span_id,
+                                      q.enqueue_time, dispatch_time);
+  }
+  // The batch executes once for all members; its span lives in the first
+  // traced member's trace (nested under that query's root span), and every
+  // pipeline round / RPC issued inside inherits it.
+  obs::TraceContext batch_owner{};
+  for (const PendingQuery& q : batch) {
+    if (q.trace.active()) {
+      batch_owner = q.trace;
+      break;
+    }
+  }
+
   QueryResult error_result;
   std::string error;
   std::vector<QueryResult> results(batch.size());
@@ -206,7 +238,12 @@ void MachineScheduler::execute_batch(std::vector<PendingQuery> batch,
     SspprStatePool::Lease lease = pool_.acquire(sources);
     const std::span<SspprState> states = lease.states();
     WallTimer wall;
-    run_ssppr_batch(storage_, states, options_.driver);
+    {
+      obs::TraceBinding bind(batch_owner);
+      std::optional<obs::ScopedSpan> span;
+      if (batch_owner.active()) span.emplace("serve.batch");
+      run_ssppr_batch(storage_, states, options_.driver);
+    }
     const double execute_us = wall.micros();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       QueryResult& r = results[i];
@@ -231,6 +268,7 @@ void MachineScheduler::execute_batch(std::vector<PendingQuery> batch,
     QueryResult& r = results[i];
     r.e2e_us = micros_between(batch[i].enqueue_time, done);
     stats_.on_completed(r.queue_wait_us, r.execute_us, r.e2e_us);
+    record_query_span(batch[i], done);
     batch[i].promise.set_value(std::move(r));
   }
   finish_batch();

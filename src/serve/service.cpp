@@ -31,6 +31,11 @@ QueryFuture QueryService::submit(NodeRef source, double deadline_us) {
   if (deadline_us < 0) deadline_us = options_.default_deadline_us;
   PendingQuery q;
   q.source = source;
+  if (obs::Tracer::enabled()) {
+    // Mint the query's trace and preallocate its root span id; the root
+    // span itself is recorded retroactively when the query resolves.
+    q.trace = obs::TraceContext{obs::next_trace_id(), obs::next_span_id()};
+  }
   q.enqueue_time = std::chrono::steady_clock::now();
   q.deadline =
       deadline_us > 0

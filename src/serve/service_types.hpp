@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/ssppr_driver.hpp"
+#include "obs/trace.hpp"
 #include "rpc/future.hpp"
 #include "storage/shard.hpp"
 
@@ -57,6 +58,11 @@ struct PendingQuery {
   std::chrono::steady_clock::time_point enqueue_time{};
   /// time_point::max() = no deadline.
   std::chrono::steady_clock::time_point deadline{};
+  /// Trace context minted at submit() when tracing is enabled: trace.
+  /// span_id is the query's preallocated root span ("serve.query"),
+  /// recorded retroactively once the query resolves. Inactive (zero) when
+  /// tracing is off.
+  obs::TraceContext trace{};
 };
 
 struct ServeOptions {

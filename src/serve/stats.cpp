@@ -2,6 +2,21 @@
 
 namespace ppr::serve {
 
+ServiceStats::ServiceStats() {
+  auto& reg = obs::MetricRegistry::global();
+  regs_.push_back(reg.attach("serve.submitted", {}, submitted_));
+  regs_.push_back(reg.attach("serve.admitted", {}, admitted_));
+  regs_.push_back(reg.attach("serve.rejected", {}, rejected_));
+  regs_.push_back(reg.attach("serve.timed_out", {}, timed_out_));
+  regs_.push_back(reg.attach("serve.completed", {}, completed_));
+  regs_.push_back(reg.attach("serve.batches", {}, batches_));
+  regs_.push_back(reg.attach("serve.batched_queries", {}, batched_queries_));
+  regs_.push_back(reg.attach("serve.queue_wait_us", {}, queue_wait_us_));
+  regs_.push_back(reg.attach("serve.batch_form_us", {}, batch_form_us_));
+  regs_.push_back(reg.attach("serve.execute_us", {}, execute_us_));
+  regs_.push_back(reg.attach("serve.e2e_us", {}, e2e_us_));
+}
+
 ServiceStatsSnapshot ServiceStats::snapshot(
     std::uint64_t states_created) const {
   ServiceStatsSnapshot s;

@@ -16,10 +16,11 @@
 // (how long the scheduler held the batch open; bounded by max_batch_delay).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/histogram.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppr::serve {
 
@@ -45,21 +46,26 @@ struct ServiceStatsSnapshot {
   HistogramSnapshot e2e_us;
 };
 
+/// Counters and histograms are registry instruments attached under
+/// `serve.*` for the instance's lifetime, so a metrics export carries the
+/// serving SLO distributions without going through snapshot().
 class ServiceStats {
  public:
-  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
-  void on_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
-  void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
-  void on_timed_out() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
+  ServiceStats();
+
+  void on_submitted() { submitted_.add(1); }
+  void on_admitted() { admitted_.add(1); }
+  void on_rejected() { rejected_.add(1); }
+  void on_timed_out() { timed_out_.add(1); }
   void on_completed(double queue_wait_us, double execute_us, double e2e_us) {
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.add(1);
     queue_wait_us_.record(queue_wait_us);
     execute_us_.record(execute_us);
     e2e_us_.record(e2e_us);
   }
   void on_batch(std::size_t num_queries, double form_us) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_queries_.fetch_add(num_queries, std::memory_order_relaxed);
+    batches_.add(1);
+    batched_queries_.add(num_queries);
     batch_form_us_.record(form_us);
   }
 
@@ -69,17 +75,18 @@ class ServiceStats {
   void reset();
 
  private:
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> admitted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> timed_out_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> batched_queries_{0};
-  LatencyHistogram queue_wait_us_;
-  LatencyHistogram batch_form_us_;
-  LatencyHistogram execute_us_;
-  LatencyHistogram e2e_us_;
+  obs::Counter submitted_;
+  obs::Counter admitted_;
+  obs::Counter rejected_;
+  obs::Counter timed_out_;
+  obs::Counter completed_;
+  obs::Counter batches_;
+  obs::Counter batched_queries_;
+  obs::Histogram queue_wait_us_;
+  obs::Histogram batch_form_us_;
+  obs::Histogram execute_us_;
+  obs::Histogram e2e_us_;
+  std::vector<obs::Registration> regs_;
 };
 
 }  // namespace ppr::serve

@@ -2,10 +2,16 @@
 
 namespace ppr {
 
-AdjacencyCache::AdjacencyCache(std::size_t capacity_rows) {
+AdjacencyCache::AdjacencyCache(std::size_t capacity_rows, ShardId shard)
+    : stats_(shard) {
   GE_REQUIRE(capacity_rows > 0, "adjacency cache needs capacity > 0");
   slots_.resize(capacity_rows);
   index_.reserve(capacity_rows * 2);
+  if (shard >= 0) {
+    resident_reg_ = obs::MetricRegistry::global().attach(
+        "storage.adjacency_cache.resident_rows",
+        {{"shard", std::to_string(shard)}}, resident_rows_);
+  }
 }
 
 std::size_t AdjacencyCache::size() const {
@@ -92,6 +98,7 @@ void AdjacencyCache::insert(ShardId dst, NodeId local,
                              row.nbr_global_ids.end());
   index_[key] = static_cast<std::uint32_t>(idx);
   stats_.insertions.fetch_add(1, std::memory_order_relaxed);
+  resident_rows_.set(static_cast<std::int64_t>(used_slots_));
 }
 
 }  // namespace ppr

@@ -12,23 +12,40 @@
 // is still pushing from.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "concurrent/spinlock.hpp"
+#include "obs/metrics.hpp"
 #include "storage/shard.hpp"
 
 namespace ppr {
 
-/// Hit/miss/eviction counters, exposed like the halo-cache stats.
+/// Hit/miss/eviction counters, exposed like the halo-cache stats. Backed
+/// by registry instruments: constructed with a shard id they attach as
+/// `storage.adjacency_cache.*{shard=N}` (shard < 0 = unregistered, for
+/// standalone caches in unit tests).
 struct AdjacencyCacheStats {
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-  std::atomic<std::uint64_t> insertions{0};
-  std::atomic<std::uint64_t> evictions{0};
+  explicit AdjacencyCacheStats(ShardId shard = -1) {
+    if (shard < 0) return;
+    const obs::Labels labels{{"shard", std::to_string(shard)}};
+    auto& reg = obs::MetricRegistry::global();
+    regs_.push_back(reg.attach("storage.adjacency_cache.hits", labels,
+                               hits));
+    regs_.push_back(reg.attach("storage.adjacency_cache.misses", labels,
+                               misses));
+    regs_.push_back(reg.attach("storage.adjacency_cache.insertions", labels,
+                               insertions));
+    regs_.push_back(reg.attach("storage.adjacency_cache.evictions", labels,
+                               evictions));
+  }
+
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter insertions;
+  obs::Counter evictions;
 
   void reset() {
     hits = 0;
@@ -36,6 +53,9 @@ struct AdjacencyCacheStats {
     insertions = 0;
     evictions = 0;
   }
+
+ private:
+  std::vector<obs::Registration> regs_;
 };
 
 /// Owned CSR arena the cache copies hit rows into. Rows are appended by
@@ -100,7 +120,8 @@ class AdjacencyCache {
  public:
   /// `capacity_rows`: maximum number of cached neighbor rows; above it the
   /// CLOCK hand evicts the first row whose reference bit is clear.
-  explicit AdjacencyCache(std::size_t capacity_rows);
+  /// `shard` labels the registry-attached counters (< 0 = unregistered).
+  explicit AdjacencyCache(std::size_t capacity_rows, ShardId shard = -1);
 
   std::size_t capacity() const { return slots_.size(); }
   std::size_t size() const;
@@ -148,6 +169,8 @@ class AdjacencyCache {
   std::size_t used_slots_ = 0;
   std::size_t hand_ = 0;
   AdjacencyCacheStats stats_;
+  obs::Gauge resident_rows_;  // registry view of size()
+  obs::Registration resident_reg_;
 };
 
 }  // namespace ppr

@@ -10,7 +10,8 @@ DistGraphStorage::DistGraphStorage(
     : endpoint_(endpoint),
       rrefs_(std::move(rrefs)),
       shard_id_(shard_id),
-      local_shard_(std::move(local_shard)) {
+      local_shard_(std::move(local_shard)),
+      stats_(shard_id) {
   GE_REQUIRE(local_shard_ != nullptr, "null local shard");
   GE_REQUIRE(shard_id_ >= 0 &&
                  shard_id_ < static_cast<ShardId>(rrefs_.size()),
@@ -67,7 +68,7 @@ DistGraphStorage::HaloSplit DistGraphStorage::split_by_halo_cache(
 
 void DistGraphStorage::enable_adjacency_cache(std::size_t capacity_rows) {
   GE_REQUIRE(adj_cache_ == nullptr, "adjacency cache already enabled");
-  adj_cache_ = std::make_unique<AdjacencyCache>(capacity_rows);
+  adj_cache_ = std::make_unique<AdjacencyCache>(capacity_rows, shard_id_);
 }
 
 DistGraphStorage::AdjacencySplit DistGraphStorage::split_by_adjacency_cache(

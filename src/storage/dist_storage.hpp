@@ -6,10 +6,10 @@
 // response into a NeighborBatch exposing the same VertexProp API.
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rpc/endpoint.hpp"
 #include "storage/adjacency_cache.hpp"
 #include "storage/shard.hpp"
@@ -20,13 +20,36 @@ namespace ppr {
 /// Counters for the locality analysis (§4.3: fraction of graph traversal
 /// resolved locally vs. remotely) and the batched-driver traffic reports
 /// (request/response bytes actually put on the wire).
+///
+/// The fields are registry instruments (obs/metrics.hpp): constructing
+/// with a shard id attaches them as `storage.fetch.*{shard=N}`, so every
+/// metrics export carries the per-shard traffic without extra plumbing.
+/// The atomic-style accessors (`fetch_add`/`load`) are preserved.
 struct FetchStats {
-  std::atomic<std::uint64_t> local_nodes{0};
-  std::atomic<std::uint64_t> remote_nodes{0};
-  std::atomic<std::uint64_t> remote_calls{0};
-  std::atomic<std::uint64_t> halo_hits{0};  // remote refs served locally
-  std::atomic<std::uint64_t> remote_request_bytes{0};
-  std::atomic<std::uint64_t> remote_response_bytes{0};
+  explicit FetchStats(ShardId shard = -1) {
+    if (shard < 0) return;
+    const obs::Labels labels{{"shard", std::to_string(shard)}};
+    auto& reg = obs::MetricRegistry::global();
+    regs_.push_back(reg.attach("storage.fetch.local_nodes", labels,
+                               local_nodes));
+    regs_.push_back(reg.attach("storage.fetch.remote_nodes", labels,
+                               remote_nodes));
+    regs_.push_back(reg.attach("storage.fetch.remote_calls", labels,
+                               remote_calls));
+    regs_.push_back(reg.attach("storage.fetch.halo_hits", labels,
+                               halo_hits));
+    regs_.push_back(reg.attach("storage.fetch.remote_request_bytes", labels,
+                               remote_request_bytes));
+    regs_.push_back(reg.attach("storage.fetch.remote_response_bytes",
+                               labels, remote_response_bytes));
+  }
+
+  obs::ShardedCounter local_nodes;
+  obs::ShardedCounter remote_nodes;
+  obs::ShardedCounter remote_calls;
+  obs::ShardedCounter halo_hits;  // remote refs served locally
+  obs::ShardedCounter remote_request_bytes;
+  obs::ShardedCounter remote_response_bytes;
 
   double remote_ratio() const {
     const double l = static_cast<double>(local_nodes.load());
@@ -44,6 +67,9 @@ struct FetchStats {
     remote_request_bytes = 0;
     remote_response_bytes = 0;
   }
+
+ private:
+  std::vector<obs::Registration> regs_;
 };
 
 /// Result of a (possibly remote) sample_one_neighbor call.

@@ -1,6 +1,24 @@
 #include "storage/fetch_pipeline.hpp"
 
+#include "obs/trace.hpp"
+
 namespace ppr {
+
+namespace {
+/// Registry histograms of per-execute() phase wall time, one per Phase
+/// label — the registered-instrument form of the PhaseTimers breakdown.
+/// (Magic-static init keeps concurrent first calls race-free.)
+obs::Histogram& phase_histogram(Phase p) {
+  static const auto make = [](Phase ph) {
+    return &obs::MetricRegistry::global().histogram(
+        "pipeline.phase_us", {{"phase", phase_name(ph)}});
+  };
+  static obs::Histogram* const hists[kNumPhases] = {
+      make(Phase::kPop), make(Phase::kLocalFetch), make(Phase::kRemoteFetch),
+      make(Phase::kPush), make(Phase::kOther)};
+  return *hists[static_cast<int>(p)];
+}
+}  // namespace
 
 FetchPipeline::FetchPipeline(const DistGraphStorage& storage)
     : storage_(storage) {
@@ -116,24 +134,33 @@ void FetchPipeline::execute(const Plan& plan, PhaseTimers* timers,
   const auto ns = union_locals_.size();
   const auto self = static_cast<std::size_t>(storage_.shard_id());
   ++stats_.rounds;
+  // One span per resolution round; the RPCs issued below inherit it as
+  // their parent, so server-side decode lands under this round's fetch.
+  obs::ScopedSpan span("pipeline.execute");
+
+  double remote_us = 0;
 
   // --- Split by residency and issue at most one RPC per remote shard. ---
   {
     ScopedPhase phase(t, Phase::kRemoteFetch);
+    WallTimer wall;
     for (std::size_t j = 0; j < ns; ++j) {
       stats_.rows_requested += union_locals_[j].size();
       if (j == self || union_locals_[j].empty()) continue;
       resolve_remote_shard(j, plan);
     }
+    remote_us += wall.micros();
   }
 
   const auto wait_all = [&] {
     ScopedPhase phase(t, Phase::kRemoteFetch);
+    WallTimer wall;
     for (std::size_t j = 0; j < ns; ++j) {
       // Decode into the round-recycled batch so steady-state rounds reuse
       // its vectors' capacity instead of allocating fresh arrays.
       if (fetches_[j].valid()) fetches_[j].wait_into(batches_[j]);
     }
+    remote_us += wall.micros();
   };
   // No-overlap mode waits before any local work, so the remote-fetch
   // phase is fully exposed in the breakdown (the Table-3 contrast).
@@ -142,9 +169,11 @@ void FetchPipeline::execute(const Plan& plan, PhaseTimers* timers,
   // --- Resolve the self-shard union through shared memory. --------------
   if (!union_locals_[self].empty()) {
     ScopedPhase phase(t, Phase::kLocalFetch);
+    WallTimer wall;
     resolved_[self] = storage_.get_neighbor_infos_local(union_locals_[self]);
     sources_[self].assign(resolved_[self].size(), RowSource::kLocal);
     stats_.rows_local += resolved_[self].size();
+    phase_histogram(Phase::kLocalFetch).record(wall.micros());
   }
 
   // --- Overlap hook: caller's local work runs while responses fly. ------
@@ -165,6 +194,7 @@ void FetchPipeline::execute(const Plan& plan, PhaseTimers* timers,
       resolved_[j][fetch_rows_[j][m]] = batches_[j][m];
     }
   }
+  phase_histogram(Phase::kRemoteFetch).record(remote_us);
 }
 
 }  // namespace ppr

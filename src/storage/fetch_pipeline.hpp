@@ -62,16 +62,45 @@ inline const char* row_source_name(RowSource s) {
 /// Cumulative split accounting across every executed round. For each
 /// round, rows_local + rows_halo + rows_cached + rows_wire ==
 /// rows_requested (the cascade partitions the request set).
+///
+/// Fields are registry counters attached under `pipeline.*`: pipelines are
+/// short-lived (one per driver invocation), so the registry's retirement
+/// accounting is what keeps the process totals complete after a query
+/// finishes. Also makes concurrent snapshot-while-serving reads race-free
+/// (the old plain uint64 fields were not).
 struct FetchPipelineStats {
-  std::uint64_t rounds = 0;
-  std::uint64_t rows_requested = 0;
-  std::uint64_t rows_local = 0;   // own-shard rows
-  std::uint64_t rows_halo = 0;    // halo-cache hits
-  std::uint64_t rows_cached = 0;  // adjacency-cache hits
-  std::uint64_t rows_wire = 0;    // rows actually fetched over RPC
-  std::uint64_t rpcs_issued = 0;  // at most one per remote shard per round
+  FetchPipelineStats() {
+    auto& reg = obs::MetricRegistry::global();
+    regs_.push_back(reg.attach("pipeline.rounds", {}, rounds));
+    regs_.push_back(reg.attach("pipeline.rows_requested", {},
+                               rows_requested));
+    regs_.push_back(reg.attach("pipeline.rows_local", {}, rows_local));
+    regs_.push_back(reg.attach("pipeline.rows_halo", {}, rows_halo));
+    regs_.push_back(reg.attach("pipeline.rows_cached", {}, rows_cached));
+    regs_.push_back(reg.attach("pipeline.rows_wire", {}, rows_wire));
+    regs_.push_back(reg.attach("pipeline.rpcs_issued", {}, rpcs_issued));
+  }
 
-  void reset() { *this = FetchPipelineStats{}; }
+  obs::Counter rounds;
+  obs::Counter rows_requested;
+  obs::Counter rows_local;   // own-shard rows
+  obs::Counter rows_halo;    // halo-cache hits
+  obs::Counter rows_cached;  // adjacency-cache hits
+  obs::Counter rows_wire;    // rows actually fetched over RPC
+  obs::Counter rpcs_issued;  // at most one per remote shard per round
+
+  void reset() {
+    rounds = 0;
+    rows_requested = 0;
+    rows_local = 0;
+    rows_halo = 0;
+    rows_cached = 0;
+    rows_wire = 0;
+    rpcs_issued = 0;
+  }
+
+ private:
+  std::vector<obs::Registration> regs_;
 };
 
 /// Round-recycled resolution engine bound to one DistGraphStorage (one

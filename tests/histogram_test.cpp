@@ -1,0 +1,129 @@
+// Unit tests of the lock-free log-bucketed latency histogram that backs
+// every obs::Histogram instrument (common/histogram.hpp).
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace ppr {
+namespace {
+
+TEST(Histogram, EmptyQuantilesAreZero) {
+  LatencyHistogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleDominatesEveryQuantile) {
+  LatencyHistogram h;
+  h.record(std::uint64_t{42});
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.max, 42u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  // Every quantile falls in the bucket holding the lone sample, whose
+  // relative width is bounded by 1/kSubBuckets.
+  const std::size_t idx = LatencyHistogram::bucket_of(42);
+  for (const double p : {0.01, 0.5, 0.99, 1.0}) {
+    const double v = s.percentile(p);
+    EXPECT_GE(v, static_cast<double>(LatencyHistogram::bucket_lower(idx)));
+    EXPECT_LE(v, static_cast<double>(LatencyHistogram::bucket_upper(idx)));
+  }
+}
+
+TEST(Histogram, BucketEdgesBracketTheValue) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 7ull, 8ull, 9ull, 100ull, 1023ull, 1024ull, 1025ull,
+        123456789ull}) {
+    const std::size_t idx = LatencyHistogram::bucket_of(v);
+    EXPECT_LE(LatencyHistogram::bucket_lower(idx), v) << v;
+    EXPECT_GT(LatencyHistogram::bucket_upper(idx), v) << v;
+  }
+}
+
+TEST(Histogram, OverflowValuesSaturateAtTopBucket) {
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(LatencyHistogram::bucket_of(huge),
+            LatencyHistogram::kNumBuckets - 1);
+
+  LatencyHistogram h;
+  h.record(huge);
+  h.record(huge - 1);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.max, huge);
+  EXPECT_EQ(s.buckets[LatencyHistogram::kNumBuckets - 1], 2u);
+  // Values beyond the top edge are clamped into the final bucket: the
+  // quantile reports that bucket's midpoint (finite, >= its lower edge),
+  // while the exact maximum survives in `max`.
+  const double p100 = s.percentile(1.0);
+  EXPECT_GE(p100, static_cast<double>(LatencyHistogram::bucket_lower(
+                      LatencyHistogram::kNumBuckets - 1)));
+  EXPECT_LT(p100, static_cast<double>(huge));
+}
+
+TEST(Histogram, MergeIsExactBucketwiseSum) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (std::uint64_t v = 0; v < 100; ++v) a.record(v);
+  for (std::uint64_t v = 1000; v < 1100; ++v) b.record(v);
+
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count, 200u);
+  EXPECT_EQ(merged.max, 1099u);
+  // Sum of both ranges: 0..99 plus 1000..1099.
+  EXPECT_EQ(merged.sum, 4950u + 104950u);
+  // The median straddles the gap between the two ranges; p25 must come
+  // from a's range and p75 from b's.
+  EXPECT_LT(merged.percentile(0.25), 150.0);
+  EXPECT_GT(merged.percentile(0.75), 900.0);
+
+  // Merging an empty snapshot is a no-op.
+  HistogramSnapshot copy = merged;
+  copy.merge(HistogramSnapshot{});
+  EXPECT_EQ(copy.count, merged.count);
+  EXPECT_EQ(copy.sum, merged.sum);
+  EXPECT_EQ(copy.max, merged.max);
+
+  // Merging into an empty snapshot (possibly with no buckets allocated)
+  // adopts the other side wholesale.
+  HistogramSnapshot empty;
+  empty.merge(merged);
+  EXPECT_EQ(empty.count, merged.count);
+  EXPECT_EQ(empty.percentile(0.5), merged.percentile(0.5));
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t) * 1000 + (i % 100));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.max, 7099u);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,315 @@
+// Unit tests of the observability plane: MetricRegistry (attach/retire/
+// snapshot/delta/JSON), the instrument types, and the tracer (span
+// nesting, context binding, chrome export).
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ppr::obs {
+namespace {
+
+TEST(MetricKey, RendersLabelsInOrder) {
+  EXPECT_EQ(metric_key("f", {}), "f");
+  EXPECT_EQ(metric_key("f", {{"a", "1"}}), "f{a=1}");
+  EXPECT_EQ(metric_key("f", {{"b", "2"}, {"a", "1"}}), "f{b=2,a=1}");
+}
+
+TEST(MetricRegistry, AttachSnapshotFindsLiveValues) {
+  MetricRegistry reg;
+  Counter c;
+  Gauge g;
+  const Registration rc = reg.attach("bytes", {{"shard", "0"}}, c);
+  const Registration rg = reg.attach("depth", {}, g);
+  c.add(7);
+  g.set(-3);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("bytes{shard=0}"), 7u);
+  const MetricsSnapshot::Entry* e = snap.find("depth");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, MetricKind::kGauge);
+  EXPECT_EQ(e->gauge, -3);
+  EXPECT_EQ(snap.find("absent"), nullptr);
+}
+
+TEST(MetricRegistry, MultipleInstrumentsSharingAKeySum) {
+  MetricRegistry reg;
+  Counter a;
+  Counter b;
+  const Registration ra = reg.attach("rows", {}, a);
+  const Registration rb = reg.attach("rows", {}, b);
+  a.add(10);
+  b.add(5);
+  EXPECT_EQ(reg.snapshot().counter("rows"), 15u);
+}
+
+TEST(MetricRegistry, RetiredCountersKeepCountingTowardTotals) {
+  MetricRegistry reg;
+  {
+    Counter c;
+    const Registration r = reg.attach("rows", {}, c);
+    c.add(10);
+  }  // c detaches; its 10 must survive as a retired total.
+  EXPECT_EQ(reg.snapshot().counter("rows"), 10u);
+
+  Counter c2;
+  const Registration r2 = reg.attach("rows", {}, c2);
+  c2.add(4);
+  EXPECT_EQ(reg.snapshot().counter("rows"), 14u);
+}
+
+TEST(MetricRegistry, RetiredGaugesDropRetiredHistogramsMerge) {
+  MetricRegistry reg;
+  {
+    Gauge g;
+    const Registration r = reg.attach("depth", {}, g);
+    g.set(9);
+  }
+  // A gauge is a point-in-time reading of a live owner; once the owner is
+  // gone the reading is meaningless and must not linger.
+  EXPECT_EQ(reg.snapshot().find("depth"), nullptr);
+
+  {
+    Histogram h;
+    const Registration r = reg.attach("lat", {}, h);
+    h.record(std::uint64_t{50});
+    h.record(std::uint64_t{70});
+  }
+  Histogram h2;
+  const Registration r2 = reg.attach("lat", {}, h2);
+  h2.record(std::uint64_t{90});
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot::Entry* e = snap.find("lat");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->hist.count, 3u);
+  EXPECT_EQ(e->hist.max, 90u);
+}
+
+TEST(MetricRegistry, CounterTotalSumsAcrossLabels) {
+  MetricRegistry reg;
+  reg.counter("fetch.rows", {{"shard", "0"}}).add(3);
+  reg.counter("fetch.rows", {{"shard", "1"}}).add(4);
+  reg.counter("fetch.rows.other").add(100);  // different family
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_total("fetch.rows"), 7u);
+  EXPECT_EQ(snap.counter_total("fetch.rows.other"), 100u);
+}
+
+TEST(MetricRegistry, OwnedInstrumentsAreGetOrCreate) {
+  MetricRegistry reg;
+  Counter& c1 = reg.counter("x");
+  Counter& c2 = reg.counter("x");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(2);
+  EXPECT_EQ(reg.snapshot().counter("x"), 2u);
+
+  Gauge& g = reg.gauge("y");
+  g.set(5);
+  Histogram& h = reg.histogram("z");
+  h.record(std::uint64_t{1});
+  EXPECT_EQ(&reg.gauge("y"), &g);
+  EXPECT_EQ(&reg.histogram("z"), &h);
+}
+
+TEST(MetricRegistry, DeltaSinceSubtractsCountersAndHistograms) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("rows");
+  Histogram& h = reg.histogram("lat");
+  Gauge& g = reg.gauge("depth");
+  c.add(10);
+  h.record(std::uint64_t{100});
+  g.set(4);
+  const MetricsSnapshot base = reg.snapshot();
+
+  c.add(5);
+  h.record(std::uint64_t{200});
+  h.record(std::uint64_t{300});
+  g.set(9);
+  const MetricsSnapshot now = reg.snapshot();
+  const MetricsSnapshot d = now.delta_since(base);
+
+  EXPECT_EQ(d.counter("rows"), 5u);
+  const MetricsSnapshot::Entry* lat = d.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count, 2u);  // only the interval's two records
+  const MetricsSnapshot::Entry* depth = d.find("depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->gauge, 9);  // gauges pass through at current value
+}
+
+TEST(MetricRegistry, ResetZeroesLiveAndDropsRetired) {
+  MetricRegistry reg;
+  Counter live;
+  const Registration r = reg.attach("a", {}, live);
+  live.add(3);
+  {
+    Counter gone;
+    const Registration r2 = reg.attach("b", {}, gone);
+    gone.add(8);
+  }
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().counter("a"), 0u);
+  EXPECT_EQ(reg.snapshot().counter("b"), 0u);
+  EXPECT_EQ(live.load(), 0u);
+}
+
+TEST(MetricRegistry, ToJsonCarriesSchemaAndValues) {
+  MetricRegistry reg;
+  reg.counter("wire.bytes", {{"dir", "tx"}}).add(42);
+  reg.gauge("depth").set(-1);
+  reg.histogram("lat").record(std::uint64_t{100});
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wire.bytes{dir=tx}\": 42"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"depth\": -1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos) << json;
+}
+
+TEST(ShardedCounter, ConcurrentAddsAreExact) {
+  ShardedCounter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.load(), kThreads * kPerThread);
+
+  c.reset();
+  EXPECT_EQ(c.load(), 0u);
+  c.fetch_add(3, std::memory_order_relaxed);  // atomic-API compatibility
+  c += 2;
+  ++c;
+  EXPECT_EQ(static_cast<std::uint64_t>(c), 6u);
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+    set_current_trace({});
+  }
+
+  static const SpanRecord* find_span(const std::vector<SpanRecord>& spans,
+                                     const std::string& name) {
+    for (const SpanRecord& s : spans) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(TracerTest, ScopedSpanRootsThenNestsChildren) {
+  {
+    ScopedSpan outer("outer");
+    ASSERT_TRUE(outer.active());
+    EXPECT_EQ(current_trace().trace_id, outer.trace_id());
+    EXPECT_EQ(current_trace().span_id, outer.span_id());
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(inner.trace_id(), outer.trace_id());
+    }
+    // Context restored after the child closes.
+    EXPECT_EQ(current_trace().span_id, outer.span_id());
+  }
+  EXPECT_FALSE(current_trace().active());
+
+  const std::vector<SpanRecord> spans = Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord* outer = find_span(spans, "outer");
+  const SpanRecord* inner = find_span(spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);  // root of its trace
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_EQ(inner->trace_id, outer->trace_id);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->end_ns, outer->end_ns);
+}
+
+TEST_F(TracerTest, SeparateScopesRootSeparateTraces) {
+  { ScopedSpan a("a"); }
+  { ScopedSpan b("b"); }
+  const std::vector<SpanRecord> spans = Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].trace_id, spans[1].trace_id);
+}
+
+TEST_F(TracerTest, TraceBindingAdoptsARemoteContext) {
+  const TraceContext remote{next_trace_id(), next_span_id()};
+  {
+    TraceBinding bind(remote);
+    ScopedSpan span("server.work");
+    EXPECT_EQ(span.trace_id(), remote.trace_id);
+  }
+  EXPECT_FALSE(current_trace().active());
+
+  const std::vector<SpanRecord> spans = Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, remote.trace_id);
+  EXPECT_EQ(spans[0].parent_id, remote.span_id);
+}
+
+TEST_F(TracerTest, RetroactiveRecordSpanLandsOnTheSharedTimeline) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = t0 + std::chrono::microseconds(250);
+  const std::uint64_t trace = next_trace_id();
+  const std::uint64_t span = next_span_id();
+  Tracer::global().record_span("queue_wait", trace, span, 0, t0, t1);
+
+  const std::vector<SpanRecord> spans = Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, trace);
+  EXPECT_EQ(spans[0].end_ns - spans[0].start_ns, 250000);
+}
+
+TEST_F(TracerTest, DisabledTracingRecordsNothing) {
+  Tracer::global().set_enabled(false);
+  {
+    ScopedSpan span("ghost");
+    EXPECT_FALSE(span.active());
+    EXPECT_FALSE(current_trace().active());
+  }
+  EXPECT_TRUE(Tracer::global().spans().empty());
+}
+
+TEST_F(TracerTest, ChromeExportEmitsCompleteEventsWithIds) {
+  {
+    ScopedSpan outer("phase.outer");
+    ScopedSpan inner("phase.inner");
+  }
+  const std::string json = Tracer::global().to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("phase.outer"), std::string::npos) << json;
+  EXPECT_NE(json.find("phase.inner"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parent\""), std::string::npos) << json;
+}
+
+TEST_F(TracerTest, CapacityBoundsBufferAndCountsDrops) {
+  Tracer::global().set_capacity(2);
+  { ScopedSpan a("a"); }
+  { ScopedSpan b("b"); }
+  { ScopedSpan c("c"); }
+  EXPECT_EQ(Tracer::global().spans().size(), 2u);
+  EXPECT_EQ(Tracer::global().dropped(), 1u);
+  Tracer::global().set_capacity(1 << 20);
+}
+
+}  // namespace
+}  // namespace ppr::obs

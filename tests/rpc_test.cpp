@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "rpc/endpoint.hpp"
 #include "rpc/inproc_transport.hpp"
 #include "rpc/socket_transport.hpp"
@@ -28,6 +30,27 @@ TEST(Message, EncodeDecodeRoundTrip) {
   EXPECT_EQ(d.method, "get_neighbor_infos");
   EXPECT_EQ(d.error, "oops");
   EXPECT_EQ(d.payload, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Message, TraceContextRoundTrips) {
+  Message m;
+  m.service = "s";
+  m.trace_id = 0xdeadbeefcafe1234ULL;
+  m.parent_span = 42;
+  const Message d = Message::decode(m.encode());
+  EXPECT_EQ(d.trace_id, 0xdeadbeefcafe1234ULL);
+  EXPECT_EQ(d.parent_span, 42u);
+}
+
+TEST(Message, UntracedFramesDecodeWithZeroIds) {
+  // A frame from an untraced caller carries zeroed trace fields; decoding
+  // must yield the "no trace" context, not garbage.
+  Message m;
+  m.service = "s";
+  m.payload = {9};
+  const Message d = Message::decode(m.encode());
+  EXPECT_EQ(d.trace_id, 0u);
+  EXPECT_EQ(d.parent_span, 0u);
 }
 
 TEST(Message, WireSizeTracksPayload) {
@@ -272,6 +295,68 @@ TEST(SocketTransport, LargePayload) {
   ASSERT_EQ(reply.size(), big.size() + 1);
   reply.pop_back();
   EXPECT_EQ(reply, big);
+}
+
+// The RPC layer ships the caller's trace context in the frame header and
+// binds it around the server-side handler, so one query's spans connect
+// across "machines". The service below reports the trace id the handler
+// observed; the suite checks it matches the client's span and that the
+// tracer recorded a server span parented under the client span.
+void run_trace_suite(std::shared_ptr<Transport> transport) {
+  obs::Tracer::global().clear();
+  obs::Tracer::global().set_enabled(true);
+
+  std::vector<std::unique_ptr<RpcEndpoint>> endpoints;
+  for (int m = 0; m < transport->num_machines(); ++m) {
+    endpoints.push_back(std::make_unique<RpcEndpoint>(transport, m, 2));
+    endpoints.back()->register_service(
+        "tracectx",
+        [](const std::string&, std::span<const std::uint8_t>) {
+          const obs::TraceContext ctx = obs::current_trace();
+          std::vector<std::uint8_t> out(sizeof(ctx.trace_id));
+          std::memcpy(out.data(), &ctx.trace_id, sizeof(ctx.trace_id));
+          return out;
+        });
+  }
+
+  std::uint64_t client_trace = 0;
+  std::uint64_t client_span = 0;
+  {
+    obs::ScopedSpan span("client.op");
+    client_trace = span.trace_id();
+    client_span = span.span_id();
+    const auto reply = endpoints[0]->sync_call(1, "tracectx", "m", {});
+    ASSERT_EQ(reply.size(), sizeof(std::uint64_t));
+    std::uint64_t observed = 0;
+    std::memcpy(&observed, reply.data(), sizeof(observed));
+    EXPECT_EQ(observed, client_trace)
+        << "server handler must run under the client's trace";
+  }
+
+  const std::vector<obs::SpanRecord> spans = obs::Tracer::global().spans();
+  const obs::SpanRecord* server = nullptr;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "rpc.server.m") server = &s;
+  }
+  ASSERT_NE(server, nullptr) << "server side must record its own span";
+  EXPECT_EQ(server->trace_id, client_trace);
+  EXPECT_EQ(server->parent_id, client_span);
+
+  // Untraced callers stay untraced on the server: no context leaks in.
+  obs::Tracer::global().set_enabled(false);
+  const auto reply = endpoints[0]->sync_call(1, "tracectx", "m", {});
+  std::uint64_t observed = 1;
+  std::memcpy(&observed, reply.data(), sizeof(observed));
+  EXPECT_EQ(observed, 0u);
+  obs::Tracer::global().clear();
+}
+
+TEST(InProcTransport, TracePropagatesToServerSpans) {
+  run_trace_suite(std::make_shared<InProcTransport>(2, NetworkModel{0, 0}));
+}
+
+TEST(SocketTransport, TracePropagatesToServerSpans) {
+  run_trace_suite(std::make_shared<SocketTransport>(2));
 }
 
 TEST(Endpoint, LocalCallBypassesTransport) {

@@ -8,6 +8,7 @@
 
 #include "engine/ssppr_driver.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/service.hpp"
 
@@ -273,6 +274,78 @@ TEST_F(ServingFixture, ShutdownFlushesPendingQueries) {
   for (auto& f : futures) {
     EXPECT_EQ(f.wait().status, QueryStatus::kOk);
   }
+}
+
+// A served query's spans form the chain the trace viewer shows: a
+// serve.query root, its queue wait and the executing batch as children,
+// the batch's per-round fetches below that, and the storage servers'
+// rpc.server.* spans sharing the same trace id (shipped in the frame
+// header).
+TEST_F(ServingFixture, TracedQuerySpansNestAcrossClientAndServer) {
+  obs::Tracer::global().clear();
+  obs::Tracer::global().set_enabled(true);
+
+  ServeOptions o = base_options();
+  o.max_batch_size = 4;
+  o.max_batch_delay_us = 500;
+  {
+    QueryService service(*cluster_, o);
+    std::vector<QueryFuture> futures;
+    for (NodeId g = 0; g < 8; ++g) {
+      futures.push_back(service.submit((g * 53 + 11) % graph_.num_nodes()));
+    }
+    for (auto& f : futures) {
+      ASSERT_EQ(f.wait().status, QueryStatus::kOk);
+    }
+  }
+  obs::Tracer::global().set_enabled(false);
+  const std::vector<obs::SpanRecord> spans = obs::Tracer::global().spans();
+  obs::Tracer::global().clear();
+
+  const auto find_span = [&spans](const std::string& name,
+                                  std::uint64_t trace_id,
+                                  std::uint64_t parent_id)
+      -> const obs::SpanRecord* {
+    for (const obs::SpanRecord& s : spans) {
+      if (s.name != name) continue;
+      if (trace_id != 0 && s.trace_id != trace_id) continue;
+      if (parent_id != 0 && s.parent_id != parent_id) continue;
+      return &s;
+    }
+    return nullptr;
+  };
+
+  // Anchor on a batch whose rounds actually crossed the wire — a batch
+  // of queries local to one shard can resolve entirely from core + halo
+  // rows and issue no RPCs at all.
+  const obs::SpanRecord* batch = nullptr;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name.rfind("rpc.server.", 0) != 0) continue;
+    if (const obs::SpanRecord* b = find_span("serve.batch", s.trace_id, 0)) {
+      batch = b;
+      break;
+    }
+  }
+  ASSERT_NE(batch, nullptr)
+      << "at least one batch must fetch remotely under its trace";
+  const std::uint64_t trace = batch->trace_id;
+  const obs::SpanRecord* root = find_span("serve.query", trace, 0);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_id, 0u) << "serve.query is its trace's root";
+  EXPECT_EQ(batch->parent_id, root->span_id);
+
+  const obs::SpanRecord* wait =
+      find_span("serve.queue_wait", trace, root->span_id);
+  ASSERT_NE(wait, nullptr) << "queue wait must hang off the query root";
+  EXPECT_LE(wait->start_ns, batch->start_ns)
+      << "the wait precedes the batch on the shared timeline";
+
+  const obs::SpanRecord* round =
+      find_span("ssppr.batch_round", trace, batch->span_id);
+  ASSERT_NE(round, nullptr) << "rounds nest under the batch";
+  const obs::SpanRecord* fetch =
+      find_span("pipeline.execute", trace, round->span_id);
+  ASSERT_NE(fetch, nullptr) << "the round's fetch nests under it";
 }
 
 }  // namespace

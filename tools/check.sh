@@ -28,6 +28,14 @@ for SANITIZER in "${SANITIZERS[@]}"; do
   cmake --build "${BUILD}" -j"$(nproc)"
   ctest --test-dir "${BUILD}" --output-on-failure -j"$(nproc)"
   case "${SANITIZER}" in
+    *thread*)
+      # The observability plane (sharded counters, registry attach/retire,
+      # tracer spans crossing RPC threads) is written to be lock-free on
+      # the hot paths; run its suites again, alone, so TSan reports point
+      # at the obs layer and not at noisy neighbors.
+      echo "=== ${SANITIZER}: ctest -L obs (metrics/trace plane) ==="
+      ctest --test-dir "${BUILD}" -L obs --output-on-failure
+      ;;
     *address*|*undefined*)
       # Wire-codec fuzz-style tests again with the tensor-marshal cost
       # model live, so the sanitizer sees the exact serialization paths
