@@ -1,0 +1,105 @@
+#include "cluster/client.hpp"
+
+#include "common/log.hpp"
+
+namespace ppr::cluster {
+
+ClusterClient::ClusterClient(ClusterConfig config, int client_id,
+                             TcpTransportOptions net)
+    : config_(std::move(config)), client_id_(client_id) {
+  GE_REQUIRE(client_id_ >= 0 && client_id_ < config_.num_nodes(),
+             "client id outside the cluster config");
+  GE_REQUIRE(config_.node(client_id_).role == NodeSpec::Role::kClient,
+             "node id " + std::to_string(client_id_) +
+                 " is a storage slot; clients use client slots");
+
+  const Graph g = load_cluster_graph(config_);
+  num_nodes_ = g.num_nodes();
+  const PartitionAssignment assignment = load_cluster_partition(config_, g);
+  mapping_ = GlobalMapping(assignment, config_.num_storage_nodes());
+  shard_map_ = config_.initial_shard_map();
+
+  std::vector<TcpPeer> peers;
+  peers.reserve(static_cast<std::size_t>(config_.num_nodes()));
+  for (const NodeSpec& n : config_.nodes) {
+    peers.push_back(TcpPeer{n.host, n.port});
+  }
+  net.shard_epoch = shard_map_.epoch();
+  net.shard_fingerprint = shard_map_.fingerprint();
+  transport_ = std::make_shared<TcpTransport>(client_id_, std::move(peers),
+                                              net);
+  transport_->connect_mesh();
+  // Server pool size 1: a client answers no RPCs, the endpoint only
+  // completes this client's own futures.
+  endpoint_ = std::make_unique<RpcEndpoint>(transport_, client_id_, 1);
+  // No query leaves this constructor's caller before every storage node
+  // has registered its services — that's the barrier's contract.
+  transport_->barrier();
+}
+
+ClusterClient::~ClusterClient() { leave(); }
+
+int ClusterClient::owner_of(NodeId source) const {
+  GE_REQUIRE(source >= 0 && source < num_nodes_,
+             "source node id out of range");
+  return shard_map_.node_of(mapping_.to_ref(source).shard);
+}
+
+std::vector<std::uint8_t> ClusterClient::call(
+    int node, const char* method, std::vector<std::uint8_t> payload) {
+  GE_REQUIRE(!left_, "client already left the mesh");
+  return endpoint_->sync_call(node, kQueryServiceName, method,
+                              std::move(payload));
+}
+
+SspprReply ClusterClient::ssppr(NodeId source) {
+  const auto reply = call(owner_of(source), kMethodSsppr,
+                          encode_ssppr_request(SspprRequest{source}));
+  return decode_ssppr_reply(reply);
+}
+
+BfsReply ClusterClient::bfs(NodeId source, std::int32_t max_depth) {
+  const auto reply =
+      call(owner_of(source), kMethodBfs,
+           encode_bfs_request(BfsRequest{source, max_depth}));
+  return decode_bfs_reply(reply);
+}
+
+WalkReply ClusterClient::walk(NodeId source, std::int32_t walk_length,
+                              std::uint64_t seed) {
+  const auto reply =
+      call(owner_of(source), kMethodWalk,
+           encode_walk_request(WalkRequest{source, walk_length, seed}));
+  return decode_walk_reply(reply);
+}
+
+std::int32_t ClusterClient::ping(int node) {
+  return decode_ping_reply(call(node, kMethodPing, {}));
+}
+
+std::string ClusterClient::metrics_json(int node) {
+  return decode_text_reply(call(node, kMethodMetrics, {}));
+}
+
+void ClusterClient::shutdown_cluster() {
+  for (int node = 0; node < config_.num_storage_nodes(); ++node) {
+    try {
+      call(node, kMethodShutdown, {});
+    } catch (const EngineError& e) {
+      // A node that already left (or died) cannot acknowledge; shutdown
+      // is best-effort by design.
+      GE_LOG(kWarn) << "shutdown of node " << node << " failed: "
+                    << e.what();
+    }
+  }
+}
+
+void ClusterClient::leave() {
+  if (left_) return;
+  left_ = true;
+  if (transport_ != nullptr) transport_->announce_leave();
+  endpoint_.reset();
+  if (transport_ != nullptr) transport_->stop();
+}
+
+}  // namespace ppr::cluster

@@ -1,0 +1,78 @@
+// ClusterClient: a thin mesh member that issues queries to a running
+// cluster of graph_engine_node processes. It occupies one of the config's
+// `client` slots — clients join the same TCP mesh (and the readiness
+// barrier counts them), so a cluster does not go live until its clients
+// are attached, and nodes answer them over the ordinary frame path.
+//
+// The client loads no shard. It only derives the GlobalMapping from the
+// shared config (graph + partition are deterministic) so it can route
+// each query to the storage node owning the source — the owner-compute
+// rule, resolved through the same epoch-tagged ShardMap the nodes use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "cluster/query_wire.hpp"
+#include "rpc/endpoint.hpp"
+#include "rpc/tcp_transport.hpp"
+#include "storage/shard.hpp"
+
+namespace ppr::cluster {
+
+class ClusterClient {
+ public:
+  /// Joins the mesh as `client_id` (a client-role slot of `config`);
+  /// blocks until the cluster's readiness barrier releases.
+  ClusterClient(ClusterConfig config, int client_id,
+                TcpTransportOptions net = {});
+  ~ClusterClient();
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  int client_id() const { return client_id_; }
+  NodeId num_graph_nodes() const { return num_nodes_; }
+  const GlobalMapping& mapping() const { return mapping_; }
+  const ShardMap& shard_map() const { return shard_map_; }
+
+  /// Storage node owning `source` under the current shard map.
+  int owner_of(NodeId source) const;
+
+  // Synchronous queries, routed to the source's owner.
+  SspprReply ssppr(NodeId source);
+  BfsReply bfs(NodeId source, std::int32_t max_depth = -1);
+  WalkReply walk(NodeId source, std::int32_t walk_length,
+                 std::uint64_t seed);
+
+  /// Liveness probe; returns the answering node's id.
+  std::int32_t ping(int node);
+  /// Registry-metrics JSON of one storage node (PR 5 obs plane).
+  std::string metrics_json(int node);
+
+  /// Ask every storage node to shut down (graceful drain on their side).
+  void shutdown_cluster();
+
+  /// Announce LEAVE and stop the transport; queries are invalid after
+  /// this. The destructor calls it.
+  void leave();
+
+ private:
+  std::vector<std::uint8_t> call(int node, const char* method,
+                                 std::vector<std::uint8_t> payload);
+
+  ClusterConfig config_;
+  int client_id_;
+  NodeId num_nodes_ = 0;
+  GlobalMapping mapping_;
+  ShardMap shard_map_;
+
+  std::shared_ptr<TcpTransport> transport_;
+  std::unique_ptr<RpcEndpoint> endpoint_;
+  bool left_ = false;
+};
+
+}  // namespace ppr::cluster

@@ -1,0 +1,267 @@
+#include "cluster/config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "engine/datasets.hpp"
+#include "graph/io.hpp"
+
+namespace ppr {
+
+namespace {
+
+[[noreturn]] void config_error(const std::string& origin, int line,
+                               const std::string& what) {
+  throw InvalidArgument("cluster config " + origin + ":" +
+                        std::to_string(line) + ": " + what);
+}
+
+bool parse_bool(const std::string& v, const std::string& origin, int line) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  config_error(origin, line, "expected a boolean, got '" + v + "'");
+}
+
+double parse_double(const std::string& v, const std::string& origin,
+                    int line) {
+  try {
+    std::size_t used = 0;
+    const double d = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    config_error(origin, line, "expected a number, got '" + v + "'");
+  }
+}
+
+long parse_long(const std::string& v, const std::string& origin, int line) {
+  try {
+    std::size_t used = 0;
+    const long n = std::stol(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return n;
+  } catch (const std::exception&) {
+    config_error(origin, line, "expected an integer, got '" + v + "'");
+  }
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+int ClusterConfig::num_storage_nodes() const {
+  return static_cast<int>(
+      std::count_if(nodes.begin(), nodes.end(), [](const NodeSpec& n) {
+        return n.role == NodeSpec::Role::kStorage;
+      }));
+}
+
+const NodeSpec& ClusterConfig::node(int id) const {
+  GE_REQUIRE(id >= 0 && id < num_nodes(), "node id out of range");
+  return nodes[static_cast<std::size_t>(id)];
+}
+
+ClusterConfig ClusterConfig::parse_string(const std::string& text,
+                                          const std::string& origin) {
+  ClusterConfig c;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = raw;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.rfind("node", 0) == 0 &&
+        (line.size() == 4 || line[4] == ' ' || line[4] == '\t')) {
+      std::istringstream ls(line.substr(4));
+      NodeSpec spec;
+      long id = -1, port = -1;
+      std::string host, role;
+      if (!(ls >> id >> host >> port)) {
+        config_error(origin, lineno,
+                     "node line needs '<id> <host> <port> [role]'");
+      }
+      ls >> role;
+      std::string extra;
+      if (ls >> extra) {
+        config_error(origin, lineno,
+                     "trailing tokens after node entry: '" + extra + "'");
+      }
+      if (id < 0) config_error(origin, lineno, "node id must be >= 0");
+      if (port <= 0 || port > 65535) {
+        config_error(origin, lineno, "port must be in [1, 65535]");
+      }
+      spec.id = static_cast<int>(id);
+      spec.host = host;
+      spec.port = static_cast<std::uint16_t>(port);
+      if (role.empty() || role == "storage") {
+        spec.role = NodeSpec::Role::kStorage;
+      } else if (role == "client") {
+        spec.role = NodeSpec::Role::kClient;
+      } else {
+        config_error(origin, lineno,
+                     "unknown node role '" + role +
+                         "' (expected storage or client)");
+      }
+      c.nodes.push_back(std::move(spec));
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      config_error(origin, lineno,
+                   "expected 'key = value' or 'node ...', got '" + line +
+                       "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      config_error(origin, lineno, "empty key or value");
+    }
+    if (key == "cluster_name") {
+      c.cluster_name = value;
+    } else if (key == "dataset") {
+      c.dataset = value;
+    } else if (key == "graph") {
+      c.graph_path = value;
+    } else if (key == "scale") {
+      c.scale = parse_double(value, origin, lineno);
+    } else if (key == "partition") {
+      c.partition = value;
+    } else if (key == "cache_dir") {
+      c.cache_dir = value;
+    } else if (key == "partition_seed") {
+      c.partition_seed =
+          static_cast<std::uint64_t>(parse_long(value, origin, lineno));
+    } else if (key == "server_threads") {
+      c.server_threads = static_cast<int>(parse_long(value, origin, lineno));
+    } else if (key == "query_threads") {
+      c.query_threads = static_cast<int>(parse_long(value, origin, lineno));
+    } else if (key == "executors") {
+      c.executors = static_cast<int>(parse_long(value, origin, lineno));
+    } else if (key == "cache_halo_adjacency") {
+      c.cache_halo_adjacency = parse_bool(value, origin, lineno);
+    } else if (key == "adjacency_cache_rows") {
+      c.adjacency_cache_rows =
+          static_cast<std::size_t>(parse_long(value, origin, lineno));
+    } else if (key == "ppr_alpha") {
+      c.ppr_alpha = parse_double(value, origin, lineno);
+    } else if (key == "ppr_epsilon") {
+      c.ppr_epsilon = parse_double(value, origin, lineno);
+    } else {
+      config_error(origin, lineno, "unknown key '" + key + "'");
+    }
+  }
+
+  // Whole-file validation (the "truncated config" class of errors).
+  if (c.nodes.empty()) {
+    config_error(origin, lineno, "config declares no nodes");
+  }
+  std::sort(c.nodes.begin(), c.nodes.end(),
+            [](const NodeSpec& a, const NodeSpec& b) { return a.id < b.id; });
+  for (std::size_t i = 0; i < c.nodes.size(); ++i) {
+    if (c.nodes[i].id != static_cast<int>(i)) {
+      config_error(origin, lineno,
+                   c.nodes[i].id == c.nodes[i ? i - 1 : 0].id && i > 0
+                       ? "duplicate node id " + std::to_string(c.nodes[i].id)
+                       : "node ids must be contiguous from 0 (missing id " +
+                             std::to_string(i) + ")");
+    }
+  }
+  const int storage = c.num_storage_nodes();
+  if (storage == 0) {
+    config_error(origin, lineno, "config declares no storage nodes");
+  }
+  for (const NodeSpec& n : c.nodes) {
+    const bool is_storage = n.role == NodeSpec::Role::kStorage;
+    if (is_storage != (n.id < storage)) {
+      config_error(origin, lineno,
+                   "storage nodes must occupy ids 0.." +
+                       std::to_string(storage - 1) +
+                       ", client slots after them");
+    }
+  }
+  if (c.dataset.empty() == c.graph_path.empty()) {
+    config_error(origin, lineno,
+                 c.dataset.empty()
+                     ? "config names neither 'dataset' nor 'graph'"
+                     : "config names both 'dataset' and 'graph'");
+  }
+  if (c.scale <= 0) config_error(origin, lineno, "scale must be > 0");
+  if (c.server_threads < 1 || c.query_threads < 1 || c.executors < 1) {
+    config_error(origin, lineno, "thread counts must be >= 1");
+  }
+  return c;
+}
+
+ClusterConfig ClusterConfig::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  GE_REQUIRE(in.good(), "cannot open cluster config: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_string(buf.str(), path);
+}
+
+std::string ClusterConfig::to_string() const {
+  std::ostringstream out;
+  out << "cluster_name = " << cluster_name << "\n";
+  if (!dataset.empty()) out << "dataset = " << dataset << "\n";
+  if (!graph_path.empty()) out << "graph = " << graph_path << "\n";
+  out << "scale = " << scale << "\n";
+  out << "partition = " << partition << "\n";
+  if (!cache_dir.empty()) out << "cache_dir = " << cache_dir << "\n";
+  out << "partition_seed = " << partition_seed << "\n";
+  out << "server_threads = " << server_threads << "\n";
+  out << "query_threads = " << query_threads << "\n";
+  out << "executors = " << executors << "\n";
+  out << "cache_halo_adjacency = "
+      << (cache_halo_adjacency ? "true" : "false") << "\n";
+  out << "adjacency_cache_rows = " << adjacency_cache_rows << "\n";
+  out << "ppr_alpha = " << ppr_alpha << "\n";
+  out << "ppr_epsilon = " << ppr_epsilon << "\n";
+  for (const NodeSpec& n : nodes) {
+    out << "node " << n.id << " " << n.host << " " << n.port << " "
+        << (n.role == NodeSpec::Role::kStorage ? "storage" : "client")
+        << "\n";
+  }
+  return out.str();
+}
+
+Graph load_cluster_graph(const ClusterConfig& config) {
+  if (!config.graph_path.empty()) return load_graph(config.graph_path);
+  const std::string cache =
+      config.cache_dir.empty() ? default_cache_dir() : config.cache_dir;
+  return load_or_generate(dataset_spec(config.dataset), cache, config.scale);
+}
+
+PartitionAssignment load_cluster_partition(const ClusterConfig& config,
+                                           const Graph& g) {
+  const int parts = config.num_storage_nodes();
+  if (config.partition == "hash") return partition_hash(g, parts);
+  if (config.partition == "random") {
+    return partition_random(g, parts, config.partition_seed);
+  }
+  if (config.partition == "blocked") return partition_blocked(g, parts);
+  GE_REQUIRE(config.partition == "multilevel",
+             "unknown partition method: " + config.partition);
+  const std::string cache =
+      config.cache_dir.empty() ? default_cache_dir() : config.cache_dir;
+  std::ostringstream tag;
+  tag << config.cluster_name << "_"
+      << (config.dataset.empty() ? "file" : config.dataset) << "_s"
+      << config.scale;
+  return load_or_partition(g, tag.str(), parts, cache);
+}
+
+}  // namespace ppr

@@ -1,0 +1,100 @@
+// Cluster configuration file: the one artifact every graph_engine_node
+// process (and every ClusterClient) boots from. All members of a cluster
+// must load byte-identical configs — the bootstrap handshake cross-checks
+// the derived shard-map fingerprint to enforce it.
+//
+// Format: line-based, '#' comments, `key = value` pairs plus one
+// `node <id> <host> <port> [storage|client]` line per mesh member:
+//
+//   # 3 storage nodes + 1 client slot on localhost
+//   cluster_name = demo
+//   dataset      = products-sim      # or: graph = /path/to/graph.pgrf
+//   scale        = 0.05
+//   partition    = multilevel        # multilevel | hash | random | blocked
+//   ppr_alpha    = 0.462
+//   ppr_epsilon  = 1e-5
+//   server_threads = 2
+//   node 0 127.0.0.1 7301 storage
+//   node 1 127.0.0.1 7302 storage
+//   node 2 127.0.0.1 7303 storage
+//   node 3 127.0.0.1 7304 client
+//
+// Storage nodes must occupy ids 0..S-1 (node 0 doubles as the bootstrap
+// barrier coordinator); client slots follow. Shard s is served by node s
+// initially (ShardMap::identity over the storage nodes) — placement is a
+// runtime property of the ShardMap, not of this file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_map.hpp"
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace ppr {
+
+struct NodeSpec {
+  enum class Role { kStorage, kClient };
+  int id = -1;
+  std::string host;
+  std::uint16_t port = 0;
+  Role role = Role::kStorage;
+};
+
+struct ClusterConfig {
+  std::string cluster_name = "cluster";
+  /// Either a standard dataset name (engine/datasets.hpp) generated at
+  /// `scale`, or an absolute/relative path to a save_graph() binary file.
+  /// Exactly one of the two must be set.
+  std::string dataset;
+  std::string graph_path;
+  double scale = 1.0;
+  /// Partition method: multilevel | hash | random | blocked. Multilevel
+  /// results are cached under cache_dir (all nodes must share it or pay
+  /// the partition cost each; hash/random/blocked are derived on the fly).
+  std::string partition = "multilevel";
+  /// Graph/partition cache directory; empty = engine default.
+  std::string cache_dir;
+  std::uint64_t partition_seed = 1;
+
+  // Per-node serving knobs (uniform across the cluster).
+  int server_threads = 2;
+  int query_threads = 2;
+  int executors = 1;
+  bool cache_halo_adjacency = false;
+  std::size_t adjacency_cache_rows = 0;
+  double ppr_alpha = 0.462;
+  double ppr_epsilon = 1e-6;
+
+  std::vector<NodeSpec> nodes;  // sorted by id after validation
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+  int num_storage_nodes() const;
+  const NodeSpec& node(int id) const;
+
+  /// Initial placement: shard s on storage node s, epoch 1.
+  ShardMap initial_shard_map() const {
+    return ShardMap::identity(num_storage_nodes());
+  }
+
+  /// Parse + validate; malformed or truncated files raise InvalidArgument
+  /// with the offending line number.
+  static ClusterConfig parse_file(const std::string& path);
+  static ClusterConfig parse_string(const std::string& text,
+                                    const std::string& origin = "<string>");
+
+  /// Render back to the file format (sample-config generation, tests).
+  std::string to_string() const;
+};
+
+/// Materialize the graph named by the config (dataset replica or binary
+/// file). Deterministic: every node gets the identical graph.
+Graph load_cluster_graph(const ClusterConfig& config);
+
+/// Deterministic partition of `g` per the config's method + seed.
+PartitionAssignment load_cluster_partition(const ClusterConfig& config,
+                                           const Graph& g);
+
+}  // namespace ppr

@@ -1,0 +1,239 @@
+#include "cluster/node.hpp"
+
+#include <algorithm>
+
+#include "cluster/query_wire.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "ppr/bfs.hpp"
+#include "ppr/random_walk.hpp"
+
+namespace ppr::cluster {
+
+ClusterNode::ClusterNode(ClusterConfig config, int node_id,
+                         TcpTransportOptions net)
+    : config_(std::move(config)), node_id_(node_id) {
+  GE_REQUIRE(node_id_ >= 0 && node_id_ < config_.num_nodes(),
+             "node id outside the cluster config");
+  GE_REQUIRE(config_.node(node_id_).role == NodeSpec::Role::kStorage,
+             "node id " + std::to_string(node_id_) +
+                 " is a client slot; storage nodes serve shards");
+
+  // Every node derives the identical graph + partition from the config;
+  // the handshake fingerprint (below) is the cross-check.
+  const Graph g = load_cluster_graph(config_);
+  num_nodes_ = g.num_nodes();
+  const PartitionAssignment assignment = load_cluster_partition(config_, g);
+  const int shards = config_.num_storage_nodes();
+  sharded_ = build_sharded_graph(g, assignment, shards,
+                                 config_.cache_halo_adjacency);
+  const ShardMap shard_map = config_.initial_shard_map();
+
+  std::vector<TcpPeer> peers;
+  peers.reserve(static_cast<std::size_t>(config_.num_nodes()));
+  for (const NodeSpec& n : config_.nodes) {
+    peers.push_back(TcpPeer{n.host, n.port});
+  }
+  net.shard_epoch = shard_map.epoch();
+  net.shard_fingerprint = shard_map.fingerprint();
+  transport_ = std::make_shared<TcpTransport>(node_id_, std::move(peers),
+                                              net);
+  transport_->connect_mesh();
+
+  endpoint_ = std::make_unique<RpcEndpoint>(transport_, node_id_,
+                                            config_.server_threads);
+  storage_service_ = std::make_unique<GraphStorageService>(
+      *endpoint_, sharded_.shards[static_cast<std::size_t>(node_id_)]);
+
+  std::vector<RemoteRef> rrefs;
+  rrefs.reserve(static_cast<std::size_t>(config_.num_nodes()));
+  for (int peer = 0; peer < config_.num_nodes(); ++peer) {
+    rrefs.emplace_back(endpoint_.get(), peer, kStorageServiceName);
+  }
+  storage_ = std::make_unique<DistGraphStorage>(
+      *endpoint_, std::move(rrefs), node_id_,
+      sharded_.shards[static_cast<std::size_t>(node_id_)], shard_map);
+  if (config_.adjacency_cache_rows > 0) {
+    storage_->enable_adjacency_cache(config_.adjacency_cache_rows);
+  }
+
+  serve_options_.ppr.alpha = config_.ppr_alpha;
+  serve_options_.ppr.epsilon = config_.ppr_epsilon;
+  serve_options_.executors_per_machine = config_.executors;
+  scheduler_ = std::make_unique<serve::MachineScheduler>(
+      *storage_, serve_options_, stats_);
+
+  // Query handlers block on scheduler futures and remote fetches; their
+  // dedicated pool keeps the storage-RPC server pool undisturbed (see the
+  // deadlock note in node.hpp).
+  query_pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(config_.query_threads));
+  endpoint_->register_service(
+      kQueryServiceName,
+      [this](const std::string& method,
+             std::span<const std::uint8_t> payload) {
+        return handle_query(method, payload);
+      },
+      query_pool_.get());
+
+  // Readiness barrier LAST: every service this node offers is registered
+  // above, so once any peer passes the barrier it may fire requests at us
+  // immediately. (The barrier ran before service registration once; a
+  // TSan-slowed client reproducibly raced "unknown service: query".)
+  transport_->barrier();
+
+  GE_LOG(kInfo) << "node " << node_id_ << " serving shard " << node_id_
+                << " (" << sharded_.shards[static_cast<std::size_t>(
+                                               node_id_)]
+                               ->num_core_nodes()
+                << " core nodes) on port " << transport_->listen_port();
+}
+
+ClusterNode::~ClusterNode() { shutdown(); }
+
+void ClusterNode::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  shutdown_cv_.notify_all();
+}
+
+void ClusterNode::run() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait(lock, [this] {
+      return shutdown_requested_.load(std::memory_order_acquire);
+    });
+  }
+  shutdown();
+}
+
+void ClusterNode::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  request_shutdown();  // stop admitting new queries
+
+  // Drain order matters. (1) Flush every admitted query while the full
+  // mesh is still answering storage RPCs.
+  if (scheduler_ != nullptr) scheduler_->drain();
+  scheduler_.reset();
+  // (2) Quiesce inbound delivery (joins the transport's reader threads,
+  // so nothing new reaches the dispatch pools), then drain the query
+  // pool: the reply to the very RPC that requested this shutdown may
+  // still be in a pool thread, and it must reach the wire before we say
+  // goodbye — a reply sent after LEAVE races the peer retiring the link.
+  if (transport_ != nullptr) transport_->detach(node_id_);
+  query_pool_.reset();
+  // (3) Now every outstanding reply is flushed: tell peers we are gone
+  // and tear the rest down.
+  if (transport_ != nullptr) transport_->announce_leave();
+  endpoint_.reset();
+  storage_service_.reset();
+  storage_.reset();
+  if (transport_ != nullptr) transport_->stop();
+}
+
+std::string ClusterNode::metrics_json() const {
+  return obs::MetricRegistry::global().snapshot().to_json();
+}
+
+serve::ServiceStatsSnapshot ClusterNode::serve_stats() const {
+  return stats_.snapshot(scheduler_ != nullptr
+                             ? scheduler_->states_created()
+                             : 0);
+}
+
+std::vector<std::uint8_t> ClusterNode::handle_query(
+    const std::string& method, std::span<const std::uint8_t> payload) {
+  if (method == kMethodSsppr) return run_ssppr(payload);
+  if (method == kMethodBfs) return run_bfs(payload);
+  if (method == kMethodWalk) return run_walk(payload);
+  if (method == kMethodPing) return encode_ping_reply(node_id_);
+  if (method == kMethodMetrics) return encode_text_reply(metrics_json());
+  if (method == kMethodShutdown) {
+    request_shutdown();
+    return {};
+  }
+  throw InvalidArgument("unknown query method: " + method);
+}
+
+std::vector<std::uint8_t> ClusterNode::run_ssppr(
+    std::span<const std::uint8_t> payload) {
+  const SspprRequest req = decode_ssppr_request(payload);
+  GE_REQUIRE(req.source >= 0 && req.source < num_nodes_,
+             "source node id out of range");
+  const NodeRef ref = sharded_.mapping.to_ref(req.source);
+  GE_REQUIRE(storage_->shard_map().node_of(ref.shard) == node_id_,
+             "query for node " + std::to_string(req.source) +
+                 " routed to the wrong owner (owner-compute rule)");
+  GE_REQUIRE(!shutdown_requested(), "node is shutting down");
+
+  serve::PendingQuery q;
+  q.source = ref;
+  q.enqueue_time = std::chrono::steady_clock::now();
+  q.deadline = std::chrono::steady_clock::time_point::max();
+  stats_.on_submitted();
+  serve::QueryFuture future = q.promise.get_future();
+  if (!scheduler_->try_enqueue(std::move(q))) {
+    stats_.on_rejected();
+    SspprReply reply;
+    reply.status =
+        static_cast<std::uint8_t>(serve::QueryStatus::kRejected);
+    return encode_ssppr_reply(reply);
+  }
+  stats_.on_admitted();
+  serve::QueryResult result = future.wait();
+
+  SspprReply reply;
+  reply.status = static_cast<std::uint8_t>(result.status);
+  reply.num_pushes = result.num_pushes;
+  reply.entries.reserve(result.ppr.size());
+  for (const auto& [node_ref, value] : result.ppr) {
+    reply.entries.emplace_back(sharded_.mapping.to_global(node_ref), value);
+  }
+  std::sort(reply.entries.begin(), reply.entries.end());
+  return encode_ssppr_reply(reply);
+}
+
+std::vector<std::uint8_t> ClusterNode::run_bfs(
+    std::span<const std::uint8_t> payload) {
+  const BfsRequest req = decode_bfs_request(payload);
+  GE_REQUIRE(req.source >= 0 && req.source < num_nodes_,
+             "source node id out of range");
+  const NodeRef ref = sharded_.mapping.to_ref(req.source);
+  GE_REQUIRE(storage_->shard_map().node_of(ref.shard) == node_id_,
+             "BFS routed to the wrong owner");
+  BfsOptions options;
+  options.max_depth = req.max_depth;
+  const NodeId sources[1] = {ref.local};
+  const BfsResult result = distributed_bfs(*storage_, sources, options);
+
+  BfsReply reply;
+  reply.num_levels = result.num_levels;
+  reply.distances.reserve(result.distances.size());
+  for (const auto& [node_ref, dist] : result.distances) {
+    reply.distances.emplace_back(sharded_.mapping.to_global(node_ref),
+                                 dist);
+  }
+  std::sort(reply.distances.begin(), reply.distances.end());
+  return encode_bfs_reply(reply);
+}
+
+std::vector<std::uint8_t> ClusterNode::run_walk(
+    std::span<const std::uint8_t> payload) {
+  const WalkRequest req = decode_walk_request(payload);
+  GE_REQUIRE(req.source >= 0 && req.source < num_nodes_,
+             "source node id out of range");
+  const NodeRef ref = sharded_.mapping.to_ref(req.source);
+  GE_REQUIRE(storage_->shard_map().node_of(ref.shard) == node_id_,
+             "walk routed to the wrong owner");
+  RandomWalkOptions options;
+  options.walk_length = req.walk_length;
+  options.seed = req.seed;
+  const NodeId roots[1] = {ref.local};
+  const RandomWalkResult result =
+      distributed_random_walk(*storage_, roots, options);
+
+  WalkReply reply;
+  reply.steps = result.walks;
+  return encode_walk_reply(reply);
+}
+
+}  // namespace ppr::cluster

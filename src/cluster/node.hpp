@@ -1,0 +1,105 @@
+// ClusterNode: everything one graph_engine_node process runs (DESIGN.md
+// §12). Construction is the whole bootstrap:
+//
+//   load graph + partition (deterministic from the shared config)
+//   → build this node's shard
+//   → TcpTransport: listen, connect the mesh, handshake, readiness barrier
+//   → RpcEndpoint + GraphStorageService (storage RPCs, server pool)
+//   → DistGraphStorage routed through the config's ShardMap
+//   → MachineScheduler (owner-compute SSPPR serving)
+//   → query/admin service on a DEDICATED dispatch pool.
+//
+// The dedicated query pool is load-bearing: query handlers block on
+// remote storage fetches, so if they shared the storage-RPC pool, K nodes
+// each stuck in a query handler would deadlock waiting for each other's
+// storage RPCs that have no thread left to run on.
+//
+// Shutdown (run() after request_shutdown(), or shutdown() directly) is a
+// graceful drain: stop admitting queries, flush the scheduler, quiesce
+// RPC delivery, announce LEAVE to every peer, then close the mesh.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "rpc/tcp_transport.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/service_types.hpp"
+#include "serve/stats.hpp"
+#include "storage/dist_storage.hpp"
+#include "storage/storage_service.hpp"
+
+namespace ppr::cluster {
+
+class ClusterNode {
+ public:
+  /// Boots node `node_id` (a storage slot of `config`) and blocks until
+  /// the whole mesh is up (readiness barrier). `net` overrides transport
+  /// timing knobs; its shard_epoch/fingerprint fields are ignored (always
+  /// derived from the config's shard map).
+  ClusterNode(ClusterConfig config, int node_id,
+              TcpTransportOptions net = {});
+  ~ClusterNode();
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  int node_id() const { return node_id_; }
+  const ClusterConfig& config() const { return config_; }
+  std::uint16_t listen_port() const { return transport_->listen_port(); }
+  const GlobalMapping& mapping() const { return sharded_.mapping; }
+
+  /// Async shutdown signal — safe to call from a signal-handler-driven
+  /// path (it only flips an atomic and pokes a condition variable) and
+  /// from RPC handlers.
+  void request_shutdown();
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Serve until request_shutdown(), then drain and leave the mesh.
+  void run();
+
+  /// The graceful-drain sequence itself; idempotent. run() calls this.
+  void shutdown();
+
+  /// This node's registry metrics (the PR 5 obs plane) as JSON.
+  std::string metrics_json() const;
+
+  serve::ServiceStatsSnapshot serve_stats() const;
+
+ private:
+  std::vector<std::uint8_t> handle_query(
+      const std::string& method, std::span<const std::uint8_t> payload);
+  std::vector<std::uint8_t> run_ssppr(std::span<const std::uint8_t> payload);
+  std::vector<std::uint8_t> run_bfs(std::span<const std::uint8_t> payload);
+  std::vector<std::uint8_t> run_walk(std::span<const std::uint8_t> payload);
+
+  ClusterConfig config_;
+  int node_id_;
+  NodeId num_nodes_ = 0;
+  ShardedGraph sharded_;
+
+  std::shared_ptr<TcpTransport> transport_;
+  std::unique_ptr<RpcEndpoint> endpoint_;
+  std::unique_ptr<GraphStorageService> storage_service_;
+  std::unique_ptr<DistGraphStorage> storage_;
+
+  serve::ServeOptions serve_options_;
+  serve::ServiceStats stats_;
+  std::unique_ptr<serve::MachineScheduler> scheduler_;
+  std::unique_ptr<ThreadPool> query_pool_;
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> shut_down_{false};
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+};
+
+}  // namespace ppr::cluster

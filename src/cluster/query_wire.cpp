@@ -1,0 +1,139 @@
+#include "cluster/query_wire.hpp"
+
+#include "common/serialize.hpp"
+
+namespace ppr::cluster {
+
+std::vector<std::uint8_t> encode_ssppr_request(const SspprRequest& r) {
+  ByteWriter w;
+  w.write<std::int64_t>(r.source);
+  return std::move(w).take();
+}
+
+SspprRequest decode_ssppr_request(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  SspprRequest req;
+  req.source = static_cast<NodeId>(r.read<std::int64_t>());
+  return req;
+}
+
+std::vector<std::uint8_t> encode_ssppr_reply(const SspprReply& r) {
+  ByteWriter w;
+  w.write<std::uint8_t>(r.status);
+  w.write<std::uint64_t>(r.num_pushes);
+  w.write<std::uint64_t>(r.entries.size());
+  for (const auto& [global, value] : r.entries) {
+    w.write<std::int64_t>(global);
+    w.write<double>(value);
+  }
+  return std::move(w).take();
+}
+
+SspprReply decode_ssppr_reply(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  SspprReply out;
+  out.status = r.read<std::uint8_t>();
+  out.num_pushes = r.read<std::uint64_t>();
+  const auto n = r.read<std::uint64_t>();
+  out.entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto global = static_cast<NodeId>(r.read<std::int64_t>());
+    const double value = r.read<double>();
+    out.entries.emplace_back(global, value);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_bfs_request(const BfsRequest& r) {
+  ByteWriter w;
+  w.write<std::int64_t>(r.source);
+  w.write<std::int32_t>(r.max_depth);
+  return std::move(w).take();
+}
+
+BfsRequest decode_bfs_request(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  BfsRequest req;
+  req.source = static_cast<NodeId>(r.read<std::int64_t>());
+  req.max_depth = r.read<std::int32_t>();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_bfs_reply(const BfsReply& r) {
+  ByteWriter w;
+  w.write<std::uint64_t>(r.num_levels);
+  w.write<std::uint64_t>(r.distances.size());
+  for (const auto& [global, dist] : r.distances) {
+    w.write<std::int64_t>(global);
+    w.write<std::int32_t>(dist);
+  }
+  return std::move(w).take();
+}
+
+BfsReply decode_bfs_reply(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  BfsReply out;
+  out.num_levels = r.read<std::uint64_t>();
+  const auto n = r.read<std::uint64_t>();
+  out.distances.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto global = static_cast<NodeId>(r.read<std::int64_t>());
+    const auto dist = r.read<std::int32_t>();
+    out.distances.emplace_back(global, dist);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_walk_request(const WalkRequest& r) {
+  ByteWriter w;
+  w.write<std::int64_t>(r.source);
+  w.write<std::int32_t>(r.walk_length);
+  w.write<std::uint64_t>(r.seed);
+  return std::move(w).take();
+}
+
+WalkRequest decode_walk_request(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  WalkRequest req;
+  req.source = static_cast<NodeId>(r.read<std::int64_t>());
+  req.walk_length = r.read<std::int32_t>();
+  req.seed = r.read<std::uint64_t>();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_walk_reply(const WalkReply& r) {
+  ByteWriter w;
+  w.write_vec(r.steps);
+  return std::move(w).take();
+}
+
+WalkReply decode_walk_reply(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  WalkReply out;
+  out.steps = r.read_vec<NodeId>();
+  return out;
+}
+
+std::vector<std::uint8_t> encode_ping_reply(std::int32_t node_id) {
+  ByteWriter w;
+  w.write<std::int32_t>(node_id);
+  return std::move(w).take();
+}
+
+std::int32_t decode_ping_reply(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  return r.read<std::int32_t>();
+}
+
+std::vector<std::uint8_t> encode_text_reply(const std::string& text) {
+  ByteWriter w;
+  w.write_string(text);
+  return std::move(w).take();
+}
+
+std::string decode_text_reply(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  return r.read_string();
+}
+
+}  // namespace ppr::cluster

@@ -1,0 +1,92 @@
+// Wire encoding of the cluster query/admin RPCs served by every
+// graph_engine_node (service name kQueryServiceName, registered on a
+// dedicated dispatch pool — see RpcEndpoint::register_service).
+//
+// Requests name nodes by their ORIGINAL graph id; replies do the same, so
+// the answers are placement-independent: the same query against an
+// in-process Cluster and against a real TCP mesh must produce the same
+// bytes (cluster_test holds the engine to that). Entry lists are sorted by
+// global id before encoding for exactly that reason — hashmap iteration
+// order is not part of the contract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/shard.hpp"
+
+namespace ppr::cluster {
+
+inline constexpr const char* kQueryServiceName = "query";
+
+// Methods of the query service.
+inline constexpr const char* kMethodSsppr = "ssppr";
+inline constexpr const char* kMethodBfs = "bfs";
+inline constexpr const char* kMethodWalk = "walk";
+inline constexpr const char* kMethodPing = "ping";
+inline constexpr const char* kMethodMetrics = "metrics";
+inline constexpr const char* kMethodShutdown = "shutdown";
+
+/// SSPPR by source global id; alpha/epsilon are cluster-config constants
+/// (every node boots from the same config), so the request is just the
+/// source.
+struct SspprRequest {
+  NodeId source = 0;
+};
+
+struct SspprReply {
+  /// serve::QueryStatus as its underlying value (OK / REJECTED /
+  /// TIMED_OUT).
+  std::uint8_t status = 0;
+  std::uint64_t num_pushes = 0;
+  /// Non-zero PPR estimates, sorted ascending by global id.
+  std::vector<std::pair<NodeId, double>> entries;
+};
+
+struct BfsRequest {
+  NodeId source = 0;
+  std::int32_t max_depth = -1;
+};
+
+struct BfsReply {
+  std::uint64_t num_levels = 0;
+  /// (global id, hop distance), sorted ascending by global id.
+  std::vector<std::pair<NodeId, std::int32_t>> distances;
+};
+
+struct WalkRequest {
+  NodeId source = 0;
+  std::int32_t walk_length = 10;
+  std::uint64_t seed = 1;
+};
+
+struct WalkReply {
+  /// Global ids visited, walk_length entries starting at the source.
+  std::vector<NodeId> steps;
+};
+
+std::vector<std::uint8_t> encode_ssppr_request(const SspprRequest& r);
+SspprRequest decode_ssppr_request(std::span<const std::uint8_t> p);
+std::vector<std::uint8_t> encode_ssppr_reply(const SspprReply& r);
+SspprReply decode_ssppr_reply(std::span<const std::uint8_t> p);
+
+std::vector<std::uint8_t> encode_bfs_request(const BfsRequest& r);
+BfsRequest decode_bfs_request(std::span<const std::uint8_t> p);
+std::vector<std::uint8_t> encode_bfs_reply(const BfsReply& r);
+BfsReply decode_bfs_reply(std::span<const std::uint8_t> p);
+
+std::vector<std::uint8_t> encode_walk_request(const WalkRequest& r);
+WalkRequest decode_walk_request(std::span<const std::uint8_t> p);
+std::vector<std::uint8_t> encode_walk_reply(const WalkReply& r);
+WalkReply decode_walk_reply(std::span<const std::uint8_t> p);
+
+/// ping carries the answering node's id; metrics carries a JSON string.
+std::vector<std::uint8_t> encode_ping_reply(std::int32_t node_id);
+std::int32_t decode_ping_reply(std::span<const std::uint8_t> p);
+std::vector<std::uint8_t> encode_text_reply(const std::string& text);
+std::string decode_text_reply(std::span<const std::uint8_t> p);
+
+}  // namespace ppr::cluster

@@ -1,0 +1,106 @@
+// ShardMap: the single source of truth for "which node serves shard s".
+//
+// Every shard-location lookup in the engine routes through this map
+// instead of assuming node_id == shard_id, so the elastic-shard roadmap
+// item (migration, replicas, failover) can change placement at runtime by
+// publishing a map with a higher epoch — clients compare epochs, not
+// placements. The map is immutable once built; "changing" it means
+// swapping in a new instance (DistGraphStorage::set_shard_map).
+//
+// The bootstrap handshake exchanges (epoch, fingerprint) so two nodes
+// booted from diverging cluster configs refuse to mesh (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/serialize.hpp"
+
+namespace ppr {
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  /// `node_of_shard[s]` = node id serving shard s. Epoch 0 is reserved
+  /// for "unset"; real maps start at 1.
+  ShardMap(std::vector<std::int32_t> node_of_shard, std::uint64_t epoch)
+      : node_of_shard_(std::move(node_of_shard)), epoch_(epoch) {
+    GE_REQUIRE(epoch_ > 0, "shard map epoch must be positive");
+    GE_REQUIRE(!node_of_shard_.empty(), "shard map must cover >= 1 shard");
+    for (const std::int32_t node : node_of_shard_) {
+      GE_REQUIRE(node >= 0, "shard map names a negative node id");
+    }
+  }
+
+  /// The classic 1:1 deployment: shard s lives on node s.
+  static ShardMap identity(int num_shards) {
+    std::vector<std::int32_t> nodes(static_cast<std::size_t>(num_shards));
+    std::iota(nodes.begin(), nodes.end(), 0);
+    return ShardMap(std::move(nodes), 1);
+  }
+
+  bool valid() const { return epoch_ != 0; }
+  int num_shards() const { return static_cast<int>(node_of_shard_.size()); }
+  std::uint64_t epoch() const { return epoch_; }
+
+  std::int32_t node_of(std::int32_t shard) const {
+    GE_REQUIRE(shard >= 0 &&
+                   shard < static_cast<std::int32_t>(node_of_shard_.size()),
+               "shard id out of range");
+    return node_of_shard_[static_cast<std::size_t>(shard)];
+  }
+
+  const std::vector<std::int32_t>& placement() const {
+    return node_of_shard_;
+  }
+
+  /// A new map with `shard` moved to `node` and the epoch advanced — the
+  /// primitive a future migration/rebalance plane publishes.
+  ShardMap with_placement(std::int32_t shard, std::int32_t node) const {
+    std::vector<std::int32_t> next = node_of_shard_;
+    GE_REQUIRE(shard >= 0 &&
+                   shard < static_cast<std::int32_t>(next.size()),
+               "shard id out of range");
+    next[static_cast<std::size_t>(shard)] = node;
+    return ShardMap(std::move(next), epoch_ + 1);
+  }
+
+  /// FNV-1a over the epoch and placement; what the bootstrap handshake
+  /// compares across nodes.
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ULL;
+      }
+    };
+    mix(epoch_);
+    mix(static_cast<std::uint64_t>(node_of_shard_.size()));
+    for (const std::int32_t node : node_of_shard_) {
+      mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)));
+    }
+    return h;
+  }
+
+  void encode(ByteWriter& w) const {
+    w.write<std::uint64_t>(epoch_);
+    w.write_vec(node_of_shard_);
+  }
+  static ShardMap decode(ByteReader& r) {
+    const auto epoch = r.read<std::uint64_t>();
+    auto nodes = r.read_vec<std::int32_t>();
+    return ShardMap(std::move(nodes), epoch);
+  }
+
+  bool operator==(const ShardMap&) const = default;
+
+ private:
+  std::vector<std::int32_t> node_of_shard_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ppr

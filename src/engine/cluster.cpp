@@ -38,9 +38,13 @@ Cluster::Cluster(const Graph& g, const PartitionAssignment& assignment,
       rrefs.emplace_back(endpoints_[static_cast<std::size_t>(m)].get(), peer,
                          kStorageServiceName);
     }
+    // The simulated deployment places shard m on machine m explicitly;
+    // real clusters (cluster/node.hpp) route through the same ShardMap
+    // abstraction with config-derived placements.
     storages_.push_back(std::make_unique<DistGraphStorage>(
         *endpoints_[static_cast<std::size_t>(m)], rrefs, m,
-        sharded_.shards[static_cast<std::size_t>(m)]));
+        sharded_.shards[static_cast<std::size_t>(m)],
+        ShardMap::identity(options_.num_machines)));
     if (options_.adjacency_cache_rows > 0) {
       storages_.back()->enable_adjacency_cache(options_.adjacency_cache_rows);
     }

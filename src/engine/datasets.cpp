@@ -1,5 +1,7 @@
 #include "engine/datasets.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -92,7 +94,13 @@ Graph load_or_generate(const DatasetSpec& spec, const std::string& cache_dir,
   GE_LOG(kInfo) << "generated " << spec.name << " (scale " << scale << "): "
                 << g.num_nodes() << " nodes, " << g.num_edges()
                 << " directed edges in " << timer.seconds() << "s";
-  if (!path.empty()) save_graph(g, path);
+  if (!path.empty()) {
+    // Write-then-rename: concurrent processes (a booting cluster) racing
+    // on the same cache dir must never observe a half-written file.
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    save_graph(g, tmp);
+    std::filesystem::rename(tmp, path);
+  }
   return g;
 }
 
@@ -146,7 +154,11 @@ PartitionAssignment load_or_partition(const Graph& g, const std::string& tag,
   GE_LOG(kInfo) << "partitioned " << tag << " into " << num_parts
                 << " parts in " << timer.seconds() << "s (cut ratio "
                 << evaluate_partition(g, part, num_parts).cut_ratio << ")";
-  if (!path.empty()) save_partition(part, path);
+  if (!path.empty()) {
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    save_partition(part, tmp);
+    std::filesystem::rename(tmp, path);
+  }
   return part;
 }
 

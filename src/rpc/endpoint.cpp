@@ -12,6 +12,8 @@ RpcEndpoint::RpcEndpoint(std::shared_ptr<Transport> transport, int machine_id,
       machine_id_(machine_id),
       server_pool_(static_cast<std::size_t>(server_threads)) {
   GE_REQUIRE(transport_ != nullptr, "transport is null");
+  transport_->set_peer_down_handler(
+      machine_id_, [this](int peer) { fail_pending_to(peer); });
   transport_->start(machine_id_, [this](Message msg) {
     on_message(std::move(msg));
   });
@@ -25,10 +27,12 @@ RpcEndpoint::~RpcEndpoint() {
 }
 
 void RpcEndpoint::register_service(const std::string& name,
-                                   ServiceHandler handler) {
+                                   ServiceHandler handler,
+                                   ThreadPool* pool) {
   std::lock_guard<std::mutex> lock(services_mutex_);
-  GE_REQUIRE(services_.emplace(name, std::move(handler)).second,
-             "service name already registered: " + name);
+  GE_REQUIRE(
+      services_.emplace(name, ServiceEntry{std::move(handler), pool}).second,
+      "service name already registered: " + name);
 }
 
 RpcFuture RpcEndpoint::async_call(int dst, const std::string& service,
@@ -54,9 +58,18 @@ RpcFuture RpcEndpoint::async_call(int dst, const std::string& service,
   RpcFuture future = promise.get_future();
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_.emplace(msg.call_id, std::move(promise));
+    pending_.emplace(msg.call_id, PendingCall{std::move(promise), dst});
   }
-  transport_->send(std::move(msg));
+  const std::uint64_t call_id = msg.call_id;
+  try {
+    transport_->send(std::move(msg));
+  } catch (...) {
+    // The call never left this process; retire its table entry so the
+    // id isn't orphaned (the caller sees the send error instead).
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.erase(call_id);
+    throw;
+  }
   return future;
 }
 
@@ -74,7 +87,7 @@ std::vector<std::uint8_t> RpcEndpoint::local_call(
     std::lock_guard<std::mutex> lock(services_mutex_);
     const auto it = services_.find(service);
     GE_REQUIRE(it != services_.end(), "unknown service: " + service);
-    handler = &it->second;
+    handler = &it->second.handler;
   }
   // Handlers are registered once before traffic starts and never removed,
   // so the pointer remains valid outside the lock.
@@ -83,10 +96,19 @@ std::vector<std::uint8_t> RpcEndpoint::local_call(
 
 void RpcEndpoint::on_message(Message msg) {
   if (msg.kind == MessageKind::kRequest) {
-    // Hand off to the server pool so the transport dispatcher is never
-    // blocked behind a long-running handler.
+    // Hand off to the service's dispatch pool (the shared server pool by
+    // default) so the transport dispatcher is never blocked behind a
+    // long-running handler.
+    ThreadPool* pool = &server_pool_;
+    {
+      std::lock_guard<std::mutex> lock(services_mutex_);
+      const auto it = services_.find(msg.service);
+      if (it != services_.end() && it->second.pool != nullptr) {
+        pool = it->second.pool;
+      }
+    }
     auto shared = std::make_shared<Message>(std::move(msg));
-    server_pool_.submit([this, shared] { handle_request(std::move(*shared)); });
+    pool->submit([this, shared] { handle_request(std::move(*shared)); });
     return;
   }
   RpcPromise promise;
@@ -97,13 +119,34 @@ void RpcEndpoint::on_message(Message msg) {
       GE_LOG(kWarn) << "dropping response for unknown call " << msg.call_id;
       return;
     }
-    promise = std::move(it->second);
+    promise = std::move(it->second.promise);
     pending_.erase(it);
   }
   if (msg.error.empty()) {
     promise.set_value(std::move(msg.payload));
   } else {
     promise.set_error(std::move(msg.error));
+  }
+}
+
+void RpcEndpoint::fail_pending_to(int peer) {
+  std::vector<std::pair<std::uint64_t, RpcPromise>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.dst == peer) {
+        doomed.emplace_back(it->first, std::move(it->second.promise));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& [call_id, promise] : doomed) {
+    GE_LOG(kWarn) << "failing call " << call_id << ": peer " << peer
+                  << " closed the connection with the call in flight";
+    promise.set_error("peer " + std::to_string(peer) +
+                      " closed the connection with the call in flight");
   }
 }
 
@@ -130,7 +173,14 @@ void RpcEndpoint::handle_request(Message msg) {
   // The request payload is fully consumed by the handler; recycle it for
   // the next frame instead of freeing it.
   BufferPool::global().release(std::move(msg.payload));
-  transport_->send(std::move(reply));
+  try {
+    transport_->send(std::move(reply));
+  } catch (const RpcError& e) {
+    // The caller left the mesh between sending the request and our reply
+    // (e.g. a client that timed out and departed) — nothing to deliver to.
+    GE_LOG(kWarn) << "dropping reply for call " << msg.call_id << ": "
+                  << e.what();
+  }
 }
 
 }  // namespace ppr

@@ -44,7 +44,16 @@ class RpcEndpoint {
   int num_machines() const { return transport_->num_machines(); }
 
   /// Register a named service. Must happen before peers call it.
-  void register_service(const std::string& name, ServiceHandler handler);
+  ///
+  /// By default requests dispatch on the endpoint's own server pool. A
+  /// non-null `pool` (caller-owned, must outlive the endpoint's traffic)
+  /// gives this service a dedicated dispatch pool instead — essential for
+  /// handlers that themselves issue remote calls (query execution): if
+  /// those shared the storage-RPC pool, a cluster of nodes could exhaust
+  /// every pool thread on blocked queries and deadlock the storage RPCs
+  /// they are waiting on.
+  void register_service(const std::string& name, ServiceHandler handler,
+                        ThreadPool* pool = nullptr);
 
   /// Issue an asynchronous call to `dst`. Returns immediately.
   RpcFuture async_call(int dst, const std::string& service,
@@ -65,17 +74,34 @@ class RpcEndpoint {
  private:
   void on_message(Message msg);
   void handle_request(Message msg);
+  /// Fail every pending call addressed to `peer` with RpcError. Invoked
+  /// by the transport's peer-down hook once the link to `peer` hits EOF —
+  /// past that point no response can arrive, so waiting is a hang.
+  void fail_pending_to(int peer);
 
   std::shared_ptr<Transport> transport_;
   int machine_id_;
-  ThreadPool server_pool_;
+
+  struct ServiceEntry {
+    ServiceHandler handler;
+    ThreadPool* pool = nullptr;  // nullptr = the shared server pool
+  };
 
   std::mutex services_mutex_;
-  std::map<std::string, ServiceHandler> services_;
+  std::map<std::string, ServiceEntry> services_;
+
+  struct PendingCall {
+    RpcPromise promise;
+    int dst = -1;
+  };
 
   std::mutex pending_mutex_;
-  std::map<std::uint64_t, RpcPromise> pending_;
+  std::map<std::uint64_t, PendingCall> pending_;
   std::atomic<std::uint64_t> next_call_id_{1};
+
+  // Last member on purpose: its destructor joins in-flight handler tasks,
+  // which touch services_/pending_/transport_ — those must still exist.
+  ThreadPool server_pool_;
 };
 
 /// Distributed shared pointer to a service instance on some machine.

@@ -1,60 +1,13 @@
 #include "rpc/socket_transport.hpp"
 
 #include <sys/socket.h>
-#include <sys/uio.h>
 #include <unistd.h>
-
-#include <cstring>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
-#include "rpc/buffer_pool.hpp"
+#include "rpc/frame_io.hpp"
 
 namespace ppr {
-
-namespace {
-
-/// Gather-write every byte of `iov[0..iovcnt)`, handling partial writes
-/// and EINTR. The payload span is transmitted straight from the message's
-/// own buffer — this is the zero-copy half of the FrameView design.
-void writev_all(int fd, struct iovec* iov, int iovcnt) {
-  while (iovcnt > 0) {
-    const ssize_t w = ::writev(fd, iov, iovcnt);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      throw RpcError(std::string("socket writev failed: ") +
-                     std::strerror(errno));
-    }
-    std::size_t done = static_cast<std::size_t>(w);
-    while (iovcnt > 0 && done >= iov->iov_len) {
-      done -= iov->iov_len;
-      ++iov;
-      --iovcnt;
-    }
-    if (iovcnt > 0) {
-      iov->iov_base = static_cast<std::uint8_t*>(iov->iov_base) + done;
-      iov->iov_len -= done;
-    }
-  }
-}
-
-/// Returns false on orderly EOF.
-bool read_all(int fd, void* data, std::size_t n) {
-  auto* p = static_cast<std::uint8_t*>(data);
-  while (n > 0) {
-    const ssize_t r = ::read(fd, p, n);
-    if (r == 0) return false;
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return false;  // peer shut down mid-frame during stop()
-    }
-    p += r;
-    n -= static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-}  // namespace
 
 SocketTransport::SocketTransport(int num_machines)
     : num_machines_(num_machines) {
@@ -101,46 +54,27 @@ void SocketTransport::send(Message msg) {
   const auto n = static_cast<std::size_t>(num_machines_);
   Link& link = *links_[static_cast<std::size_t>(msg.src_machine) * n +
                        static_cast<std::size_t>(msg.dst_machine)];
-  // Frame: [u64 header_len][u64 payload_len][header][payload], gathered
-  // into one writev so the payload goes from the message buffer to the
-  // kernel with no intermediate flat-frame copy.
-  FrameView view = msg.encode_view();
-  std::uint64_t lens[2] = {view.header.size(), view.payload.size()};
-  struct iovec iov[3];
-  iov[0] = {lens, sizeof(lens)};
-  iov[1] = {view.header.data(), view.header.size()};
-  iov[2] = {const_cast<std::uint8_t*>(view.payload.data()),
-            view.payload.size()};
-  {
-    std::lock_guard<std::mutex> lock(link.write_mutex);
-    writev_all(link.write_fd, iov, view.payload.empty() ? 2 : 3);
-  }
-  // Both buffers are consumed: recycle them for the next message.
-  BufferPool::global().release(std::move(view.header));
-  BufferPool::global().release(std::move(msg.payload));
+  // Scatter-gathered data frame straight from the message buffers (see
+  // frame_io.hpp for the wire layout shared with TcpTransport).
+  frame_io::write_message(link.write_fd, link.write_mutex, std::move(msg));
 }
 
 void SocketTransport::reader_loop(Machine& m, int fd) {
   std::vector<std::uint8_t> header;
   for (;;) {
-    std::uint64_t lens[2] = {0, 0};
-    if (!read_all(fd, lens, sizeof(lens))) return;
-    header.resize(lens[0]);
-    if (!read_all(fd, header.data(), lens[0])) return;
-    std::uint64_t expected = 0;
-    Message msg = Message::decode_header(header, &expected);
-    GE_CHECK(expected == lens[1], "frame payload length mismatch");
-    // The payload is read straight into a pool-recycled buffer that
-    // becomes msg.payload — no flat frame, no second copy.
-    std::vector<std::uint8_t> payload =
-        BufferPool::global().acquire(lens[1]);
-    payload.resize(lens[1]);
-    if (lens[1] != 0 && !read_all(fd, payload.data(), lens[1])) {
-      BufferPool::global().release(std::move(payload));
-      return;
+    Message msg;
+    frame_io::ControlCode control{};
+    switch (frame_io::read_frame(fd, header, msg, control)) {
+      case frame_io::ReadStatus::kClosed:
+        return;
+      case frame_io::ReadStatus::kControl:
+        // The socketpair mesh never negotiates; a kLeave (or any other
+        // control frame) just means the peer is done with this link.
+        return;
+      case frame_io::ReadStatus::kMessage:
+        m.handler(std::move(msg));
+        break;
     }
-    msg.payload = std::move(payload);
-    m.handler(std::move(msg));
   }
 }
 

@@ -59,6 +59,15 @@ class Transport {
   /// Stop all delivery threads. Idempotent.
   virtual void stop() = 0;
 
+  /// Register a callback invoked (on a transport thread) when the link to
+  /// `peer` reaches EOF and no further frames — in particular no pending
+  /// responses — can ever arrive from it. Endpoints use this to fail
+  /// in-flight calls to a dead peer instead of waiting forever. Must be
+  /// called before start(). In-process transports never lose a peer, so
+  /// the default is a no-op.
+  virtual void set_peer_down_handler(int /*machine_id*/,
+                                     std::function<void(int)> /*on_down*/) {}
+
   virtual int num_machines() const = 0;
 };
 

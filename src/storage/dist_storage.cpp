@@ -6,18 +6,42 @@ namespace ppr {
 
 DistGraphStorage::DistGraphStorage(
     RpcEndpoint& endpoint, std::vector<RemoteRef> rrefs, ShardId shard_id,
-    std::shared_ptr<const GraphShard> local_shard)
+    std::shared_ptr<const GraphShard> local_shard, ShardMap shard_map)
     : endpoint_(endpoint),
       rrefs_(std::move(rrefs)),
+      shard_map_(std::make_shared<const ShardMap>(
+          shard_map.valid() ? std::move(shard_map)
+                            : ShardMap::identity(
+                                  static_cast<int>(rrefs_.size())))),
       shard_id_(shard_id),
       local_shard_(std::move(local_shard)),
       stats_(shard_id) {
   GE_REQUIRE(local_shard_ != nullptr, "null local shard");
-  GE_REQUIRE(shard_id_ >= 0 &&
-                 shard_id_ < static_cast<ShardId>(rrefs_.size()),
+  GE_REQUIRE(shard_id_ >= 0 && shard_id_ < shard_map_->num_shards(),
              "shard id out of range");
   GE_REQUIRE(local_shard_->shard_id() == shard_id_,
              "local shard does not match shard id");
+  for (const std::int32_t node : shard_map_->placement()) {
+    GE_REQUIRE(node < static_cast<std::int32_t>(rrefs_.size()),
+               "shard map names a node with no storage rref");
+  }
+}
+
+void DistGraphStorage::set_shard_map(ShardMap next) {
+  GE_REQUIRE(next.valid(), "cannot publish an unset shard map");
+  GE_REQUIRE(next.epoch() > shard_map_->epoch(),
+             "shard map epoch must advance");
+  GE_REQUIRE(next.num_shards() == shard_map_->num_shards(),
+             "shard count is fixed for a deployment");
+  for (const std::int32_t node : next.placement()) {
+    GE_REQUIRE(node < static_cast<std::int32_t>(rrefs_.size()),
+               "shard map names a node with no storage rref");
+  }
+  shard_map_ = std::make_shared<const ShardMap>(std::move(next));
+}
+
+const RemoteRef& DistGraphStorage::rref_for(ShardId shard) const {
+  return rrefs_[static_cast<std::size_t>(shard_map_->node_of(shard))];
 }
 
 std::vector<VertexProp> DistGraphStorage::get_neighbor_infos_local(
@@ -123,7 +147,7 @@ std::vector<std::uint8_t> DistGraphStorage::encode_batch_request(
 NeighborFetch DistGraphStorage::get_neighbor_infos_async(
     ShardId dst, std::span<const NodeId> locals,
     const FetchOptions& options) const {
-  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
+  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(num_shards()),
              "dst shard out of range");
   stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
@@ -131,14 +155,14 @@ NeighborFetch DistGraphStorage::get_neighbor_infos_async(
   stats_.remote_request_bytes.fetch_add(request.size(),
                                         std::memory_order_relaxed);
   return NeighborFetch(
-      rrefs_[static_cast<std::size_t>(dst)].async_call(
+      rref_for(dst).async_call(
           storage_method::kGetNeighborInfos, std::move(request)),
       options.compress, &stats_);
 }
 
 NeighborFetch DistGraphStorage::get_neighbor_info_single_async(
     ShardId dst, NodeId local) const {
-  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
+  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(num_shards()),
              "dst shard out of range");
   stats_.remote_nodes.fetch_add(1, std::memory_order_relaxed);
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
@@ -147,7 +171,7 @@ NeighborFetch DistGraphStorage::get_neighbor_info_single_async(
   std::vector<std::uint8_t> request = w.take();
   stats_.remote_request_bytes.fetch_add(request.size(),
                                         std::memory_order_relaxed);
-  return NeighborFetch(rrefs_[static_cast<std::size_t>(dst)].async_call(
+  return NeighborFetch(rref_for(dst).async_call(
                            storage_method::kGetNeighborInfoSingle,
                            std::move(request)),
                        /*compressed=*/false, &stats_);
@@ -202,7 +226,7 @@ KSampleResult KSampleFetch::wait() {
 
 SampleFetch DistGraphStorage::sample_one_neighbor_async(
     ShardId dst, std::span<const NodeId> locals, std::uint64_t seed) const {
-  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
+  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(num_shards()),
              "dst shard out of range");
   ByteWriter w;
   w.write<std::uint64_t>(seed);
@@ -218,7 +242,7 @@ SampleFetch DistGraphStorage::sample_one_neighbor_async(
   } else {
     stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
   }
-  return SampleFetch(rrefs_[static_cast<std::size_t>(dst)].async_call(
+  return SampleFetch(rref_for(dst).async_call(
                          storage_method::kSampleOneNeighbor,
                          std::move(request)),
                      stats);
@@ -238,7 +262,7 @@ KSampleResult DistGraphStorage::decode_k_sample(
 KSampleFetch DistGraphStorage::sample_k_neighbors_async(
     ShardId dst, std::span<const NodeId> locals, int k,
     std::uint64_t seed) const {
-  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(rrefs_.size()),
+  GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(num_shards()),
              "dst shard out of range");
   ByteWriter w;
   w.write<std::uint64_t>(seed);
@@ -255,7 +279,7 @@ KSampleFetch DistGraphStorage::sample_k_neighbors_async(
   } else {
     stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
   }
-  return KSampleFetch(rrefs_[static_cast<std::size_t>(dst)].async_call(
+  return KSampleFetch(rref_for(dst).async_call(
                           storage_method::kSampleKNeighbors,
                           std::move(request)),
                       stats);

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/shard_map.hpp"
 #include "obs/metrics.hpp"
 #include "rpc/endpoint.hpp"
 #include "storage/adjacency_cache.hpp"
@@ -150,16 +151,27 @@ class KSampleFetch {
 
 class DistGraphStorage {
  public:
-  /// `rrefs[j]` must reference machine j's storage service; `shard_id` is
-  /// this process's machine/shard; `local_shard` points at the local shard
-  /// in shared memory.
+  /// `rrefs[j]` must reference *node* j's storage service; `shard_id` is
+  /// this process's own shard; `local_shard` points at the local shard in
+  /// shared memory. `shard_map` routes shard ids to node ids — every
+  /// remote fetch resolves its destination through it, never by assuming
+  /// node == shard. An invalid (default) map means the classic identity
+  /// deployment over `rrefs.size()` shards.
   DistGraphStorage(RpcEndpoint& endpoint, std::vector<RemoteRef> rrefs,
                    ShardId shard_id,
-                   std::shared_ptr<const GraphShard> local_shard);
+                   std::shared_ptr<const GraphShard> local_shard,
+                   ShardMap shard_map = {});
 
   ShardId shard_id() const { return shard_id_; }
-  int num_shards() const { return static_cast<int>(rrefs_.size()); }
+  int num_shards() const { return shard_map_->num_shards(); }
   const GraphShard& local_shard() const { return *local_shard_; }
+
+  /// The epoch-tagged shard→node placement this client routes by.
+  const ShardMap& shard_map() const { return *shard_map_; }
+  /// Publish a new placement (must have a strictly newer epoch). Caller
+  /// contract: only between queries — in-flight fetches keep the map they
+  /// started with.
+  void set_shard_map(ShardMap next);
 
   /// Shared-memory local fetch: zero-copy views, no serialization.
   std::vector<VertexProp> get_neighbor_infos_local(
@@ -261,8 +273,13 @@ class DistGraphStorage {
   static std::vector<std::uint8_t> encode_batch_request(
       std::span<const NodeId> locals, const FetchOptions& options);
 
+  /// Storage-service ref of the node currently serving `shard` (the one
+  /// indirection every remote path goes through).
+  const RemoteRef& rref_for(ShardId shard) const;
+
   RpcEndpoint& endpoint_;
-  std::vector<RemoteRef> rrefs_;
+  std::vector<RemoteRef> rrefs_;  // indexed by node id
+  std::shared_ptr<const ShardMap> shard_map_;
   ShardId shard_id_;
   std::shared_ptr<const GraphShard> local_shard_;
   mutable FetchStats stats_;

@@ -46,4 +46,13 @@ for SANITIZER in "${SANITIZERS[@]}"; do
           --gtest_brief=1
       ;;
   esac
+  # Real multi-process arm, run again by name so a failure is attributed
+  # to the cluster subsystem directly: cluster_smoke forks 3
+  # graph_engine_node processes + a client over localhost TCP (bootstrap
+  # handshake, barrier, queries, graceful drain), and cluster_test's e2e
+  # case checks the TCP answers bit-identical against the in-process
+  # engine. The sanitizer runtime rides into the forked nodes too.
+  echo "=== ${SANITIZER}: multi-process cluster smoke ==="
+  ctest --test-dir "${BUILD}" -R 'cluster_smoke|cluster_test' \
+        --output-on-failure
 done

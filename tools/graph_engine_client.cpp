@@ -1,0 +1,72 @@
+// graph_engine_client: query driver for a running cluster.
+//
+//   graph_engine_client --config=cluster.conf --client=3
+//       --ssppr=7 --bfs=7 --walk=7 [--shutdown-cluster]
+//
+// Joins the mesh as the given client slot, runs the requested queries
+// against the storage nodes (routed by the owner-compute rule), prints
+// compact results, optionally asks the whole cluster to shut down, and
+// leaves. tools/cluster_smoke.sh drives the full 3-node lifecycle with
+// it.
+#include <iostream>
+
+#include "cluster/client.hpp"
+#include "common/argparse.hpp"
+
+int main(int argc, char** argv) {
+  ppr::ArgParser args(argc, argv);
+  const std::string config_path = args.get_string("config", "");
+  const long client_id = args.get_int("client", -1);
+  if (config_path.empty() || client_id < 0) {
+    std::cerr << "usage: graph_engine_client --config=cluster.conf "
+                 "--client=ID [--ssppr=N] [--bfs=N] [--walk=N] "
+                 "[--metrics=NODE] [--shutdown-cluster]\n";
+    return 2;
+  }
+
+  try {
+    const ppr::ClusterConfig config =
+        ppr::ClusterConfig::parse_file(config_path);
+    ppr::TcpTransportOptions net;
+    net.connect_timeout_s = args.get_double("connect-timeout", 20.0);
+    ppr::cluster::ClusterClient client(config,
+                                      static_cast<int>(client_id), net);
+
+    if (args.has("ssppr")) {
+      const auto source = static_cast<ppr::NodeId>(args.get_int("ssppr", 0));
+      const auto reply = client.ssppr(source);
+      std::cout << "ssppr source=" << source
+                << " status=" << static_cast<int>(reply.status)
+                << " entries=" << reply.entries.size()
+                << " pushes=" << reply.num_pushes << "\n";
+    }
+    if (args.has("bfs")) {
+      const auto source = static_cast<ppr::NodeId>(args.get_int("bfs", 0));
+      const auto reply = client.bfs(source);
+      std::cout << "bfs source=" << source
+                << " visited=" << reply.distances.size()
+                << " levels=" << reply.num_levels << "\n";
+    }
+    if (args.has("walk")) {
+      const auto source = static_cast<ppr::NodeId>(args.get_int("walk", 0));
+      const auto reply = client.walk(
+          source, static_cast<std::int32_t>(args.get_int("walk-length", 8)),
+          static_cast<std::uint64_t>(args.get_int("seed", 1)));
+      std::cout << "walk source=" << source
+                << " steps=" << reply.steps.size() << "\n";
+    }
+    if (args.has("metrics")) {
+      const int node = static_cast<int>(args.get_int("metrics", 0));
+      std::cout << client.metrics_json(node) << "\n";
+    }
+    if (args.get_bool("shutdown-cluster", false)) {
+      client.shutdown_cluster();
+      std::cout << "cluster shutdown requested\n";
+    }
+    client.leave();
+  } catch (const std::exception& e) {
+    std::cerr << "graph_engine_client: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
