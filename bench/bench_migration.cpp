@@ -1,0 +1,172 @@
+// Elastic shard plane bench: remote-fetch latency for one hot shard
+// before / during / after a live migration, plus a replica-served phase —
+// the numbers behind the "migration degrades tail latency, never
+// availability" claim of DESIGN.md §13.
+//
+// Phases (one JSON line each):
+//   baseline   hot shard on its boot node, steady closed-loop fetches
+//   during     same workload while the shard live-migrates to another
+//              node (copy over the wire -> epoch flip -> source drain);
+//              stale-epoch redirects ride the normal retry plane
+//   after      workload against the new primary
+//   replica    a read replica added on a third node; fetch routing
+//              round-robins primary ∪ replicas
+//
+// Flags: --nodes N --machines K --threads T --window-ms W --batch B
+//        --hot-shard S  (default 0)   --smoke (tiny run)
+//        plus the shared --metrics-json/--trace-json export.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+using namespace ppr;
+
+namespace {
+
+struct PhaseStats {
+  std::vector<double> latencies_us;  // merged across workers
+  double migration_ms = -1.0;        // wall time of the migrate call
+  std::uint64_t stale_hits = 0;      // redirects taken during the phase
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Closed-loop fetch workload against `hot` from every machine; runs
+/// `action` once the workers are warm, stops `window_ms` later.
+template <typename Action>
+PhaseStats run_phase(Cluster& cluster, ShardId hot,
+                     const std::vector<NodeId>& locals, int threads,
+                     double window_ms, Action&& action) {
+  PhaseStats stats;
+  auto& stale =
+      obs::MetricRegistry::global().counter("routing.stale_epoch_hits");
+  const std::uint64_t stale0 = stale.load();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> warm{0};
+  std::mutex merge_mutex;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    const int machine = t % cluster.num_machines();
+    workers.emplace_back([&, machine] {
+      std::vector<double> local_lat;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const NeighborBatch batch =
+            cluster.storage(machine)
+                .get_neighbor_infos_async(hot, locals)
+                .wait();
+        const auto t1 = std::chrono::steady_clock::now();
+        if (batch.size() != locals.size()) std::abort();  // wrong answer
+        local_lat.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        warm.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      stats.latencies_us.insert(stats.latencies_us.end(),
+                                local_lat.begin(), local_lat.end());
+    });
+  }
+  while (warm.load(std::memory_order_relaxed) <
+         static_cast<std::uint64_t>(threads)) {
+    std::this_thread::yield();
+  }
+  const auto a0 = std::chrono::steady_clock::now();
+  action();
+  const auto a1 = std::chrono::steady_clock::now();
+  stats.migration_ms =
+      std::chrono::duration<double, std::milli>(a1 - a0).count();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(window_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  stats.stale_hits = stale.load() - stale0;
+  return stats;
+}
+
+void print_phase(const char* phase, PhaseStats& s, bool migrated) {
+  std::printf(
+      "{\"phase\": \"%s\", \"fetches\": %zu, \"p50_us\": %.1f, "
+      "\"p99_us\": %.1f, \"stale_epoch_hits\": %llu",
+      phase, s.latencies_us.size(), percentile(s.latencies_us, 0.5),
+      percentile(s.latencies_us, 0.99),
+      static_cast<unsigned long long>(s.stale_hits));
+  if (migrated) std::printf(", \"migration_ms\": %.2f", s.migration_ms);
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
+  const bool smoke = args.get_bool("smoke", false);
+  const auto nodes =
+      static_cast<NodeId>(args.get_int("nodes", smoke ? 2000 : 20000));
+  const int machines = static_cast<int>(args.get_int("machines", 4));
+  const int threads =
+      static_cast<int>(args.get_int("threads", smoke ? 2 : 8));
+  const double window_ms =
+      args.get_double("window-ms", smoke ? 150.0 : 1500.0);
+  const auto batch =
+      static_cast<NodeId>(args.get_int("batch", 64));
+  const auto hot = static_cast<ShardId>(args.get_int("hot-shard", 0));
+
+  const Graph g = generate_clustered(nodes, machines, nodes * 5,
+                                     nodes / 2, 1.6, 23);
+  const PartitionAssignment assignment = partition_hash(g, machines);
+  ClusterOptions options;
+  options.num_machines = machines;
+  options.network = no_network_cost();
+  options.server_threads = 2;
+  Cluster cluster(g, assignment, options);
+
+  const NodeId shard_nodes =
+      cluster.service(hot).shard_ptr(hot)->num_core_nodes();
+  std::vector<NodeId> locals;
+  for (NodeId l = 0; l < std::min<NodeId>(batch, shard_nodes); ++l) {
+    locals.push_back(l);
+  }
+  const int src = static_cast<int>(hot);
+  const int dst = (src + 1) % machines;
+  const int rep = (src + 2) % machines;
+  std::fprintf(stderr,
+               "bench_migration: %d machines, shard %d (%d rows), "
+               "%d threads, %.0fms windows\n",
+               machines, hot, static_cast<int>(shard_nodes), threads,
+               window_ms);
+
+  PhaseStats baseline =
+      run_phase(cluster, hot, locals, threads, window_ms, [] {});
+  print_phase("baseline", baseline, false);
+
+  PhaseStats during = run_phase(
+      cluster, hot, locals, threads, window_ms,
+      [&] { cluster.migrate_shard(hot, dst); });
+  print_phase("during", during, true);
+
+  PhaseStats after =
+      run_phase(cluster, hot, locals, threads, window_ms, [] {});
+  print_phase("after", after, false);
+
+  PhaseStats replica = run_phase(
+      cluster, hot, locals, threads, window_ms,
+      [&] { cluster.add_replica(hot, rep); });
+  print_phase("replica", replica, true);
+
+  return 0;
+}

@@ -1,6 +1,10 @@
 #include "cluster/client.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppr::cluster {
 
@@ -17,23 +21,46 @@ ClusterClient::ClusterClient(ClusterConfig config, int client_id,
   num_nodes_ = g.num_nodes();
   const PartitionAssignment assignment = load_cluster_partition(config_, g);
   mapping_ = GlobalMapping(assignment, config_.num_storage_nodes());
-  shard_map_ = config_.initial_shard_map();
+  const ShardMap shard_map = config_.initial_shard_map();
+  routing_ = std::make_shared<RoutingTable>(shard_map);
 
   std::vector<TcpPeer> peers;
   peers.reserve(static_cast<std::size_t>(config_.num_nodes()));
   for (const NodeSpec& n : config_.nodes) {
     peers.push_back(TcpPeer{n.host, n.port});
   }
-  net.shard_epoch = shard_map_.epoch();
-  net.shard_fingerprint = shard_map_.fingerprint();
+  net.shard_epoch = shard_map.epoch();
+  net.shard_fingerprint = shard_map.fingerprint();
   transport_ = std::make_shared<TcpTransport>(client_id_, std::move(peers),
                                               net);
   transport_->connect_mesh();
-  // Server pool size 1: a client answers no RPCs, the endpoint only
-  // completes this client's own futures.
+  // Server pool size 1: the only inbound traffic is the coordinator's
+  // ROUTE_UPDATE push (and route pulls/pings from tooling) — tiny,
+  // non-blocking handlers.
   endpoint_ = std::make_unique<RpcEndpoint>(transport_, client_id_, 1);
+  endpoint_->register_service(
+      kQueryServiceName,
+      [this](const std::string& method, std::span<const std::uint8_t> payload)
+          -> std::vector<std::uint8_t> {
+        if (method == kMethodRouteUpdate) {
+          routing_->apply(decode_shard_map_payload(payload));
+          return {};
+        }
+        if (method == kMethodGetRoute) {
+          return encode_shard_map_payload(*routing_->current());
+        }
+        if (method == kMethodPing) return encode_ping_reply(client_id_);
+        throw InvalidArgument("unknown client method: " + method);
+      });
+  // A dead storage node's shards fail over to their replicas before the
+  // endpoint fails this client's pending calls to it — the query retry
+  // woken by that failure already routes to the promoted primary.
+  endpoint_->add_peer_down_hook(
+      [this](int peer) { routing_->handle_node_failure(peer); });
   // No query leaves this constructor's caller before every storage node
-  // has registered its services — that's the barrier's contract.
+  // has registered its services — that's the barrier's contract. (And no
+  // node broadcasts a ROUTE_UPDATE before the barrier, so the service
+  // registration above is always in place to receive them.)
   transport_->barrier();
 }
 
@@ -42,7 +69,7 @@ ClusterClient::~ClusterClient() { leave(); }
 int ClusterClient::owner_of(NodeId source) const {
   GE_REQUIRE(source >= 0 && source < num_nodes_,
              "source node id out of range");
-  return shard_map_.node_of(mapping_.to_ref(source).shard);
+  return routing_->primary_of(mapping_.to_ref(source).shard);
 }
 
 std::vector<std::uint8_t> ClusterClient::call(
@@ -52,24 +79,69 @@ std::vector<std::uint8_t> ClusterClient::call(
                               std::move(payload));
 }
 
+std::vector<std::uint8_t> ClusterClient::call_query(
+    ShardId shard, const char* method, std::vector<std::uint8_t> payload) {
+  GE_REQUIRE(!left_, "client already left the mesh");
+  auto& retries = obs::MetricRegistry::global().counter("rpc.retries");
+  int attempts_left = std::max(1, config_.rpc_max_attempts);
+  while (true) {
+    const int node = routing_->primary_of(shard);
+    try {
+      RpcFuture future = endpoint_->async_call(
+          node, kQueryServiceName, method,
+          std::vector<std::uint8_t>(payload));
+      if (config_.rpc_timeout_s > 0 &&
+          !future.wait_ready_for(
+              std::chrono::duration<double>(config_.rpc_timeout_s))) {
+        throw RpcError("query to node " + std::to_string(node) +
+                       " timed out");
+      }
+      return future.wait();
+    } catch (const RpcError& e) {
+      if (--attempts_left <= 0) throw;
+      retries.add(1);
+      const std::string what = e.what();
+      if (what.find(kWrongOwnerPrefix) != std::string::npos) {
+        // The refusing node published (or received) a newer placement
+        // than ours; pull it and re-resolve.
+        refresh_routing(node);
+      } else if (transport_->peer_departed(node)) {
+        // Peer-down hook ordering already promoted the map, but the hook
+        // only fires once — cover a routing table seeded after the death.
+        routing_->handle_node_failure(node);
+      }
+      GE_LOG(kWarn) << "retrying " << method << " for shard " << shard
+                    << ": " << what;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(config_.rpc_backoff_ms));
+    }
+  }
+}
+
 SspprReply ClusterClient::ssppr(NodeId source) {
-  const auto reply = call(owner_of(source), kMethodSsppr,
-                          encode_ssppr_request(SspprRequest{source}));
+  GE_REQUIRE(source >= 0 && source < num_nodes_,
+             "source node id out of range");
+  const auto reply = call_query(mapping_.to_ref(source).shard, kMethodSsppr,
+                                encode_ssppr_request(SspprRequest{source}));
   return decode_ssppr_reply(reply);
 }
 
 BfsReply ClusterClient::bfs(NodeId source, std::int32_t max_depth) {
+  GE_REQUIRE(source >= 0 && source < num_nodes_,
+             "source node id out of range");
   const auto reply =
-      call(owner_of(source), kMethodBfs,
-           encode_bfs_request(BfsRequest{source, max_depth}));
+      call_query(mapping_.to_ref(source).shard, kMethodBfs,
+                 encode_bfs_request(BfsRequest{source, max_depth}));
   return decode_bfs_reply(reply);
 }
 
 WalkReply ClusterClient::walk(NodeId source, std::int32_t walk_length,
                               std::uint64_t seed) {
-  const auto reply =
-      call(owner_of(source), kMethodWalk,
-           encode_walk_request(WalkRequest{source, walk_length, seed}));
+  GE_REQUIRE(source >= 0 && source < num_nodes_,
+             "source node id out of range");
+  const auto reply = call_query(
+      mapping_.to_ref(source).shard, kMethodWalk,
+      encode_walk_request(WalkRequest{source, walk_length, seed}));
   return decode_walk_reply(reply);
 }
 
@@ -79,6 +151,32 @@ std::int32_t ClusterClient::ping(int node) {
 
 std::string ClusterClient::metrics_json(int node) {
   return decode_text_reply(call(node, kMethodMetrics, {}));
+}
+
+ShardMap ClusterClient::migrate_shard(ShardId shard, int node) {
+  const auto reply =
+      call(0, kMethodMigrateShard, encode_shard_admin({shard, node}));
+  ShardMap next = decode_shard_map_payload(reply);
+  routing_->apply(ShardMap(next));
+  return next;
+}
+
+ShardMap ClusterClient::add_replica(ShardId shard, int node) {
+  const auto reply =
+      call(0, kMethodAddReplica, encode_shard_admin({shard, node}));
+  ShardMap next = decode_shard_map_payload(reply);
+  routing_->apply(ShardMap(next));
+  return next;
+}
+
+void ClusterClient::refresh_routing(int node) {
+  try {
+    const auto reply = call(node, kMethodGetRoute, {});
+    routing_->apply(decode_shard_map_payload(reply));
+  } catch (const EngineError& e) {
+    GE_LOG(kWarn) << "route refresh from node " << node
+                  << " failed: " << e.what();
+  }
 }
 
 void ClusterClient::shutdown_cluster() {

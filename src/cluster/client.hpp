@@ -7,7 +7,12 @@
 // The client loads no shard. It only derives the GlobalMapping from the
 // shared config (graph + partition are deterministic) so it can route
 // each query to the storage node owning the source — the owner-compute
-// rule, resolved through the same epoch-tagged ShardMap the nodes use.
+// rule, resolved through the same epoch-versioned RoutingTable the nodes
+// use. The table is kept live three ways: ROUTE_UPDATE pushes from the
+// coordinator (clients register a small query service just to receive
+// them), wrong-owner retries that pull the refusing node's newer map, and
+// the transport's peer-down hook, which promotes replicas past a dead
+// primary with the same pure derivation the nodes run.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +22,7 @@
 
 #include "cluster/config.hpp"
 #include "cluster/query_wire.hpp"
+#include "cluster/routing.hpp"
 #include "rpc/endpoint.hpp"
 #include "rpc/tcp_transport.hpp"
 #include "storage/shard.hpp"
@@ -37,12 +43,18 @@ class ClusterClient {
   int client_id() const { return client_id_; }
   NodeId num_graph_nodes() const { return num_nodes_; }
   const GlobalMapping& mapping() const { return mapping_; }
-  const ShardMap& shard_map() const { return shard_map_; }
+  /// Snapshot of the client's live shard→node placement.
+  std::shared_ptr<const ShardMap> shard_map() const {
+    return routing_->current();
+  }
 
-  /// Storage node owning `source` under the current shard map.
+  /// Storage node owning `source` under the current routing table.
   int owner_of(NodeId source) const;
 
-  // Synchronous queries, routed to the source's owner.
+  // Synchronous queries, routed to the source's owner through the retry
+  // plane: wrong-owner redirects refresh the route, dead peers re-resolve
+  // against the failover-promoted table, slow peers time out — all within
+  // the config's rpc_max_attempts / rpc_timeout_s / rpc_backoff_ms.
   SspprReply ssppr(NodeId source);
   BfsReply bfs(NodeId source, std::int32_t max_depth = -1);
   WalkReply walk(NodeId source, std::int32_t walk_length,
@@ -53,6 +65,16 @@ class ClusterClient {
   /// Registry-metrics JSON of one storage node (PR 5 obs plane).
   std::string metrics_json(int node);
 
+  /// Admin: move `shard`'s primary to `node` (live migration) / add a
+  /// read replica of `shard` on `node`. Runs on the coordinator (node 0);
+  /// returns the post-change placement (already applied locally).
+  ShardMap migrate_shard(ShardId shard, int node);
+  ShardMap add_replica(ShardId shard, int node);
+
+  /// Pull `node`'s current ShardMap and apply it (newer epochs only).
+  /// Best-effort: an unreachable node leaves the table untouched.
+  void refresh_routing(int node = 0);
+
   /// Ask every storage node to shut down (graceful drain on their side).
   void shutdown_cluster();
 
@@ -61,14 +83,18 @@ class ClusterClient {
   void leave();
 
  private:
+  /// One plain RPC, no retry (ping/metrics/admin — node-addressed).
   std::vector<std::uint8_t> call(int node, const char* method,
                                  std::vector<std::uint8_t> payload);
+  /// The retry loop every shard-addressed query goes through.
+  std::vector<std::uint8_t> call_query(ShardId shard, const char* method,
+                                       std::vector<std::uint8_t> payload);
 
   ClusterConfig config_;
   int client_id_;
   NodeId num_nodes_ = 0;
   GlobalMapping mapping_;
-  ShardMap shard_map_;
+  std::shared_ptr<RoutingTable> routing_;
 
   std::shared_ptr<TcpTransport> transport_;
   std::unique_ptr<RpcEndpoint> endpoint_;

@@ -159,6 +159,19 @@ ClusterConfig ClusterConfig::parse_string(const std::string& text,
       c.ppr_alpha = parse_double(value, origin, lineno);
     } else if (key == "ppr_epsilon") {
       c.ppr_epsilon = parse_double(value, origin, lineno);
+    } else if (key == "rpc_timeout_s") {
+      c.rpc_timeout_s = parse_double(value, origin, lineno);
+    } else if (key == "rpc_max_attempts") {
+      c.rpc_max_attempts = static_cast<int>(parse_long(value, origin, lineno));
+    } else if (key == "rpc_backoff_ms") {
+      c.rpc_backoff_ms = parse_double(value, origin, lineno);
+    } else if (key == "rebalance_interval_ms") {
+      c.rebalance_interval_ms = parse_double(value, origin, lineno);
+    } else if (key == "rebalance_hot_factor") {
+      c.rebalance_hot_factor = parse_double(value, origin, lineno);
+    } else if (key == "rebalance_max_replicas") {
+      c.rebalance_max_replicas =
+          static_cast<int>(parse_long(value, origin, lineno));
     } else {
       config_error(origin, lineno, "unknown key '" + key + "'");
     }
@@ -202,6 +215,16 @@ ClusterConfig ClusterConfig::parse_string(const std::string& text,
   if (c.server_threads < 1 || c.query_threads < 1 || c.executors < 1) {
     config_error(origin, lineno, "thread counts must be >= 1");
   }
+  if (c.rpc_timeout_s < 0 || c.rpc_backoff_ms < 0 ||
+      c.rebalance_interval_ms < 0) {
+    config_error(origin, lineno, "timeouts/intervals must be >= 0");
+  }
+  if (c.rpc_max_attempts < 1) {
+    config_error(origin, lineno, "rpc_max_attempts must be >= 1");
+  }
+  if (c.rebalance_hot_factor <= 0 || c.rebalance_max_replicas < 0) {
+    config_error(origin, lineno, "rebalancer knobs out of range");
+  }
   return c;
 }
 
@@ -230,6 +253,12 @@ std::string ClusterConfig::to_string() const {
   out << "adjacency_cache_rows = " << adjacency_cache_rows << "\n";
   out << "ppr_alpha = " << ppr_alpha << "\n";
   out << "ppr_epsilon = " << ppr_epsilon << "\n";
+  out << "rpc_timeout_s = " << rpc_timeout_s << "\n";
+  out << "rpc_max_attempts = " << rpc_max_attempts << "\n";
+  out << "rpc_backoff_ms = " << rpc_backoff_ms << "\n";
+  out << "rebalance_interval_ms = " << rebalance_interval_ms << "\n";
+  out << "rebalance_hot_factor = " << rebalance_hot_factor << "\n";
+  out << "rebalance_max_replicas = " << rebalance_max_replicas << "\n";
   for (const NodeSpec& n : nodes) {
     out << "node " << n.id << " " << n.host << " " << n.port << " "
         << (n.role == NodeSpec::Role::kStorage ? "storage" : "client")

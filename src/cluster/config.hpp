@@ -68,6 +68,21 @@ struct ClusterConfig {
   double ppr_alpha = 0.462;
   double ppr_epsilon = 1e-6;
 
+  // Elastic shard plane (DESIGN.md §13). rpc_timeout_s bounds every
+  // storage/query RPC wait (0 = wait forever); a timed-out or failed call
+  // is retried up to rpc_max_attempts times with rpc_backoff_ms between
+  // attempts, re-resolving the target through the routing table each try.
+  double rpc_timeout_s = 10.0;
+  int rpc_max_attempts = 3;
+  double rpc_backoff_ms = 5.0;
+  // Rebalancer (runs on node 0): every rebalance_interval_ms it polls
+  // per-shard served counts and adds replicas for shards whose traffic
+  // exceeds rebalance_hot_factor × the mean, up to rebalance_max_replicas
+  // replicas per shard. 0 disables the loop.
+  double rebalance_interval_ms = 0.0;
+  double rebalance_hot_factor = 4.0;
+  int rebalance_max_replicas = 1;
+
   std::vector<NodeSpec> nodes;  // sorted by id after validation
 
   int num_nodes() const { return static_cast<int>(nodes.size()); }

@@ -1,12 +1,13 @@
 #include "cluster/node.hpp"
 
 #include <algorithm>
+#include <chrono>
 
-#include "cluster/query_wire.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "ppr/bfs.hpp"
 #include "ppr/random_walk.hpp"
+#include "rpc/buffer_pool.hpp"
 
 namespace ppr::cluster {
 
@@ -42,26 +43,13 @@ ClusterNode::ClusterNode(ClusterConfig config, int node_id,
 
   endpoint_ = std::make_unique<RpcEndpoint>(transport_, node_id_,
                                             config_.server_threads);
-  storage_service_ = std::make_unique<GraphStorageService>(
-      *endpoint_, sharded_.shards[static_cast<std::size_t>(node_id_)]);
-
-  std::vector<RemoteRef> rrefs;
-  rrefs.reserve(static_cast<std::size_t>(config_.num_nodes()));
-  for (int peer = 0; peer < config_.num_nodes(); ++peer) {
-    rrefs.emplace_back(endpoint_.get(), peer, kStorageServiceName);
-  }
-  storage_ = std::make_unique<DistGraphStorage>(
-      *endpoint_, std::move(rrefs), node_id_,
-      sharded_.shards[static_cast<std::size_t>(node_id_)], shard_map);
-  if (config_.adjacency_cache_rows > 0) {
-    storage_->enable_adjacency_cache(config_.adjacency_cache_rows);
-  }
+  routing_ = std::make_shared<RoutingTable>(shard_map);
+  storage_service_ =
+      std::make_unique<GraphStorageService>(*endpoint_, routing_);
 
   serve_options_.ppr.alpha = config_.ppr_alpha;
   serve_options_.ppr.epsilon = config_.ppr_epsilon;
   serve_options_.executors_per_machine = config_.executors;
-  scheduler_ = std::make_unique<serve::MachineScheduler>(
-      *storage_, serve_options_, stats_);
 
   // Query handlers block on scheduler futures and remote fetches; their
   // dedicated pool keeps the storage-RPC server pool undisturbed (see the
@@ -76,17 +64,34 @@ ClusterNode::ClusterNode(ClusterConfig config, int node_id,
       },
       query_pool_.get());
 
+  install_unit(node_id_,
+               sharded_.shards[static_cast<std::size_t>(node_id_)]);
+  // A real deployment only materializes its own shard; everything this
+  // node adopts later arrives over the wire (snapshot_shard), never from
+  // these locally derived copies.
+  for (int s = 0; s < shards; ++s) {
+    if (s != node_id_) sharded_.shards[static_cast<std::size_t>(s)].reset();
+  }
+
+  // Failover: a dead peer's shards re-route to their replicas before the
+  // endpoint fails that peer's pending calls, so a retry woken by the
+  // failure already resolves against the promoted map. The derivation is
+  // pure, so every surviving member converges without coordination.
+  endpoint_->add_peer_down_hook(
+      [this](int peer) { routing_->handle_node_failure(peer); });
+
   // Readiness barrier LAST: every service this node offers is registered
   // above, so once any peer passes the barrier it may fire requests at us
   // immediately. (The barrier ran before service registration once; a
   // TSan-slowed client reproducibly raced "unknown service: query".)
   transport_->barrier();
 
+  if (node_id_ == 0 && config_.rebalance_interval_ms > 0) {
+    rebalancer_ = std::thread([this] { rebalancer_loop(); });
+  }
+
   GE_LOG(kInfo) << "node " << node_id_ << " serving shard " << node_id_
-                << " (" << sharded_.shards[static_cast<std::size_t>(
-                                               node_id_)]
-                               ->num_core_nodes()
-                << " core nodes) on port " << transport_->listen_port();
+                << " on port " << transport_->listen_port();
 }
 
 ClusterNode::~ClusterNode() { shutdown(); }
@@ -109,11 +114,23 @@ void ClusterNode::run() {
 void ClusterNode::shutdown() {
   if (shut_down_.exchange(true)) return;
   request_shutdown();  // stop admitting new queries
+  // The rebalancer issues sync RPCs; it must exit before delivery stops.
+  if (rebalancer_.joinable()) rebalancer_.join();
 
   // Drain order matters. (1) Flush every admitted query while the full
-  // mesh is still answering storage RPCs.
-  if (scheduler_ != nullptr) scheduler_->drain();
-  scheduler_.reset();
+  // mesh is still answering storage RPCs, then retire the schedulers
+  // (new admissions are refused past `retiring`).
+  std::vector<std::shared_ptr<ServingUnit>> units;
+  {
+    std::lock_guard<std::mutex> lock(units_mutex_);
+    for (auto& [shard, unit] : units_) units.push_back(unit);
+  }
+  for (auto& unit : units) {
+    unit->retiring.store(true, std::memory_order_release);
+    if (unit->scheduler != nullptr) unit->scheduler->drain();
+  }
+  for (auto& unit : units) unit->scheduler.reset();
+  units.clear();
   // (2) Quiesce inbound delivery (joins the transport's reader threads,
   // so nothing new reaches the dispatch pools), then drain the query
   // pool: the reply to the very RPC that requested this shutdown may
@@ -124,9 +141,12 @@ void ClusterNode::shutdown() {
   // (3) Now every outstanding reply is flushed: tell peers we are gone
   // and tear the rest down.
   if (transport_ != nullptr) transport_->announce_leave();
+  {
+    std::lock_guard<std::mutex> lock(units_mutex_);
+    units_.clear();
+  }
   endpoint_.reset();
   storage_service_.reset();
-  storage_.reset();
   if (transport_ != nullptr) transport_->stop();
 }
 
@@ -135,9 +155,219 @@ std::string ClusterNode::metrics_json() const {
 }
 
 serve::ServiceStatsSnapshot ClusterNode::serve_stats() const {
-  return stats_.snapshot(scheduler_ != nullptr
-                             ? scheduler_->states_created()
-                             : 0);
+  std::size_t states = 0;
+  std::lock_guard<std::mutex> lock(units_mutex_);
+  for (const auto& [shard, unit] : units_) {
+    if (unit->scheduler != nullptr) states += unit->scheduler->states_created();
+  }
+  return stats_.snapshot(states);
+}
+
+void ClusterNode::install_unit(ShardId shard,
+                               std::shared_ptr<const GraphShard> data) {
+  storage_service_->install_shard(data);
+  auto unit = std::make_shared<ServingUnit>();
+  std::vector<RemoteRef> rrefs;
+  rrefs.reserve(static_cast<std::size_t>(config_.num_nodes()));
+  for (int peer = 0; peer < config_.num_nodes(); ++peer) {
+    rrefs.emplace_back(endpoint_.get(), peer, kStorageServiceName);
+  }
+  unit->storage = std::make_unique<DistGraphStorage>(
+      *endpoint_, std::move(rrefs), shard, std::move(data), routing_);
+  unit->storage->set_retry_policy(RetryPolicy{
+      config_.rpc_timeout_s, config_.rpc_max_attempts, config_.rpc_backoff_ms});
+  if (config_.adjacency_cache_rows > 0) {
+    unit->storage->enable_adjacency_cache(config_.adjacency_cache_rows);
+  }
+  unit->scheduler = std::make_unique<serve::MachineScheduler>(
+      *unit->storage, serve_options_, stats_);
+  std::lock_guard<std::mutex> lock(units_mutex_);
+  units_[shard] = std::move(unit);
+}
+
+std::shared_ptr<ClusterNode::ServingUnit> ClusterNode::unit_for(
+    ShardId shard) {
+  {
+    std::lock_guard<std::mutex> lock(units_mutex_);
+    const auto it = units_.find(shard);
+    if (it != units_.end() &&
+        !it->second->retiring.load(std::memory_order_acquire)) {
+      return it->second;
+    }
+  }
+  throw RpcError(std::string(kWrongOwnerPrefix) + "node " +
+                 std::to_string(node_id_) + " does not serve shard " +
+                 std::to_string(shard));
+}
+
+void ClusterNode::adopt_shard(ShardId shard, int src) {
+  {
+    std::lock_guard<std::mutex> lock(units_mutex_);
+    if (units_.count(shard) != 0) return;
+  }
+  GE_REQUIRE(src != node_id_, "cannot adopt a shard from myself");
+  ByteWriter req(BufferPool::global().acquire());
+  write_storage_header(req, shard, routing_->epoch());
+  std::vector<std::uint8_t> payload = endpoint_->sync_call(
+      src, kStorageServiceName, storage_method::kSnapshotShard, req.take());
+  GE_REQUIRE(!payload.empty() && payload[0] == kStorageReplyOk,
+             "snapshot source no longer serves shard " +
+                 std::to_string(shard));
+  obs::MetricRegistry::global()
+      .counter("migration.bytes_copied")
+      .add(payload.size() - 1);
+  ByteReader r(std::span<const std::uint8_t>(payload).subspan(1));
+  auto copy = GraphShard::deserialize(r);
+  BufferPool::global().release(std::move(payload));
+  GE_REQUIRE(copy->shard_id() == shard, "snapshot names the wrong shard");
+  GE_LOG(kInfo) << "node " << node_id_ << " adopted shard " << shard
+                << " from node " << src;
+  install_unit(shard, std::move(copy));
+}
+
+void ClusterNode::drop_shard(ShardId shard) {
+  std::shared_ptr<ServingUnit> unit;
+  {
+    std::lock_guard<std::mutex> lock(units_mutex_);
+    const auto it = units_.find(shard);
+    if (it == units_.end()) return;
+    unit = it->second;
+    unit->retiring.store(true, std::memory_order_release);
+    units_.erase(it);
+  }
+  // Drain the query plane (queued SSPPR batches finish against the
+  // post-publish routing table), then the storage plane (in-flight fetch
+  // RPCs on this shard complete; new ones get the stale-route redirect).
+  unit->scheduler->drain();
+  storage_service_->remove_shard(shard);
+  GE_LOG(kInfo) << "node " << node_id_ << " dropped shard " << shard;
+}
+
+void ClusterNode::broadcast_route(const ShardMap& next) {
+  routing_->apply(ShardMap(next));
+  const std::vector<std::uint8_t> payload = encode_shard_map_payload(next);
+  for (int peer = 0; peer < config_.num_nodes(); ++peer) {
+    if (peer == node_id_ || transport_->peer_departed(peer)) continue;
+    try {
+      endpoint_->sync_call(peer, kQueryServiceName, kMethodRouteUpdate,
+                           std::vector<std::uint8_t>(payload));
+    } catch (const std::exception& e) {
+      // A peer that misses the push recovers via stale-route/wrong-owner.
+      GE_LOG(kWarn) << "route update to node " << peer
+                    << " failed: " << e.what();
+    }
+  }
+}
+
+std::vector<std::uint8_t> ClusterNode::handle_migrate(
+    const ShardAdminRequest& req) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  const int shards = config_.num_storage_nodes();
+  GE_REQUIRE(req.shard >= 0 && req.shard < shards, "shard id out of range");
+  GE_REQUIRE(req.node >= 0 && req.node < shards,
+             "migration target must be a storage node");
+  const auto snap = routing_->current();
+  const int src = snap->node_of(req.shard);
+  if (src == req.node) return encode_shard_map_payload(*snap);
+
+  // Copy: the destination pulls the snapshot while the source keeps
+  // serving (shard data is immutable — the copy needs no quiescence).
+  if (req.node == node_id_) {
+    adopt_shard(req.shard, src);
+  } else {
+    endpoint_->sync_call(req.node, kQueryServiceName, kMethodAdoptShard,
+                         encode_shard_admin({req.shard, src}));
+  }
+  // Publish: flip the epoch on every mesh member.
+  const ShardMap next = snap->with_placement(req.shard, req.node);
+  broadcast_route(next);
+  // Drain + free at the source.
+  if (src == node_id_) {
+    drop_shard(req.shard);
+  } else {
+    endpoint_->sync_call(src, kQueryServiceName, kMethodDropShard,
+                         encode_shard_admin({req.shard, -1}));
+  }
+  return encode_shard_map_payload(next);
+}
+
+std::vector<std::uint8_t> ClusterNode::handle_add_replica(
+    const ShardAdminRequest& req) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  const int shards = config_.num_storage_nodes();
+  GE_REQUIRE(req.shard >= 0 && req.shard < shards, "shard id out of range");
+  GE_REQUIRE(req.node >= 0 && req.node < shards,
+             "replica host must be a storage node");
+  const auto snap = routing_->current();
+  if (snap->serves(req.shard, req.node)) {
+    return encode_shard_map_payload(*snap);  // idempotent
+  }
+  const int src = snap->node_of(req.shard);
+  if (req.node == node_id_) {
+    adopt_shard(req.shard, src);
+  } else {
+    endpoint_->sync_call(req.node, kQueryServiceName, kMethodAdoptShard,
+                         encode_shard_admin({req.shard, src}));
+  }
+  const ShardMap next = snap->with_replica(req.shard, req.node);
+  broadcast_route(next);
+  return encode_shard_map_payload(next);
+}
+
+void ClusterNode::rebalancer_loop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      config_.rebalance_interval_ms);
+  const int shards = config_.num_storage_nodes();
+  // Served counts are cumulative; the policy wants per-interval traffic.
+  std::map<ShardId, std::uint64_t> last;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(shutdown_mutex_);
+      if (shutdown_cv_.wait_for(lock, interval, [this] {
+            return shutdown_requested();
+          })) {
+        return;
+      }
+    }
+    std::vector<std::pair<ShardId, std::uint64_t>> counts =
+        storage_service_->served_counts();
+    for (int peer = 0; peer < shards; ++peer) {
+      if (peer == node_id_ || transport_->peer_departed(peer)) continue;
+      try {
+        const auto reply = endpoint_->sync_call(
+            peer, kQueryServiceName, kMethodShardLoad, {});
+        const auto peer_counts = decode_shard_load_reply(reply);
+        counts.insert(counts.end(), peer_counts.begin(), peer_counts.end());
+      } catch (const std::exception&) {
+        continue;  // dead/slow poll target: rebalance from what we have
+      }
+    }
+    std::map<ShardId, std::uint64_t> now;
+    for (const auto& [shard, count] : counts) now[shard] += count;
+    std::vector<std::uint64_t> delta(static_cast<std::size_t>(shards), 0);
+    for (const auto& [shard, count] : now) {
+      if (shard < 0 || shard >= shards) continue;
+      const auto it = last.find(shard);
+      const std::uint64_t prev = it != last.end() ? it->second : 0;
+      // A drained source drops its counter; clamp instead of underflowing.
+      if (count > prev) delta[static_cast<std::size_t>(shard)] = count - prev;
+    }
+    last = std::move(now);
+
+    const auto snap = routing_->current();
+    const auto actions = propose_rebalance(
+        delta, *snap, shards, config_.rebalance_hot_factor,
+        config_.rebalance_max_replicas);
+    for (const RebalanceAction& action : actions) {
+      try {
+        GE_LOG(kInfo) << "rebalancer: replica of shard " << action.shard
+                      << " -> node " << action.node;
+        handle_add_replica(ShardAdminRequest{action.shard, action.node});
+      } catch (const std::exception& e) {
+        GE_LOG(kWarn) << "rebalance add-replica failed: " << e.what();
+      }
+    }
+  }
 }
 
 std::vector<std::uint8_t> ClusterNode::handle_query(
@@ -147,6 +377,31 @@ std::vector<std::uint8_t> ClusterNode::handle_query(
   if (method == kMethodWalk) return run_walk(payload);
   if (method == kMethodPing) return encode_ping_reply(node_id_);
   if (method == kMethodMetrics) return encode_text_reply(metrics_json());
+  if (method == kMethodRouteUpdate) {
+    routing_->apply(decode_shard_map_payload(payload));
+    return {};
+  }
+  if (method == kMethodGetRoute) {
+    return encode_shard_map_payload(*routing_->current());
+  }
+  if (method == kMethodMigrateShard) {
+    return handle_migrate(decode_shard_admin(payload));
+  }
+  if (method == kMethodAddReplica) {
+    return handle_add_replica(decode_shard_admin(payload));
+  }
+  if (method == kMethodAdoptShard) {
+    const ShardAdminRequest req = decode_shard_admin(payload);
+    adopt_shard(req.shard, req.node);
+    return {};
+  }
+  if (method == kMethodDropShard) {
+    drop_shard(decode_shard_admin(payload).shard);
+    return {};
+  }
+  if (method == kMethodShardLoad) {
+    return encode_shard_load_reply(storage_service_->served_counts());
+  }
   if (method == kMethodShutdown) {
     request_shutdown();
     return {};
@@ -160,9 +415,7 @@ std::vector<std::uint8_t> ClusterNode::run_ssppr(
   GE_REQUIRE(req.source >= 0 && req.source < num_nodes_,
              "source node id out of range");
   const NodeRef ref = sharded_.mapping.to_ref(req.source);
-  GE_REQUIRE(storage_->shard_map().node_of(ref.shard) == node_id_,
-             "query for node " + std::to_string(req.source) +
-                 " routed to the wrong owner (owner-compute rule)");
+  const auto unit = unit_for(ref.shard);
   GE_REQUIRE(!shutdown_requested(), "node is shutting down");
 
   serve::PendingQuery q;
@@ -171,7 +424,7 @@ std::vector<std::uint8_t> ClusterNode::run_ssppr(
   q.deadline = std::chrono::steady_clock::time_point::max();
   stats_.on_submitted();
   serve::QueryFuture future = q.promise.get_future();
-  if (!scheduler_->try_enqueue(std::move(q))) {
+  if (!unit->scheduler->try_enqueue(std::move(q))) {
     stats_.on_rejected();
     SspprReply reply;
     reply.status =
@@ -198,12 +451,11 @@ std::vector<std::uint8_t> ClusterNode::run_bfs(
   GE_REQUIRE(req.source >= 0 && req.source < num_nodes_,
              "source node id out of range");
   const NodeRef ref = sharded_.mapping.to_ref(req.source);
-  GE_REQUIRE(storage_->shard_map().node_of(ref.shard) == node_id_,
-             "BFS routed to the wrong owner");
+  const auto unit = unit_for(ref.shard);
   BfsOptions options;
   options.max_depth = req.max_depth;
   const NodeId sources[1] = {ref.local};
-  const BfsResult result = distributed_bfs(*storage_, sources, options);
+  const BfsResult result = distributed_bfs(*unit->storage, sources, options);
 
   BfsReply reply;
   reply.num_levels = result.num_levels;
@@ -222,14 +474,13 @@ std::vector<std::uint8_t> ClusterNode::run_walk(
   GE_REQUIRE(req.source >= 0 && req.source < num_nodes_,
              "source node id out of range");
   const NodeRef ref = sharded_.mapping.to_ref(req.source);
-  GE_REQUIRE(storage_->shard_map().node_of(ref.shard) == node_id_,
-             "walk routed to the wrong owner");
+  const auto unit = unit_for(ref.shard);
   RandomWalkOptions options;
   options.walk_length = req.walk_length;
   options.seed = req.seed;
   const NodeId roots[1] = {ref.local};
   const RandomWalkResult result =
-      distributed_random_walk(*storage_, roots, options);
+      distributed_random_walk(*unit->storage, roots, options);
 
   WalkReply reply;
   reply.steps = result.walks;

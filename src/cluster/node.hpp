@@ -1,12 +1,12 @@
 // ClusterNode: everything one graph_engine_node process runs (DESIGN.md
-// §12). Construction is the whole bootstrap:
+// §12–§13). Construction is the whole bootstrap:
 //
 //   load graph + partition (deterministic from the shared config)
 //   → build this node's shard
 //   → TcpTransport: listen, connect the mesh, handshake, readiness barrier
-//   → RpcEndpoint + GraphStorageService (storage RPCs, server pool)
-//   → DistGraphStorage routed through the config's ShardMap
-//   → MachineScheduler (owner-compute SSPPR serving)
+//   → RpcEndpoint + RoutingTable + GraphStorageService (storage RPCs)
+//   → one ServingUnit (DistGraphStorage + MachineScheduler) per shard
+//     this node serves — initially just its own
 //   → query/admin service on a DEDICATED dispatch pool.
 //
 // The dedicated query pool is load-bearing: query handlers block on
@@ -14,20 +14,34 @@
 // each stuck in a query handler would deadlock waiting for each other's
 // storage RPCs that have no thread left to run on.
 //
+// Elastic shard plane: shards move at runtime. A migration (coordinator
+// handler kMethodMigrateShard) copies the shard to its new home while the
+// old one keeps serving, broadcasts the epoch+1 placement to every mesh
+// member (kMethodRouteUpdate — clients included), then drains and frees
+// the source. Replicas (kMethodAddReplica) install the same data without
+// moving the primary; reads load-balance across the replica set. On a
+// peer death the transport's peer-down hook derives the same failover map
+// on every surviving member (ShardMap::without_node is a pure function),
+// so a replicated shard keeps serving with no coordinator round.
+//
 // Shutdown (run() after request_shutdown(), or shutdown() directly) is a
-// graceful drain: stop admitting queries, flush the scheduler, quiesce
-// RPC delivery, announce LEAVE to every peer, then close the mesh.
+// graceful drain: stop admitting queries, flush every unit's scheduler,
+// quiesce RPC delivery, announce LEAVE to every peer, then close the mesh.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/config.hpp"
+#include "cluster/query_wire.hpp"
+#include "cluster/routing.hpp"
 #include "rpc/tcp_transport.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/service_types.hpp"
@@ -55,6 +69,11 @@ class ClusterNode {
   std::uint16_t listen_port() const { return transport_->listen_port(); }
   const GlobalMapping& mapping() const { return sharded_.mapping; }
 
+  /// Snapshot of this node's live routing table.
+  std::shared_ptr<const ShardMap> shard_map() const {
+    return routing_->current();
+  }
+
   /// Async shutdown signal — safe to call from a signal-handler-driven
   /// path (it only flips an atomic and pokes a condition variable) and
   /// from RPC handlers.
@@ -75,11 +94,54 @@ class ClusterNode {
   serve::ServiceStatsSnapshot serve_stats() const;
 
  private:
+  /// Everything needed to serve queries for ONE shard: a storage client
+  /// whose shard_id is that shard (the SSPPR push order depends only on
+  /// shard_id, which is what keeps answers bit-identical across
+  /// placements) and a scheduler running the owner-compute batches.
+  /// Replica units keep an idle scheduler so a failover promotion starts
+  /// answering queries without any setup.
+  struct ServingUnit {
+    // Declaration order is load-bearing: the scheduler references the
+    // storage, so it must be destroyed first (members destruct in
+    // reverse order).
+    std::unique_ptr<DistGraphStorage> storage;
+    std::unique_ptr<serve::MachineScheduler> scheduler;
+    std::atomic<bool> retiring{false};
+  };
+
   std::vector<std::uint8_t> handle_query(
       const std::string& method, std::span<const std::uint8_t> payload);
   std::vector<std::uint8_t> run_ssppr(std::span<const std::uint8_t> payload);
   std::vector<std::uint8_t> run_bfs(std::span<const std::uint8_t> payload);
   std::vector<std::uint8_t> run_walk(std::span<const std::uint8_t> payload);
+
+  /// Coordinator orchestration (any node can run these; tools call node
+  /// 0). Both reply with the post-change ShardMap.
+  std::vector<std::uint8_t> handle_migrate(const ShardAdminRequest& req);
+  std::vector<std::uint8_t> handle_add_replica(const ShardAdminRequest& req);
+
+  /// Pull a snapshot of `shard` from node `src` over the storage wire and
+  /// start serving it (storage service + ServingUnit). Idempotent.
+  void adopt_shard(ShardId shard, int src);
+  /// Stop serving `shard`: retire the unit, drain its scheduler, drain
+  /// in-flight storage fetches, free the data. Idempotent.
+  void drop_shard(ShardId shard);
+  void install_unit(ShardId shard, std::shared_ptr<const GraphShard> data);
+  /// The serving unit for `shard`; throws the wrong-owner RpcError when
+  /// this node does not serve it (the client re-resolves and retries).
+  std::shared_ptr<ServingUnit> unit_for(ShardId shard);
+
+  /// Apply `next` locally, then push it to every live mesh member
+  /// (clients included). Per-peer failures are logged, not fatal — a
+  /// peer that missed the update recovers through the stale-route /
+  /// wrong-owner retry paths.
+  void broadcast_route(const ShardMap& next);
+
+  /// Node 0's background loop (rebalance_interval_ms > 0): polls
+  /// per-shard served counts from every storage node, feeds the interval
+  /// delta to propose_rebalance, and applies the resulting add-replica
+  /// actions.
+  void rebalancer_loop();
 
   ClusterConfig config_;
   int node_id_;
@@ -88,13 +150,21 @@ class ClusterNode {
 
   std::shared_ptr<TcpTransport> transport_;
   std::unique_ptr<RpcEndpoint> endpoint_;
+  std::shared_ptr<RoutingTable> routing_;
   std::unique_ptr<GraphStorageService> storage_service_;
-  std::unique_ptr<DistGraphStorage> storage_;
 
   serve::ServeOptions serve_options_;
   serve::ServiceStats stats_;
-  std::unique_ptr<serve::MachineScheduler> scheduler_;
+
+  mutable std::mutex units_mutex_;
+  std::map<ShardId, std::shared_ptr<ServingUnit>> units_;
+  /// Serializes migrations / replica additions (one orchestration at a
+  /// time — the routing snapshot each starts from must still be current
+  /// when its epoch+1 map publishes).
+  std::mutex admin_mutex_;
+
   std::unique_ptr<ThreadPool> query_pool_;
+  std::thread rebalancer_;
 
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> shut_down_{false};

@@ -136,4 +136,55 @@ std::string decode_text_reply(std::span<const std::uint8_t> p) {
   return r.read_string();
 }
 
+std::vector<std::uint8_t> encode_shard_admin(const ShardAdminRequest& r) {
+  ByteWriter w;
+  w.write<std::int32_t>(r.shard);
+  w.write<std::int32_t>(r.node);
+  return std::move(w).take();
+}
+
+ShardAdminRequest decode_shard_admin(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  ShardAdminRequest req;
+  req.shard = r.read<std::int32_t>();
+  req.node = r.read<std::int32_t>();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_shard_map_payload(const ShardMap& map) {
+  ByteWriter w;
+  map.encode(w);
+  return std::move(w).take();
+}
+
+ShardMap decode_shard_map_payload(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  return ShardMap::decode(r);
+}
+
+std::vector<std::uint8_t> encode_shard_load_reply(
+    const std::vector<std::pair<ShardId, std::uint64_t>>& counts) {
+  ByteWriter w;
+  w.write<std::uint64_t>(counts.size());
+  for (const auto& [shard, count] : counts) {
+    w.write<std::int32_t>(shard);
+    w.write<std::uint64_t>(count);
+  }
+  return std::move(w).take();
+}
+
+std::vector<std::pair<ShardId, std::uint64_t>> decode_shard_load_reply(
+    std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  const auto n = r.read<std::uint64_t>();
+  std::vector<std::pair<ShardId, std::uint64_t>> counts;
+  counts.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto shard = r.read<std::int32_t>();
+    const auto count = r.read<std::uint64_t>();
+    counts.emplace_back(shard, count);
+  }
+  return counts;
+}
+
 }  // namespace ppr::cluster

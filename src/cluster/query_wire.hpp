@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/shard_map.hpp"
 #include "storage/shard.hpp"
 
 namespace ppr::cluster {
@@ -29,6 +30,38 @@ inline constexpr const char* kMethodWalk = "walk";
 inline constexpr const char* kMethodPing = "ping";
 inline constexpr const char* kMethodMetrics = "metrics";
 inline constexpr const char* kMethodShutdown = "shutdown";
+
+// Elastic shard plane (DESIGN.md §13).
+/// Push: payload is an encoded ShardMap; the receiver applies it to its
+/// routing table (newer epochs only). Reply is empty.
+inline constexpr const char* kMethodRouteUpdate = "route_update";
+/// Pull: empty payload; reply is the answering node's current ShardMap.
+inline constexpr const char* kMethodGetRoute = "get_route";
+/// Admin (coordinator, node 0): move a shard's primary / add a replica.
+/// Payload is a ShardAdminRequest; reply is the post-change ShardMap.
+inline constexpr const char* kMethodMigrateShard = "migrate_shard";
+inline constexpr const char* kMethodAddReplica = "add_replica";
+/// Internal orchestration steps (node→node): pull-and-install a shard
+/// snapshot from `node`; drop (drain + free) a served shard.
+inline constexpr const char* kMethodAdoptShard = "adopt_shard";
+inline constexpr const char* kMethodDropShard = "drop_shard";
+/// Rebalancer poll: reply is the per-shard served-request counters of the
+/// answering node's storage service, encoded as (shard, count) pairs.
+inline constexpr const char* kMethodShardLoad = "shard_load";
+
+/// Error-string marker for a query routed to a node that does not serve
+/// the shard (anymore): the client refreshes its route from the answering
+/// node and retries. Layered as an error so the per-query reply codecs
+/// stay untouched.
+inline constexpr const char* kWrongOwnerPrefix = "wrong-owner: ";
+
+/// (shard, node) argument of the admin/orchestration methods; `node` is
+/// the migration target, replica host, or snapshot source depending on
+/// the method.
+struct ShardAdminRequest {
+  std::int32_t shard = -1;
+  std::int32_t node = -1;
+};
 
 /// SSPPR by source global id; alpha/epsilon are cluster-config constants
 /// (every node boots from the same config), so the request is just the
@@ -88,5 +121,14 @@ std::vector<std::uint8_t> encode_ping_reply(std::int32_t node_id);
 std::int32_t decode_ping_reply(std::span<const std::uint8_t> p);
 std::vector<std::uint8_t> encode_text_reply(const std::string& text);
 std::string decode_text_reply(std::span<const std::uint8_t> p);
+
+std::vector<std::uint8_t> encode_shard_admin(const ShardAdminRequest& r);
+ShardAdminRequest decode_shard_admin(std::span<const std::uint8_t> p);
+std::vector<std::uint8_t> encode_shard_map_payload(const ShardMap& map);
+ShardMap decode_shard_map_payload(std::span<const std::uint8_t> p);
+std::vector<std::uint8_t> encode_shard_load_reply(
+    const std::vector<std::pair<ShardId, std::uint64_t>>& counts);
+std::vector<std::pair<ShardId, std::uint64_t>> decode_shard_load_reply(
+    std::span<const std::uint8_t> p);
 
 }  // namespace ppr::cluster

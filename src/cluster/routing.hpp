@@ -1,0 +1,190 @@
+// RoutingTable: the mutable, epoch-versioned view of shard placement that
+// every remote fetch consults (DESIGN.md §13).
+//
+// ShardMap is immutable; RoutingTable is the cell that swaps maps. Reads
+// take a shared_ptr snapshot (one mutex-guarded pointer copy), so a fetch
+// resolves its target against a consistent map even while a ROUTE_UPDATE
+// lands concurrently. apply() only accepts strictly newer epochs — stale
+// or duplicate updates (rebroadcasts, races between the coordinator and a
+// local failover) are dropped, never rolled back to.
+//
+// read_target() load-balances reads across {primary} ∪ replicas with a
+// per-shard round-robin cursor. The cursor is deterministic given the
+// call sequence, which is what the replica load-balancing test pins down.
+//
+// handle_node_failure() is the peer-down path: it derives
+// ShardMap::without_node(dead) locally. Because that derivation is a pure
+// function of (map, dead), every mesh member converges on the identical
+// successor map without any coordinator round — failover keeps working
+// when the dead node WAS the coordinator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/shard_map.hpp"
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace ppr {
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(ShardMap initial)
+      : map_(std::make_shared<const ShardMap>(std::move(initial))),
+        num_shards_(map_->num_shards()),
+        rr_(static_cast<std::size_t>(map_->num_shards())) {
+    GE_REQUIRE(map_->valid(), "routing table needs a valid initial map");
+    // Touch the elastic-plane counters so every metrics export carries
+    // them from boot (at zero) rather than only after the first retry.
+    auto& reg = obs::MetricRegistry::global();
+    reg.counter("rpc.retries");
+    reg.counter("routing.stale_epoch_hits");
+    reg.counter("migration.bytes_copied");
+  }
+
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+
+  /// Immutable snapshot of the current map.
+  std::shared_ptr<const ShardMap> current() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_;
+  }
+
+  std::uint64_t epoch() const { return current()->epoch(); }
+  int num_shards() const { return num_shards_; }
+
+  /// Install `next` iff it is strictly newer. Returns whether it was
+  /// installed. The shard count is fixed for the table's lifetime.
+  bool apply(ShardMap next) {
+    GE_REQUIRE(next.valid(), "cannot apply an unset shard map");
+    GE_REQUIRE(next.num_shards() == num_shards_,
+               "shard map shard count changed at runtime");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (next.epoch() <= map_->epoch()) return false;
+    map_ = std::make_shared<const ShardMap>(std::move(next));
+    return true;
+  }
+
+  /// Where writes (and non-balanced reads) go.
+  std::int32_t primary_of(std::int32_t shard) const {
+    return current()->node_of(shard);
+  }
+
+  /// Load-balanced read target: round-robins over primary ∪ replicas.
+  std::int32_t read_target(std::int32_t shard) {
+    GE_REQUIRE(shard >= 0 && shard < num_shards_, "shard id out of range");
+    const auto snap = current();
+    const auto& reps = snap->replicas(shard);
+    if (reps.empty()) return snap->node_of(shard);
+    const std::size_t n = reps.size() + 1;
+    const std::size_t idx =
+        rr_[static_cast<std::size_t>(shard)].fetch_add(
+            1, std::memory_order_relaxed) %
+        n;
+    return idx == 0 ? snap->node_of(shard)
+                    : reps[idx - 1];
+  }
+
+  /// Peer-down hook: promote replicas away from `dead`. Returns whether
+  /// the map changed (false when `dead` served nothing we can re-route).
+  bool handle_node_failure(std::int32_t dead) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto next = map_->without_node(dead);
+    if (!next.has_value()) return false;
+    map_ = std::make_shared<const ShardMap>(std::move(*next));
+    return true;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ShardMap> map_;
+  int num_shards_ = 0;
+  // Per-shard round-robin cursors; sized once, never resized (atomics
+  // are neither movable nor copyable).
+  std::vector<std::atomic<std::uint32_t>> rr_;
+};
+
+/// One step the rebalancer proposes from observed traffic.
+struct RebalanceAction {
+  enum class Kind { kAddReplica };
+  Kind kind = Kind::kAddReplica;
+  std::int32_t shard = -1;
+  std::int32_t node = -1;  // where the new replica goes
+};
+
+/// Pure policy: given per-shard served-request counts over the last
+/// interval, propose replicas for hot shards. A shard is hot when its
+/// load exceeds `hot_factor` times the mean shard load; the replica goes
+/// to the least-loaded storage node not already serving the shard. At
+/// most `max_replicas` replicas per shard. Deterministic in its inputs
+/// (ties break toward the lower shard / node id), so the rebalancer is
+/// testable without a cluster.
+inline std::vector<RebalanceAction> propose_rebalance(
+    const std::vector<std::uint64_t>& load_per_shard, const ShardMap& map,
+    int num_storage_nodes, double hot_factor, int max_replicas,
+    std::uint64_t min_total_load = 64) {
+  std::vector<RebalanceAction> actions;
+  const int shards = map.num_shards();
+  GE_REQUIRE(static_cast<int>(load_per_shard.size()) == shards,
+             "load vector must cover every shard");
+  std::uint64_t total = 0;
+  for (const std::uint64_t l : load_per_shard) total += l;
+  if (total < min_total_load || shards == 0) return actions;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shards);
+
+  // Node load: each serving node gets an equal split of its shards' load.
+  std::vector<double> node_load(
+      static_cast<std::size_t>(num_storage_nodes), 0.0);
+  const auto credit = [&](std::int32_t shard, double weight) {
+    const auto share =
+        weight / static_cast<double>(map.replicas(shard).size() + 1);
+    const auto add = [&](std::int32_t node) {
+      if (node >= 0 && node < num_storage_nodes) {
+        node_load[static_cast<std::size_t>(node)] += share;
+      }
+    };
+    add(map.node_of(shard));
+    for (const std::int32_t r : map.replicas(shard)) add(r);
+  };
+  for (std::int32_t s = 0; s < shards; ++s) {
+    credit(s, static_cast<double>(load_per_shard[static_cast<std::size_t>(s)]));
+  }
+
+  // Hottest shards first; lower shard id wins ties for determinism.
+  std::vector<std::int32_t> order(static_cast<std::size_t>(shards));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              const auto la = load_per_shard[static_cast<std::size_t>(a)];
+              const auto lb = load_per_shard[static_cast<std::size_t>(b)];
+              return la != lb ? la > lb : a < b;
+            });
+  for (const std::int32_t s : order) {
+    const auto load = load_per_shard[static_cast<std::size_t>(s)];
+    if (static_cast<double>(load) <= hot_factor * mean) break;
+    if (static_cast<int>(map.replicas(s).size()) >= max_replicas) continue;
+    std::int32_t best = -1;
+    for (std::int32_t n = 0; n < num_storage_nodes; ++n) {
+      if (map.serves(s, n)) continue;
+      if (best < 0 || node_load[static_cast<std::size_t>(n)] <
+                          node_load[static_cast<std::size_t>(best)]) {
+        best = n;
+      }
+    }
+    if (best < 0) continue;  // every node already serves this shard
+    actions.push_back(RebalanceAction{RebalanceAction::Kind::kAddReplica,
+                                      s, best});
+    node_load[static_cast<std::size_t>(best)] +=
+        static_cast<double>(load) /
+        static_cast<double>(map.replicas(s).size() + 2);
+  }
+  return actions;
+}
+
+}  // namespace ppr

@@ -1,18 +1,28 @@
 // ShardMap: the single source of truth for "which node serves shard s".
 //
 // Every shard-location lookup in the engine routes through this map
-// instead of assuming node_id == shard_id, so the elastic-shard roadmap
-// item (migration, replicas, failover) can change placement at runtime by
+// instead of assuming node_id == shard_id, so the elastic shard plane
+// (migration, replicas, failover) can change placement at runtime by
 // publishing a map with a higher epoch — clients compare epochs, not
 // placements. The map is immutable once built; "changing" it means
-// swapping in a new instance (DistGraphStorage::set_shard_map).
+// swapping in a new instance (RoutingTable::apply).
+//
+// Each shard has one primary plus an ordered (sorted, duplicate-free)
+// replica set. Replicas serve reads only; migration and drop always act
+// on the primary. Failover is a pure function (`without_node`) so every
+// mesh member that observes the same peer death derives the identical
+// successor map without coordination.
 //
 // The bootstrap handshake exchanges (epoch, fingerprint) so two nodes
 // booted from diverging cluster configs refuse to mesh (DESIGN.md §12).
+// The fingerprint covers primaries, replica sets, AND the epoch — a map
+// that differs only in replica membership still refuses to mesh.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "common/check.hpp"
@@ -27,11 +37,37 @@ class ShardMap {
   /// `node_of_shard[s]` = node id serving shard s. Epoch 0 is reserved
   /// for "unset"; real maps start at 1.
   ShardMap(std::vector<std::int32_t> node_of_shard, std::uint64_t epoch)
-      : node_of_shard_(std::move(node_of_shard)), epoch_(epoch) {
+      : ShardMap(std::move(node_of_shard), {}, epoch) {}
+
+  /// Full form: primaries plus per-shard replica sets. `replicas` may be
+  /// empty (no shard replicated) or one sorted set per shard.
+  ShardMap(std::vector<std::int32_t> node_of_shard,
+           std::vector<std::vector<std::int32_t>> replicas,
+           std::uint64_t epoch)
+      : node_of_shard_(std::move(node_of_shard)),
+        replicas_(std::move(replicas)),
+        epoch_(epoch) {
     GE_REQUIRE(epoch_ > 0, "shard map epoch must be positive");
     GE_REQUIRE(!node_of_shard_.empty(), "shard map must cover >= 1 shard");
     for (const std::int32_t node : node_of_shard_) {
       GE_REQUIRE(node >= 0, "shard map names a negative node id");
+    }
+    if (replicas_.empty()) {
+      replicas_.resize(node_of_shard_.size());
+    }
+    GE_REQUIRE(replicas_.size() == node_of_shard_.size(),
+               "replica sets must cover every shard");
+    for (std::size_t s = 0; s < replicas_.size(); ++s) {
+      auto& reps = replicas_[s];
+      std::sort(reps.begin(), reps.end());
+      GE_REQUIRE(std::adjacent_find(reps.begin(), reps.end()) == reps.end(),
+                 "duplicate replica for shard " + std::to_string(s));
+      for (const std::int32_t node : reps) {
+        GE_REQUIRE(node >= 0, "replica set names a negative node id");
+        GE_REQUIRE(node != node_of_shard_[s],
+                   "primary of shard " + std::to_string(s) +
+                       " listed as its own replica");
+      }
     }
   }
 
@@ -53,23 +89,89 @@ class ShardMap {
     return node_of_shard_[static_cast<std::size_t>(shard)];
   }
 
+  /// Sorted read replicas of `shard` (primary excluded).
+  const std::vector<std::int32_t>& replicas(std::int32_t shard) const {
+    GE_REQUIRE(shard >= 0 &&
+                   shard < static_cast<std::int32_t>(replicas_.size()),
+               "shard id out of range");
+    return replicas_[static_cast<std::size_t>(shard)];
+  }
+
+  bool is_replica(std::int32_t shard, std::int32_t node) const {
+    const auto& reps = replicas(shard);
+    return std::binary_search(reps.begin(), reps.end(), node);
+  }
+
+  /// Does `node` hold shard data for `shard` (as primary or replica)?
+  bool serves(std::int32_t shard, std::int32_t node) const {
+    return node_of(shard) == node || is_replica(shard, node);
+  }
+
   const std::vector<std::int32_t>& placement() const {
     return node_of_shard_;
   }
 
-  /// A new map with `shard` moved to `node` and the epoch advanced — the
-  /// primitive a future migration/rebalance plane publishes.
+  /// A new map with `shard`'s primary moved to `node` and the epoch
+  /// advanced — the primitive the migration plane publishes. If `node`
+  /// was a replica of `shard` it is promoted (removed from the replica
+  /// set); the old primary does NOT become a replica: migration frees it.
   ShardMap with_placement(std::int32_t shard, std::int32_t node) const {
-    std::vector<std::int32_t> next = node_of_shard_;
     GE_REQUIRE(shard >= 0 &&
-                   shard < static_cast<std::int32_t>(next.size()),
+                   shard < static_cast<std::int32_t>(node_of_shard_.size()),
                "shard id out of range");
+    std::vector<std::int32_t> next = node_of_shard_;
+    std::vector<std::vector<std::int32_t>> reps = replicas_;
     next[static_cast<std::size_t>(shard)] = node;
-    return ShardMap(std::move(next), epoch_ + 1);
+    auto& shard_reps = reps[static_cast<std::size_t>(shard)];
+    shard_reps.erase(
+        std::remove(shard_reps.begin(), shard_reps.end(), node),
+        shard_reps.end());
+    return ShardMap(std::move(next), std::move(reps), epoch_ + 1);
   }
 
-  /// FNV-1a over the epoch and placement; what the bootstrap handshake
-  /// compares across nodes.
+  /// A new map with `node` added to `shard`'s replica set and the epoch
+  /// advanced. Adding the primary or an existing replica is an error.
+  ShardMap with_replica(std::int32_t shard, std::int32_t node) const {
+    GE_REQUIRE(!serves(shard, node),
+               "node " + std::to_string(node) + " already serves shard " +
+                   std::to_string(shard));
+    std::vector<std::vector<std::int32_t>> reps = replicas_;
+    reps[static_cast<std::size_t>(shard)].push_back(node);
+    return ShardMap(node_of_shard_, std::move(reps), epoch_ + 1);
+  }
+
+  /// Deterministic failover: strip `dead` from every replica set and
+  /// promote the lowest-id surviving replica wherever `dead` was primary.
+  /// Returns nullopt when the map does not name `dead` at all (no new
+  /// epoch needed) — and also when `dead` is an unreplicated primary, in
+  /// which case that shard is simply lost and re-routing cannot help.
+  /// Pure function of (map, dead): every node that observes the same
+  /// death converges on the identical successor map without coordination.
+  std::optional<ShardMap> without_node(std::int32_t dead) const {
+    std::vector<std::int32_t> prim = node_of_shard_;
+    std::vector<std::vector<std::int32_t>> reps = replicas_;
+    bool changed = false;
+    for (std::size_t s = 0; s < prim.size(); ++s) {
+      auto& shard_reps = reps[s];
+      const auto dead_it =
+          std::find(shard_reps.begin(), shard_reps.end(), dead);
+      if (dead_it != shard_reps.end()) {
+        shard_reps.erase(dead_it);
+        changed = true;
+      }
+      if (prim[s] == dead && !shard_reps.empty()) {
+        // Replica sets are sorted: front() is the lowest-id survivor.
+        prim[s] = shard_reps.front();
+        shard_reps.erase(shard_reps.begin());
+        changed = true;
+      }
+    }
+    if (!changed) return std::nullopt;
+    return ShardMap(std::move(prim), std::move(reps), epoch_ + 1);
+  }
+
+  /// FNV-1a over the epoch, placement, and replica sets; what the
+  /// bootstrap handshake compares across nodes.
   std::uint64_t fingerprint() const {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     const auto mix = [&h](std::uint64_t v) {
@@ -83,23 +185,33 @@ class ShardMap {
     for (const std::int32_t node : node_of_shard_) {
       mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)));
     }
+    for (const auto& reps : replicas_) {
+      mix(static_cast<std::uint64_t>(reps.size()));
+      for (const std::int32_t node : reps) {
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)));
+      }
+    }
     return h;
   }
 
   void encode(ByteWriter& w) const {
     w.write<std::uint64_t>(epoch_);
     w.write_vec(node_of_shard_);
+    for (const auto& reps : replicas_) w.write_vec(reps);
   }
   static ShardMap decode(ByteReader& r) {
     const auto epoch = r.read<std::uint64_t>();
     auto nodes = r.read_vec<std::int32_t>();
-    return ShardMap(std::move(nodes), epoch);
+    std::vector<std::vector<std::int32_t>> reps(nodes.size());
+    for (auto& shard_reps : reps) shard_reps = r.read_vec<std::int32_t>();
+    return ShardMap(std::move(nodes), std::move(reps), epoch);
   }
 
   bool operator==(const ShardMap&) const = default;
 
  private:
   std::vector<std::int32_t> node_of_shard_;
+  std::vector<std::vector<std::int32_t>> replicas_;
   std::uint64_t epoch_ = 0;
 };
 

@@ -1,5 +1,8 @@
 #include "engine/cluster.hpp"
 
+#include <algorithm>
+
+#include "rpc/buffer_pool.hpp"
 #include "rpc/inproc_transport.hpp"
 #include "rpc/socket_transport.hpp"
 
@@ -24,13 +27,20 @@ Cluster::Cluster(const Graph& g, const PartitionAssignment& assignment,
 
   std::vector<RemoteRef> rrefs;
   endpoints_.reserve(static_cast<std::size_t>(options_.num_machines));
+  routing_.reserve(static_cast<std::size_t>(options_.num_machines));
   services_.reserve(static_cast<std::size_t>(options_.num_machines));
   storages_.reserve(static_cast<std::size_t>(options_.num_machines));
   for (int m = 0; m < options_.num_machines; ++m) {
     endpoints_.push_back(std::make_unique<RpcEndpoint>(
         transport_, m, options_.server_threads));
+    // One routing table per machine — machines route independently, as
+    // separate processes would; ROUTE_UPDATEs are modeled by publish().
+    routing_.push_back(std::make_shared<RoutingTable>(
+        ShardMap::identity(options_.num_machines)));
     services_.push_back(std::make_unique<GraphStorageService>(
-        *endpoints_.back(), sharded_.shards[static_cast<std::size_t>(m)]));
+        *endpoints_.back(), routing_.back()));
+    services_.back()->install_shard(
+        sharded_.shards[static_cast<std::size_t>(m)]);
   }
   for (int m = 0; m < options_.num_machines; ++m) {
     rrefs.clear();
@@ -38,13 +48,13 @@ Cluster::Cluster(const Graph& g, const PartitionAssignment& assignment,
       rrefs.emplace_back(endpoints_[static_cast<std::size_t>(m)].get(), peer,
                          kStorageServiceName);
     }
-    // The simulated deployment places shard m on machine m explicitly;
-    // real clusters (cluster/node.hpp) route through the same ShardMap
+    // The simulated deployment starts with shard m on machine m; real
+    // clusters (cluster/node.hpp) route through the same RoutingTable
     // abstraction with config-derived placements.
     storages_.push_back(std::make_unique<DistGraphStorage>(
         *endpoints_[static_cast<std::size_t>(m)], rrefs, m,
         sharded_.shards[static_cast<std::size_t>(m)],
-        ShardMap::identity(options_.num_machines)));
+        routing_[static_cast<std::size_t>(m)]));
     if (options_.adjacency_cache_rows > 0) {
       storages_.back()->enable_adjacency_cache(options_.adjacency_cache_rows);
     }
@@ -53,6 +63,69 @@ Cluster::Cluster(const Graph& g, const PartitionAssignment& assignment,
   tensor_ctx_ = std::make_unique<TensorPushContext>(
       sharded_.mapping, g.num_nodes(),
       std::vector<float>(g.weighted_degrees()));
+}
+
+std::shared_ptr<const GraphShard> Cluster::pull_snapshot(ShardId shard,
+                                                         int src, int dst) {
+  ByteWriter req(BufferPool::global().acquire());
+  write_storage_header(req, shard,
+                       routing_[static_cast<std::size_t>(dst)]->epoch());
+  std::vector<std::uint8_t> payload =
+      endpoints_[static_cast<std::size_t>(dst)]->sync_call(
+          src, kStorageServiceName, storage_method::kSnapshotShard,
+          req.take());
+  GE_REQUIRE(!payload.empty() && payload[0] == kStorageReplyOk,
+             "snapshot source no longer serves shard " +
+                 std::to_string(shard));
+  obs::MetricRegistry::global()
+      .counter("migration.bytes_copied")
+      .add(payload.size() - 1);
+  ByteReader r(std::span<const std::uint8_t>(payload).subspan(1));
+  auto copy = GraphShard::deserialize(r);
+  BufferPool::global().release(std::move(payload));
+  GE_REQUIRE(copy->shard_id() == shard, "snapshot names the wrong shard");
+  return copy;
+}
+
+void Cluster::publish(const ShardMap& next,
+                      const std::vector<int>& skip_publish) {
+  for (int m = 0; m < options_.num_machines; ++m) {
+    if (std::find(skip_publish.begin(), skip_publish.end(), m) !=
+        skip_publish.end()) {
+      continue;
+    }
+    routing_[static_cast<std::size_t>(m)]->apply(next);
+  }
+}
+
+void Cluster::migrate_shard(ShardId shard, int dst,
+                            const std::vector<int>& skip_publish) {
+  GE_REQUIRE(dst >= 0 && dst < options_.num_machines,
+             "migration target out of range");
+  const auto snap = routing_[static_cast<std::size_t>(dst)]->current();
+  const int src = snap->node_of(shard);
+  if (src == dst) return;
+  // Copy: the destination pulls the snapshot while the source keeps
+  // serving (shard data is immutable — the copy needs no quiescence).
+  services_[static_cast<std::size_t>(dst)]->install_shard(
+      pull_snapshot(shard, src, dst));
+  // Publish: flip the epoch everywhere (minus the deliberately-stale).
+  publish(snap->with_placement(shard, dst), skip_publish);
+  // Drain + free: the source blocks until in-flight fetches complete,
+  // then drops its reference to the shard data.
+  services_[static_cast<std::size_t>(src)]->remove_shard(shard);
+}
+
+void Cluster::add_replica(ShardId shard, int machine,
+                          const std::vector<int>& skip_publish) {
+  GE_REQUIRE(machine >= 0 && machine < options_.num_machines,
+             "replica target out of range");
+  const auto snap = routing_[static_cast<std::size_t>(machine)]->current();
+  const int src = snap->node_of(shard);
+  GE_REQUIRE(src != machine, "primary cannot replicate onto itself");
+  services_[static_cast<std::size_t>(machine)]->install_shard(
+      pull_snapshot(shard, src, machine));
+  publish(snap->with_replica(shard, machine), skip_publish);
 }
 
 Cluster::~Cluster() {

@@ -62,6 +62,30 @@ class Cluster {
   RpcEndpoint& endpoint(int machine) {
     return *endpoints_[static_cast<std::size_t>(machine)];
   }
+  GraphStorageService& service(int machine) {
+    return *services_[static_cast<std::size_t>(machine)];
+  }
+  /// Machine m's live routing table (each machine routes independently —
+  /// exactly like separate processes — so tests can hold one machine's
+  /// table stale and exercise the redirect path).
+  RoutingTable& routing(int machine) {
+    return *routing_[static_cast<std::size_t>(machine)];
+  }
+
+  /// Live shard migration over the real wire path: machine `dst` pulls a
+  /// full snapshot of `shard` from its current primary via the storage
+  /// RPC, installs it, the new placement (epoch+1) is published to every
+  /// machine's routing table except those in `skip_publish` (left stale
+  /// on purpose — the stale-epoch retry test), and the source drains
+  /// in-flight fetches and drops the shard.
+  void migrate_shard(ShardId shard, int dst,
+                     const std::vector<int>& skip_publish = {});
+
+  /// Add a read replica of `shard` on `machine`: snapshot-copy from the
+  /// primary, install, publish with_replica to all tables (minus
+  /// `skip_publish`).
+  void add_replica(ShardId shard, int machine,
+                   const std::vector<int>& skip_publish = {});
   /// Shared context for the tensor baseline (dense lookup tables).
   const TensorPushContext& tensor_ctx() const { return *tensor_ctx_; }
 
@@ -82,11 +106,18 @@ class Cluster {
   std::uint64_t total_adjacency_cache_misses() const;
 
  private:
+  /// Pull a wire snapshot of `shard` into machine `dst` from `src`
+  /// (counts migration.bytes_copied) and decode it.
+  std::shared_ptr<const GraphShard> pull_snapshot(ShardId shard, int src,
+                                                  int dst);
+  void publish(const ShardMap& next, const std::vector<int>& skip_publish);
+
   ClusterOptions options_;
   NodeId num_nodes_ = 0;
   ShardedGraph sharded_;
   std::shared_ptr<Transport> transport_;
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
+  std::vector<std::shared_ptr<RoutingTable>> routing_;
   std::vector<std::unique_ptr<GraphStorageService>> services_;
   std::vector<std::unique_ptr<DistGraphStorage>> storages_;
   std::unique_ptr<TensorPushContext> tensor_ctx_;

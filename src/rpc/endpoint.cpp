@@ -13,7 +13,7 @@ RpcEndpoint::RpcEndpoint(std::shared_ptr<Transport> transport, int machine_id,
       server_pool_(static_cast<std::size_t>(server_threads)) {
   GE_REQUIRE(transport_ != nullptr, "transport is null");
   transport_->set_peer_down_handler(
-      machine_id_, [this](int peer) { fail_pending_to(peer); });
+      machine_id_, [this](int peer) { on_peer_down(peer); });
   transport_->start(machine_id_, [this](Message msg) {
     on_message(std::move(msg));
   });
@@ -127,6 +127,25 @@ void RpcEndpoint::on_message(Message msg) {
   } else {
     promise.set_error(std::move(msg.error));
   }
+}
+
+void RpcEndpoint::add_peer_down_hook(std::function<void(int)> hook) {
+  GE_REQUIRE(hook != nullptr, "peer-down hook is null");
+  std::lock_guard<std::mutex> lock(hooks_mutex_);
+  peer_down_hooks_.push_back(std::move(hook));
+}
+
+void RpcEndpoint::on_peer_down(int peer) {
+  // Observers (routing-table failover) run BEFORE pending calls fail:
+  // a retry loop woken by fail_pending_to must already see the promoted
+  // map, otherwise it would re-resolve to the peer that just died.
+  std::vector<std::function<void(int)>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    hooks = peer_down_hooks_;
+  }
+  for (const auto& hook : hooks) hook(peer);
+  fail_pending_to(peer);
 }
 
 void RpcEndpoint::fail_pending_to(int peer) {

@@ -71,8 +71,18 @@ class RpcEndpoint {
                                        const std::string& method,
                                        std::span<const std::uint8_t> payload);
 
+  /// Register an additional peer-down observer. The transport exposes a
+  /// single peer-down slot and the endpoint's constructor consumes it, so
+  /// failover logic (routing-table promotion) chains through here. Hooks
+  /// run on the transport's reader thread BEFORE the endpoint fails the
+  /// peer's pending calls — a retry woken by that failure already sees
+  /// the post-failover routing table. Hooks must not call back into the
+  /// endpoint.
+  void add_peer_down_hook(std::function<void(int)> hook);
+
  private:
   void on_message(Message msg);
+  void on_peer_down(int peer);
   void handle_request(Message msg);
   /// Fail every pending call addressed to `peer` with RpcError. Invoked
   /// by the transport's peer-down hook once the link to `peer` hits EOF —
@@ -98,6 +108,9 @@ class RpcEndpoint {
   std::mutex pending_mutex_;
   std::map<std::uint64_t, PendingCall> pending_;
   std::atomic<std::uint64_t> next_call_id_{1};
+
+  std::mutex hooks_mutex_;
+  std::vector<std::function<void(int)>> peer_down_hooks_;
 
   // Last member on purpose: its destructor joins in-flight handler tasks,
   // which touch services_/pending_/transport_ — those must still exist.

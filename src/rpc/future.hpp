@@ -7,6 +7,7 @@
 // online query service with typed query results.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -43,6 +44,19 @@ class Future {
     GE_CHECK(valid(), "wait on invalid future");
     std::lock_guard<std::mutex> lock(state_->mutex);
     return state_->ready;
+  }
+
+  /// Bounded wait: true once the result (value or error) is ready, false
+  /// when `timeout` elapses first. Does not consume — follow up with
+  /// wait(). The retry plane uses this as the per-call RPC timeout: a
+  /// false return means the target is unresponsive and the caller may
+  /// re-issue elsewhere while this future stays pending.
+  template <typename Rep, typename Period>
+  bool wait_ready_for(std::chrono::duration<Rep, Period> timeout) const {
+    GE_REQUIRE(valid(), "wait on invalid future");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    return state_->cv.wait_for(lock, timeout,
+                               [&] { return state_->ready; });
   }
 
   /// Blocks until the result arrives; returns the value (moved out, so

@@ -20,7 +20,10 @@ namespace ppr {
 
 /// Bumped whenever the frame layout or the bootstrap sequence changes
 /// incompatibly; both ends must match exactly.
-inline constexpr std::uint16_t kClusterProtocolVersion = 1;
+// v2: storage requests carry a [shard, routing epoch] header and storage
+// replies a status byte (stale-route redirects); ShardMap wire format
+// gained replica sets. v1 peers cannot interoperate.
+inline constexpr std::uint16_t kClusterProtocolVersion = 2;
 
 /// "GEN1" little-endian — rejects random port scanners and non-cluster
 /// peers before any field is interpreted.

@@ -1,47 +1,143 @@
 #include "storage/dist_storage.hpp"
 
+#include <cstring>
+#include <thread>
+
 #include "rpc/buffer_pool.hpp"
 
 namespace ppr {
 
+StorageCall& StorageCall::operator=(StorageCall&& other) noexcept {
+  if (this == &other) return *this;
+  release_request();
+  storage = other.storage;
+  method = other.method;
+  dst = other.dst;
+  target = other.target;
+  request = std::move(other.request);
+  other.storage = nullptr;
+  other.request = std::vector<std::uint8_t>();
+  return *this;
+}
+
+void StorageCall::release_request() {
+  if (request.capacity() == 0) return;
+  BufferPool::global().release(std::move(request));
+  request = std::vector<std::uint8_t>();
+}
+
 DistGraphStorage::DistGraphStorage(
     RpcEndpoint& endpoint, std::vector<RemoteRef> rrefs, ShardId shard_id,
-    std::shared_ptr<const GraphShard> local_shard, ShardMap shard_map)
+    std::shared_ptr<const GraphShard> local_shard,
+    std::shared_ptr<RoutingTable> routing)
     : endpoint_(endpoint),
       rrefs_(std::move(rrefs)),
-      shard_map_(std::make_shared<const ShardMap>(
-          shard_map.valid() ? std::move(shard_map)
-                            : ShardMap::identity(
-                                  static_cast<int>(rrefs_.size())))),
+      routing_(std::move(routing)),
       shard_id_(shard_id),
       local_shard_(std::move(local_shard)),
       stats_(shard_id) {
+  if (routing_ == nullptr) {
+    routing_ = std::make_shared<RoutingTable>(
+        ShardMap::identity(static_cast<int>(rrefs_.size())));
+  }
   GE_REQUIRE(local_shard_ != nullptr, "null local shard");
-  GE_REQUIRE(shard_id_ >= 0 && shard_id_ < shard_map_->num_shards(),
+  GE_REQUIRE(shard_id_ >= 0 && shard_id_ < routing_->num_shards(),
              "shard id out of range");
   GE_REQUIRE(local_shard_->shard_id() == shard_id_,
              "local shard does not match shard id");
-  for (const std::int32_t node : shard_map_->placement()) {
+  for (const std::int32_t node : routing_->current()->placement()) {
     GE_REQUIRE(node < static_cast<std::int32_t>(rrefs_.size()),
                "shard map names a node with no storage rref");
   }
 }
 
+DistGraphStorage::DistGraphStorage(
+    RpcEndpoint& endpoint, std::vector<RemoteRef> rrefs, ShardId shard_id,
+    std::shared_ptr<const GraphShard> local_shard, ShardMap shard_map)
+    : DistGraphStorage(
+          endpoint, std::move(rrefs), shard_id, std::move(local_shard),
+          shard_map.valid()
+              ? std::make_shared<RoutingTable>(std::move(shard_map))
+              : nullptr) {}
+
 void DistGraphStorage::set_shard_map(ShardMap next) {
   GE_REQUIRE(next.valid(), "cannot publish an unset shard map");
-  GE_REQUIRE(next.epoch() > shard_map_->epoch(),
-             "shard map epoch must advance");
-  GE_REQUIRE(next.num_shards() == shard_map_->num_shards(),
-             "shard count is fixed for a deployment");
   for (const std::int32_t node : next.placement()) {
     GE_REQUIRE(node < static_cast<std::int32_t>(rrefs_.size()),
                "shard map names a node with no storage rref");
   }
-  shard_map_ = std::make_shared<const ShardMap>(std::move(next));
+  GE_REQUIRE(routing_->apply(std::move(next)),
+             "shard map epoch must advance");
 }
 
-const RemoteRef& DistGraphStorage::rref_for(ShardId shard) const {
-  return rrefs_[static_cast<std::size_t>(shard_map_->node_of(shard))];
+RpcFuture DistGraphStorage::issue_storage_call(StorageCall& call) const {
+  GE_REQUIRE(call.request.size() >= kStorageHeaderBytes,
+             "storage call without routing header");
+  // Patch the routing epoch in place: the rest of the frame is
+  // placement-independent, so a retry only refreshes the header.
+  const std::uint64_t epoch = routing_->epoch();
+  std::memcpy(call.request.data() + kStorageEpochOffset, &epoch,
+              sizeof(epoch));
+  call.target = routing_->read_target(call.dst);
+  GE_REQUIRE(call.target >= 0 &&
+                 call.target < static_cast<int>(rrefs_.size()),
+             "routing names a node with no storage rref");
+  // The transport consumes whatever buffer it sends; ship a pooled copy
+  // and keep the master in the call for potential retries.
+  ByteWriter w(BufferPool::global().acquire());
+  w.write_bytes(call.request.data(), call.request.size());
+  return endpoint_.async_call(call.target, kStorageServiceName,
+                              call.method, w.take());
+}
+
+std::vector<std::uint8_t> DistGraphStorage::await_storage_reply(
+    RpcFuture& future, StorageCall& call) const {
+  auto& retries = obs::MetricRegistry::global().counter("rpc.retries");
+  int attempts_left = std::max(1, policy_.max_attempts);
+  for (;;) {
+    std::vector<std::uint8_t> payload;
+    try {
+      if (policy_.timeout_s > 0 &&
+          !future.wait_ready_for(
+              std::chrono::duration<double>(policy_.timeout_s))) {
+        throw RpcError("storage rpc to node " +
+                       std::to_string(call.target) + " timed out after " +
+                       std::to_string(policy_.timeout_s) + "s");
+      }
+      payload = future.wait();
+    } catch (const RpcError&) {
+      // Send failure, timeout, or the peer died with the call in flight.
+      // The endpoint's peer-down hook has already promoted the routing
+      // table past a dead primary, so re-resolving below finds a live
+      // replica (or the same node, for a transient error).
+      if (--attempts_left <= 0) throw;
+      retries.add(1);
+      if (policy_.backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(policy_.backoff_ms));
+      }
+      future = issue_storage_call(call);
+      continue;
+    }
+    GE_REQUIRE(!payload.empty(), "empty storage reply");
+    if (payload[0] == kStorageReplyOk) {
+      call.release_request();
+      return payload;
+    }
+    GE_REQUIRE(payload[0] == kStorageReplyStaleRoute,
+               "unknown storage reply status byte");
+    // The server no longer holds the shard; its reply carries its (newer)
+    // map. Adopt it and transparently re-issue to the new owner.
+    ByteReader r(std::span<const std::uint8_t>(payload).subspan(1));
+    routing_->apply(ShardMap::decode(r));
+    BufferPool::global().release(std::move(payload));
+    if (--attempts_left <= 0) {
+      throw RpcError("routing for shard " + std::to_string(call.dst) +
+                     " did not converge after retries");
+    }
+    retries.add(1);
+    future = issue_storage_call(call);
+  }
 }
 
 std::vector<VertexProp> DistGraphStorage::get_neighbor_infos_local(
@@ -126,8 +222,10 @@ void DistGraphStorage::insert_adjacency_rows(ShardId dst,
 }
 
 std::vector<std::uint8_t> DistGraphStorage::encode_batch_request(
-    std::span<const NodeId> locals, const FetchOptions& options) {
+    ShardId dst, std::span<const NodeId> locals,
+    const FetchOptions& options) const {
   ByteWriter w(BufferPool::global().acquire());
+  write_storage_header(w, dst, routing_->epoch());
   std::uint8_t flags = options.compress ? kFetchFlagCompress : 0;
   if (options.codec == WireCodec::kDeltaVarint) flags |= kFetchFlagVarint;
   if (!options.need_weights) flags |= kFetchFlagNoWeights;
@@ -151,13 +249,13 @@ NeighborFetch DistGraphStorage::get_neighbor_infos_async(
              "dst shard out of range");
   stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
-  std::vector<std::uint8_t> request = encode_batch_request(locals, options);
-  stats_.remote_request_bytes.fetch_add(request.size(),
+  StorageCall call(this, storage_method::kGetNeighborInfos, dst);
+  call.request = encode_batch_request(dst, locals, options);
+  stats_.remote_request_bytes.fetch_add(call.request.size(),
                                         std::memory_order_relaxed);
-  return NeighborFetch(
-      rref_for(dst).async_call(
-          storage_method::kGetNeighborInfos, std::move(request)),
-      options.compress, &stats_);
+  RpcFuture future = issue_storage_call(call);
+  return NeighborFetch(std::move(future), options.compress, &stats_,
+                       std::move(call));
 }
 
 NeighborFetch DistGraphStorage::get_neighbor_info_single_async(
@@ -166,15 +264,16 @@ NeighborFetch DistGraphStorage::get_neighbor_info_single_async(
              "dst shard out of range");
   stats_.remote_nodes.fetch_add(1, std::memory_order_relaxed);
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
-  ByteWriter w;
+  StorageCall call(this, storage_method::kGetNeighborInfoSingle, dst);
+  ByteWriter w(BufferPool::global().acquire());
+  write_storage_header(w, dst, routing_->epoch());
   w.write<NodeId>(local);
-  std::vector<std::uint8_t> request = w.take();
-  stats_.remote_request_bytes.fetch_add(request.size(),
+  call.request = w.take();
+  stats_.remote_request_bytes.fetch_add(call.request.size(),
                                         std::memory_order_relaxed);
-  return NeighborFetch(rref_for(dst).async_call(
-                           storage_method::kGetNeighborInfoSingle,
-                           std::move(request)),
-                       /*compressed=*/false, &stats_);
+  RpcFuture future = issue_storage_call(call);
+  return NeighborFetch(std::move(future), /*compressed=*/false, &stats_,
+                       std::move(call));
 }
 
 SampleResult DistGraphStorage::decode_sample(
@@ -188,12 +287,17 @@ SampleResult DistGraphStorage::decode_sample(
 }
 
 void NeighborFetch::wait_into(NeighborBatch& out) {
-  std::vector<std::uint8_t> payload = future_.wait();
+  std::vector<std::uint8_t> payload =
+      call_.storage != nullptr
+          ? call_.storage->await_storage_reply(future_, call_)
+          : future_.wait();
   if (stats_ != nullptr) {
     stats_->remote_response_bytes.fetch_add(payload.size(),
                                             std::memory_order_relaxed);
   }
   ByteReader r(payload);
+  const auto status = r.read<std::uint8_t>();
+  GE_REQUIRE(status == kStorageReplyOk, "storage reply not OK");
   if (compressed_) {
     NeighborBatch::decode_csr_into(r, out);
   } else {
@@ -203,23 +307,35 @@ void NeighborFetch::wait_into(NeighborBatch& out) {
 }
 
 SampleResult SampleFetch::wait() {
-  std::vector<std::uint8_t> payload = future_.wait();
+  std::vector<std::uint8_t> payload =
+      call_.storage != nullptr
+          ? call_.storage->await_storage_reply(future_, call_)
+          : future_.wait();
   if (stats_ != nullptr) {
     stats_->remote_response_bytes.fetch_add(payload.size(),
                                             std::memory_order_relaxed);
   }
-  SampleResult res = DistGraphStorage::decode_sample(payload);
+  GE_REQUIRE(!payload.empty() && payload[0] == kStorageReplyOk,
+             "storage reply not OK");
+  SampleResult res = DistGraphStorage::decode_sample(
+      std::span<const std::uint8_t>(payload).subspan(1));
   BufferPool::global().release(std::move(payload));
   return res;
 }
 
 KSampleResult KSampleFetch::wait() {
-  std::vector<std::uint8_t> payload = future_.wait();
+  std::vector<std::uint8_t> payload =
+      call_.storage != nullptr
+          ? call_.storage->await_storage_reply(future_, call_)
+          : future_.wait();
   if (stats_ != nullptr) {
     stats_->remote_response_bytes.fetch_add(payload.size(),
                                             std::memory_order_relaxed);
   }
-  KSampleResult res = DistGraphStorage::decode_k_sample(payload);
+  GE_REQUIRE(!payload.empty() && payload[0] == kStorageReplyOk,
+             "storage reply not OK");
+  KSampleResult res = DistGraphStorage::decode_k_sample(
+      std::span<const std::uint8_t>(payload).subspan(1));
   BufferPool::global().release(std::move(payload));
   return res;
 }
@@ -228,24 +344,24 @@ SampleFetch DistGraphStorage::sample_one_neighbor_async(
     ShardId dst, std::span<const NodeId> locals, std::uint64_t seed) const {
   GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(num_shards()),
              "dst shard out of range");
-  ByteWriter w;
+  StorageCall call(this, storage_method::kSampleOneNeighbor, dst);
+  ByteWriter w(BufferPool::global().acquire());
+  write_storage_header(w, dst, routing_->epoch());
   w.write<std::uint64_t>(seed);
   w.write_span(locals);
-  std::vector<std::uint8_t> request = w.take();
+  call.request = w.take();
   FetchStats* stats = nullptr;
   if (dst != shard_id_) {
     stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
     stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
-    stats_.remote_request_bytes.fetch_add(request.size(),
+    stats_.remote_request_bytes.fetch_add(call.request.size(),
                                           std::memory_order_relaxed);
     stats = &stats_;
   } else {
     stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
   }
-  return SampleFetch(rref_for(dst).async_call(
-                         storage_method::kSampleOneNeighbor,
-                         std::move(request)),
-                     stats);
+  RpcFuture future = issue_storage_call(call);
+  return SampleFetch(std::move(future), stats, std::move(call));
 }
 
 KSampleResult DistGraphStorage::decode_k_sample(
@@ -264,25 +380,25 @@ KSampleFetch DistGraphStorage::sample_k_neighbors_async(
     std::uint64_t seed) const {
   GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(num_shards()),
              "dst shard out of range");
-  ByteWriter w;
+  StorageCall call(this, storage_method::kSampleKNeighbors, dst);
+  ByteWriter w(BufferPool::global().acquire());
+  write_storage_header(w, dst, routing_->epoch());
   w.write<std::uint64_t>(seed);
   w.write<std::int32_t>(k);
   w.write_span(locals);
-  std::vector<std::uint8_t> request = w.take();
+  call.request = w.take();
   FetchStats* stats = nullptr;
   if (dst != shard_id_) {
     stats_.remote_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
     stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
-    stats_.remote_request_bytes.fetch_add(request.size(),
+    stats_.remote_request_bytes.fetch_add(call.request.size(),
                                           std::memory_order_relaxed);
     stats = &stats_;
   } else {
     stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
   }
-  return KSampleFetch(rref_for(dst).async_call(
-                          storage_method::kSampleKNeighbors,
-                          std::move(request)),
-                      stats);
+  RpcFuture future = issue_storage_call(call);
+  return KSampleFetch(std::move(future), stats, std::move(call));
 }
 
 KSampleResult DistGraphStorage::sample_k_neighbors(

@@ -6,9 +6,11 @@
 // response into a NeighborBatch exposing the same VertexProp API.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
+#include "cluster/routing.hpp"
 #include "cluster/shard_map.hpp"
 #include "obs/metrics.hpp"
 #include "rpc/endpoint.hpp"
@@ -88,15 +90,49 @@ struct KSampleResult {
   std::vector<NodeId> global_ids;
 };
 
+class DistGraphStorage;
+
+/// Book-keeping for one retryable storage RPC: the master copy of the
+/// encoded request (pooled — each send ships a fresh pooled copy, so a
+/// retry can re-send even though the transport consumed the original)
+/// plus where it went. The epoch inside the request header is patched in
+/// place on re-resolve (kStorageEpochOffset). Move-only; the destructor
+/// recycles an unreleased master copy so abandoned fetches don't leak
+/// pool buffers.
+struct StorageCall {
+  const DistGraphStorage* storage = nullptr;
+  const char* method = nullptr;
+  ShardId dst = -1;
+  int target = -1;  // node the last attempt went to
+  std::vector<std::uint8_t> request;
+
+  StorageCall() = default;
+  StorageCall(const DistGraphStorage* s, const char* m, ShardId d)
+      : storage(s), method(m), dst(d) {}
+  StorageCall(StorageCall&& other) noexcept { *this = std::move(other); }
+  StorageCall& operator=(StorageCall&& other) noexcept;
+  StorageCall(const StorageCall&) = delete;
+  StorageCall& operator=(const StorageCall&) = delete;
+  ~StorageCall() { release_request(); }
+
+  void release_request();
+};
+
 /// Pending remote neighbor-info fetch; wait() decodes the response (and
 /// credits the response payload to the issuing client's byte counters).
 /// The payload buffer is recycled through the BufferPool after decoding.
+/// Waiting drives the retry plane: stale-route redirects re-resolve and
+/// re-issue transparently; timeouts and dead peers retry against the
+/// current routing table (see DistGraphStorage::await_storage_reply).
 class NeighborFetch {
  public:
   NeighborFetch() = default;
-  NeighborFetch(RpcFuture future, bool compressed,
-                FetchStats* stats = nullptr)
-      : future_(std::move(future)), compressed_(compressed), stats_(stats) {}
+  NeighborFetch(RpcFuture future, bool compressed, FetchStats* stats,
+                StorageCall call)
+      : future_(std::move(future)),
+        compressed_(compressed),
+        stats_(stats),
+        call_(std::move(call)) {}
 
   bool valid() const { return future_.valid(); }
 
@@ -114,6 +150,7 @@ class NeighborFetch {
   RpcFuture future_;
   bool compressed_ = true;
   FetchStats* stats_ = nullptr;
+  StorageCall call_;
 };
 
 /// Pending sample_one_neighbor RPC; wait() decodes the response and, for
@@ -122,8 +159,10 @@ class NeighborFetch {
 class SampleFetch {
  public:
   SampleFetch() = default;
-  explicit SampleFetch(RpcFuture future, FetchStats* stats = nullptr)
-      : future_(std::move(future)), stats_(stats) {}
+  SampleFetch(RpcFuture future, FetchStats* stats, StorageCall call)
+      : future_(std::move(future)),
+        stats_(stats),
+        call_(std::move(call)) {}
 
   bool valid() const { return future_.valid(); }
   SampleResult wait();
@@ -131,6 +170,7 @@ class SampleFetch {
  private:
   RpcFuture future_;
   FetchStats* stats_ = nullptr;
+  StorageCall call_;
 };
 
 /// Pending sample_k_neighbors RPC; same byte-crediting contract as
@@ -138,8 +178,10 @@ class SampleFetch {
 class KSampleFetch {
  public:
   KSampleFetch() = default;
-  explicit KSampleFetch(RpcFuture future, FetchStats* stats = nullptr)
-      : future_(std::move(future)), stats_(stats) {}
+  KSampleFetch(RpcFuture future, FetchStats* stats, StorageCall call)
+      : future_(std::move(future)),
+        stats_(stats),
+        call_(std::move(call)) {}
 
   bool valid() const { return future_.valid(); }
   KSampleResult wait();
@@ -147,31 +189,56 @@ class KSampleFetch {
  private:
   RpcFuture future_;
   FetchStats* stats_ = nullptr;
+  StorageCall call_;
+};
+
+/// Per-call timeout / bounded-retry knobs of the failover plane. A zero
+/// timeout means wait forever (in-process transports can't lose peers
+/// silently); attempts counts the first try.
+struct RetryPolicy {
+  double timeout_s = 0.0;
+  int max_attempts = 3;
+  double backoff_ms = 1.0;
 };
 
 class DistGraphStorage {
  public:
   /// `rrefs[j]` must reference *node* j's storage service; `shard_id` is
   /// this process's own shard; `local_shard` points at the local shard in
-  /// shared memory. `shard_map` routes shard ids to node ids — every
-  /// remote fetch resolves its destination through it, never by assuming
-  /// node == shard. An invalid (default) map means the classic identity
-  /// deployment over `rrefs.size()` shards.
+  /// shared memory. `routing` is the live shard→node table — every remote
+  /// fetch resolves its destination through it, never by assuming
+  /// node == shard. The table is shared: a ROUTE_UPDATE applied anywhere
+  /// on this machine redirects this storage's next fetch.
+  DistGraphStorage(RpcEndpoint& endpoint, std::vector<RemoteRef> rrefs,
+                   ShardId shard_id,
+                   std::shared_ptr<const GraphShard> local_shard,
+                   std::shared_ptr<RoutingTable> routing);
+
+  /// Convenience: a private routing table seeded with `shard_map` (or the
+  /// classic identity deployment over `rrefs.size()` shards when the
+  /// default-constructed map is passed).
   DistGraphStorage(RpcEndpoint& endpoint, std::vector<RemoteRef> rrefs,
                    ShardId shard_id,
                    std::shared_ptr<const GraphShard> local_shard,
                    ShardMap shard_map = {});
 
   ShardId shard_id() const { return shard_id_; }
-  int num_shards() const { return shard_map_->num_shards(); }
+  int num_shards() const { return routing_->num_shards(); }
   const GraphShard& local_shard() const { return *local_shard_; }
 
-  /// The epoch-tagged shard→node placement this client routes by.
-  const ShardMap& shard_map() const { return *shard_map_; }
-  /// Publish a new placement (must have a strictly newer epoch). Caller
-  /// contract: only between queries — in-flight fetches keep the map they
-  /// started with.
+  /// Snapshot of the epoch-tagged shard→node placement this client
+  /// routes by (a fetch that started earlier may still hold an older
+  /// snapshot — the stale-route retry absorbs exactly that window).
+  std::shared_ptr<const ShardMap> shard_map() const {
+    return routing_->current();
+  }
+  RoutingTable& routing() const { return *routing_; }
+  /// Publish a new placement (must have a strictly newer epoch).
   void set_shard_map(ShardMap next);
+
+  /// Failover knobs; default is wait-forever with 3 attempts.
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return policy_; }
 
   /// Shared-memory local fetch: zero-copy views, no serialization.
   std::vector<VertexProp> get_neighbor_infos_local(
@@ -269,19 +336,33 @@ class DistGraphStorage {
 
   FetchStats& stats() const { return stats_; }
 
- private:
-  static std::vector<std::uint8_t> encode_batch_request(
-      std::span<const NodeId> locals, const FetchOptions& options);
+  /// The retry/failover loop every fetch wait routes through. Blocks on
+  /// `future` (bounded by the retry policy's timeout); on a stale-route
+  /// redirect applies the server's newer map and re-issues; on an
+  /// RpcError (peer died, send failed, timeout) backs off and re-issues
+  /// against the current routing table — which the endpoint's peer-down
+  /// hook has already promoted past a dead primary. Returns the verified
+  /// kStorageReplyOk payload (status byte still in front) and recycles
+  /// the call's master request buffer. Public-for-the-fetch-classes.
+  std::vector<std::uint8_t> await_storage_reply(RpcFuture& future,
+                                                StorageCall& call) const;
 
-  /// Storage-service ref of the node currently serving `shard` (the one
-  /// indirection every remote path goes through).
-  const RemoteRef& rref_for(ShardId shard) const;
+ private:
+  std::vector<std::uint8_t> encode_batch_request(
+      ShardId dst, std::span<const NodeId> locals,
+      const FetchOptions& options) const;
+
+  /// Send `call.request` (a complete header-prefixed frame) to the node
+  /// the routing table currently picks for `call.dst`, patching the
+  /// header's epoch in place. Each send ships a pooled copy.
+  RpcFuture issue_storage_call(StorageCall& call) const;
 
   RpcEndpoint& endpoint_;
   std::vector<RemoteRef> rrefs_;  // indexed by node id
-  std::shared_ptr<const ShardMap> shard_map_;
+  std::shared_ptr<RoutingTable> routing_;
   ShardId shard_id_;
   std::shared_ptr<const GraphShard> local_shard_;
+  RetryPolicy policy_;
   mutable FetchStats stats_;
   // Shared across the machine's computing processes; mutable because the
   // cache self-updates (ref bits, eviction) on const fetch paths.

@@ -370,6 +370,98 @@ std::size_t GraphShard::memory_bytes() const {
          halo_row_of_.capacity() * (sizeof(std::uint64_t) + sizeof(int));
 }
 
+void GraphShard::serialize(ByteWriter& w) const {
+  w.write<std::uint8_t>(1);  // shard snapshot layout version
+  w.write<std::int32_t>(shard_id_);
+  w.write_vec(indptr_);
+  w.write_vec(core_global_ids_);
+  w.write_vec(core_weighted_deg_);
+  w.write_vec(nbr_local_ids_);
+  w.write_vec(nbr_shard_ids_);
+  w.write_vec(edge_weights_);
+  w.write_vec(nbr_weighted_deg_);
+  w.write_vec(nbr_global_ids_);
+  w.write<std::uint8_t>(halo_cache_enabled_ ? 1 : 0);
+  if (!halo_cache_enabled_) return;
+  // The FlatMap ships as (key, row) pairs ordered by row so the encoding
+  // is deterministic regardless of the table's probe layout.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+  entries.reserve(halo_row_of_.size());
+  halo_row_of_.for_each([&](std::uint64_t key, const std::uint32_t& row) {
+    entries.emplace_back(key, row);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  w.write<std::uint64_t>(entries.size());
+  for (const auto& [key, row] : entries) {
+    w.write<std::uint64_t>(key);
+    w.write<std::uint32_t>(row);
+  }
+  w.write_vec(halo_indptr_);
+  w.write_vec(halo_weighted_deg_);
+  w.write_vec(halo_nbr_local_ids_);
+  w.write_vec(halo_nbr_shard_ids_);
+  w.write_vec(halo_edge_weights_);
+  w.write_vec(halo_nbr_weighted_deg_);
+  w.write_vec(halo_nbr_global_ids_);
+}
+
+std::shared_ptr<GraphShard> GraphShard::deserialize(ByteReader& r) {
+  const auto version = r.read<std::uint8_t>();
+  GE_REQUIRE(version == 1,
+             "unknown shard snapshot version " + std::to_string(version));
+  auto shard = std::shared_ptr<GraphShard>(new GraphShard());
+  shard->shard_id_ = r.read<std::int32_t>();
+  GE_REQUIRE(shard->shard_id_ >= 0, "snapshot names a negative shard id");
+  shard->indptr_ = r.read_vec<EdgeIndex>();
+  shard->core_global_ids_ = r.read_vec<NodeId>();
+  shard->core_weighted_deg_ = r.read_vec<float>();
+  shard->nbr_local_ids_ = r.read_vec<NodeId>();
+  shard->nbr_shard_ids_ = r.read_vec<ShardId>();
+  shard->edge_weights_ = r.read_vec<float>();
+  shard->nbr_weighted_deg_ = r.read_vec<float>();
+  shard->nbr_global_ids_ = r.read_vec<NodeId>();
+  GE_REQUIRE(!shard->indptr_.empty(), "snapshot missing CSR offsets");
+  const std::size_t cores = shard->indptr_.size() - 1;
+  const std::size_t edges = shard->nbr_local_ids_.size();
+  GE_REQUIRE(shard->core_global_ids_.size() == cores &&
+                 shard->core_weighted_deg_.size() == cores,
+             "snapshot core arrays disagree on node count");
+  GE_REQUIRE(shard->nbr_shard_ids_.size() == edges &&
+                 shard->edge_weights_.size() == edges &&
+                 shard->nbr_weighted_deg_.size() == edges &&
+                 shard->nbr_global_ids_.size() == edges &&
+                 static_cast<std::size_t>(shard->indptr_.back()) == edges,
+             "snapshot edge arrays disagree on edge count");
+  shard->halo_cache_enabled_ = r.read<std::uint8_t>() != 0;
+  if (!shard->halo_cache_enabled_) return shard;
+  const auto num_halo = r.read<std::uint64_t>();
+  shard->halo_row_of_ =
+      FlatMap<std::uint32_t>(static_cast<std::size_t>(num_halo) * 2);
+  for (std::uint64_t i = 0; i < num_halo; ++i) {
+    const auto key = r.read<std::uint64_t>();
+    const auto row = r.read<std::uint32_t>();
+    shard->halo_row_of_[key] = row;
+  }
+  shard->halo_indptr_ = r.read_vec<EdgeIndex>();
+  shard->halo_weighted_deg_ = r.read_vec<float>();
+  shard->halo_nbr_local_ids_ = r.read_vec<NodeId>();
+  shard->halo_nbr_shard_ids_ = r.read_vec<ShardId>();
+  shard->halo_edge_weights_ = r.read_vec<float>();
+  shard->halo_nbr_weighted_deg_ = r.read_vec<float>();
+  shard->halo_nbr_global_ids_ = r.read_vec<NodeId>();
+  GE_REQUIRE(shard->halo_indptr_.size() == num_halo + 1,
+             "snapshot halo offsets disagree with halo row count");
+  const std::size_t halo_edges = shard->halo_nbr_local_ids_.size();
+  GE_REQUIRE(shard->halo_nbr_shard_ids_.size() == halo_edges &&
+                 shard->halo_edge_weights_.size() == halo_edges &&
+                 shard->halo_nbr_weighted_deg_.size() == halo_edges &&
+                 shard->halo_nbr_global_ids_.size() == halo_edges &&
+                 shard->halo_weighted_deg_.size() == num_halo,
+             "snapshot halo arrays disagree on edge count");
+  return shard;
+}
+
 NeighborBatch NeighborBatch::decode_csr(ByteReader& r) {
   NeighborBatch b;
   decode_csr_into(r, b);

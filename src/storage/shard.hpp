@@ -210,7 +210,16 @@ class GraphShard {
   /// Approximate resident bytes of the shard arrays.
   std::size_t memory_bytes() const;
 
+  /// Full-state serialization for live migration (DESIGN.md §13): every
+  /// CSR array plus the halo-adjacency cache, bit-exactly. deserialize()
+  /// reconstructs a shard that answers every query identically to the
+  /// original — the property the migration bit-identity tests pin down.
+  void serialize(ByteWriter& w) const;
+  static std::shared_ptr<GraphShard> deserialize(ByteReader& r);
+
  private:
+  GraphShard() = default;  // deserialize() fills every field
+
   ShardId shard_id_ = 0;
   std::vector<EdgeIndex> indptr_;          // per core node
   std::vector<NodeId> core_global_ids_;    // local -> original global id

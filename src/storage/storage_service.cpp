@@ -2,14 +2,15 @@
 
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "rpc/buffer_pool.hpp"
 
 namespace ppr {
 
-GraphStorageService::GraphStorageService(
-    RpcEndpoint& endpoint, std::shared_ptr<const GraphShard> shard)
-    : shard_(std::move(shard)) {
-  GE_REQUIRE(shard_ != nullptr, "null shard");
+GraphStorageService::GraphStorageService(RpcEndpoint& endpoint,
+                                         std::shared_ptr<RoutingTable> routing)
+    : routing_(std::move(routing)) {
+  GE_REQUIRE(routing_ != nullptr, "null routing table");
   endpoint.register_service(
       kStorageServiceName,
       [this](const std::string& method,
@@ -18,13 +19,124 @@ GraphStorageService::GraphStorageService(
       });
 }
 
+GraphStorageService::GraphStorageService(
+    RpcEndpoint& endpoint, std::shared_ptr<const GraphShard> shard)
+    : GraphStorageService(
+          endpoint, std::make_shared<RoutingTable>(
+                        ShardMap::identity(endpoint.num_machines()))) {
+  install_shard(std::move(shard));
+}
+
+void GraphStorageService::install_shard(
+    std::shared_ptr<const GraphShard> shard) {
+  GE_REQUIRE(shard != nullptr, "null shard");
+  const ShardId id = shard->shard_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = shards_[id];
+  if (entry == nullptr) entry = std::make_shared<Entry>();
+  entry->shard = std::move(shard);
+}
+
+void GraphStorageService::remove_shard(ShardId shard) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = shards_.find(shard);
+    if (it == shards_.end()) return;
+    entry = std::move(it->second);
+    // Unlink first: requests arriving past this point see a stale-route
+    // redirect, so the in-flight count can only go down.
+    shards_.erase(it);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [&] {
+    return entry->inflight.load(std::memory_order_acquire) == 0;
+  });
+  // Last service reference to the shard data dies here (the drain step of
+  // the migration protocol); the source node may still hold its own.
+}
+
+bool GraphStorageService::serves(ShardId shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_.find(shard) != shards_.end();
+}
+
+std::shared_ptr<const GraphShard> GraphStorageService::shard_ptr(
+    ShardId shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = shards_.find(shard);
+  return it == shards_.end() ? nullptr : it->second->shard;
+}
+
+std::vector<std::pair<ShardId, std::uint64_t>>
+GraphStorageService::served_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<ShardId, std::uint64_t>> counts;
+  counts.reserve(shards_.size());
+  for (const auto& [id, entry] : shards_) {
+    counts.emplace_back(id,
+                        entry->served.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+std::vector<std::uint8_t> GraphStorageService::stale_route_reply(
+    ByteWriter& w) const {
+  w.write<std::uint8_t>(kStorageReplyStaleRoute);
+  routing_->current()->encode(w);
+  obs::MetricRegistry::global().counter("routing.stale_epoch_hits").add(1);
+  return w.take();
+}
+
 std::vector<std::uint8_t> GraphStorageService::handle(
     const std::string& method, std::span<const std::uint8_t> payload) {
   ByteReader r(payload);
+  const auto shard_id = r.read<std::int32_t>();
+  // The caller's routing epoch. Not an admission check: installed shards
+  // serve any epoch (the data is immutable, so the answer is identical);
+  // the header exists so redirects and tracing can name the epoch the
+  // caller routed with.
+  const auto epoch = r.read<std::uint64_t>();
+  (void)epoch;
+
   // Response buffers come from the shared pool; ownership passes to the
   // reply Message and the transport recycles them after the bytes hit the
   // wire (see rpc/buffer_pool.hpp).
   ByteWriter w(BufferPool::global().acquire());
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = shards_.find(shard_id);
+    if (it != shards_.end()) entry = it->second;
+  }
+  if (entry == nullptr) return stale_route_reply(w);
+
+  entry->inflight.fetch_add(1, std::memory_order_acq_rel);
+  entry->served.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t> reply;
+  try {
+    reply = dispatch(*entry->shard, method, r, w);
+  } catch (...) {
+    if (entry->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      drain_cv_.notify_all();
+    }
+    throw;
+  }
+  if (entry->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Taking the lock orders this notify after a concurrent
+    // remove_shard's wait registration — no missed wakeup.
+    std::lock_guard<std::mutex> lock(mutex_);
+    drain_cv_.notify_all();
+  }
+  return reply;
+}
+
+std::vector<std::uint8_t> GraphStorageService::dispatch(
+    const GraphShard& shard, const std::string& method, ByteReader& r,
+    ByteWriter& w) {
+  w.write<std::uint8_t>(kStorageReplyOk);
   if (method == storage_method::kGetNeighborInfos) {
     const auto flags = r.read<std::uint8_t>();
     const FetchOptions options = fetch_options_from_flags(flags);
@@ -44,16 +156,16 @@ std::vector<std::uint8_t> GraphStorageService::handle(
       locals = r.read_vec<NodeId>();
     }
     if (options.compress) {
-      shard_->encode_neighbor_infos_csr(locals, w, options);
+      shard.encode_neighbor_infos_csr(locals, w, options);
     } else {
-      shard_->encode_neighbor_infos_tensor_list(locals, w);
+      shard.encode_neighbor_infos_tensor_list(locals, w);
     }
     return w.take();
   }
   if (method == storage_method::kGetNeighborInfoSingle) {
     const auto local = r.read<NodeId>();
     const NodeId one[] = {local};
-    shard_->encode_neighbor_infos_tensor_list(one, w);
+    shard.encode_neighbor_infos_tensor_list(one, w);
     return w.take();
   }
   if (method == storage_method::kSampleOneNeighbor) {
@@ -62,8 +174,8 @@ std::vector<std::uint8_t> GraphStorageService::handle(
     std::vector<NodeId> out_local;
     std::vector<ShardId> out_shard;
     std::vector<NodeId> out_global;
-    shard_->sample_one_neighbor(locals, seed, out_local, out_shard,
-                                out_global);
+    shard.sample_one_neighbor(locals, seed, out_local, out_shard,
+                              out_global);
     w.write_vec(out_local);
     w.write_vec(out_shard);
     w.write_vec(out_global);
@@ -77,8 +189,8 @@ std::vector<std::uint8_t> GraphStorageService::handle(
     std::vector<NodeId> out_local;
     std::vector<ShardId> out_shard;
     std::vector<NodeId> out_global;
-    shard_->sample_k_neighbors(locals, k, seed, out_indptr, out_local,
-                               out_shard, out_global);
+    shard.sample_k_neighbors(locals, k, seed, out_indptr, out_local,
+                             out_shard, out_global);
     w.write_vec(out_indptr);
     w.write_vec(out_local);
     w.write_vec(out_shard);
@@ -86,7 +198,11 @@ std::vector<std::uint8_t> GraphStorageService::handle(
     return w.take();
   }
   if (method == storage_method::kNumCoreNodes) {
-    w.write<std::int64_t>(shard_->num_core_nodes());
+    w.write<std::int64_t>(shard.num_core_nodes());
+    return w.take();
+  }
+  if (method == storage_method::kSnapshotShard) {
+    shard.serialize(w);
     return w.take();
   }
   throw InvalidArgument("unknown storage method: " + method);

@@ -1,12 +1,26 @@
-// Server side of the Distributed Graph Storage: registers the local shard
-// as an RPC service ("storage") so peers can fetch neighbor information.
-// One instance runs per machine, playing the role of the paper's dedicated
-// Graph Storage server process.
+// Server side of the Distributed Graph Storage: registers the locally
+// installed shards as an RPC service ("storage") so peers can fetch
+// neighbor information. One instance runs per machine, playing the role
+// of the paper's dedicated Graph Storage server process.
+//
+// Elastic shard plane (DESIGN.md §13): the service holds a SET of shards
+// — migration installs and removes them at runtime. Every request opens
+// with a [shard id, routing epoch] header; if the shard is installed the
+// request is served regardless of the caller's epoch (shard data is
+// immutable, so a "stale" read is still bit-identical), otherwise the
+// reply is a stale-route redirect carrying this node's current ShardMap
+// so the caller can re-resolve and retry without a coordinator round.
 #pragma once
 
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "cluster/routing.hpp"
 #include "rpc/endpoint.hpp"
 #include "storage/shard.hpp"
 
@@ -20,11 +34,31 @@ inline constexpr const char* kGetNeighborInfoSingle =
 inline constexpr const char* kSampleOneNeighbor = "sample_one_neighbor";
 inline constexpr const char* kSampleKNeighbors = "sample_k_neighbors";
 inline constexpr const char* kNumCoreNodes = "num_core_nodes";
+/// Full shard snapshot (GraphShard::serialize) — the migration copy.
+inline constexpr const char* kSnapshotShard = "snapshot_shard";
 }  // namespace storage_method
 
 inline constexpr const char* kStorageServiceName = "storage";
 
-/// Flag bits of the kGetNeighborInfos request's leading byte (the wire
+/// Leading status byte of every storage reply.
+inline constexpr std::uint8_t kStorageReplyOk = 0;
+/// The requested shard is not installed here: the rest of the reply is
+/// this node's current ShardMap (encoded) — re-resolve and retry.
+inline constexpr std::uint8_t kStorageReplyStaleRoute = 1;
+
+/// Every storage request opens with this header. The epoch sits at a
+/// fixed offset so a retry can patch it in place without re-encoding.
+inline constexpr std::size_t kStorageEpochOffset = sizeof(std::int32_t);
+inline constexpr std::size_t kStorageHeaderBytes =
+    sizeof(std::int32_t) + sizeof(std::uint64_t);
+
+inline void write_storage_header(ByteWriter& w, ShardId shard,
+                                 std::uint64_t epoch) {
+  w.write<std::int32_t>(shard);
+  w.write<std::uint64_t>(epoch);
+}
+
+/// Flag bits of the kGetNeighborInfos request's flags byte (the wire
 /// form of FetchOptions). Historic requests carried `u8 compress` alone,
 /// so bit 0 keeps that meaning and the new bits extend it compatibly.
 inline constexpr std::uint8_t kFetchFlagCompress = 0x01;
@@ -44,16 +78,51 @@ inline FetchOptions fetch_options_from_flags(std::uint8_t flags) {
 class GraphStorageService {
  public:
   /// Registers the service on `endpoint` under kStorageServiceName.
+  /// Shards are installed afterwards (install_shard).
+  GraphStorageService(RpcEndpoint& endpoint,
+                      std::shared_ptr<RoutingTable> routing);
+
+  /// Single-shard convenience (tests, in-process clusters): identity
+  /// routing over the endpoint's machine count, with `shard` installed.
   GraphStorageService(RpcEndpoint& endpoint,
                       std::shared_ptr<const GraphShard> shard);
 
-  const GraphShard& shard() const { return *shard_; }
+  /// Begin serving `shard`. Idempotent per shard id.
+  void install_shard(std::shared_ptr<const GraphShard> shard);
+
+  /// Stop serving `shard`: unlink it so new requests see a stale-route
+  /// redirect, then BLOCK until every in-flight request on it drains —
+  /// the migration protocol's drain step. After return the service holds
+  /// no reference to the shard data.
+  void remove_shard(ShardId shard);
+
+  bool serves(ShardId shard) const;
+  std::shared_ptr<const GraphShard> shard_ptr(ShardId shard) const;
+
+  /// (shard, requests served) per installed shard — the rebalancer's
+  /// per-shard traffic signal.
+  std::vector<std::pair<ShardId, std::uint64_t>> served_counts() const;
+
+  const RoutingTable& routing() const { return *routing_; }
 
  private:
+  struct Entry {
+    std::shared_ptr<const GraphShard> shard;
+    std::atomic<int> inflight{0};
+    std::atomic<std::uint64_t> served{0};
+  };
+
   std::vector<std::uint8_t> handle(const std::string& method,
                                    std::span<const std::uint8_t> payload);
+  std::vector<std::uint8_t> dispatch(const GraphShard& shard,
+                                     const std::string& method,
+                                     ByteReader& r, ByteWriter& w);
+  std::vector<std::uint8_t> stale_route_reply(ByteWriter& w) const;
 
-  std::shared_ptr<const GraphShard> shard_;
+  std::shared_ptr<RoutingTable> routing_;
+  mutable std::mutex mutex_;
+  std::condition_variable drain_cv_;
+  std::map<ShardId, std::shared_ptr<Entry>> shards_;
 };
 
 }  // namespace ppr

@@ -35,6 +35,12 @@ for SANITIZER in "${SANITIZERS[@]}"; do
       # at the obs layer and not at noisy neighbors.
       echo "=== ${SANITIZER}: ctest -L obs (metrics/trace plane) ==="
       ctest --test-dir "${BUILD}" -L obs --output-on-failure
+      # The elastic shard plane moves shards while fetches are in flight
+      # (routing-table swaps, scheduler drains, serving-unit retirement,
+      # the client retry plane racing peer-down hooks) — exactly the kind
+      # of concurrency TSan exists for. Run its suites alone too.
+      echo "=== ${SANITIZER}: ctest -L elastic (shard migration/failover) ==="
+      ctest --test-dir "${BUILD}" -L elastic --output-on-failure
       ;;
     *address*|*undefined*)
       # Wire-codec fuzz-style tests again with the tensor-marshal cost

@@ -8,10 +8,51 @@
 // compact results, optionally asks the whole cluster to shut down, and
 // leaves. tools/cluster_smoke.sh drives the full 3-node lifecycle with
 // it.
+//
+// Elastic-plane admin and the failover drill:
+//   --migrate=S:N        move shard S's primary to node N (live)
+//   --add-replica=S:N    add a read replica of shard S on node N
+//   --add-replica=all    replicate every shard onto its successor node
+//   --failover-drill=A,B,...  record SSPPR answers for these sources,
+//       print "drill-ready", wait for --drill-gate=PATH to appear (the
+//       harness kills a node in between), re-query, and require the
+//       answers to be bit-identical — exits 1 on any divergence.
+#include <chrono>
+#include <filesystem>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "cluster/client.hpp"
 #include "common/argparse.hpp"
+
+namespace {
+
+/// "S:N" → {shard, node}.
+std::pair<int, int> parse_shard_node(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw ppr::InvalidArgument("expected SHARD:NODE, got '" + spec + "'");
+  }
+  return {std::stoi(spec.substr(0, colon)),
+          std::stoi(spec.substr(colon + 1))};
+}
+
+std::vector<ppr::NodeId> parse_sources(const std::string& list) {
+  std::vector<ppr::NodeId> sources;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      sources.push_back(static_cast<ppr::NodeId>(std::stol(item)));
+    }
+  }
+  return sources;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ppr::ArgParser args(argc, argv);
@@ -20,7 +61,9 @@ int main(int argc, char** argv) {
   if (config_path.empty() || client_id < 0) {
     std::cerr << "usage: graph_engine_client --config=cluster.conf "
                  "--client=ID [--ssppr=N] [--bfs=N] [--walk=N] "
-                 "[--metrics=NODE] [--shutdown-cluster]\n";
+                 "[--metrics=NODE] [--migrate=S:N] [--add-replica=S:N|all] "
+                 "[--failover-drill=A,B --drill-gate=PATH] "
+                 "[--shutdown-cluster]\n";
     return 2;
   }
 
@@ -54,6 +97,70 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(args.get_int("seed", 1)));
       std::cout << "walk source=" << source
                 << " steps=" << reply.steps.size() << "\n";
+    }
+    if (args.has("migrate")) {
+      const auto [shard, node] =
+          parse_shard_node(args.get_string("migrate", ""));
+      const ppr::ShardMap next = client.migrate_shard(shard, node);
+      std::cout << "migrated shard " << shard << " -> node "
+                << next.node_of(shard) << " (epoch " << next.epoch()
+                << ")\n";
+    }
+    if (args.has("add-replica")) {
+      const std::string spec = args.get_string("add-replica", "");
+      if (spec == "all") {
+        // Replicate every shard onto its successor storage node — the
+        // failover drill's "no shard has a single point of failure" prep.
+        const int k = config.num_storage_nodes();
+        for (int s = 0; s < k; ++s) {
+          const ppr::ShardMap next = client.add_replica(s, (s + 1) % k);
+          std::cout << "replicated shard " << s << " -> node "
+                    << (s + 1) % k << " (epoch " << next.epoch() << ")\n";
+        }
+      } else {
+        const auto [shard, node] = parse_shard_node(spec);
+        const ppr::ShardMap next = client.add_replica(shard, node);
+        std::cout << "replicated shard " << shard << " -> node " << node
+                  << " (epoch " << next.epoch() << ")\n";
+      }
+    }
+    if (args.has("failover-drill")) {
+      const std::vector<ppr::NodeId> sources =
+          parse_sources(args.get_string("failover-drill", ""));
+      const std::string gate = args.get_string("drill-gate", "");
+      if (sources.empty() || gate.empty()) {
+        std::cerr << "failover drill needs --failover-drill=A,B,... and "
+                     "--drill-gate=PATH\n";
+        return 2;
+      }
+      std::vector<ppr::cluster::SspprReply> baseline;
+      for (const ppr::NodeId s : sources) baseline.push_back(client.ssppr(s));
+      // The harness kills a node once it sees this line, then creates the
+      // gate file to release us.
+      std::cout << "drill-ready" << std::endl;
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(120);
+      while (!std::filesystem::exists(gate)) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          std::cerr << "drill gate never appeared: " << gate << "\n";
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        const ppr::cluster::SspprReply again = client.ssppr(sources[i]);
+        const ppr::cluster::SspprReply& want = baseline[i];
+        if (again.status != want.status ||
+            again.num_pushes != want.num_pushes ||
+            again.entries != want.entries) {
+          std::cerr << "drill: answer diverged for source " << sources[i]
+                    << " (entries " << again.entries.size() << " vs "
+                    << want.entries.size() << ")\n";
+          return 1;
+        }
+      }
+      std::cout << "drill: identical (" << sources.size()
+                << " sources)" << std::endl;
     }
     if (args.has("metrics")) {
       const int node = static_cast<int>(args.get_int("metrics", 0));
