@@ -12,6 +12,8 @@
 //        --eps E --batches 1,2,4,8,16
 //        --codecs flat,varint (wire-codec ablation: each batch point runs
 //        once per codec; identical results, different bytes on the wire)
+//        --kernel sparse|dense|adaptive --dense-threshold T --force-scalar
+//        (push-kernel ablation; results are bit-identical across kernels)
 #include "bench_common.hpp"
 
 #include "graph/generators.hpp"
@@ -82,19 +84,22 @@ int main(int argc, char** argv) {
       w.measured_runs = 1;
       w.ppr.alpha = 0.462;
       w.ppr.epsilon = eps;
+      if (!bench::apply_kernel_options(args, w.ppr)) return 1;
       w.driver = DriverOptions::overlapped();
       w.driver.codec = codec;
 
       const ThroughputResult r = measure_engine_throughput(cluster, w);
       if (base_qps == 0) base_qps = r.queries_per_second;
       std::printf(
-          "{\"batch_size\": %d, \"codec\": \"%s\", \"qps\": %.2f, "
+          "{\"batch_size\": %d, \"codec\": \"%s\", \"kernel\": \"%s\", "
+          "\"simd\": \"%s\", \"qps\": %.2f, "
           "\"speedup_vs_1\": %.2f, "
           "\"seconds\": %.4f, \"total_pushes\": %zu, "
           "\"remote_calls\": %llu, \"remote_nodes\": %llu, "
           "\"remote_bytes\": %llu, \"adj_cache_hits\": %llu, "
           "\"adj_cache_misses\": %llu}\n",
-          b, wire_codec_name(codec), r.queries_per_second,
+          b, wire_codec_name(codec), kernel_name(w.ppr.kernel),
+          simd::level_name(simd::active_level()), r.queries_per_second,
           r.queries_per_second / base_qps, r.seconds_per_run, r.total_pushes,
           static_cast<unsigned long long>(cluster.total_remote_calls()),
           static_cast<unsigned long long>(cluster.total_remote_nodes()),

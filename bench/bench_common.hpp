@@ -16,6 +16,7 @@
 
 #include "common/argparse.hpp"
 #include "common/serialize.hpp"
+#include "common/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/dispatch.hpp"
@@ -83,6 +84,31 @@ inline void apply_rpc_cost_model(const ArgParser& args) {
   ops::set_dispatch_overhead_us(
       args.get_double("dispatch-us", ops::kPyTorchDispatchUs));
   set_tensor_marshal_overhead_us(args.get_double("marshal-us", 1.0));
+}
+
+/// Push-kernel knobs shared by the PPR benches (DESIGN.md §14):
+///   --kernel sparse|dense|adaptive  representation policy (default: the
+///                                   engine default, adaptive)
+///   --dense-threshold T             adaptive promote density
+///   --force-scalar                  pin the scalar SIMD paths (same effect
+///                                   as GE_FORCE_SCALAR=1)
+/// Returns false (after printing an error) on an unknown kernel name.
+inline bool apply_kernel_options(const ArgParser& args, SspprOptions& o) {
+  const std::string k = args.get_string("kernel", kernel_name(o.kernel));
+  if (k == "sparse") {
+    o.kernel = SspprKernel::kSparse;
+  } else if (k == "dense") {
+    o.kernel = SspprKernel::kDense;
+  } else if (k == "adaptive") {
+    o.kernel = SspprKernel::kAdaptive;
+  } else {
+    std::fprintf(stderr, "unknown kernel '%s' (want sparse|dense|adaptive)\n",
+                 k.c_str());
+    return false;
+  }
+  o.dense_threshold = args.get_double("dense-threshold", o.dense_threshold);
+  if (args.get_bool("force-scalar", false)) simd::set_forced_scalar(true);
+  return true;
 }
 
 inline std::vector<std::string> dataset_names(const ArgParser& args) {

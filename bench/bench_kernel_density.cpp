@@ -1,0 +1,219 @@
+// Frontier-density sweep for the adaptive dense/sparse push kernel
+// (DESIGN.md §14): drive the SAME query through the sparse and dense
+// kernels in lockstep — their frontiers are bit-identical by construction
+// — timing each round's push in both representations, and report where
+// the dense kernel starts winning (the measured promote-threshold
+// justification).
+//
+// One shard, zero-copy local fetches: what's timed is the kernel itself,
+// not the wire. Per-round JSON rows carry (eps, pass, round, density,
+// frontier, sparse_us, dense_us); a summary row per eps reports the
+// measured crossover density — the smallest frontier density above which
+// dense beats sparse in aggregate — plus end-to-end query times for the
+// sparse / dense / adaptive policies, cold and warm.
+//
+// Flags: --nodes N --edges M --queries Q --eps-list 1e-5,1e-6,1e-7
+//        --dense-threshold T (adaptive policy under test)
+//        --force-scalar (pin scalar SIMD paths; compare against default)
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "ppr/ssppr_state.hpp"
+
+using namespace ppr;
+
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RoundRow {
+  double density = 0;
+  std::size_t frontier = 0;
+  double sparse_us = 0;
+  double dense_us = 0;
+};
+
+/// Run source `src` through both kernels in lockstep against `shard`,
+/// timing each round's push pair. Returns per-round rows.
+std::vector<RoundRow> lockstep_rounds(const GraphShard& shard, NodeId src,
+                                      double eps, double dense_threshold) {
+  SspprOptions sparse_opts;
+  sparse_opts.alpha = 0.462;
+  sparse_opts.epsilon = eps;
+  sparse_opts.kernel = SspprKernel::kSparse;
+  sparse_opts.dense_threshold = dense_threshold;
+  SspprOptions dense_opts = sparse_opts;
+  dense_opts.kernel = SspprKernel::kDense;
+  dense_opts.shard_core_counts = {shard.num_core_nodes()};
+
+  SspprState sparse(NodeRef{src, 0}, sparse_opts);
+  SspprState dense(NodeRef{src, 0}, dense_opts);
+
+  std::vector<RoundRow> rows;
+  std::vector<NodeId> nodes, dnodes;
+  std::vector<ShardId> shards, dshards;
+  for (;;) {
+    sparse.pop(nodes, shards);
+    dense.pop(dnodes, dshards);
+    if (nodes.size() != dnodes.size()) {
+      std::fprintf(stderr, "kernel frontiers diverged (%zu vs %zu)\n",
+                   nodes.size(), dnodes.size());
+      std::exit(1);
+    }
+    if (nodes.empty()) break;
+    const auto infos = shard.get_neighbor_infos(nodes);
+    RoundRow row;
+    row.frontier = nodes.size();
+    row.density = dense.last_round_density();
+    double t0 = now_us();
+    sparse.push(infos, nodes, shards);
+    double t1 = now_us();
+    dense.push(infos, dnodes, dshards);
+    double t2 = now_us();
+    row.sparse_us = t1 - t0;
+    row.dense_us = t2 - t1;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// End-to-end single-query kernel time (pop + fetch + push loop).
+double query_us(const GraphShard& shard, NodeId src, double eps,
+                SspprKernel kernel, double dense_threshold) {
+  SspprOptions o;
+  o.alpha = 0.462;
+  o.epsilon = eps;
+  o.kernel = kernel;
+  o.dense_threshold = dense_threshold;
+  if (kernel != SspprKernel::kSparse) {
+    o.shard_core_counts = {shard.num_core_nodes()};
+  }
+  const double t0 = now_us();
+  SspprState state(NodeRef{src, 0}, o);
+  std::vector<NodeId> nodes;
+  std::vector<ShardId> shards;
+  for (;;) {
+    state.pop(nodes, shards);
+    if (nodes.empty()) break;
+    state.push(shard.get_neighbor_infos(nodes), nodes, shards);
+  }
+  return now_us() - t0;
+}
+
+/// Smallest round density above which the dense kernel wins in aggregate
+/// (0 when it never does): for each candidate threshold t, compare the
+/// summed round times restricted to rounds with density >= t.
+double crossover_density(const std::vector<RoundRow>& rows) {
+  double best = 0;
+  for (const RoundRow& cand : rows) {
+    double sparse_sum = 0, dense_sum = 0;
+    for (const RoundRow& r : rows) {
+      if (r.density >= cand.density) {
+        sparse_sum += r.sparse_us;
+        dense_sum += r.dense_us;
+      }
+    }
+    if (dense_sum < sparse_sum &&
+        (best == 0 || cand.density < best)) {
+      best = cand.density;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
+  const auto nodes = static_cast<NodeId>(args.get_int("nodes", 100000));
+  const auto edges = static_cast<EdgeIndex>(args.get_int("edges", 800000));
+  const int queries = static_cast<int>(args.get_int("queries", 3));
+  const double dense_threshold = args.get_double("dense-threshold", 0.02);
+  if (args.get_bool("force-scalar", false)) simd::set_forced_scalar(true);
+
+  std::vector<double> eps_list;
+  {
+    std::stringstream ss(args.get_string("eps-list", "1e-5,1e-6,1e-7"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) eps_list.push_back(std::stod(item));
+    }
+  }
+
+  const Graph g = generate_rmat(nodes, edges, 0.5, 0.2, 0.2, 99);
+  const PartitionAssignment all_zero(
+      static_cast<std::size_t>(g.num_nodes()), 0);
+  const ShardedGraph sharded = build_sharded_graph(g, all_zero, 1);
+  const GraphShard& shard = *sharded.shards[0];
+
+  bench::print_header(
+      "Push-kernel density sweep: per-round sparse vs dense time and the "
+      "measured crossover density");
+  std::printf("graph: rmat |V|=%lld |E|=%lld, single shard, "
+              "simd=%s, dense_threshold(adaptive)=%g\n\n",
+              static_cast<long long>(g.num_nodes()),
+              static_cast<long long>(g.num_edges()),
+              simd::level_name(simd::active_level()), dense_threshold);
+
+  for (const double eps : eps_list) {
+    std::vector<RoundRow> warm_rows;
+    for (const char* pass : {"cold", "warm"}) {
+      // A fresh sweep per pass: "cold" takes every first-touch allocation
+      // (maps, dense arrays, scratch pool); "warm" runs after the pools
+      // and allocator are primed by the cold pass.
+      std::vector<RoundRow> rows;
+      for (int q = 0; q < queries; ++q) {
+        const auto src = static_cast<NodeId>(
+            (static_cast<NodeId>(q) * 9173 + 11) % shard.num_core_nodes());
+        const auto qr = lockstep_rounds(shard, src, eps, dense_threshold);
+        rows.insert(rows.end(), qr.begin(), qr.end());
+      }
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::printf("{\"eps\": %g, \"pass\": \"%s\", \"round\": %zu, "
+                    "\"density\": %.6f, \"frontier\": %zu, "
+                    "\"sparse_us\": %.1f, \"dense_us\": %.1f}\n",
+                    eps, pass, i, rows[i].density, rows[i].frontier,
+                    rows[i].sparse_us, rows[i].dense_us);
+      }
+      warm_rows = std::move(rows);
+    }
+
+    // Policy-level end-to-end times, cold then warm (same sources).
+    const auto policy_us = [&](SspprKernel k) {
+      double total = 0;
+      for (int q = 0; q < queries; ++q) {
+        const auto src = static_cast<NodeId>(
+            (static_cast<NodeId>(q) * 9173 + 11) % shard.num_core_nodes());
+        total += query_us(shard, src, eps, k, dense_threshold);
+      }
+      return total / queries;
+    };
+    const double sparse_cold = policy_us(SspprKernel::kSparse);
+    const double sparse_warm = policy_us(SspprKernel::kSparse);
+    const double dense_cold = policy_us(SspprKernel::kDense);
+    const double dense_warm = policy_us(SspprKernel::kDense);
+    const double adaptive_cold = policy_us(SspprKernel::kAdaptive);
+    const double adaptive_warm = policy_us(SspprKernel::kAdaptive);
+
+    std::printf(
+        "{\"eps\": %g, \"crossover_density\": %.6f, "
+        "\"sparse_us\": {\"cold\": %.1f, \"warm\": %.1f}, "
+        "\"dense_us\": {\"cold\": %.1f, \"warm\": %.1f}, "
+        "\"adaptive_us\": {\"cold\": %.1f, \"warm\": %.1f}, "
+        "\"adaptive_speedup_warm\": %.3f}\n\n",
+        eps, crossover_density(warm_rows), sparse_cold, sparse_warm,
+        dense_cold, dense_warm, adaptive_cold, adaptive_warm,
+        sparse_warm / adaptive_warm);
+  }
+  return 0;
+}

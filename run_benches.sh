@@ -28,6 +28,17 @@ mkdir -p "$OBS_DIR"
   ./build/bench/bench_batch_queries --nodes 4000 --edges 16000 \
       --queries 64 --batches 16 --codecs flat,varint 2>&1
   echo
+  echo "##### bench_batch_queries (smoke: sparse vs adaptive vs dense kernel)"
+  for k in sparse adaptive dense; do
+    ./build/bench/bench_batch_queries --nodes 4000 --edges 16000 \
+        --queries 64 --batches 16 --kernel "$k" 2>&1
+  done
+  echo
+  echo "##### bench_kernel_density (smoke: frontier-density sweep, cold/warm)"
+  ./build/bench/bench_kernel_density --nodes 20000 --edges 160000 \
+      --queries 2 --eps-list 1e-5,1e-6,1e-7 \
+      --metrics-json "$OBS_DIR/bench_kernel_density.metrics.json" 2>&1
+  echo
   echo "##### bench_serving (smoke: tiny graph, 2s cap per point)"
   ./build/bench/bench_serving --smoke \
       --metrics-json "$OBS_DIR/bench_serving.metrics.json" \

@@ -258,6 +258,17 @@ class ByteReader {
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }
 
+  /// Raw buffer access for block decoders (the SIMD varint paths) that
+  /// consume a run of bytes outside the reader and then resynchronize it
+  /// via seek().
+  const std::uint8_t* raw() const { return data_.data(); }
+  std::size_t buffer_size() const { return data_.size(); }
+  std::size_t position() const { return pos_; }
+  void seek(std::size_t pos) {
+    GE_REQUIRE(pos <= data_.size(), "serialized buffer underflow");
+    pos_ = pos;
+  }
+
  private:
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

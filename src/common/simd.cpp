@@ -1,0 +1,289 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/serialize.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define GE_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ppr::simd {
+
+namespace {
+
+// -1 = defer to the GE_FORCE_SCALAR environment variable; 0/1 = explicit
+// runtime override from set_forced_scalar().
+std::atomic<int> g_forced_override{-1};
+
+bool env_forced_scalar() {
+  static const bool forced = [] {
+    const char* e = std::getenv("GE_FORCE_SCALAR");
+    return e != nullptr && e[0] == '1';
+  }();
+  return forced;
+}
+
+// Scalar LEB128 decode with the exact ByteReader::read_uvarint error
+// contract; every SIMD fallback funnels through this so malformed frames
+// fail with the same message at every level.
+std::uint64_t scalar_uvarint(const std::uint8_t* data, std::size_t size,
+                             std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    GE_REQUIRE(pos < size, "truncated varint");
+    const std::uint8_t byte = data[pos++];
+    if (i == kMaxVarintBytes - 1) {
+      GE_REQUIRE((byte & ~std::uint8_t{1}) == 0, "varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) return v;
+  }
+  GE_REQUIRE(false, "varint longer than 10 bytes");
+  return 0;  // unreachable
+}
+
+#ifdef GE_SIMD_X86
+
+// 16 single-byte uvarints at once: the movemask collects every byte's
+// continuation bit, so mask == 0 certifies the whole window decodes to its
+// raw byte values (all < 128, hence within any id range we check against).
+bool try_uvarint16_sse2(const std::uint8_t* p, std::uint32_t* out) {
+  const __m128i bytes =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  if (_mm_movemask_epi8(bytes) != 0) return false;
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i lo16 = _mm_unpacklo_epi8(bytes, zero);
+  const __m128i hi16 = _mm_unpackhi_epi8(bytes, zero);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 0),
+                   _mm_unpacklo_epi16(lo16, zero));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4),
+                   _mm_unpackhi_epi16(lo16, zero));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 8),
+                   _mm_unpacklo_epi16(hi16, zero));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 12),
+                   _mm_unpackhi_epi16(hi16, zero));
+  return true;
+}
+
+__attribute__((target("avx2"))) bool try_uvarint32_avx2(
+    const std::uint8_t* p, std::uint32_t* out) {
+  const __m256i bytes =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  if (_mm256_movemask_epi8(bytes) != 0) return false;
+  for (int g = 0; g < 4; ++g) {
+    const __m128i chunk =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p + 8 * g));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * g),
+                        _mm256_cvtepu8_epi32(chunk));
+  }
+  return true;
+}
+
+// 16 single-byte zigzag deltas decoded to absolute prefix values. Deltas
+// are in [-64, 63], so `prev` (already range-checked <= INT32_MAX by the
+// caller's invariant) plus any prefix stays within one wrap of int32; a
+// wrapped lane lands negative and trips the range compare, which — like a
+// genuinely out-of-range id — falls back to the scalar decoder so the
+// exact error surfaces at the exact offending value.
+bool try_zigzag16_sse2(const std::uint8_t* p, std::int32_t prev,
+                       std::int32_t max_value, std::int32_t* out,
+                       std::int32_t* new_prev) {
+  const __m128i bytes =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  if (_mm_movemask_epi8(bytes) != 0) return false;
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi32(1);
+  const __m128i maxv = _mm_set1_epi32(max_value);
+  const __m128i lo16 = _mm_unpacklo_epi8(bytes, zero);
+  const __m128i hi16 = _mm_unpackhi_epi8(bytes, zero);
+  const __m128i grp[4] = {
+      _mm_unpacklo_epi16(lo16, zero), _mm_unpackhi_epi16(lo16, zero),
+      _mm_unpacklo_epi16(hi16, zero), _mm_unpackhi_epi16(hi16, zero)};
+  __m128i carry = _mm_set1_epi32(prev);
+  __m128i bad = zero;
+  for (int g = 0; g < 4; ++g) {
+    // zigzag: (v >> 1) ^ -(v & 1)
+    __m128i d = _mm_xor_si128(
+        _mm_srli_epi32(grp[g], 1),
+        _mm_sub_epi32(zero, _mm_and_si128(grp[g], one)));
+    // inclusive prefix sum within the 4-lane group, then running carry
+    d = _mm_add_epi32(d, _mm_slli_si128(d, 4));
+    d = _mm_add_epi32(d, _mm_slli_si128(d, 8));
+    const __m128i s = _mm_add_epi32(d, carry);
+    bad = _mm_or_si128(bad, _mm_cmplt_epi32(s, zero));
+    bad = _mm_or_si128(bad, _mm_cmpgt_epi32(s, maxv));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * g), s);
+    carry = _mm_shuffle_epi32(s, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  if (_mm_movemask_epi8(bad) != 0) return false;
+  *new_prev = out[15];
+  return true;
+}
+
+void widen_mul_sse2(const float* x, std::size_t n, double c, double* out) {
+  const __m128d cv = _mm_set1_pd(c);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m128 f = _mm_loadu_ps(x + k);
+    _mm_storeu_pd(out + k, _mm_mul_pd(_mm_cvtps_pd(f), cv));
+    _mm_storeu_pd(out + k + 2,
+                  _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(f, f)), cv));
+  }
+  for (; k < n; ++k) out[k] = static_cast<double>(x[k]) * c;
+}
+
+__attribute__((target("avx2"))) void widen_mul_avx2(const float* x,
+                                                    std::size_t n, double c,
+                                                    double* out) {
+  const __m256d cv = _mm256_set1_pd(c);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    _mm256_storeu_pd(
+        out + k, _mm256_mul_pd(_mm256_cvtps_pd(_mm_loadu_ps(x + k)), cv));
+    _mm256_storeu_pd(
+        out + k + 4,
+        _mm256_mul_pd(_mm256_cvtps_pd(_mm_loadu_ps(x + k + 4)), cv));
+  }
+  for (; k < n; ++k) out[k] = static_cast<double>(x[k]) * c;
+}
+
+#endif  // GE_SIMD_X86
+
+}  // namespace
+
+Level detected_level() {
+#ifdef GE_SIMD_X86
+  static const Level level = [] {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx2") ? Level::kAvx2 : Level::kSse2;
+  }();
+  return level;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level active_level() {
+  const int forced = g_forced_override.load(std::memory_order_relaxed);
+  const bool scalar = forced >= 0 ? forced != 0 : env_forced_scalar();
+  return scalar ? Level::kScalar : detected_level();
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void set_forced_scalar(bool on) {
+  g_forced_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool scalar_forced() { return active_level() == Level::kScalar; }
+
+void widen_mul(const float* x, std::size_t n, double c, double* out) {
+#ifdef GE_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx2:
+      widen_mul_avx2(x, n, c, out);
+      return;
+    case Level::kSse2:
+      widen_mul_sse2(x, n, c, out);
+      return;
+    case Level::kScalar:
+      break;
+  }
+#endif
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = static_cast<double>(x[k]) * c;
+  }
+}
+
+std::size_t decode_uvarint32_block(const std::uint8_t* data,
+                                   std::size_t size, std::size_t pos,
+                                   std::uint32_t* out, std::size_t count,
+                                   std::uint64_t max_value,
+                                   const char* range_err) {
+  std::size_t i = 0;
+#ifdef GE_SIMD_X86
+  const Level level = active_level();
+  // The window trick certifies values < 128, so it is only admissible
+  // when such values pass the range check unconditionally.
+  if (level != Level::kScalar && max_value >= 127) {
+    while (i < count) {
+      if (level == Level::kAvx2 && count - i >= 32 && size - pos >= 32 &&
+          try_uvarint32_avx2(data + pos, out + i)) {
+        pos += 32;
+        i += 32;
+        continue;
+      }
+      if (count - i >= 16 && size - pos >= 16 &&
+          try_uvarint16_sse2(data + pos, out + i)) {
+        pos += 16;
+        i += 16;
+        continue;
+      }
+      const std::uint64_t v = scalar_uvarint(data, size, pos);
+      GE_REQUIRE(v <= max_value, range_err);
+      out[i++] = static_cast<std::uint32_t>(v);
+    }
+    return pos;
+  }
+#endif
+  for (; i < count; ++i) {
+    const std::uint64_t v = scalar_uvarint(data, size, pos);
+    GE_REQUIRE(v <= max_value, range_err);
+    out[i] = static_cast<std::uint32_t>(v);
+  }
+  return pos;
+}
+
+std::size_t decode_zigzag_prefix32_block(const std::uint8_t* data,
+                                         std::size_t size, std::size_t pos,
+                                         std::int64_t prev, std::int32_t* out,
+                                         std::size_t count,
+                                         std::int64_t max_value,
+                                         const char* range_err) {
+  std::size_t i = 0;
+#ifdef GE_SIMD_X86
+  if (active_level() != Level::kScalar && prev >= 0 &&
+      max_value <= std::numeric_limits<std::int32_t>::max()) {
+    std::int32_t p32 = static_cast<std::int32_t>(prev);
+    while (i < count) {
+      if (count - i >= 16 && size - pos >= 16 &&
+          try_zigzag16_sse2(data + pos, p32,
+                            static_cast<std::int32_t>(max_value), out + i,
+                            &p32)) {
+        pos += 16;
+        i += 16;
+        continue;
+      }
+      std::int64_t next = static_cast<std::int64_t>(p32) +
+                          zigzag_decode(scalar_uvarint(data, size, pos));
+      GE_REQUIRE(next >= 0 && next <= max_value, range_err);
+      p32 = static_cast<std::int32_t>(next);
+      out[i++] = p32;
+    }
+    return pos;
+  }
+#endif
+  for (; i < count; ++i) {
+    prev += zigzag_decode(scalar_uvarint(data, size, pos));
+    GE_REQUIRE(prev >= 0 && prev <= max_value, range_err);
+    out[i] = static_cast<std::int32_t>(prev);
+  }
+  return pos;
+}
+
+}  // namespace ppr::simd

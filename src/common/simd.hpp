@@ -1,0 +1,76 @@
+// Runtime-dispatched SIMD helpers for the engine's hot loops.
+//
+// Everything here has three implementations — scalar, SSE2, AVX2 — chosen
+// once per process from CPUID, and every vector path is bit-identical to
+// the scalar one (same IEEE operations in the same order, never FMA), so
+// switching levels can never change a query result. The environment
+// override GE_FORCE_SCALAR=1 (or set_forced_scalar(true) in tests) pins
+// the scalar path so CI exercises both codegen routes on the same inputs.
+//
+// The three families served:
+//   * widen_mul — out[k] = double(x[k]) * c, the residual-delta and
+//     ε·d_w threshold precompute of the dense push kernel;
+//   * decode_uvarint32_block — a run of LEB128 uvarints (the local-id and
+//     shard-id sections of the delta-varint CSR codec), vectorized over
+//     windows whose continuation bits are all clear (the overwhelmingly
+//     common case: ids below 128 encode in one byte);
+//   * decode_zigzag_prefix32_block — one CSR row's zigzag-delta-encoded
+//     neighbor global ids, decoded to absolute ids via a SIMD prefix sum.
+//
+// The decoders preserve the ByteReader error contract exactly: truncated
+// and overlong varints, and out-of-range decoded values, raise
+// InvalidArgument with the same messages the scalar reader uses — a
+// hostile frame is rejected identically at every SIMD level.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppr::simd {
+
+enum class Level : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Best level this CPU supports (ignores overrides).
+Level detected_level();
+
+/// Level the helpers actually run at: detected_level() unless scalar is
+/// forced via GE_FORCE_SCALAR=1 or set_forced_scalar(true).
+Level active_level();
+
+const char* level_name(Level level);
+
+/// Test/CI hook: pin (or unpin) the scalar paths at runtime. Overrides the
+/// GE_FORCE_SCALAR environment variable in both directions.
+void set_forced_scalar(bool on);
+bool scalar_forced();
+
+/// out[k] = static_cast<double>(x[k]) * c for k in [0, n). Bit-identical
+/// to the scalar loop at every level (one widening convert + one multiply
+/// per element, no fusion, no reassociation).
+void widen_mul(const float* x, std::size_t n, double c, double* out);
+
+/// Decode `count` LEB128 uvarints from data[pos...size) into out[],
+/// requiring each value <= max_value (violations raise InvalidArgument
+/// with `range_err`). Returns the position one past the last byte
+/// consumed. Vector levels decode 16/32-wide windows of single-byte
+/// varints at once and fall back to the scalar decoder whenever a window
+/// contains a continuation bit.
+std::size_t decode_uvarint32_block(const std::uint8_t* data,
+                                   std::size_t size, std::size_t pos,
+                                   std::uint32_t* out, std::size_t count,
+                                   std::uint64_t max_value,
+                                   const char* range_err);
+
+/// Decode `count` zigzag-encoded svarint deltas from data[pos...size),
+/// emitting the running prefix sum started at `prev` (one CSR row of
+/// delta-encoded neighbor global ids). Every prefix value must lie in
+/// [0, max_value] (violations raise InvalidArgument with `range_err`).
+/// Returns the position one past the last byte consumed.
+std::size_t decode_zigzag_prefix32_block(const std::uint8_t* data,
+                                         std::size_t size, std::size_t pos,
+                                         std::int64_t prev, std::int32_t* out,
+                                         std::size_t count,
+                                         std::int64_t max_value,
+                                         const char* range_err);
+
+}  // namespace ppr::simd

@@ -69,6 +69,18 @@ BatchRunStats run_ssppr_batch(const DistGraphStorage& storage,
     if (!any_active) break;
     ++stats.num_iterations;
     obs::ScopedSpan round_span("ssppr.batch_round");
+    if (round_span.active()) {
+      // mode=dense / mode=sparse when the whole batch agrees, mode=mixed
+      // when queries are in different representations this round.
+      bool any_dense = false;
+      bool any_sparse = false;
+      for (const SspprState& s : states) {
+        (s.dense_active() ? any_dense : any_sparse) = true;
+      }
+      round_span.annotate(any_dense && any_sparse
+                              ? "mode=mixed"
+                              : (any_dense ? "mode=dense" : "mode=sparse"));
+    }
     scratch.begin_round(nq);
     pipeline.begin_round();
 

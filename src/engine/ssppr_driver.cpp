@@ -122,6 +122,7 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
     if (node_ids.empty()) break;
     ++stats.num_iterations;
     obs::ScopedSpan round_span("ssppr.round");
+    round_span.annotate(std::string("mode=") + state.kernel_mode_name());
     if (options.batch) {
       run_iteration_batched(storage, state, node_ids, shard_ids, options, t,
                             pipeline);

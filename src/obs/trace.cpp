@@ -65,12 +65,14 @@ void Tracer::record(SpanRecord&& rec) {
 void Tracer::record_span(std::string name, std::uint64_t trace_id,
                          std::uint64_t span_id, std::uint64_t parent_id,
                          std::chrono::steady_clock::time_point start,
-                         std::chrono::steady_clock::time_point end) {
+                         std::chrono::steady_clock::time_point end,
+                         std::string annotation) {
   SpanRecord rec;
   rec.trace_id = trace_id;
   rec.span_id = span_id;
   rec.parent_id = parent_id;
   rec.name = std::move(name);
+  rec.annotation = std::move(annotation);
   rec.start_ns = since_epoch_ns(start);
   rec.end_ns = since_epoch_ns(end);
   record(std::move(rec));
@@ -109,11 +111,16 @@ std::string Tracer::to_chrome_json() const {
     out += buf;
     std::snprintf(buf, sizeof(buf),
                   ", \"args\": {\"trace\": %llu, \"span\": %llu, "
-                  "\"parent\": %llu}}",
+                  "\"parent\": %llu",
                   static_cast<unsigned long long>(r.trace_id),
                   static_cast<unsigned long long>(r.span_id),
                   static_cast<unsigned long long>(r.parent_id));
     out += buf;
+    if (!r.annotation.empty()) {
+      out += ", \"annotation\": ";
+      append_json_string(out, r.annotation);
+    }
+    out += "}}";
   }
   out += "\n]}\n";
   return out;
@@ -143,7 +150,8 @@ void ScopedSpan::close() {
   const auto end = std::chrono::steady_clock::now();
   set_current_trace(prev_);
   Tracer::global().record_span(std::move(name_), trace_id_, span_id_,
-                               parent_id_, start_, end);
+                               parent_id_, start_, end,
+                               std::move(annotation_));
   span_id_ = 0;
 }
 

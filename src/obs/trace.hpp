@@ -43,6 +43,9 @@ struct SpanRecord {
   std::uint64_t span_id = 0;
   std::uint64_t parent_id = 0;  // 0 = root span of its trace
   std::string name;
+  /// Free-form note set via ScopedSpan::annotate() (e.g. the kernel mode
+  /// a push round ran under); exported in the chrome://tracing args.
+  std::string annotation;
   std::int64_t start_ns = 0;
   std::int64_t end_ns = 0;
   std::uint32_t tid = 0;  // small per-thread ordinal for the export
@@ -80,7 +83,8 @@ class Tracer {
   void record_span(std::string name, std::uint64_t trace_id,
                    std::uint64_t span_id, std::uint64_t parent_id,
                    std::chrono::steady_clock::time_point start,
-                   std::chrono::steady_clock::time_point end);
+                   std::chrono::steady_clock::time_point end,
+                   std::string annotation = {});
 
   std::vector<SpanRecord> spans() const;
   std::uint64_t dropped() const;
@@ -148,11 +152,19 @@ class ScopedSpan {
   std::uint64_t trace_id() const { return trace_id_; }
   std::uint64_t span_id() const { return span_id_; }
 
+  /// Attach a note to the span (overwrites any previous one); it rides in
+  /// the record's `annotation` field and the chrome://tracing args. No-op
+  /// when the span is inactive (tracing disabled).
+  void annotate(std::string note) {
+    if (span_id_ != 0) annotation_ = std::move(note);
+  }
+
  private:
   void open(std::string name);
   void close();
 
   std::string name_;
+  std::string annotation_;
   TraceContext prev_;
   std::uint64_t trace_id_ = 0;
   std::uint64_t span_id_ = 0;

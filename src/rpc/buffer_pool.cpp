@@ -2,22 +2,23 @@
 
 namespace ppr {
 
-BufferPool::BufferPool(std::size_t max_pooled, bool register_metrics)
+BufferPool::BufferPool(std::size_t max_pooled, bool register_metrics,
+                       const std::string& metric_prefix)
     : max_pooled_(max_pooled) {
   if (register_metrics) {
     auto& reg = obs::MetricRegistry::global();
     metric_regs_.push_back(
-        reg.attach("rpc.buffer_pool.acquired", {}, stats_.acquired));
+        reg.attach(metric_prefix + ".acquired", {}, stats_.acquired));
     metric_regs_.push_back(
-        reg.attach("rpc.buffer_pool.reused", {}, stats_.reused));
+        reg.attach(metric_prefix + ".reused", {}, stats_.reused));
     metric_regs_.push_back(
-        reg.attach("rpc.buffer_pool.created", {}, stats_.created));
+        reg.attach(metric_prefix + ".created", {}, stats_.created));
     metric_regs_.push_back(
-        reg.attach("rpc.buffer_pool.grown", {}, stats_.grown));
+        reg.attach(metric_prefix + ".grown", {}, stats_.grown));
     metric_regs_.push_back(
-        reg.attach("rpc.buffer_pool.released", {}, stats_.released));
+        reg.attach(metric_prefix + ".released", {}, stats_.released));
     metric_regs_.push_back(
-        reg.attach("rpc.buffer_pool.dropped", {}, stats_.dropped));
+        reg.attach(metric_prefix + ".dropped", {}, stats_.dropped));
   }
 }
 

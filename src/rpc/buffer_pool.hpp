@@ -56,11 +56,14 @@ class BufferPool {
  public:
   /// Keep at most `max_pooled` idle buffers; surplus releases free their
   /// memory (bounds the pool under bursty fan-out). `register_metrics`
-  /// attaches the counters to the global MetricRegistry as
-  /// `rpc.buffer_pool.*` — on for the process-wide global() pool only, so
-  /// transient pools in tests don't pollute the export.
+  /// attaches the counters to the global MetricRegistry under
+  /// `<metric_prefix>.*` — on for the long-lived process-wide pools only
+  /// (the wire path's global() as `rpc.buffer_pool`, the push kernel's
+  /// round-scratch pool as `ppr.scratch_pool`), so transient pools in
+  /// tests don't pollute the export.
   explicit BufferPool(std::size_t max_pooled = 256,
-                      bool register_metrics = false);
+                      bool register_metrics = false,
+                      const std::string& metric_prefix = "rpc.buffer_pool");
 
   /// Process-wide pool shared by every transport/endpoint/pipeline. One
   /// pool (rather than per-endpoint) lets a buffer filled on machine A be

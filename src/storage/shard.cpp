@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 
 namespace ppr {
 
@@ -499,29 +500,37 @@ void NeighborBatch::decode_csr_into(ByteReader& r, NeighborBatch& out) {
     out.nbr_global_ids_.resize(e);
     out.nbr_local_ids_.resize(e);
     out.nbr_shard_ids_.resize(e);
+    // The three id sections decode through the runtime-dispatched SIMD
+    // block decoders (simd.hpp): per-row zigzag deltas with a vector
+    // prefix sum for global ids, bulk single-byte-window uvarints for
+    // locals and shards. Pull the raw buffer out of the reader, then
+    // resynchronize it once the blocks are consumed.
+    const std::uint8_t* raw = r.raw();
+    const std::size_t raw_size = r.buffer_size();
+    std::size_t at_byte = r.position();
     std::size_t at = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
-      std::int64_t prev = 0;
       const auto hi = static_cast<std::size_t>(out.indptr_[i + 1]);
-      for (; at < hi; ++at) {
-        prev += r.read_svarint();
-        GE_REQUIRE(prev >= 0 && prev <= std::numeric_limits<NodeId>::max(),
-                   "neighbor global id out of range");
-        out.nbr_global_ids_[at] = static_cast<NodeId>(prev);
-      }
+      at_byte = simd::decode_zigzag_prefix32_block(
+          raw, raw_size, at_byte, /*prev=*/0,
+          out.nbr_global_ids_.data() + at, hi - at,
+          std::numeric_limits<NodeId>::max(),
+          "neighbor global id out of range");
+      at = hi;
     }
-    for (std::size_t k = 0; k < e; ++k) {
-      const std::uint64_t v = r.read_uvarint();
-      GE_REQUIRE(v <= std::numeric_limits<NodeId>::max(),
-                 "neighbor local id out of range");
-      out.nbr_local_ids_[k] = static_cast<NodeId>(v);
-    }
-    for (std::size_t k = 0; k < e; ++k) {
-      const std::uint64_t v = r.read_uvarint();
-      GE_REQUIRE(v <= std::numeric_limits<ShardId>::max(),
-                 "neighbor shard id out of range");
-      out.nbr_shard_ids_[k] = static_cast<ShardId>(v);
-    }
+    static_assert(sizeof(NodeId) == sizeof(std::uint32_t));
+    static_assert(sizeof(ShardId) == sizeof(std::uint32_t));
+    at_byte = simd::decode_uvarint32_block(
+        raw, raw_size, at_byte,
+        reinterpret_cast<std::uint32_t*>(out.nbr_local_ids_.data()), e,
+        std::numeric_limits<NodeId>::max(),
+        "neighbor local id out of range");
+    at_byte = simd::decode_uvarint32_block(
+        raw, raw_size, at_byte,
+        reinterpret_cast<std::uint32_t*>(out.nbr_shard_ids_.data()), e,
+        std::numeric_limits<ShardId>::max(),
+        "neighbor shard id out of range");
+    r.seek(at_byte);
     out.edge_weights_.resize(e);
     out.nbr_weighted_deg_.resize(e);
     out.src_weighted_deg_.resize(n);

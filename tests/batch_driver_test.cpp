@@ -86,6 +86,7 @@ TEST_F(BatchDriverFixture, BatchedResultsBitIdenticalToIndependentRuns) {
     bool compress;
     bool overlap;
     WireCodec codec = WireCodec::kFlat;
+    SspprKernel kernel = SspprKernel::kSparse;
   };
   std::vector<Config> configs;
   for (const std::size_t cache_rows : {std::size_t{0}, std::size_t{256}}) {
@@ -102,18 +103,39 @@ TEST_F(BatchDriverFixture, BatchedResultsBitIdenticalToIndependentRuns) {
   // composed with both caches.
   configs.push_back({false, 0, true, true, WireCodec::kDeltaVarint});
   configs.push_back({true, 256, true, true, WireCodec::kDeltaVarint});
+  // The push-kernel representation must be invisible too: adaptive (with
+  // a threshold low enough to flip mid-query) and always-dense rows,
+  // composed with the varint codec and both caches.
+  configs.push_back({false, 0, true, true, WireCodec::kFlat,
+                     SspprKernel::kAdaptive});
+  configs.push_back({true, 256, true, true, WireCodec::kDeltaVarint,
+                     SspprKernel::kAdaptive});
+  configs.push_back({false, 0, true, true, WireCodec::kDeltaVarint,
+                     SspprKernel::kDense});
 
   for (const Config& cfg : configs) {
     SCOPED_TRACE(::testing::Message()
                  << "halo=" << cfg.halo << " cache=" << cfg.cache_rows
                  << " compress=" << cfg.compress << " overlap=" << cfg.overlap
-                 << " codec=" << wire_codec_name(cfg.codec));
+                 << " codec=" << wire_codec_name(cfg.codec)
+                 << " kernel=" << kernel_name(cfg.kernel));
     auto cluster = make_cluster(cfg.halo, cfg.cache_rows);
     const DriverOptions driver{true, cfg.compress, cfg.overlap, cfg.codec};
     const auto sources = pick_sources(*cluster, kMachine, kQueries);
+    SspprOptions query_opts = ppr;
+    query_opts.kernel = cfg.kernel;
+    query_opts.dense_threshold = 0.005;  // flip adaptive states mid-query
+    if (cfg.kernel != SspprKernel::kSparse) {
+      for (int m = 0; m < cluster->num_machines(); ++m) {
+        query_opts.shard_core_counts.push_back(
+            static_cast<NodeId>(cluster->shard(m).num_core_nodes()));
+      }
+    }
 
-    // Reference: each query alone (compute_ssppr never consults the
-    // adjacency cache, so the reference is cache-independent).
+    // Reference: each query alone with the sparse-only kernel — the
+    // representation policy must be invisible to results (and
+    // compute_ssppr never consults the adjacency cache, so the reference
+    // is cache-independent too).
     std::vector<Entries> want_ppr, want_res;
     std::vector<std::size_t> want_pushes;
     for (const NodeRef src : sources) {
@@ -128,7 +150,7 @@ TEST_F(BatchDriverFixture, BatchedResultsBitIdenticalToIndependentRuns) {
     // pass exercises adjacency-cache hits when the cache is on).
     std::vector<SspprState> states;
     states.reserve(kQueries);
-    for (const NodeRef src : sources) states.emplace_back(src, ppr);
+    for (const NodeRef src : sources) states.emplace_back(src, query_opts);
     for (const char* pass : {"cold", "warm"}) {
       const BatchRunStats stats =
           run_ssppr_batch(cluster->storage(kMachine), states, driver);
@@ -245,6 +267,45 @@ TEST_F(BatchDriverFixture, AdjacencyCacheServesRepeatRuns) {
   EXPECT_GT(cluster->total_adjacency_cache_hits(), 0u);
   EXPECT_LT(cluster->total_remote_nodes(), cold_nodes)
       << "warm cache must cut remote fetches";
+}
+
+TEST_F(BatchDriverFixture, RoundScratchAllocationFreeOnceWarmInBothKernels) {
+  auto cluster = make_cluster(false, 0);
+  SspprOptions ppr{.alpha = kAlpha, .epsilon = 1e-6};
+  for (int m = 0; m < cluster->num_machines(); ++m) {
+    ppr.shard_core_counts.push_back(
+        static_cast<NodeId>(cluster->shard(m).num_core_nodes()));
+  }
+  const auto sources = pick_sources(*cluster, 1, 4);
+
+  const auto run_batch = [&](SspprKernel kernel, double threshold) {
+    SspprOptions o = ppr;
+    o.kernel = kernel;
+    o.dense_threshold = threshold;
+    std::vector<SspprState> states;
+    states.reserve(sources.size());
+    for (const NodeRef src : sources) states.emplace_back(src, o);
+    run_ssppr_batch(cluster->storage(1), states, DriverOptions{});
+  };
+
+  // Warm the pool across both representations (the dense kernel acquires
+  // an extra SIMD precompute row per push), then require that more
+  // batches of either kind perform zero round-scratch allocations.
+  run_batch(SspprKernel::kSparse, 0.02);
+  run_batch(SspprKernel::kDense, 0.02);
+  run_batch(SspprKernel::kAdaptive, 0.005);
+  BufferPoolStats& stats = SspprState::scratch_pool().stats();
+  const std::uint64_t warm_allocations = stats.allocations();
+  const std::uint64_t warm_acquired =
+      stats.acquired.load(std::memory_order_relaxed);
+  EXPECT_GT(warm_acquired, 0u) << "the push loop must use the scratch pool";
+
+  run_batch(SspprKernel::kSparse, 0.02);
+  run_batch(SspprKernel::kDense, 0.02);
+  run_batch(SspprKernel::kAdaptive, 0.005);
+  EXPECT_EQ(stats.allocations(), warm_allocations)
+      << "steady-state rounds must not allocate round scratch";
+  EXPECT_GT(stats.acquired.load(std::memory_order_relaxed), warm_acquired);
 }
 
 TEST_F(BatchDriverFixture, ThroughputHarnessBatchedMatchesUnbatched) {

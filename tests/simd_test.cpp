@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/simd.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+#include "storage/shard.hpp"
+
+namespace ppr {
+namespace {
+
+/// Restore the GE_FORCE_SCALAR environment semantics after a test fiddled
+/// with the runtime override, so later suites see the level CI asked for.
+class ForcedScalarGuard {
+ public:
+  ~ForcedScalarGuard() {
+    const char* e = std::getenv("GE_FORCE_SCALAR");
+    simd::set_forced_scalar(e != nullptr && e[0] == '1');
+  }
+};
+
+std::vector<std::uint8_t> encode_uvarints(
+    const std::vector<std::uint64_t>& values) {
+  ByteWriter w;
+  for (const std::uint64_t v : values) w.write_uvarint(v);
+  return w.take();
+}
+
+/// Zigzag-delta encoding of a row of absolute values (the CSR neighbor-id
+/// wire format), starting from prev = 0.
+std::vector<std::uint8_t> encode_prefix_deltas(
+    const std::vector<std::int64_t>& values) {
+  ByteWriter w;
+  std::int64_t prev = 0;
+  for (const std::int64_t v : values) {
+    w.write_svarint(v - prev);
+    prev = v;
+  }
+  return w.take();
+}
+
+constexpr const char* kRangeErr = "test value out of range";
+
+TEST(SimdLevel, ForcingPinsScalarAndUnforcingRestoresDetected) {
+  ForcedScalarGuard guard;
+  simd::set_forced_scalar(true);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  EXPECT_TRUE(simd::scalar_forced());
+  simd::set_forced_scalar(false);
+  EXPECT_EQ(simd::active_level(), simd::detected_level());
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_NE(simd::detected_level(), simd::Level::kScalar)
+      << "x86-64 guarantees SSE2";
+#endif
+}
+
+TEST(SimdLevel, LevelNamesAreDistinct) {
+  const std::string scalar = simd::level_name(simd::Level::kScalar);
+  const std::string sse2 = simd::level_name(simd::Level::kSse2);
+  const std::string avx2 = simd::level_name(simd::Level::kAvx2);
+  EXPECT_EQ(scalar, "scalar");
+  EXPECT_EQ(sse2, "sse2");
+  EXPECT_EQ(avx2, "avx2");
+}
+
+TEST(SimdWidenMul, BitIdenticalToScalarOnAllLengths) {
+  ForcedScalarGuard guard;
+  Rng rng(0x51dd);
+  // Lengths straddling every vector-width boundary plus a long tail.
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+        std::size_t{7}, std::size_t{8}, std::size_t{9}, std::size_t{15},
+        std::size_t{16}, std::size_t{17}, std::size_t{100},
+        std::size_t{1001}}) {
+    std::vector<float> x(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      x[k] = static_cast<float>(rng.next_double() * 2000.0 - 1000.0);
+    }
+    // Salt in the awkward cases: signed zero, denormals, huge magnitudes.
+    if (n > 4) {
+      x[0] = 0.0f;
+      x[1] = -0.0f;
+      x[2] = 1e-42f;  // denormal
+      x[3] = std::numeric_limits<float>::max();
+      x[4] = -std::numeric_limits<float>::min();
+    }
+    for (const double c : {0.462, -1e-7, 1e9, 0.0}) {
+      std::vector<double> vec(n, -1.0), ref(n, -2.0);
+      simd::set_forced_scalar(false);
+      simd::widen_mul(x.data(), n, c, vec.data());
+      simd::set_forced_scalar(true);
+      simd::widen_mul(x.data(), n, c, ref.data());
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(ref[k], static_cast<double>(x[k]) * c);
+      }
+      if (n != 0) {  // empty vectors have null data(), illegal for memcmp
+        ASSERT_EQ(std::memcmp(vec.data(), ref.data(), n * sizeof(double)), 0)
+            << "n=" << n << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(SimdUvarint, BlockMatchesScalarOnRandomMixes) {
+  ForcedScalarGuard guard;
+  Rng rng(0xbeef);
+  // Counts straddling the 16- and 32-wide window boundaries.
+  for (const std::size_t count :
+       {std::size_t{0}, std::size_t{1}, std::size_t{15}, std::size_t{16},
+        std::size_t{17}, std::size_t{31}, std::size_t{32}, std::size_t{33},
+        std::size_t{64}, std::size_t{257}}) {
+    // multibyte_permille: 0 = the pure fast path, 1000 = pure fallback.
+    for (const int multibyte_permille : {0, 30, 500, 1000}) {
+      std::vector<std::uint64_t> values(count);
+      for (auto& v : values) {
+        v = rng.next_u64(1000) < static_cast<std::uint64_t>(multibyte_permille)
+                ? 128 + rng.next_u64(1u << 20)
+                : rng.next_u64(128);
+      }
+      const auto bytes = encode_uvarints(values);
+
+      std::vector<std::uint32_t> vec(count + 1, 0xdead);
+      std::vector<std::uint32_t> ref(count + 1, 0xbeaf);
+      simd::set_forced_scalar(false);
+      const std::size_t end_vec = simd::decode_uvarint32_block(
+          bytes.data(), bytes.size(), 0, vec.data(), count,
+          std::numeric_limits<std::uint32_t>::max(), kRangeErr);
+      simd::set_forced_scalar(true);
+      const std::size_t end_ref = simd::decode_uvarint32_block(
+          bytes.data(), bytes.size(), 0, ref.data(), count,
+          std::numeric_limits<std::uint32_t>::max(), kRangeErr);
+
+      ASSERT_EQ(end_vec, bytes.size());
+      ASSERT_EQ(end_ref, bytes.size());
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(vec[i], static_cast<std::uint32_t>(values[i]))
+            << "count=" << count << " @" << i;
+        ASSERT_EQ(ref[i], vec[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdUvarint, DecodesMidBufferAndLeavesTailUntouched) {
+  ForcedScalarGuard guard;
+  std::vector<std::uint64_t> values(40);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = i * 3;
+  auto bytes = encode_uvarints(values);
+  const std::size_t tail_mark = bytes.size();
+  bytes.push_back(0xff);  // trailing garbage the decoder must not consume
+  for (const bool forced : {false, true}) {
+    simd::set_forced_scalar(forced);
+    std::vector<std::uint32_t> out(values.size());
+    const std::size_t end = simd::decode_uvarint32_block(
+        bytes.data(), bytes.size(), 0, out.data(), out.size(), 1000,
+        kRangeErr);
+    EXPECT_EQ(end, tail_mark);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(out[i], values[i]);
+    }
+  }
+}
+
+TEST(SimdUvarint, ErrorContractIdenticalAtEveryLevel) {
+  ForcedScalarGuard guard;
+  const auto expect_throws = [](const std::vector<std::uint8_t>& bytes,
+                                std::size_t count, std::uint64_t max_value,
+                                const std::string& needle) {
+    for (const bool forced : {false, true}) {
+      simd::set_forced_scalar(forced);
+      std::vector<std::uint32_t> out(count);
+      try {
+        simd::decode_uvarint32_block(bytes.data(), bytes.size(), 0,
+                                     out.data(), count, max_value, kRangeErr);
+        FAIL() << "expected InvalidArgument (" << needle
+               << ") forced=" << forced;
+      } catch (const InvalidArgument& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << e.what();
+      }
+    }
+  };
+
+  // Truncated: 20 one-byte values promised, buffer cut mid-stream.
+  {
+    auto bytes = encode_uvarints(std::vector<std::uint64_t>(20, 5));
+    bytes.resize(10);
+    expect_throws(bytes, 20, 1000, "truncated varint");
+  }
+  // Truncated inside a multi-byte varint (continuation bit then EOF).
+  expect_throws({0x85}, 1, 1000, "truncated varint");
+  // Overlong: ten continuation bytes can only be closed by 0 or 1.
+  {
+    std::vector<std::uint8_t> bytes(10, 0xff);
+    bytes[9] = 0x02;
+    expect_throws(bytes, 1, std::numeric_limits<std::uint64_t>::max(),
+                  "varint overflows 64 bits");
+  }
+  // Out-of-range value buried in a window of in-range single-byte values.
+  {
+    std::vector<std::uint64_t> values(33, 7);
+    values[20] = 300;  // two-byte varint breaks the window containing it
+    expect_throws(encode_uvarints(values), 33, 255, kRangeErr);
+  }
+}
+
+TEST(SimdZigzag, PrefixBlockMatchesScalarOnRandomRows) {
+  ForcedScalarGuard guard;
+  Rng rng(0x2124);
+  for (const std::size_t count :
+       {std::size_t{0}, std::size_t{1}, std::size_t{15}, std::size_t{16},
+        std::size_t{17}, std::size_t{48}, std::size_t{200}}) {
+    for (const int big_step_permille : {0, 50, 1000}) {
+      // Ascending rows (the sorted-neighbor wire case) with occasional
+      // large jumps whose deltas need multi-byte varints.
+      std::vector<std::int64_t> values;
+      std::int64_t v = static_cast<std::int64_t>(rng.next_u64(100));
+      for (std::size_t i = 0; i < count; ++i) {
+        const bool big = rng.next_u64(1000) <
+                         static_cast<std::uint64_t>(big_step_permille);
+        v += big ? static_cast<std::int64_t>(rng.next_u64(1u << 18))
+                 : static_cast<std::int64_t>(rng.next_u64(32));
+        values.push_back(v);
+      }
+      const auto bytes = encode_prefix_deltas(values);
+      const std::int64_t max_value =
+          std::numeric_limits<std::int32_t>::max();
+
+      std::vector<std::int32_t> vec(count + 1, -7), ref(count + 1, -9);
+      simd::set_forced_scalar(false);
+      const std::size_t end_vec = simd::decode_zigzag_prefix32_block(
+          bytes.data(), bytes.size(), 0, 0, vec.data(), count, max_value,
+          kRangeErr);
+      simd::set_forced_scalar(true);
+      const std::size_t end_ref = simd::decode_zigzag_prefix32_block(
+          bytes.data(), bytes.size(), 0, 0, ref.data(), count, max_value,
+          kRangeErr);
+
+      ASSERT_EQ(end_vec, bytes.size());
+      ASSERT_EQ(end_ref, bytes.size());
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(vec[i], values[i]) << "count=" << count << " @" << i;
+        ASSERT_EQ(ref[i], vec[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdZigzag, HandlesDescendingRunsAndNonZeroStart) {
+  ForcedScalarGuard guard;
+  // Negative deltas exercise the zigzag sign lanes inside full windows.
+  std::vector<std::int64_t> values;
+  std::int64_t v = 500;
+  for (int i = 0; i < 40; ++i) {
+    v += (i % 3 == 0) ? -11 : 4;
+    values.push_back(v);
+  }
+  ByteWriter w;
+  std::int64_t prev = 123;
+  for (const std::int64_t val : values) {
+    w.write_svarint(val - prev);
+    prev = val;
+  }
+  const auto bytes = w.take();
+  for (const bool forced : {false, true}) {
+    simd::set_forced_scalar(forced);
+    std::vector<std::int32_t> out(values.size());
+    const std::size_t end = simd::decode_zigzag_prefix32_block(
+        bytes.data(), bytes.size(), 0, 123, out.data(), out.size(), 1 << 20,
+        kRangeErr);
+    EXPECT_EQ(end, bytes.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(out[i], values[i]) << "forced=" << forced << " @" << i;
+    }
+  }
+}
+
+TEST(SimdZigzag, RangeViolationInsideWindowRaisesExactError) {
+  ForcedScalarGuard guard;
+  const auto expect_throws = [](const std::vector<std::uint8_t>& bytes,
+                                std::int64_t prev, std::size_t count,
+                                std::int64_t max_value) {
+    for (const bool forced : {false, true}) {
+      simd::set_forced_scalar(forced);
+      std::vector<std::int32_t> out(count);
+      try {
+        simd::decode_zigzag_prefix32_block(bytes.data(), bytes.size(), 0,
+                                           prev, out.data(), count, max_value,
+                                           kRangeErr);
+        FAIL() << "expected InvalidArgument forced=" << forced;
+      } catch (const InvalidArgument& e) {
+        EXPECT_NE(std::string(e.what()).find(kRangeErr), std::string::npos)
+            << e.what();
+      }
+    }
+  };
+
+  // A full window of single-byte +4 deltas marching past max_value: the
+  // SSE2 path sees the overflow lane trip its range compare and must fall
+  // back so the scalar decoder raises at the exact offending value.
+  {
+    std::vector<std::int64_t> values;
+    for (int i = 1; i <= 32; ++i) values.push_back(90 + 4 * i);
+    expect_throws(encode_prefix_deltas(values), 90, 32, 100);
+  }
+  // Prefix dipping below zero (corrupt delta stream).
+  {
+    ByteWriter w;
+    w.write_svarint(3);
+    w.write_svarint(-10);
+    expect_throws(w.take(), 0, 2, 1000);
+  }
+  // int32 wrap: prev near INT32_MAX plus positive single-byte deltas wraps
+  // the vector lanes; the wrapped lane lands negative, trips the compare,
+  // and the scalar fallback (64-bit arithmetic) reports the range error.
+  {
+    std::vector<std::int64_t> values;
+    const std::int64_t base = std::numeric_limits<std::int32_t>::max() - 8;
+    for (int i = 1; i <= 16; ++i) values.push_back(base + i);
+    ByteWriter w;
+    std::int64_t prev = base;
+    for (const std::int64_t val : values) {
+      w.write_svarint(val - prev);
+      prev = val;
+    }
+    expect_throws(w.take(), base, 16,
+                  std::numeric_limits<std::int32_t>::max());
+  }
+}
+
+TEST(SimdZigzag, WideMaxValueFallsBackToScalarCorrectly) {
+  ForcedScalarGuard guard;
+  // max_value beyond int32 disqualifies the vector fast path entirely;
+  // the block must still decode correctly (values above INT32_MAX would
+  // truncate in the int32 out[], so keep them below it — the gate is on
+  // max_value, not the data).
+  std::vector<std::int64_t> values = {0, 100, 1 << 30, (1 << 30) + 5};
+  const auto bytes = encode_prefix_deltas(values);
+  simd::set_forced_scalar(false);
+  std::vector<std::int32_t> out(values.size());
+  const std::size_t end = simd::decode_zigzag_prefix32_block(
+      bytes.data(), bytes.size(), 0, 0, out.data(), out.size(),
+      std::numeric_limits<std::int64_t>::max() / 2, kRangeErr);
+  EXPECT_EQ(end, bytes.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(out[i], values[i]);
+  }
+}
+
+/// Full wire-path round trip: encode real shard rows with the delta-varint
+/// codec and check the SIMD decode is byte-for-byte the scalar decode (and
+/// both equal the flat codec's arrays).
+TEST(SimdCsr, VarintDecodeBitIdenticalAcrossLevels) {
+  ForcedScalarGuard guard;
+  const Graph g = generate_rmat(600, 3000, 0.5, 0.2, 0.2, 77);
+  const auto assignment = partition_multilevel(g, 3);
+  const ShardedGraph sharded = build_sharded_graph(g, assignment, 3);
+
+  const auto expect_rows_identical = [](const NeighborBatch& a,
+                                        const NeighborBatch& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const VertexProp pa = a[i];
+      const VertexProp pb = b[i];
+      ASSERT_EQ(pa.degree(), pb.degree()) << "row " << i;
+      ASSERT_EQ(pa.weighted_degree, pb.weighted_degree);
+      for (std::size_t k = 0; k < pa.degree(); ++k) {
+        ASSERT_EQ(pa.nbr_local_ids[k], pb.nbr_local_ids[k]);
+        ASSERT_EQ(pa.nbr_shard_ids[k], pb.nbr_shard_ids[k]);
+        ASSERT_EQ(pa.nbr_global_ids[k], pb.nbr_global_ids[k]);
+        ASSERT_EQ(pa.edge_weights[k], pb.edge_weights[k]);
+        ASSERT_EQ(pa.nbr_weighted_degrees[k], pb.nbr_weighted_degrees[k]);
+      }
+    }
+  };
+
+  for (ShardId s = 0; s < 3; ++s) {
+    const GraphShard& shard = *sharded.shards[static_cast<std::size_t>(s)];
+    std::vector<NodeId> locals;
+    const NodeId n = std::min<NodeId>(shard.num_core_nodes(), 80);
+    for (NodeId i = 0; i < n; ++i) locals.push_back(i);
+
+    FetchOptions varint;
+    varint.codec = WireCodec::kDeltaVarint;
+    ByteWriter wv;
+    shard.encode_neighbor_infos_csr(locals, wv, varint);
+    const auto varint_bytes = wv.take();
+    ByteWriter wf;
+    shard.encode_neighbor_infos_csr(locals, wf, FetchOptions{});
+    const auto flat_bytes = wf.take();
+
+    simd::set_forced_scalar(false);
+    ByteReader rv(varint_bytes);
+    const NeighborBatch vec = NeighborBatch::decode_csr(rv);
+    EXPECT_TRUE(rv.done());
+
+    simd::set_forced_scalar(true);
+    ByteReader rs(varint_bytes);
+    const NeighborBatch ref = NeighborBatch::decode_csr(rs);
+    EXPECT_TRUE(rs.done());
+
+    ByteReader rf(flat_bytes);
+    const NeighborBatch flat = NeighborBatch::decode_csr(rf);
+
+    SCOPED_TRACE(::testing::Message() << "shard " << s);
+    expect_rows_identical(vec, ref);
+    expect_rows_identical(vec, flat);
+  }
+}
+
+}  // namespace
+}  // namespace ppr

@@ -41,6 +41,13 @@ for SANITIZER in "${SANITIZERS[@]}"; do
       # of concurrency TSan exists for. Run its suites alone too.
       echo "=== ${SANITIZER}: ctest -L elastic (shard migration/failover) ==="
       ctest --test-dir "${BUILD}" -L elastic --output-on-failure
+      # The adaptive push kernel's dense bitmap is shared between push
+      # threads via atomic words; run the hybrid suite alone under TSan at
+      # both SIMD levels (this build has no OpenMP, so the MT path runs
+      # serial — the bitmap atomics and scratch pool still race-check).
+      echo "=== ${SANITIZER}: hybrid_kernel_test (GE_FORCE_SCALAR off/on) ==="
+      "${BUILD}/tests/hybrid_kernel_test" --gtest_brief=1
+      GE_FORCE_SCALAR=1 "${BUILD}/tests/hybrid_kernel_test" --gtest_brief=1
       ;;
     *address*|*undefined*)
       # Wire-codec fuzz-style tests again with the tensor-marshal cost
@@ -50,6 +57,14 @@ for SANITIZER in "${SANITIZERS[@]}"; do
       echo "=== ${SANITIZER}: wire_codec_test with GE_TENSOR_MARSHAL_US=2 ==="
       GE_TENSOR_MARSHAL_US=2 "${BUILD}/tests/wire_codec_test" \
           --gtest_brief=1
+      # Push-kernel plane (SIMD varint windows, the dense kernel's slot
+      # arithmetic, promote/demote copies) at both SIMD levels: the
+      # vector paths must be as UB-clean as the scalar ones on the same
+      # inputs, including the hostile-frame rejection tests.
+      echo "=== ${SANITIZER}: ctest -L kernel (GE_FORCE_SCALAR off/on) ==="
+      ctest --test-dir "${BUILD}" -L kernel --output-on-failure
+      GE_FORCE_SCALAR=1 ctest --test-dir "${BUILD}" -L kernel \
+          --output-on-failure
       ;;
   esac
   # Real multi-process arm, run again by name so a failure is attributed
