@@ -1,0 +1,251 @@
+// Versioned storage plane bench (DESIGN.md §15): sustained streaming-edge
+// ingestion against a live SSPPR query workload, plus the compaction
+// pause — the numbers behind the "mutations never block reads" claim.
+//
+// Phases (one JSON line each):
+//   baseline    closed-loop SSPPR queries on the never-mutated store
+//               (version-0 fast path: legacy wire frames, no merge)
+//   ingest      same workload while a mutator thread lands mutation
+//               batches through the coordinator as fast as it accepts
+//               them; queries pin whatever version is published at
+//               admission and keep reading that snapshot
+//   compact     per-shard Copy→Publish→Retire compaction wall times
+//               while the query workload keeps running
+//   after       workload on the freshly compacted store
+//
+// Flags: --nodes N --machines K --threads T --window-ms W
+//        --ops-per-batch B --insert-frac F --max-batches M --smoke
+//        plus the shared --metrics-json/--trace-json export.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/ssppr_driver.hpp"
+#include "graph/generators.hpp"
+
+using namespace ppr;
+
+namespace {
+
+struct PhaseStats {
+  std::vector<double> latencies_us;  // merged across workers
+  double window_s = 0.0;
+  std::uint64_t mutation_ops = 0;    // ops landed during the phase
+  std::uint64_t versions = 0;        // versions published during the phase
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Closed-loop SSPPR workload from every machine; `action` runs once the
+/// workers are warm and the phase ends when it returns (or after
+/// `window_ms` for phases whose action is instantaneous).
+template <typename Action>
+PhaseStats run_phase(Cluster& cluster, const std::vector<NodeRef>& roots,
+                     const SspprOptions& ppr, int threads, double window_ms,
+                     Action&& action) {
+  PhaseStats stats;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> warm{0};
+  std::mutex merge_mutex;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<double> local_lat;
+      std::size_t next = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const NodeRef root = roots[next % roots.size()];
+        next += static_cast<std::size_t>(threads);
+        // Owner-compute rule: the query runs on the root's shard.
+        const auto t0 = std::chrono::steady_clock::now();
+        const SspprState state =
+            compute_ssppr(cluster.storage(root.shard), root, ppr, {});
+        const auto t1 = std::chrono::steady_clock::now();
+        if (state.ppr_entries().empty()) std::abort();  // wrong answer
+        local_lat.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        warm.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      stats.latencies_us.insert(stats.latencies_us.end(),
+                                local_lat.begin(), local_lat.end());
+    });
+  }
+  while (warm.load(std::memory_order_relaxed) <
+         static_cast<std::uint64_t>(threads)) {
+    std::this_thread::yield();
+  }
+  const std::uint64_t v0 = cluster.graph_version();
+  const auto t0 = std::chrono::steady_clock::now();
+  action();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(window_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.window_s = std::chrono::duration<double>(t1 - t0).count();
+  stats.versions = cluster.graph_version() - v0;
+  return stats;
+}
+
+void print_phase(const char* phase, PhaseStats& s) {
+  const double qps =
+      s.window_s > 0.0
+          ? static_cast<double>(s.latencies_us.size()) / s.window_s
+          : 0.0;
+  std::printf(
+      "{\"phase\": \"%s\", \"queries\": %zu, \"qps\": %.0f, "
+      "\"p50_us\": %.1f, \"p99_us\": %.1f",
+      phase, s.latencies_us.size(), qps, percentile(s.latencies_us, 0.5),
+      percentile(s.latencies_us, 0.99));
+  if (s.versions > 0) {
+    std::printf(
+        ", \"versions\": %llu, \"mutation_ops\": %llu, "
+        "\"mutation_ops_per_s\": %.0f",
+        static_cast<unsigned long long>(s.versions),
+        static_cast<unsigned long long>(s.mutation_ops),
+        static_cast<double>(s.mutation_ops) / s.window_s);
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  bench::ObsExport obs_export(args);
+  const bool smoke = args.get_bool("smoke", false);
+  const auto nodes =
+      static_cast<NodeId>(args.get_int("nodes", smoke ? 2000 : 20000));
+  const int machines = static_cast<int>(args.get_int("machines", 4));
+  const int threads =
+      static_cast<int>(args.get_int("threads", smoke ? 2 : 8));
+  const double window_ms =
+      args.get_double("window-ms", smoke ? 150.0 : 1500.0);
+  const auto ops_per_batch =
+      static_cast<int>(args.get_int("ops-per-batch", smoke ? 32 : 256));
+  const double insert_frac = args.get_double("insert-frac", 0.7);
+  const auto max_batches =
+      static_cast<int>(args.get_int("max-batches", smoke ? 64 : 4096));
+
+  SspprOptions ppr;
+  ppr.alpha = 0.462;
+  ppr.epsilon = smoke ? 1e-4 : 1e-5;
+  if (!bench::apply_kernel_options(args, ppr)) return 1;
+
+  const Graph g = generate_clustered(nodes, machines, nodes * 5,
+                                     nodes / 2, 1.6, 29);
+  const PartitionAssignment assignment = partition_hash(g, machines);
+  ClusterOptions options;
+  options.num_machines = machines;
+  options.network = bench::bench_network();
+  options.server_threads = 2;
+  Cluster cluster(g, assignment, options);
+
+  // Pre-generate the ingestion stream (deterministic, not on the clock).
+  const auto stream = mutation_stream(
+      g, max_batches, ops_per_batch, insert_frac, 17);
+  std::vector<NodeRef> roots;
+  for (NodeId global = 0; global < std::min<NodeId>(nodes, 256);
+       global += 3) {
+    roots.push_back(cluster.locate(global));
+  }
+  std::fprintf(stderr,
+               "bench_mutations: %d machines, %d nodes, %d query threads, "
+               "%d-op batches, %.0fms windows\n",
+               machines, static_cast<int>(nodes), threads, ops_per_batch,
+               window_ms);
+
+  // Per-shard versioned-store state, summed across primaries (the
+  // `storage.delta_edges` / `storage.compactions` gauges carry the same
+  // numbers per shard in --metrics-json).
+  const auto sum_stores = [&](auto&& field) {
+    std::uint64_t total = 0;
+    for (ShardId s = 0; s < machines; ++s) total += field(*cluster.store(s));
+    return total;
+  };
+  const auto total_delta_edges = [&] {
+    return sum_stores([](const VersionedShardStore& st) {
+      return st.delta_edges();
+    });
+  };
+  const auto total_compactions = [&] {
+    return sum_stores([](const VersionedShardStore& st) {
+      return st.compactions();
+    });
+  };
+
+  PhaseStats baseline =
+      run_phase(cluster, roots, ppr, threads, window_ms, [] {});
+  print_phase("baseline", baseline);
+
+  // Ingest: land batches until the window closes (or the stream dries up).
+  std::atomic<bool> ingest_stop{false};
+  std::atomic<std::uint64_t> landed_ops{0};
+  std::thread mutator([&] {
+    for (const auto& batch : stream) {
+      if (ingest_stop.load(std::memory_order_acquire)) break;
+      cluster.apply_edge_mutations(batch);
+      landed_ops.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+  });
+  PhaseStats ingest =
+      run_phase(cluster, roots, ppr, threads, window_ms, [] {});
+  ingest_stop.store(true, std::memory_order_release);
+  mutator.join();
+  ingest.mutation_ops = landed_ops.load();
+  print_phase("ingest", ingest);
+  std::printf("{\"phase\": \"ingest-state\", \"graph_version\": %llu, "
+              "\"delta_edges\": %llu}\n",
+              static_cast<unsigned long long>(cluster.graph_version()),
+              static_cast<unsigned long long>(total_delta_edges()));
+
+  // Compact every shard while the workload keeps running; the pause we
+  // report is the synchronous Copy→Publish→Retire wall time per shard.
+  std::vector<double> pauses_ms;
+  PhaseStats compact_phase = run_phase(
+      cluster, roots, ppr, threads, window_ms, [&] {
+        for (ShardId s = 0; s < machines; ++s) {
+          const auto c0 = std::chrono::steady_clock::now();
+          cluster.compact_shard(s);
+          const auto c1 = std::chrono::steady_clock::now();
+          pauses_ms.push_back(
+              std::chrono::duration<double, std::milli>(c1 - c0).count());
+        }
+      });
+  print_phase("compact", compact_phase);
+  double max_pause = 0.0, sum_pause = 0.0;
+  for (const double p : pauses_ms) {
+    max_pause = std::max(max_pause, p);
+    sum_pause += p;
+  }
+  std::printf("{\"phase\": \"compact-state\", \"compactions\": %llu, "
+              "\"delta_edges\": %llu, \"max_pause_ms\": %.2f, "
+              "\"mean_pause_ms\": %.2f}\n",
+              static_cast<unsigned long long>(total_compactions()),
+              static_cast<unsigned long long>(total_delta_edges()),
+              max_pause,
+              pauses_ms.empty()
+                  ? 0.0
+                  : sum_pause / static_cast<double>(pauses_ms.size()));
+
+  PhaseStats after =
+      run_phase(cluster, roots, ppr, threads, window_ms, [] {});
+  print_phase("after", after);
+
+  // Flush while the cluster is alive: the storage.delta_edges /
+  // storage.snapshot_pins gauges detach when the stores are destroyed.
+  obs_export.flush();
+  return 0;
+}

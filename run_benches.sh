@@ -44,6 +44,11 @@ mkdir -p "$OBS_DIR"
       --metrics-json "$OBS_DIR/bench_serving.metrics.json" \
       --trace-json "$OBS_DIR/bench_serving.trace.json" 2>&1
   echo
+  echo "##### bench_mutations (smoke: streaming ingest + compaction pause)"
+  ./build/bench/bench_mutations --smoke \
+      --metrics-json "$OBS_DIR/bench_mutations.metrics.json" \
+      --trace-json "$OBS_DIR/bench_mutations.trace.json" 2>&1
+  echo
   echo "##### bench_micro_ops"
   ./build/bench/bench_micro_ops --benchmark_min_time=0.2 2>&1
 }

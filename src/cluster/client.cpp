@@ -169,6 +169,22 @@ ShardMap ClusterClient::add_replica(ShardId shard, int node) {
   return next;
 }
 
+std::uint64_t ClusterClient::mutate_edges(
+    const std::vector<EdgeMutationOp>& ops) {
+  MutateRequest req;
+  req.ops = ops;
+  const auto reply = call(0, kMethodMutateEdges, encode_mutate_request(req));
+  return decode_mutate_reply(reply).version;
+}
+
+void ClusterClient::compact_shard(ShardId shard) {
+  call(0, kMethodCompactShard, encode_shard_admin({shard, -1}));
+}
+
+std::uint64_t ClusterClient::graph_version(int node) {
+  return decode_version_reply(call(node, kMethodGraphVersion, {}));
+}
+
 void ClusterClient::refresh_routing(int node) {
   try {
     const auto reply = call(node, kMethodGetRoute, {});

@@ -71,6 +71,17 @@ class ClusterClient {
   ShardMap migrate_shard(ShardId shard, int node);
   ShardMap add_replica(ShardId shard, int node);
 
+  /// Streaming mutations (DESIGN.md §15): apply one batch of undirected
+  /// global-id edge ops through the coordinator (node 0). Returns the
+  /// graph version the batch was published as; every storage node has
+  /// seen the version announcement by the time this returns.
+  std::uint64_t mutate_edges(const std::vector<EdgeMutationOp>& ops);
+  /// Fold `shard`'s pending delta segments into a fresh base CSR on
+  /// every node serving it (coordinator fan-out).
+  void compact_shard(ShardId shard);
+  /// Published graph version of one storage node (0 = never mutated).
+  std::uint64_t graph_version(int node = 0);
+
   /// Pull `node`'s current ShardMap and apply it (newer epochs only).
   /// Best-effort: an unreachable node leaves the table untouched.
   void refresh_routing(int node = 0);

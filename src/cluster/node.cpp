@@ -64,8 +64,10 @@ ClusterNode::ClusterNode(ClusterConfig config, int node_id,
       },
       query_pool_.get());
 
+  tracker_ = std::make_shared<VersionTracker>(shards);
   install_unit(node_id_,
-               sharded_.shards[static_cast<std::size_t>(node_id_)]);
+               std::make_shared<VersionedShardStore>(
+                   sharded_.shards[static_cast<std::size_t>(node_id_)]));
   // A real deployment only materializes its own shard; everything this
   // node adopts later arrives over the wire (snapshot_shard), never from
   // these locally derived copies.
@@ -164,8 +166,8 @@ serve::ServiceStatsSnapshot ClusterNode::serve_stats() const {
 }
 
 void ClusterNode::install_unit(ShardId shard,
-                               std::shared_ptr<const GraphShard> data) {
-  storage_service_->install_shard(data);
+                               std::shared_ptr<VersionedShardStore> store) {
+  storage_service_->install_store(store);
   auto unit = std::make_shared<ServingUnit>();
   std::vector<RemoteRef> rrefs;
   rrefs.reserve(static_cast<std::size_t>(config_.num_nodes()));
@@ -173,7 +175,8 @@ void ClusterNode::install_unit(ShardId shard,
     rrefs.emplace_back(endpoint_.get(), peer, kStorageServiceName);
   }
   unit->storage = std::make_unique<DistGraphStorage>(
-      *endpoint_, std::move(rrefs), shard, std::move(data), routing_);
+      *endpoint_, std::move(rrefs), shard, store->base(), routing_);
+  unit->storage->attach_version_plane(std::move(store), tracker_);
   unit->storage->set_retry_policy(RetryPolicy{
       config_.rpc_timeout_s, config_.rpc_max_attempts, config_.rpc_backoff_ms});
   if (config_.adjacency_cache_rows > 0) {
@@ -217,7 +220,7 @@ void ClusterNode::adopt_shard(ShardId shard, int src) {
       .counter("migration.bytes_copied")
       .add(payload.size() - 1);
   ByteReader r(std::span<const std::uint8_t>(payload).subspan(1));
-  auto copy = GraphShard::deserialize(r);
+  auto copy = VersionedShardStore::deserialize(r);
   BufferPool::global().release(std::move(payload));
   GE_REQUIRE(copy->shard_id() == shard, "snapshot names the wrong shard");
   GE_LOG(kInfo) << "node " << node_id_ << " adopted shard " << shard
@@ -314,6 +317,168 @@ std::vector<std::uint8_t> ClusterNode::handle_add_replica(
   return encode_shard_map_payload(next);
 }
 
+std::vector<std::uint8_t> ClusterNode::handle_mutate(
+    const MutateRequest& req) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  const std::uint64_t version = tracker_->published() + 1;
+  const auto map = routing_->current();
+  const auto ns = static_cast<std::size_t>(map->num_shards());
+  const GlobalMapping& mapping = sharded_.mapping;
+
+  // Translate: each undirected op lands in BOTH endpoints' shards (the
+  // same scheme as the in-process Cluster — engine/cluster.cpp).
+  std::vector<MutationBatch> batches(ns);
+  std::vector<std::vector<NodeId>> hint_locals(ns);
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> hint_slots(
+      ns);
+  const auto add_insert = [&](NodeId src, NodeId nbr, float weight) {
+    const NodeRef s = mapping.to_ref(src);
+    const NodeRef n = mapping.to_ref(nbr);
+    auto& batch = batches[static_cast<std::size_t>(s.shard)];
+    batch.inserts.push_back(EdgeInsert{s.local, n.local, n.shard, nbr,
+                                       weight, /*nbr_weighted_deg=*/0});
+    hint_locals[static_cast<std::size_t>(n.shard)].push_back(n.local);
+    hint_slots[static_cast<std::size_t>(n.shard)].push_back(
+        {static_cast<std::size_t>(s.shard), batch.inserts.size() - 1});
+  };
+  for (const EdgeMutationOp& op : req.ops) {
+    GE_REQUIRE(op.u != op.v, "self-loop mutations are not supported");
+    GE_REQUIRE(op.u >= 0 && op.u < num_nodes_ && op.v >= 0 &&
+                   op.v < num_nodes_,
+               "mutation endpoint out of range");
+    if (op.insert) {
+      GE_REQUIRE(op.weight > 0, "insert weight must be positive");
+      add_insert(op.u, op.v, op.weight);
+      add_insert(op.v, op.u, op.weight);
+    } else {
+      const NodeRef u = mapping.to_ref(op.u);
+      const NodeRef v = mapping.to_ref(op.v);
+      batches[static_cast<std::size_t>(u.shard)].deletes.push_back(
+          EdgeDelete{u.local, op.v});
+      batches[static_cast<std::size_t>(v.shard)].deletes.push_back(
+          EdgeDelete{v.local, op.u});
+    }
+  }
+
+  // Any serving unit's storage client can carry the coordinator's RPCs;
+  // self legs never go over the wire (the transport has no self link).
+  std::shared_ptr<ServingUnit> coord;
+  {
+    std::lock_guard<std::mutex> units(units_mutex_);
+    for (auto& [s, unit] : units_) {
+      if (!unit->retiring.load(std::memory_order_acquire)) {
+        coord = unit;
+        break;
+      }
+    }
+  }
+  GE_REQUIRE(coord != nullptr, "mutation coordinator serves no shard");
+
+  // Hints: weighted degrees at the version PRECEDING this batch.
+  for (std::size_t s = 0; s < ns; ++s) {
+    if (hint_locals[s].empty()) continue;
+    const auto shard = static_cast<ShardId>(s);
+    std::vector<float> degs;
+    if (const auto store = storage_service_->store_ptr(shard)) {
+      const auto snap = store->snapshot();
+      degs.reserve(hint_locals[s].size());
+      for (const NodeId local : hint_locals[s]) {
+        degs.push_back(snap->weighted_degree(local));
+      }
+    } else {
+      degs = coord->storage->get_weighted_degrees(shard, hint_locals[s]);
+    }
+    for (std::size_t i = 0; i < degs.size(); ++i) {
+      const auto [dst_shard, idx] = hint_slots[s][i];
+      batches[dst_shard].inserts[idx].nbr_weighted_deg = degs[i];
+    }
+  }
+
+  // Ship owner first, then replicas, each acked before the next — every
+  // copy sees versions in the same strictly ascending order.
+  std::vector<ShardId> mutated;
+  const auto land = [&](int node, ShardId shard) {
+    if (node == node_id_) {
+      const auto store = storage_service_->store_ptr(shard);
+      GE_REQUIRE(store != nullptr, "routing names a shard we dropped");
+      store->apply(version,
+                   MutationBatch(batches[static_cast<std::size_t>(shard)]));
+    } else {
+      coord->storage->apply_mutations_remote(
+          node, shard, version, batches[static_cast<std::size_t>(shard)]);
+    }
+  };
+  for (std::size_t s = 0; s < ns; ++s) {
+    if (batches[s].empty()) continue;
+    const auto shard = static_cast<ShardId>(s);
+    land(map->node_of(shard), shard);
+    for (const std::int32_t rep : map->replicas(shard)) land(rep, shard);
+    tracker_->note_shard_mutation(shard, version);
+    mutated.push_back(shard);
+  }
+  tracker_->publish(version);
+
+  // Announce to every storage peer BEFORE replying, so a client's
+  // follow-up query to any node already pins the new version.
+  VersionAnnounce ann;
+  ann.version = version;
+  ann.shards = std::move(mutated);
+  const std::vector<std::uint8_t> payload = encode_version_announce(ann);
+  for (int peer = 0; peer < config_.num_storage_nodes(); ++peer) {
+    if (peer == node_id_ || transport_->peer_departed(peer)) continue;
+    try {
+      endpoint_->sync_call(peer, kQueryServiceName, kMethodVersionAnnounce,
+                           std::vector<std::uint8_t>(payload));
+    } catch (const std::exception& e) {
+      // A peer that misses the announce still serves coherent (older)
+      // snapshots; it catches up on the next announce.
+      GE_LOG(kWarn) << "version announce to node " << peer
+                    << " failed: " << e.what();
+    }
+  }
+  MutateReply reply;
+  reply.version = version;
+  return encode_mutate_reply(reply);
+}
+
+std::vector<std::uint8_t> ClusterNode::handle_compact(
+    const ShardAdminRequest& req) {
+  const int shards = config_.num_storage_nodes();
+  GE_REQUIRE(req.shard >= 0 && req.shard < shards, "shard id out of range");
+  if (req.node == node_id_) {  // local leg of the fan-out below
+    const auto store = storage_service_->store_ptr(req.shard);
+    GE_REQUIRE(store != nullptr, "compact target does not serve the shard");
+    store->compact();
+    return {};
+  }
+  // Coordinator: compact every serving copy (owner + replicas).
+  const auto snap = routing_->current();
+  std::vector<int> serving{snap->node_of(req.shard)};
+  for (const std::int32_t rep : snap->replicas(req.shard)) {
+    serving.push_back(rep);
+  }
+  for (const int n : serving) {
+    if (n == node_id_) {
+      const auto store = storage_service_->store_ptr(req.shard);
+      GE_REQUIRE(store != nullptr, "routing names a shard we dropped");
+      store->compact();
+    } else {
+      endpoint_->sync_call(n, kQueryServiceName, kMethodCompactShard,
+                           encode_shard_admin({req.shard, n}));
+    }
+  }
+  return {};
+}
+
+void ClusterNode::handle_version_announce(const VersionAnnounce& a) {
+  // Shard marks BEFORE the publish — the tracker's required order (a
+  // reader resolving at the new version must see the invalidation marks).
+  for (const ShardId shard : a.shards) {
+    tracker_->note_shard_mutation(shard, a.version);
+  }
+  tracker_->publish(a.version);
+}
+
 void ClusterNode::rebalancer_loop() {
   const auto interval = std::chrono::duration<double, std::milli>(
       config_.rebalance_interval_ms);
@@ -401,6 +566,19 @@ std::vector<std::uint8_t> ClusterNode::handle_query(
   }
   if (method == kMethodShardLoad) {
     return encode_shard_load_reply(storage_service_->served_counts());
+  }
+  if (method == kMethodMutateEdges) {
+    return handle_mutate(decode_mutate_request(payload));
+  }
+  if (method == kMethodCompactShard) {
+    return handle_compact(decode_shard_admin(payload));
+  }
+  if (method == kMethodVersionAnnounce) {
+    handle_version_announce(decode_version_announce(payload));
+    return {};
+  }
+  if (method == kMethodGraphVersion) {
+    return encode_version_reply(tracker_->published());
   }
   if (method == kMethodShutdown) {
     request_shutdown();

@@ -48,6 +48,7 @@
 #include "serve/stats.hpp"
 #include "storage/dist_storage.hpp"
 #include "storage/storage_service.hpp"
+#include "storage/versioned_shard.hpp"
 
 namespace ppr::cluster {
 
@@ -120,13 +121,27 @@ class ClusterNode {
   std::vector<std::uint8_t> handle_migrate(const ShardAdminRequest& req);
   std::vector<std::uint8_t> handle_add_replica(const ShardAdminRequest& req);
 
+  /// Mutation coordinator (DESIGN.md §15): translate global-id ops to
+  /// per-shard delta batches, fetch weighted-degree hints at the current
+  /// version, land the batches on every serving copy (owner first, then
+  /// replicas), publish locally, announce to every storage peer, reply
+  /// with the published version.
+  std::vector<std::uint8_t> handle_mutate(const MutateRequest& req);
+  /// `req.node == -1`: orchestrate — compact `req.shard` on every node
+  /// serving it. `req.node == node_id_`: the local leg (compact the
+  /// installed store).
+  std::vector<std::uint8_t> handle_compact(const ShardAdminRequest& req);
+  /// Peer leg of a mutation: mark the mutated shards, then publish the
+  /// version on this node's tracker.
+  void handle_version_announce(const VersionAnnounce& a);
+
   /// Pull a snapshot of `shard` from node `src` over the storage wire and
   /// start serving it (storage service + ServingUnit). Idempotent.
   void adopt_shard(ShardId shard, int src);
   /// Stop serving `shard`: retire the unit, drain its scheduler, drain
   /// in-flight storage fetches, free the data. Idempotent.
   void drop_shard(ShardId shard);
-  void install_unit(ShardId shard, std::shared_ptr<const GraphShard> data);
+  void install_unit(ShardId shard, std::shared_ptr<VersionedShardStore> store);
   /// The serving unit for `shard`; throws the wrong-owner RpcError when
   /// this node does not serve it (the client re-resolves and retries).
   std::shared_ptr<ServingUnit> unit_for(ShardId shard);
@@ -162,6 +177,14 @@ class ClusterNode {
   /// time — the routing snapshot each starts from must still be current
   /// when its epoch+1 map publishes).
   std::mutex admin_mutex_;
+
+  /// This node's view of the graph-version plane. The coordinator's
+  /// tracker advances when it publishes a batch; every other node's
+  /// advances on the version announcement.
+  std::shared_ptr<VersionTracker> tracker_;
+  /// Serializes mutation batches on the coordinator (versions are handed
+  /// out strictly ascending).
+  std::mutex mutation_mu_;
 
   std::unique_ptr<ThreadPool> query_pool_;
   std::thread rebalancer_;

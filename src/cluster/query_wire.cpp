@@ -187,4 +187,71 @@ std::vector<std::pair<ShardId, std::uint64_t>> decode_shard_load_reply(
   return counts;
 }
 
+std::vector<std::uint8_t> encode_mutate_request(const MutateRequest& r) {
+  ByteWriter w;
+  w.write<std::uint64_t>(r.ops.size());
+  for (const auto& op : r.ops) {
+    w.write<std::int64_t>(op.u);
+    w.write<std::int64_t>(op.v);
+    w.write<float>(op.weight);
+    w.write<std::uint8_t>(op.insert ? 1 : 0);
+  }
+  return std::move(w).take();
+}
+
+MutateRequest decode_mutate_request(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  MutateRequest req;
+  const auto n = r.read<std::uint64_t>();
+  req.ops.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EdgeMutationOp op;
+    op.u = static_cast<NodeId>(r.read<std::int64_t>());
+    op.v = static_cast<NodeId>(r.read<std::int64_t>());
+    op.weight = r.read<float>();
+    op.insert = r.read<std::uint8_t>() != 0;
+    req.ops.push_back(op);
+  }
+  return req;
+}
+
+std::vector<std::uint8_t> encode_mutate_reply(const MutateReply& r) {
+  ByteWriter w;
+  w.write<std::uint64_t>(r.version);
+  return std::move(w).take();
+}
+
+MutateReply decode_mutate_reply(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  MutateReply out;
+  out.version = r.read<std::uint64_t>();
+  return out;
+}
+
+std::vector<std::uint8_t> encode_version_announce(const VersionAnnounce& a) {
+  ByteWriter w;
+  w.write<std::uint64_t>(a.version);
+  w.write_vec(a.shards);
+  return std::move(w).take();
+}
+
+VersionAnnounce decode_version_announce(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  VersionAnnounce out;
+  out.version = r.read<std::uint64_t>();
+  out.shards = r.read_vec<ShardId>();
+  return out;
+}
+
+std::vector<std::uint8_t> encode_version_reply(std::uint64_t version) {
+  ByteWriter w;
+  w.write<std::uint64_t>(version);
+  return std::move(w).take();
+}
+
+std::uint64_t decode_version_reply(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  return r.read<std::uint64_t>();
+}
+
 }  // namespace ppr::cluster

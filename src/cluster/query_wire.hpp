@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cluster/shard_map.hpp"
+#include "graph/generators.hpp"
 #include "storage/shard.hpp"
 
 namespace ppr::cluster {
@@ -48,6 +49,27 @@ inline constexpr const char* kMethodDropShard = "drop_shard";
 /// Rebalancer poll: reply is the per-shard served-request counters of the
 /// answering node's storage service, encoded as (shard, count) pairs.
 inline constexpr const char* kMethodShardLoad = "shard_load";
+
+// Versioned storage plane (DESIGN.md §15).
+/// Coordinator (node 0) only: payload is a MutateRequest of undirected
+/// global-id edge ops. The coordinator translates them to per-shard delta
+/// batches, ships them to every serving node's store (owner first, then
+/// replicas), announces the new graph version to all peers, and replies
+/// with a MutateReply carrying the published version.
+inline constexpr const char* kMethodMutateEdges = "mutate_edges";
+/// Coordinator only: fold one shard's delta segments into a fresh base CSR
+/// on every node serving it. Payload is a ShardAdminRequest (shard only);
+/// reply is empty.
+inline constexpr const char* kMethodCompactShard = "compact_shard";
+/// Internal (coordinator → peer): payload is a VersionAnnounce; the
+/// receiver marks the mutated shards and publishes the version on its
+/// local tracker so freshly admitted queries pin the new snapshot. Sent
+/// BEFORE the coordinator replies to the client, so a follow-up query to
+/// any node observes the mutation. Reply is empty.
+inline constexpr const char* kMethodVersionAnnounce = "version_announce";
+/// Empty payload; reply is the answering node's published graph version
+/// (u64, via encode_version_reply).
+inline constexpr const char* kMethodGraphVersion = "graph_version";
 
 /// Error-string marker for a query routed to a node that does not serve
 /// the shard (anymore): the client refreshes its route from the answering
@@ -101,6 +123,25 @@ struct WalkReply {
   std::vector<NodeId> steps;
 };
 
+/// One batch of undirected global-id edge mutations — the unit of graph
+/// versioning (the whole batch lands as one version).
+struct MutateRequest {
+  std::vector<EdgeMutationOp> ops;
+};
+
+struct MutateReply {
+  /// Graph version the batch was published as.
+  std::uint64_t version = 0;
+};
+
+/// Coordinator → peer version publication: `shards` lists the shards
+/// mutated at `version` (the receiver calls note_shard_mutation for each
+/// before publishing — the tracker's required order).
+struct VersionAnnounce {
+  std::uint64_t version = 0;
+  std::vector<ShardId> shards;
+};
+
 std::vector<std::uint8_t> encode_ssppr_request(const SspprRequest& r);
 SspprRequest decode_ssppr_request(std::span<const std::uint8_t> p);
 std::vector<std::uint8_t> encode_ssppr_reply(const SspprReply& r);
@@ -130,5 +171,15 @@ std::vector<std::uint8_t> encode_shard_load_reply(
     const std::vector<std::pair<ShardId, std::uint64_t>>& counts);
 std::vector<std::pair<ShardId, std::uint64_t>> decode_shard_load_reply(
     std::span<const std::uint8_t> p);
+
+std::vector<std::uint8_t> encode_mutate_request(const MutateRequest& r);
+MutateRequest decode_mutate_request(std::span<const std::uint8_t> p);
+std::vector<std::uint8_t> encode_mutate_reply(const MutateReply& r);
+MutateReply decode_mutate_reply(std::span<const std::uint8_t> p);
+std::vector<std::uint8_t> encode_version_announce(const VersionAnnounce& a);
+VersionAnnounce decode_version_announce(std::span<const std::uint8_t> p);
+/// graph_version reply: just the u64.
+std::vector<std::uint8_t> encode_version_reply(std::uint64_t version);
+std::uint64_t decode_version_reply(std::span<const std::uint8_t> p);
 
 }  // namespace ppr::cluster

@@ -55,6 +55,11 @@ class RoutingTable {
     return map_;
   }
 
+  /// Current ROUTING epoch (shard-placement version — distinct from the
+  /// graph version of DESIGN.md §15, which versions shard contents).
+  /// `routing_epoch()` is the disambiguated name; `epoch()` remains as
+  /// the historic spelling.
+  std::uint64_t routing_epoch() const { return current()->epoch(); }
   std::uint64_t epoch() const { return current()->epoch(); }
   int num_shards() const { return num_shards_; }
 

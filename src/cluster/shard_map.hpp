@@ -7,6 +7,14 @@
 // placements. The map is immutable once built; "changing" it means
 // swapping in a new instance (RoutingTable::apply).
 //
+// Terminology (DESIGN.md §15 glossary): the epoch carried here is the
+// ROUTING epoch — it versions shard *placement* (who serves what) and
+// bumps on migration / replica / failover events. It is unrelated to the
+// GRAPH version, which versions shard *contents* (edge mutations) and is
+// tracked by storage/versioned_shard.hpp's VersionTracker. A storage
+// request header carries both: the routing epoch for stale-route
+// redirects, an optional pinned graph version for snapshot reads.
+//
 // Each shard has one primary plus an ordered (sorted, duplicate-free)
 // replica set. Replicas serve reads only; migration and drop always act
 // on the primary. Failover is a pure function (`without_node`) so every
@@ -80,6 +88,10 @@ class ShardMap {
 
   bool valid() const { return epoch_ != 0; }
   int num_shards() const { return static_cast<int>(node_of_shard_.size()); }
+  /// The ROUTING epoch (placement version) — not the graph version; see
+  /// the header comment. `routing_epoch()` is the disambiguated name;
+  /// `epoch()` remains as the historic spelling.
+  std::uint64_t routing_epoch() const { return epoch_; }
   std::uint64_t epoch() const { return epoch_; }
 
   std::int32_t node_of(std::int32_t shard) const {

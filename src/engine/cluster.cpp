@@ -42,6 +42,10 @@ Cluster::Cluster(const Graph& g, const PartitionAssignment& assignment,
     services_.back()->install_shard(
         sharded_.shards[static_cast<std::size_t>(m)]);
   }
+  // One tracker for the whole simulated cluster: machines share the
+  // process, so a mutation published anywhere is visible to every
+  // machine's pin resolution at its next admission.
+  tracker_ = std::make_shared<VersionTracker>(options_.num_machines);
   for (int m = 0; m < options_.num_machines; ++m) {
     rrefs.clear();
     for (int peer = 0; peer < options_.num_machines; ++peer) {
@@ -55,6 +59,8 @@ Cluster::Cluster(const Graph& g, const PartitionAssignment& assignment,
         *endpoints_[static_cast<std::size_t>(m)], rrefs, m,
         sharded_.shards[static_cast<std::size_t>(m)],
         routing_[static_cast<std::size_t>(m)]));
+    storages_.back()->attach_version_plane(
+        services_[static_cast<std::size_t>(m)]->store_ptr(m), tracker_);
     if (options_.adjacency_cache_rows > 0) {
       storages_.back()->enable_adjacency_cache(options_.adjacency_cache_rows);
     }
@@ -65,8 +71,9 @@ Cluster::Cluster(const Graph& g, const PartitionAssignment& assignment,
       std::vector<float>(g.weighted_degrees()));
 }
 
-std::shared_ptr<const GraphShard> Cluster::pull_snapshot(ShardId shard,
-                                                         int src, int dst) {
+std::shared_ptr<VersionedShardStore> Cluster::pull_snapshot(ShardId shard,
+                                                            int src,
+                                                            int dst) {
   ByteWriter req(BufferPool::global().acquire());
   write_storage_header(req, shard,
                        routing_[static_cast<std::size_t>(dst)]->epoch());
@@ -81,7 +88,7 @@ std::shared_ptr<const GraphShard> Cluster::pull_snapshot(ShardId shard,
       .counter("migration.bytes_copied")
       .add(payload.size() - 1);
   ByteReader r(std::span<const std::uint8_t>(payload).subspan(1));
-  auto copy = GraphShard::deserialize(r);
+  auto copy = VersionedShardStore::deserialize(r);
   BufferPool::global().release(std::move(payload));
   GE_REQUIRE(copy->shard_id() == shard, "snapshot names the wrong shard");
   return copy;
@@ -106,8 +113,10 @@ void Cluster::migrate_shard(ShardId shard, int dst,
   const int src = snap->node_of(shard);
   if (src == dst) return;
   // Copy: the destination pulls the snapshot while the source keeps
-  // serving (shard data is immutable — the copy needs no quiescence).
-  services_[static_cast<std::size_t>(dst)]->install_shard(
+  // serving. The copy is version-complete (base + deltas); a mutation
+  // racing the migration lands on whichever copy the map names — callers
+  // serialize mutations against migration of the same shard.
+  services_[static_cast<std::size_t>(dst)]->install_store(
       pull_snapshot(shard, src, dst));
   // Publish: flip the epoch everywhere (minus the deliberately-stale).
   publish(snap->with_placement(shard, dst), skip_publish);
@@ -123,9 +132,107 @@ void Cluster::add_replica(ShardId shard, int machine,
   const auto snap = routing_[static_cast<std::size_t>(machine)]->current();
   const int src = snap->node_of(shard);
   GE_REQUIRE(src != machine, "primary cannot replicate onto itself");
-  services_[static_cast<std::size_t>(machine)]->install_shard(
+  services_[static_cast<std::size_t>(machine)]->install_store(
       pull_snapshot(shard, src, machine));
   publish(snap->with_replica(shard, machine), skip_publish);
+}
+
+std::shared_ptr<VersionedShardStore> Cluster::store(ShardId shard) {
+  const int owner = routing_[0]->current()->node_of(shard);
+  return services_[static_cast<std::size_t>(owner)]->store_ptr(shard);
+}
+
+std::uint64_t Cluster::apply_edge_mutations(
+    std::span<const EdgeMutationOp> ops) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  const std::uint64_t version = tracker_->published() + 1;
+  const auto map = routing_[0]->current();
+  const auto ns = static_cast<std::size_t>(map->num_shards());
+  const GlobalMapping& mapping = sharded_.mapping;
+
+  // --- Translate: each undirected op lands in BOTH endpoints' shards. --
+  std::vector<MutationBatch> batches(ns);
+  // Weighted-degree hints for inserts, fetched per shard at the version
+  // preceding this batch (a neighbor's d_w change inside the same batch
+  // deliberately does not retro-update the hint — DESIGN.md §15).
+  std::vector<std::vector<NodeId>> hint_locals(ns);
+  // Hint destinations as (shard, insert index) — the insert vectors are
+  // still growing while these are recorded, so no pointers.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> hint_slots(
+      ns);
+  const auto add_insert = [&](NodeId src, NodeId nbr, float weight) {
+    const NodeRef s = mapping.to_ref(src);
+    const NodeRef n = mapping.to_ref(nbr);
+    auto& batch = batches[static_cast<std::size_t>(s.shard)];
+    batch.inserts.push_back(EdgeInsert{s.local, n.local, n.shard, nbr,
+                                       weight, /*nbr_weighted_deg=*/0});
+    hint_locals[static_cast<std::size_t>(n.shard)].push_back(n.local);
+    hint_slots[static_cast<std::size_t>(n.shard)].push_back(
+        {static_cast<std::size_t>(s.shard), batch.inserts.size() - 1});
+  };
+  for (const EdgeMutationOp& op : ops) {
+    GE_REQUIRE(op.u != op.v, "self-loop mutations are not supported");
+    GE_REQUIRE(op.u >= 0 && op.u < num_nodes_ && op.v >= 0 &&
+                   op.v < num_nodes_,
+               "mutation endpoint out of range");
+    if (op.insert) {
+      GE_REQUIRE(op.weight > 0, "insert weight must be positive");
+      add_insert(op.u, op.v, op.weight);
+      add_insert(op.v, op.u, op.weight);
+    } else {
+      const NodeRef u = mapping.to_ref(op.u);
+      const NodeRef v = mapping.to_ref(op.v);
+      batches[static_cast<std::size_t>(u.shard)].deletes.push_back(
+          EdgeDelete{u.local, op.v});
+      batches[static_cast<std::size_t>(v.shard)].deletes.push_back(
+          EdgeDelete{v.local, op.u});
+    }
+  }
+
+  // --- Hints: one weighted-degree fetch per shard with pending slots.
+  DistGraphStorage& coord = *storages_[0];
+  for (std::size_t s = 0; s < ns; ++s) {
+    if (hint_locals[s].empty()) continue;
+    const std::vector<float> degs =
+        coord.get_weighted_degrees(static_cast<ShardId>(s), hint_locals[s]);
+    for (std::size_t i = 0; i < degs.size(); ++i) {
+      const auto [shard, idx] = hint_slots[s][i];
+      batches[shard].inserts[idx].nbr_weighted_deg = degs[i];
+    }
+  }
+
+  // --- Ship: owner first, then replicas, each acked before the next —
+  // every copy of a shard sees versions in the same strictly ascending
+  // order.
+  for (std::size_t s = 0; s < ns; ++s) {
+    if (batches[s].empty()) continue;
+    const auto shard = static_cast<ShardId>(s);
+    coord.apply_mutations_remote(map->node_of(shard), shard, version,
+                                 batches[s]);
+    for (const std::int32_t rep : map->replicas(shard)) {
+      coord.apply_mutations_remote(rep, shard, version, batches[s]);
+    }
+    // Shard marks happen BEFORE the publish below: a reader resolving
+    // its pin at the new version must already see the halo/cache
+    // invalidation marks.
+    tracker_->note_shard_mutation(shard, version);
+  }
+  tracker_->publish(version);
+  return version;
+}
+
+void Cluster::compact_shard(ShardId shard) {
+  const auto map = routing_[0]->current();
+  const int owner = map->node_of(shard);
+  services_[static_cast<std::size_t>(owner)]->store_ptr(shard)->compact();
+  for (const std::int32_t rep : map->replicas(shard)) {
+    services_[static_cast<std::size_t>(rep)]->store_ptr(shard)->compact();
+  }
+}
+
+void Cluster::compact_all() {
+  const int ns = routing_[0]->current()->num_shards();
+  for (ShardId s = 0; s < ns; ++s) compact_shard(s);
 }
 
 Cluster::~Cluster() {

@@ -5,13 +5,17 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
+#include "graph/generators.hpp"
 #include "partition/partitioner.hpp"
 #include "ppr/tensor_push.hpp"
 #include "rpc/endpoint.hpp"
 #include "storage/dist_storage.hpp"
 #include "storage/storage_service.hpp"
+#include "storage/versioned_shard.hpp"
 
 namespace ppr {
 
@@ -86,6 +90,30 @@ class Cluster {
   /// `skip_publish`).
   void add_replica(ShardId shard, int machine,
                    const std::vector<int>& skip_publish = {});
+
+  /// Streaming edge mutations (DESIGN.md §15): apply one batch of
+  /// undirected global-id edge ops as the next graph version. The
+  /// coordinator (machine 0) translates each op into per-shard delta
+  /// operations (both directions of every edge), pre-fetches the
+  /// weighted-degree hints at the current version, ships one MutateEdges
+  /// RPC to every affected shard's owner AND replicas (in that order, so
+  /// replicas never reorder versions), then publishes the version to the
+  /// shared tracker. Queries admitted before the publish keep reading
+  /// their pinned snapshot. Returns the published version.
+  std::uint64_t apply_edge_mutations(std::span<const EdgeMutationOp> ops);
+
+  /// Fold shard `shard`'s delta segments into a fresh base CSR on every
+  /// node serving it (Copy→Publish→Retire; pinned snapshots stay alive).
+  void compact_shard(ShardId shard);
+  void compact_all();
+
+  /// The shared version plane: one tracker for the whole in-proc cluster
+  /// (each real process has its own, fed by version announcements).
+  VersionTracker& version_tracker() { return *tracker_; }
+  /// Newest published graph version (0 = never mutated).
+  std::uint64_t graph_version() const { return tracker_->published(); }
+  /// The primary's store for `shard` (for tests and tools).
+  std::shared_ptr<VersionedShardStore> store(ShardId shard);
   /// Shared context for the tensor baseline (dense lookup tables).
   const TensorPushContext& tensor_ctx() const { return *tensor_ctx_; }
 
@@ -107,9 +135,11 @@ class Cluster {
 
  private:
   /// Pull a wire snapshot of `shard` into machine `dst` from `src`
-  /// (counts migration.bytes_copied) and decode it.
-  std::shared_ptr<const GraphShard> pull_snapshot(ShardId shard, int src,
-                                                  int dst);
+  /// (counts migration.bytes_copied) and decode it. The copy is the full
+  /// versioned store — base CSR plus pending delta segments — so an
+  /// adopted shard resumes at the source's exact version state.
+  std::shared_ptr<VersionedShardStore> pull_snapshot(ShardId shard, int src,
+                                                     int dst);
   void publish(const ShardMap& next, const std::vector<int>& skip_publish);
 
   ClusterOptions options_;
@@ -121,6 +151,8 @@ class Cluster {
   std::vector<std::unique_ptr<GraphStorageService>> services_;
   std::vector<std::unique_ptr<DistGraphStorage>> storages_;
   std::unique_ptr<TensorPushContext> tensor_ctx_;
+  std::shared_ptr<VersionTracker> tracker_;
+  std::mutex mutation_mu_;  // serializes apply_edge_mutations
 };
 
 }  // namespace ppr

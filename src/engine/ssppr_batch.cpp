@@ -55,6 +55,9 @@ BatchRunStats run_ssppr_batch(const DistGraphStorage& storage,
 
   BatchScratch scratch(nq, ns);
   FetchPipeline pipeline(storage);
+  // One admission pin for the whole batch: every query of the lockstep
+  // run reads the same graph version (DESIGN.md §15).
+  pipeline.pin(storage.resolve_pin(options.graph_version));
 
   for (;;) {
     // --- Pop every query's frontier; stop once all are exhausted. ------

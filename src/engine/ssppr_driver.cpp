@@ -13,7 +13,9 @@ namespace {
 void run_iteration_single(const DistGraphStorage& g, SspprState& state,
                           std::span<const NodeId> node_ids,
                           std::span<const ShardId> shard_ids,
-                          PhaseTimers& t) {
+                          PhaseTimers& t, std::uint64_t pin,
+                          const std::shared_ptr<const ShardSnapshot>& snap) {
+  if (snap != nullptr) snap->reset_scratch();
   for (std::size_t i = 0; i < node_ids.size(); ++i) {
     const NodeId one_node[] = {node_ids[i]};
     const ShardId one_shard[] = {shard_ids[i]};
@@ -21,7 +23,10 @@ void run_iteration_single(const DistGraphStorage& g, SspprState& state,
       std::vector<VertexProp> infos;
       {
         ScopedPhase phase(t, Phase::kLocalFetch);
-        infos = g.get_neighbor_infos_local(one_node);
+        // A versioned store pins the self-shard to the query's snapshot;
+        // clean shards delegate to the base CSR (the classic path).
+        infos = snap != nullptr ? snap->get_neighbor_infos(one_node)
+                                : g.get_neighbor_infos_local(one_node);
       }
       ScopedPhase phase(t, Phase::kPush);
       state.push(infos, one_node, one_shard);
@@ -29,7 +34,8 @@ void run_iteration_single(const DistGraphStorage& g, SspprState& state,
       NeighborBatch batch;
       {
         ScopedPhase phase(t, Phase::kRemoteFetch);
-        batch = g.get_neighbor_info_single_async(shard_ids[i], node_ids[i])
+        batch = g.get_neighbor_info_single_async(shard_ids[i], node_ids[i],
+                                                 pin)
                     .wait();
       }
       ScopedPhase phase(t, Phase::kPush);
@@ -114,6 +120,14 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
   std::vector<NodeId> node_ids;
   std::vector<ShardId> shard_ids;
   FetchPipeline pipeline(storage);
+  // Admission pin (DESIGN.md §15): resolved ONCE — every iteration of
+  // this query reads the same graph version while mutations land.
+  const std::uint64_t pin = storage.resolve_pin(options.graph_version);
+  pipeline.pin(pin);
+  std::shared_ptr<const ShardSnapshot> single_snap;
+  if (!options.batch && storage.local_store() != nullptr) {
+    single_snap = storage.local_store()->snapshot(pin);
+  }
   for (;;) {
     {
       ScopedPhase phase(t, Phase::kPop);
@@ -127,7 +141,8 @@ SspprRunStats run_ssppr(const DistGraphStorage& storage, SspprState& state,
       run_iteration_batched(storage, state, node_ids, shard_ids, options, t,
                             pipeline);
     } else {
-      run_iteration_single(storage, state, node_ids, shard_ids, t);
+      run_iteration_single(storage, state, node_ids, shard_ids, t, pin,
+                           single_snap);
     }
   }
   stats.num_pushes = state.num_pushes();

@@ -26,6 +26,11 @@ struct DriverOptions {
   /// per-query push fan-out over; 1 keeps the fan-out serial and the
   /// result bit-deterministic regardless of the OpenMP runtime.
   int query_threads = 1;
+  /// Graph version the query reads at (DESIGN.md §15). kVersionLatest
+  /// resolves at admission: the newest published version once any
+  /// mutation has landed, else the legacy unversioned path. The whole
+  /// query — every iteration, every shard — observes that one snapshot.
+  std::uint64_t graph_version = kVersionLatest;
 
   static DriverOptions single() { return {false, false, false}; }
   static DriverOptions batched() { return {true, false, false}; }

@@ -155,6 +155,66 @@ Graph generate_clustered(NodeId num_nodes, int num_communities,
   return g;
 }
 
+std::vector<std::vector<EdgeMutationOp>> mutation_stream(
+    const Graph& g, int num_batches, int ops_per_batch,
+    double insert_fraction, std::uint64_t seed) {
+  GE_REQUIRE(num_batches >= 0 && ops_per_batch > 0,
+             "mutation_stream needs non-negative batches of > 0 ops");
+  GE_REQUIRE(insert_fraction >= 0.0 && insert_fraction <= 1.0,
+             "insert_fraction must be in [0, 1]");
+  GE_REQUIRE(g.num_nodes() >= 2,
+             "mutation_stream needs at least two nodes");
+
+  // Live undirected edge multiset, seeded with the graph's own edges
+  // (each {u, v} once; self-loops are not mutable) and extended by the
+  // stream's own inserts — so every delete the stream emits targets an
+  // edge that exists at that point of the replay.
+  struct LiveEdge {
+    NodeId u, v;
+  };
+  std::vector<LiveEdge> live;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) live.push_back({u, v});
+    }
+  }
+
+  Rng rng(seed ^ 0x5eed5eedULL);
+  std::vector<std::vector<EdgeMutationOp>> batches;
+  batches.reserve(static_cast<std::size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    std::vector<EdgeMutationOp> batch;
+    batch.reserve(static_cast<std::size_t>(ops_per_batch));
+    for (int o = 0; o < ops_per_batch; ++o) {
+      const bool do_insert =
+          live.empty() ||
+          rng.next_float(0.0f, 1.0f) < static_cast<float>(insert_fraction);
+      if (do_insert) {
+        EdgeMutationOp op;
+        op.u = static_cast<NodeId>(
+            rng.next_u64(static_cast<std::uint64_t>(g.num_nodes())));
+        do {
+          op.v = static_cast<NodeId>(
+              rng.next_u64(static_cast<std::uint64_t>(g.num_nodes())));
+        } while (op.v == op.u);
+        op.weight = rng.next_float(0.0f, 1.0f) + 1e-3f;  // keep > 0
+        op.insert = true;
+        batch.push_back(op);
+        live.push_back({op.u, op.v});
+      } else {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.next_u64(static_cast<std::uint64_t>(live.size())));
+        batch.push_back({live[pick].u, live[pick].v, 0.0f,
+                         /*insert=*/false});
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
 Graph generate_grid(NodeId rows, NodeId cols) {
   GE_REQUIRE(rows > 0 && cols > 0, "grid dimensions must be positive");
   std::vector<WeightedEdge> edges;

@@ -1,8 +1,11 @@
 // Synthetic graph generators used to build scaled replicas of the paper's
-// datasets (Table 1). All generators are deterministic given a seed.
+// datasets (Table 1), plus the seeded mutation-stream generator feeding
+// the streaming-mutation tests and benches (DESIGN.md §15). All
+// generators are deterministic given a seed.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -42,5 +45,30 @@ Graph generate_grid(NodeId rows, NodeId cols);
 Graph generate_clustered(NodeId num_nodes, int num_communities,
                          EdgeIndex intra_edges, EdgeIndex inter_edges,
                          double beta, std::uint64_t seed);
+
+/// One streaming edge mutation against an UNDIRECTED graph: insert (or
+/// delete) the edge {u, v}. Expressed in global node ids — the cluster's
+/// mutation coordinator translates to per-shard delta operations and
+/// mirrors both directions (engine/cluster.hpp). Lives here (not in
+/// storage/) so graph-level tools can produce streams without pulling in
+/// the storage plane.
+struct EdgeMutationOp {
+  NodeId u = 0;
+  NodeId v = 0;
+  float weight = 1.0f;
+  bool insert = true;
+};
+
+/// Seeded stream of mutation batches over an existing graph — the shared
+/// workload of the mutation tests and bench_mutations. Tracks the live
+/// edge multiset as it goes: every delete targets an edge that is live at
+/// that point of the stream (original or previously inserted), so
+/// replaying the batches in order against `g` is always valid; inserts
+/// draw uniform random non-self-loop pairs with weights in (0, 1].
+/// Roughly `insert_fraction` of ops are inserts (deletes are forced to
+/// inserts while no live edge remains). Deterministic given `seed`.
+std::vector<std::vector<EdgeMutationOp>> mutation_stream(
+    const Graph& g, int num_batches, int ops_per_batch,
+    double insert_fraction, std::uint64_t seed);
 
 }  // namespace ppr

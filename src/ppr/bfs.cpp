@@ -34,6 +34,7 @@ BfsResult distributed_bfs(const DistGraphStorage& storage,
   // was resolved from, so the traversal — and the next frontier's request
   // order — is identical under every cache configuration.
   FetchPipeline pipeline(storage);
+  pipeline.pin(storage.resolve_pin(options.graph_version));
   obs::ScopedSpan query_span("bfs.query");
   int depth = 0;
   while (!frontier_locals.empty() &&

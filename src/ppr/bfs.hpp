@@ -33,6 +33,10 @@ struct BfsOptions {
   /// never enter the adjacency cache, so the default keeps responses
   /// cache-feedable.
   bool fetch_weights = true;
+  /// Graph version the traversal reads at (same contract as
+  /// DriverOptions::graph_version): resolved once at admission, every
+  /// level observes that one snapshot.
+  std::uint64_t graph_version = kVersionLatest;
 };
 
 struct BfsResult {

@@ -64,6 +64,7 @@ RandomWalkResult distributed_random_walk(const DistGraphStorage& g,
     // Sampling client-side is what lets walks ride the halo/adjacency
     // caches: the row crosses the wire (at most once), not the sample.
     FetchPipeline pipeline(g);
+    pipeline.pin(g.resolve_pin(options.graph_version));
     obs::ScopedSpan query_span("walk.query");
     std::vector<std::uint8_t> advanced(n);
     for (int step = 0; step < options.walk_length; ++step) {
@@ -111,15 +112,16 @@ RandomWalkResult distributed_random_walk(const DistGraphStorage& g,
   }
 
   // Unbatched baseline: one server-side sampling request per walker per
-  // step.
+  // step, each pinned to the walk's admission version.
+  const std::uint64_t pin = g.resolve_pin(options.graph_version);
   for (int step = 0; step < options.walk_length; ++step) {
     const std::uint64_t step_seed =
         options.seed * 0x9e3779b97f4a7c15ULL +
         static_cast<std::uint64_t>(step);
     for (std::size_t i = 0; i < n; ++i) {
       const NodeId one[] = {node_ids[i]};
-      const SampleResult sample =
-          g.sample_one_neighbor(shard_ids[i], one, walker_seed(step_seed, i));
+      const SampleResult sample = g.sample_one_neighbor(
+          shard_ids[i], one, walker_seed(step_seed, i), pin);
       node_ids[i] = sample.local_ids[0];
       shard_ids[i] = sample.shard_ids[0];
       res.walks[i * static_cast<std::size_t>(options.walk_length) +

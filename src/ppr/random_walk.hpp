@@ -31,6 +31,10 @@ struct RandomWalkOptions {
   /// Wire codec of the CSR response (same knob as DriverOptions::codec);
   /// ignored when batch is false. Walks are identical under either codec.
   WireCodec codec = WireCodec::kFlat;
+  /// Graph version the walk reads at (same contract as
+  /// DriverOptions::graph_version): resolved once, every step of every
+  /// walker samples from that one snapshot.
+  std::uint64_t graph_version = kVersionLatest;
 };
 
 struct RandomWalkResult {

@@ -57,6 +57,9 @@ MachineScheduler::~MachineScheduler() {
 }
 
 bool MachineScheduler::try_enqueue(PendingQuery&& q) {
+  // Pin at admission: a kVersionLatest query resolves to the newest
+  // published graph version here, NOT at dispatch — see PendingQuery.
+  q.pinned_version = storage_.resolve_pin(q.pinned_version);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_ || queue_.size() >= options_.max_queue) return false;
@@ -231,6 +234,19 @@ void MachineScheduler::execute_batch(std::vector<PendingQuery> batch,
     }
   }
 
+  // The batch runs at the max concrete pin of its members: one coherent
+  // snapshot, never older than any member's admission version.
+  // kVersionLatest members (admitted before any mutation) are upgraded
+  // along with the rest; all-latest stays latest (the clean fast path).
+  DriverOptions driver = options_.driver;
+  for (const PendingQuery& q : batch) {
+    if (q.pinned_version == kVersionLatest) continue;
+    if (driver.graph_version == kVersionLatest ||
+        q.pinned_version > driver.graph_version) {
+      driver.graph_version = q.pinned_version;
+    }
+  }
+
   QueryResult error_result;
   std::string error;
   std::vector<QueryResult> results(batch.size());
@@ -242,7 +258,7 @@ void MachineScheduler::execute_batch(std::vector<PendingQuery> batch,
       obs::TraceBinding bind(batch_owner);
       std::optional<obs::ScopedSpan> span;
       if (batch_owner.active()) span.emplace("serve.batch");
-      run_ssppr_batch(storage_, states, options_.driver);
+      run_ssppr_batch(storage_, states, driver);
     }
     const double execute_us = wall.micros();
     for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -63,6 +63,13 @@ struct PendingQuery {
   /// recorded retroactively once the query resolves. Inactive (zero) when
   /// tracing is off.
   obs::TraceContext trace{};
+  /// Graph version this query reads (DESIGN.md §15). Admission resolves
+  /// kVersionLatest to the newest PUBLISHED version, so a query's view is
+  /// fixed the moment it is admitted — mutations landing while it waits
+  /// in the queue do not leak into its result. A batch executes at the
+  /// max pin of its members (still one coherent snapshot, and never older
+  /// than any member's admission version).
+  std::uint64_t pinned_version = kVersionLatest;
 };
 
 struct ServeOptions {

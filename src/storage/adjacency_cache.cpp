@@ -24,7 +24,9 @@ void AdjacencyCache::lookup(ShardId dst, std::span<const NodeId> locals,
                             std::vector<std::size_t>& hit_indices,
                             std::vector<std::size_t>& hit_rows,
                             std::vector<NodeId>& miss_locals,
-                            std::vector<std::size_t>& miss_indices) {
+                            std::vector<std::size_t>& miss_indices,
+                            std::uint64_t shard_last_mut,
+                            std::uint64_t graph_version) {
   hit_indices.clear();
   hit_rows.clear();
   miss_locals.clear();
@@ -32,6 +34,7 @@ void AdjacencyCache::lookup(ShardId dst, std::span<const NodeId> locals,
   if (locals.empty()) return;
 
   std::size_t hits = 0;
+  std::size_t invalidated = 0;
   {
     LockGuard<Spinlock> guard(lock_);
     for (std::size_t i = 0; i < locals.size(); ++i) {
@@ -43,6 +46,34 @@ void AdjacencyCache::lookup(ShardId dst, std::span<const NodeId> locals,
         continue;
       }
       Slot& slot = slots_[it->second];
+      if (slot.version_tag != shard_last_mut) {
+        // Filled before the shard's latest mutation: drop the entry so
+        // the refill caches current data. The slot itself waits for the
+        // CLOCK hand (referenced stays clear so it goes first).
+        slot.used = false;
+        slot.referenced = 0;
+        index_.erase(it);
+        ++invalidated;
+        miss_locals.push_back(locals[i]);
+        miss_indices.push_back(i);
+        continue;
+      }
+      if (graph_version != kVersionLatest &&
+          graph_version < shard_last_mut) {
+        // The entry is current but this reader is pinned before the
+        // shard's last mutation — it must read through a snapshot. Keep
+        // the entry: it is still right for readers at ≥ shard_last_mut.
+        miss_locals.push_back(locals[i]);
+        miss_indices.push_back(i);
+        continue;
+      }
+      if (graph_version == kVersionLatest && shard_last_mut != 0) {
+        // Unpinned reader on a mutated shard (defensive: the drivers
+        // resolve their pin before fetching) — serve via snapshot.
+        miss_locals.push_back(locals[i]);
+        miss_indices.push_back(i);
+        continue;
+      }
       slot.referenced = 1;
       hit_indices.push_back(i);
       hit_rows.push_back(arena.append_row(
@@ -54,6 +85,10 @@ void AdjacencyCache::lookup(ShardId dst, std::span<const NodeId> locals,
   }
   stats_.hits.fetch_add(hits, std::memory_order_relaxed);
   stats_.misses.fetch_add(locals.size() - hits, std::memory_order_relaxed);
+  if (invalidated != 0) {
+    stats_.version_invalidations.fetch_add(invalidated,
+                                           std::memory_order_relaxed);
+  }
 }
 
 std::size_t AdjacencyCache::victim_slot() {
@@ -73,19 +108,32 @@ std::size_t AdjacencyCache::victim_slot() {
 }
 
 void AdjacencyCache::insert(ShardId dst, NodeId local,
-                            const VertexProp& row) {
+                            const VertexProp& row,
+                            std::uint64_t shard_last_mut,
+                            std::uint64_t graph_version) {
+  // A row fetched through a pin OLDER than the shard's last mutation may
+  // already be stale at the newest version — don't cache it. (Unpinned
+  // fetches on a mutated shard are equally unattributable; skip those
+  // too. Both only arise transiently around pin resolution.)
+  if (graph_version == kVersionLatest ? shard_last_mut != 0
+                                      : graph_version < shard_last_mut) {
+    return;
+  }
   const std::uint64_t key = NodeRef{local, dst}.key();
   LockGuard<Spinlock> guard(lock_);
   const auto it = index_.find(key);
-  if (it != index_.end()) {
+  if (it != index_.end() &&
+      slots_[it->second].version_tag == shard_last_mut) {
     slots_[it->second].referenced = 1;
     return;
   }
-  const std::size_t idx = victim_slot();
+  // Resident but version-stale: refill the same slot with current data.
+  const std::size_t idx = it != index_.end() ? it->second : victim_slot();
   Slot& slot = slots_[idx];
   slot.key = key;
   slot.used = true;
   slot.referenced = 1;
+  slot.version_tag = shard_last_mut;
   slot.weighted_degree = row.weighted_degree;
   slot.nbr_local_ids.assign(row.nbr_local_ids.begin(),
                             row.nbr_local_ids.end());

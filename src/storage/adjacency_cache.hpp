@@ -40,18 +40,24 @@ struct AdjacencyCacheStats {
                                insertions));
     regs_.push_back(reg.attach("storage.adjacency_cache.evictions", labels,
                                evictions));
+    regs_.push_back(reg.attach("cache.version_invalidations", labels,
+                               version_invalidations));
   }
 
   obs::Counter hits;
   obs::Counter misses;
   obs::Counter insertions;
   obs::Counter evictions;
+  /// Entries dropped because the shard's graph version moved past the
+  /// version they were filled at (DESIGN.md §15 invalidation contract).
+  obs::Counter version_invalidations;
 
   void reset() {
     hits = 0;
     misses = 0;
     insertions = 0;
     evictions = 0;
+    version_invalidations = 0;
   }
 
  private:
@@ -130,15 +136,32 @@ class AdjacencyCache {
   /// (hit_rows[t] = arena row of hit t, hit_indices[t] = its position in
   /// `locals`); misses land in miss_locals/miss_indices. Output vectors
   /// are cleared first.
+  ///
+  /// Version contract (DESIGN.md §15): `shard_last_mut` is shard `dst`'s
+  /// last-mutation version L (0 = never mutated) and `graph_version` the
+  /// reader's pin. An entry tagged with a version other than L was filled
+  /// before the shard last changed — it is ERASED (counted as a
+  /// version_invalidation) so the refill re-caches current data. An
+  /// entry tagged L serves a reader pinned at V ≥ L (the row cannot have
+  /// changed in (L, V]); a reader pinned BEFORE L misses without erasing,
+  /// since the entry is still right for newer readers. The defaults
+  /// (L = 0, pin = latest) reproduce the unversioned behavior exactly.
   void lookup(ShardId dst, std::span<const NodeId> locals,
               CachedRowArena& arena, std::vector<std::size_t>& hit_indices,
               std::vector<std::size_t>& hit_rows,
               std::vector<NodeId>& miss_locals,
-              std::vector<std::size_t>& miss_indices);
+              std::vector<std::size_t>& miss_indices,
+              std::uint64_t shard_last_mut = 0,
+              std::uint64_t graph_version = kVersionLatest);
 
   /// Insert one row for `<local, dst>` (no-op if already resident, beyond
-  /// refreshing its reference bit).
-  void insert(ShardId dst, NodeId local, const VertexProp& row);
+  /// refreshing its reference bit). The row was fetched pinned at
+  /// `graph_version`; it is cached (tagged with `shard_last_mut`) only
+  /// when that pin proves it current — i.e. pin ≥ last mutation. Rows
+  /// fetched through an old pin are simply not cached.
+  void insert(ShardId dst, NodeId local, const VertexProp& row,
+              std::uint64_t shard_last_mut = 0,
+              std::uint64_t graph_version = kVersionLatest);
 
   const AdjacencyCacheStats& stats() const { return stats_; }
   AdjacencyCacheStats& stats() { return stats_; }
@@ -148,6 +171,10 @@ class AdjacencyCache {
     std::uint64_t key = 0;
     bool used = false;
     std::uint8_t referenced = 0;  // CLOCK second-chance bit
+    // Shard's last-mutation version when the row was filled; a later
+    // mutation bumps the shard past this tag and the entry self-erases
+    // on its next probe.
+    std::uint64_t version_tag = 0;
     float weighted_degree = 0;
     std::vector<NodeId> nbr_local_ids;
     std::vector<ShardId> nbr_shard_ids;

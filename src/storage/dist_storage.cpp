@@ -74,10 +74,15 @@ RpcFuture DistGraphStorage::issue_storage_call(StorageCall& call) const {
   GE_REQUIRE(call.request.size() >= kStorageHeaderBytes,
              "storage call without routing header");
   // Patch the routing epoch in place: the rest of the frame is
-  // placement-independent, so a retry only refreshes the header.
-  const std::uint64_t epoch = routing_->epoch();
-  std::memcpy(call.request.data() + kStorageEpochOffset, &epoch,
-              sizeof(epoch));
+  // placement-independent, so a retry only refreshes the header. The
+  // epoch word's top bit flags a versioned frame (a pinned graph version
+  // follows the header) — preserve it across the patch.
+  std::uint64_t word = 0;
+  std::memcpy(&word, call.request.data() + kStorageEpochOffset,
+              sizeof(word));
+  word = routing_->epoch() | (word & kStorageVersionedFlag);
+  std::memcpy(call.request.data() + kStorageEpochOffset, &word,
+              sizeof(word));
   call.target = routing_->read_target(call.dst);
   GE_REQUIRE(call.target >= 0 &&
                  call.target < static_cast<int>(rrefs_.size()),
@@ -192,8 +197,8 @@ void DistGraphStorage::enable_adjacency_cache(std::size_t capacity_rows) {
 }
 
 DistGraphStorage::AdjacencySplit DistGraphStorage::split_by_adjacency_cache(
-    ShardId dst, std::span<const NodeId> locals,
-    CachedRowArena& arena) const {
+    ShardId dst, std::span<const NodeId> locals, CachedRowArena& arena,
+    std::uint64_t graph_version) const {
   GE_REQUIRE(dst != shard_id_, "split is for remote shards");
   AdjacencySplit split;
   if (adj_cache_ == nullptr) {
@@ -203,21 +208,23 @@ DistGraphStorage::AdjacencySplit DistGraphStorage::split_by_adjacency_cache(
     return split;
   }
   adj_cache_->lookup(dst, locals, arena, split.hit_indices, split.hit_rows,
-                     split.miss_locals, split.miss_indices);
+                     split.miss_locals, split.miss_indices,
+                     shard_last_mutation(dst), graph_version);
   // Cache hits count as locally served traversal, like halo hits.
   stats_.local_nodes.fetch_add(split.hit_indices.size(),
                                std::memory_order_relaxed);
   return split;
 }
 
-void DistGraphStorage::insert_adjacency_rows(ShardId dst,
-                                             std::span<const NodeId> locals,
-                                             const NeighborBatch& rows) const {
+void DistGraphStorage::insert_adjacency_rows(
+    ShardId dst, std::span<const NodeId> locals, const NeighborBatch& rows,
+    std::uint64_t graph_version) const {
   if (adj_cache_ == nullptr) return;
   GE_REQUIRE(locals.size() == rows.size(),
              "adjacency insert size mismatch");
+  const std::uint64_t last_mut = shard_last_mutation(dst);
   for (std::size_t t = 0; t < locals.size(); ++t) {
-    adj_cache_->insert(dst, locals[t], rows[t]);
+    adj_cache_->insert(dst, locals[t], rows[t], last_mut, graph_version);
   }
 }
 
@@ -225,7 +232,7 @@ std::vector<std::uint8_t> DistGraphStorage::encode_batch_request(
     ShardId dst, std::span<const NodeId> locals,
     const FetchOptions& options) const {
   ByteWriter w(BufferPool::global().acquire());
-  write_storage_header(w, dst, routing_->epoch());
+  write_fetch_header(w, dst, options.graph_version);
   std::uint8_t flags = options.compress ? kFetchFlagCompress : 0;
   if (options.codec == WireCodec::kDeltaVarint) flags |= kFetchFlagVarint;
   if (!options.need_weights) flags |= kFetchFlagNoWeights;
@@ -259,14 +266,14 @@ NeighborFetch DistGraphStorage::get_neighbor_infos_async(
 }
 
 NeighborFetch DistGraphStorage::get_neighbor_info_single_async(
-    ShardId dst, NodeId local) const {
+    ShardId dst, NodeId local, std::uint64_t graph_version) const {
   GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(num_shards()),
              "dst shard out of range");
   stats_.remote_nodes.fetch_add(1, std::memory_order_relaxed);
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
   StorageCall call(this, storage_method::kGetNeighborInfoSingle, dst);
   ByteWriter w(BufferPool::global().acquire());
-  write_storage_header(w, dst, routing_->epoch());
+  write_fetch_header(w, dst, graph_version);
   w.write<NodeId>(local);
   call.request = w.take();
   stats_.remote_request_bytes.fetch_add(call.request.size(),
@@ -341,12 +348,13 @@ KSampleResult KSampleFetch::wait() {
 }
 
 SampleFetch DistGraphStorage::sample_one_neighbor_async(
-    ShardId dst, std::span<const NodeId> locals, std::uint64_t seed) const {
+    ShardId dst, std::span<const NodeId> locals, std::uint64_t seed,
+    std::uint64_t graph_version) const {
   GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(num_shards()),
              "dst shard out of range");
   StorageCall call(this, storage_method::kSampleOneNeighbor, dst);
   ByteWriter w(BufferPool::global().acquire());
-  write_storage_header(w, dst, routing_->epoch());
+  write_fetch_header(w, dst, graph_version);
   w.write<std::uint64_t>(seed);
   w.write_span(locals);
   call.request = w.take();
@@ -376,13 +384,13 @@ KSampleResult DistGraphStorage::decode_k_sample(
 }
 
 KSampleFetch DistGraphStorage::sample_k_neighbors_async(
-    ShardId dst, std::span<const NodeId> locals, int k,
-    std::uint64_t seed) const {
+    ShardId dst, std::span<const NodeId> locals, int k, std::uint64_t seed,
+    std::uint64_t graph_version) const {
   GE_REQUIRE(dst >= 0 && dst < static_cast<ShardId>(num_shards()),
              "dst shard out of range");
   StorageCall call(this, storage_method::kSampleKNeighbors, dst);
   ByteWriter w(BufferPool::global().acquire());
-  write_storage_header(w, dst, routing_->epoch());
+  write_fetch_header(w, dst, graph_version);
   w.write<std::uint64_t>(seed);
   w.write<std::int32_t>(k);
   w.write_span(locals);
@@ -402,29 +410,87 @@ KSampleFetch DistGraphStorage::sample_k_neighbors_async(
 }
 
 KSampleResult DistGraphStorage::sample_k_neighbors(
-    ShardId dst, std::span<const NodeId> locals, int k,
-    std::uint64_t seed) const {
+    ShardId dst, std::span<const NodeId> locals, int k, std::uint64_t seed,
+    std::uint64_t graph_version) const {
   if (dst == shard_id_) {
     stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
     KSampleResult res;
-    local_shard_->sample_k_neighbors(locals, k, seed, res.indptr,
-                                     res.local_ids, res.shard_ids,
-                                     res.global_ids);
+    if (local_store_ != nullptr) {
+      const auto snap = local_store_->snapshot(graph_version);
+      snap->sample_k_neighbors(locals, k, seed, res.indptr, res.local_ids,
+                               res.shard_ids, res.global_ids);
+    } else {
+      local_shard_->sample_k_neighbors(locals, k, seed, res.indptr,
+                                       res.local_ids, res.shard_ids,
+                                       res.global_ids);
+    }
     return res;
   }
-  return sample_k_neighbors_async(dst, locals, k, seed).wait();
+  return sample_k_neighbors_async(dst, locals, k, seed, graph_version)
+      .wait();
 }
 
 SampleResult DistGraphStorage::sample_one_neighbor(
-    ShardId dst, std::span<const NodeId> locals, std::uint64_t seed) const {
+    ShardId dst, std::span<const NodeId> locals, std::uint64_t seed,
+    std::uint64_t graph_version) const {
   if (dst == shard_id_) {
     stats_.local_nodes.fetch_add(locals.size(), std::memory_order_relaxed);
     SampleResult res;
-    local_shard_->sample_one_neighbor(locals, seed, res.local_ids,
-                                      res.shard_ids, res.global_ids);
+    if (local_store_ != nullptr) {
+      const auto snap = local_store_->snapshot(graph_version);
+      snap->sample_one_neighbor(locals, seed, res.local_ids, res.shard_ids,
+                                res.global_ids);
+    } else {
+      local_shard_->sample_one_neighbor(locals, seed, res.local_ids,
+                                        res.shard_ids, res.global_ids);
+    }
     return res;
   }
-  return sample_one_neighbor_async(dst, locals, seed).wait();
+  return sample_one_neighbor_async(dst, locals, seed, graph_version).wait();
+}
+
+std::vector<float> DistGraphStorage::get_weighted_degrees(
+    ShardId dst, std::span<const NodeId> locals) const {
+  if (dst == shard_id_ && local_store_ != nullptr) {
+    const auto snap = local_store_->snapshot();
+    std::vector<float> degs;
+    degs.reserve(locals.size());
+    for (const NodeId l : locals) degs.push_back(snap->weighted_degree(l));
+    return degs;
+  }
+  StorageCall call(this, storage_method::kGetWeightedDegs, dst);
+  ByteWriter w(BufferPool::global().acquire());
+  write_storage_header(w, dst, routing_->epoch());
+  w.write_span(locals);
+  call.request = w.take();
+  RpcFuture future = issue_storage_call(call);
+  std::vector<std::uint8_t> payload = await_storage_reply(future, call);
+  ByteReader r(payload);
+  GE_REQUIRE(r.read<std::uint8_t>() == kStorageReplyOk,
+             "storage reply not OK");
+  auto degs = r.read_vec<float>();
+  BufferPool::global().release(std::move(payload));
+  return degs;
+}
+
+void DistGraphStorage::apply_mutations_remote(
+    int node, ShardId shard, std::uint64_t version,
+    const MutationBatch& batch) const {
+  GE_REQUIRE(node >= 0 && node < static_cast<int>(rrefs_.size()),
+             "mutation target node out of range");
+  // Addressed to a SPECIFIC node (owner, then each replica in version
+  // order) — never routed through read_target, which round-robins over
+  // replicas and could skip one.
+  ByteWriter w(BufferPool::global().acquire());
+  write_storage_header(w, shard, routing_->epoch());
+  w.write<std::uint64_t>(version);
+  batch.encode(w);
+  RpcFuture future = endpoint_.async_call(
+      node, kStorageServiceName, storage_method::kMutateEdges, w.take());
+  std::vector<std::uint8_t> payload = future.wait();
+  GE_REQUIRE(!payload.empty() && payload[0] == kStorageReplyOk,
+             "mutate_edges reply not OK");
+  BufferPool::global().release(std::move(payload));
 }
 
 }  // namespace ppr

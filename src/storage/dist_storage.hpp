@@ -17,6 +17,7 @@
 #include "storage/adjacency_cache.hpp"
 #include "storage/shard.hpp"
 #include "storage/storage_service.hpp"
+#include "storage/versioned_shard.hpp"
 
 namespace ppr {
 
@@ -240,6 +241,34 @@ class DistGraphStorage {
   void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
   const RetryPolicy& retry_policy() const { return policy_; }
 
+  /// Attach the versioned storage plane (DESIGN.md §15): the local
+  /// shard's mutable store and the process-wide version tracker. Without
+  /// this (legacy deployments, unit fixtures) every fetch stays on the
+  /// immutable wire-v2 path and the base CSR serves self-shard reads.
+  void attach_version_plane(std::shared_ptr<VersionedShardStore> store,
+                            std::shared_ptr<VersionTracker> tracker) {
+    local_store_ = std::move(store);
+    tracker_ = std::move(tracker);
+  }
+  const std::shared_ptr<VersionedShardStore>& local_store() const {
+    return local_store_;
+  }
+  const std::shared_ptr<VersionTracker>& version_tracker() const {
+    return tracker_;
+  }
+
+  /// True when the local halo copies of shard `dst` rows (filled at
+  /// version 0) are still valid under pin `graph_version`: either the
+  /// shard was never mutated, or a concrete pin predates its first
+  /// mutation. A kVersionLatest pin on a mutated shard must skip the
+  /// halo and read through the owner's snapshot.
+  bool halo_valid_at(ShardId dst, std::uint64_t graph_version) const {
+    if (tracker_ == nullptr) return true;
+    const std::uint64_t first = tracker_->first_mutation(dst);
+    if (first == 0) return true;  // never mutated
+    return graph_version != kVersionLatest && graph_version < first;
+  }
+
   /// Shared-memory local fetch: zero-copy views, no serialization.
   std::vector<VertexProp> get_neighbor_infos_local(
       std::span<const NodeId> locals) const;
@@ -290,14 +319,38 @@ class DistGraphStorage {
     std::vector<NodeId> miss_locals;
     std::vector<std::size_t> miss_indices;
   };
-  AdjacencySplit split_by_adjacency_cache(ShardId dst,
-                                          std::span<const NodeId> locals,
-                                          CachedRowArena& arena) const;
+  /// `graph_version` is the calling query's pin; the shard's
+  /// last-mutation version (from the attached tracker) decides entry
+  /// validity — see AdjacencyCache::lookup's version contract.
+  AdjacencySplit split_by_adjacency_cache(
+      ShardId dst, std::span<const NodeId> locals, CachedRowArena& arena,
+      std::uint64_t graph_version = kVersionLatest) const;
 
   /// Feed rows decoded from a remote response into the adjacency cache
-  /// (no-op when the cache is off). `locals[t]` names `rows[t]`.
-  void insert_adjacency_rows(ShardId dst, std::span<const NodeId> locals,
-                             const NeighborBatch& rows) const;
+  /// (no-op when the cache is off). `locals[t]` names `rows[t]`;
+  /// `graph_version` is the pin the rows were fetched under.
+  void insert_adjacency_rows(
+      ShardId dst, std::span<const NodeId> locals, const NeighborBatch& rows,
+      std::uint64_t graph_version = kVersionLatest) const;
+
+  /// Shard `dst`'s last-mutation version per the attached tracker
+  /// (0 when no tracker or never mutated).
+  std::uint64_t shard_last_mutation(ShardId dst) const {
+    return tracker_ != nullptr ? tracker_->last_mutation(dst) : 0;
+  }
+
+  /// Resolve a query's requested pin at admission: an explicit version
+  /// sticks; "latest" becomes the newest PUBLISHED version once any
+  /// mutation has landed (so the query holds one coherent snapshot for
+  /// its whole run), and stays kVersionLatest on a never-mutated
+  /// deployment — preserving the legacy wire frames byte for byte.
+  std::uint64_t resolve_pin(std::uint64_t requested) const {
+    if (requested != kVersionLatest) return requested;
+    if (tracker_ != nullptr && tracker_->any_mutation()) {
+      return tracker_->published();
+    }
+    return kVersionLatest;
+  }
 
   /// Local fetch through the full serialize/deserialize path (used to
   /// quantify what the VertexProp zero-copy path saves).
@@ -312,27 +365,46 @@ class DistGraphStorage {
                                          const FetchOptions& options = {}) const;
 
   /// One node per request — the unbatched "Single" ablation baseline.
-  NeighborFetch get_neighbor_info_single_async(ShardId dst,
-                                               NodeId local) const;
+  NeighborFetch get_neighbor_info_single_async(
+      ShardId dst, NodeId local,
+      std::uint64_t graph_version = kVersionLatest) const;
 
   /// Sample one outgoing neighbor for each source; local or remote.
-  SampleResult sample_one_neighbor(ShardId dst, std::span<const NodeId> locals,
-                                   std::uint64_t seed) const;
-  SampleFetch sample_one_neighbor_async(ShardId dst,
-                                        std::span<const NodeId> locals,
-                                        std::uint64_t seed) const;
+  /// `graph_version` pins the draw to one snapshot (kVersionLatest keeps
+  /// the legacy unversioned frame, byte-identical to wire v2).
+  SampleResult sample_one_neighbor(
+      ShardId dst, std::span<const NodeId> locals, std::uint64_t seed,
+      std::uint64_t graph_version = kVersionLatest) const;
+  SampleFetch sample_one_neighbor_async(
+      ShardId dst, std::span<const NodeId> locals, std::uint64_t seed,
+      std::uint64_t graph_version = kVersionLatest) const;
   static SampleResult decode_sample(std::span<const std::uint8_t> payload);
 
   /// GraphSAGE-style fan-out sampling (≤ k distinct neighbors per
   /// source), local or remote.
-  KSampleResult sample_k_neighbors(ShardId dst,
-                                   std::span<const NodeId> locals, int k,
-                                   std::uint64_t seed) const;
-  KSampleFetch sample_k_neighbors_async(ShardId dst,
-                                        std::span<const NodeId> locals, int k,
-                                        std::uint64_t seed) const;
+  KSampleResult sample_k_neighbors(
+      ShardId dst, std::span<const NodeId> locals, int k, std::uint64_t seed,
+      std::uint64_t graph_version = kVersionLatest) const;
+  KSampleFetch sample_k_neighbors_async(
+      ShardId dst, std::span<const NodeId> locals, int k, std::uint64_t seed,
+      std::uint64_t graph_version = kVersionLatest) const;
   static KSampleResult decode_k_sample(
       std::span<const std::uint8_t> payload);
+
+  /// Weighted degrees of core nodes of shard `dst` at the newest
+  /// version — the mutation coordinator's pre-insert hint fetch
+  /// (EdgeInsert::nbr_weighted_deg). Served locally when `dst` is the
+  /// attached store's shard.
+  std::vector<float> get_weighted_degrees(
+      ShardId dst, std::span<const NodeId> locals) const;
+
+  /// Apply one MutationBatch at an explicit version on a SPECIFIC node's
+  /// copy of `shard` — addressed directly (owner first, then every
+  /// replica, in version order), bypassing the read-target round-robin so
+  /// replicas never miss a version. Blocks until the node acks.
+  void apply_mutations_remote(int node, ShardId shard,
+                              std::uint64_t version,
+                              const MutationBatch& batch) const;
 
   FetchStats& stats() const { return stats_; }
 
@@ -357,11 +429,25 @@ class DistGraphStorage {
   /// header's epoch in place. Each send ships a pooled copy.
   RpcFuture issue_storage_call(StorageCall& call) const;
 
+  /// Emit the request header for a read pinned at `graph_version`:
+  /// legacy bytes for kVersionLatest, the flagged wire-v3 form otherwise.
+  void write_fetch_header(ByteWriter& w, ShardId dst,
+                          std::uint64_t graph_version) const {
+    if (graph_version == kVersionLatest) {
+      write_storage_header(w, dst, routing_->epoch());
+    } else {
+      write_storage_header_versioned(w, dst, routing_->epoch(),
+                                     graph_version);
+    }
+  }
+
   RpcEndpoint& endpoint_;
   std::vector<RemoteRef> rrefs_;  // indexed by node id
   std::shared_ptr<RoutingTable> routing_;
   ShardId shard_id_;
   std::shared_ptr<const GraphShard> local_shard_;
+  std::shared_ptr<VersionedShardStore> local_store_;  // may be null
+  std::shared_ptr<VersionTracker> tracker_;           // may be null
   RetryPolicy policy_;
   mutable FetchStats stats_;
   // Shared across the machine's computing processes; mutable because the

@@ -36,7 +36,19 @@ FetchPipeline::FetchPipeline(const DistGraphStorage& storage)
   batches_.resize(ns);
 }
 
+void FetchPipeline::pin(std::uint64_t graph_version) {
+  pin_ = graph_version;
+  const auto& store = storage_.local_store();
+  // Freeze the self-shard now: every round of this query reads the same
+  // snapshot no matter how many mutations land while it runs. Without a
+  // store (legacy deployments) the base CSR serves, as before.
+  snapshot_ = store != nullptr ? store->snapshot(pin_) : nullptr;
+}
+
 void FetchPipeline::begin_round() {
+  // Merged-row views handed out last round pointed into the snapshot's
+  // scratch arena; recycle it with the rest of the round scratch.
+  if (snapshot_ != nullptr) snapshot_->reset_scratch();
   for (std::size_t j = 0; j < union_locals_.size(); ++j) {
     union_locals_[j].clear();
     union_index_[j].clear();
@@ -85,10 +97,14 @@ void FetchPipeline::resolve_remote_shard(std::size_t j, const Plan& plan) {
   resolved_[j].assign(uni.size(), VertexProp{});
   sources_[j].assign(uni.size(), RowSource::kRemote);
 
-  // Rows still unresolved after the halo split, as union rows.
+  // Rows still unresolved after the halo split, as union rows. Halo rows
+  // are version-0 copies: once shard j has mutated at or before the pin
+  // they can be stale, so the split is skipped and those rows read
+  // through the owner's snapshot instead (halo_valid_at).
   std::span<const NodeId> pending_locals = uni;
   const std::vector<std::size_t>* pending_rows = nullptr;  // identity
-  if (storage_.halo_cache_enabled()) {
+  if (storage_.halo_cache_enabled() &&
+      storage_.halo_valid_at(static_cast<ShardId>(j), pin_)) {
     auto& hs = halo_splits_[j];
     hs = storage_.split_by_halo_cache(static_cast<ShardId>(j), uni);
     for (std::size_t h = 0; h < hs.hit_indices.size(); ++h) {
@@ -106,7 +122,7 @@ void FetchPipeline::resolve_remote_shard(std::size_t j, const Plan& plan) {
 
   auto& as = adj_splits_[j];
   as = storage_.split_by_adjacency_cache(static_cast<ShardId>(j),
-                                         pending_locals, arenas_[j]);
+                                         pending_locals, arenas_[j], pin_);
   // All of this shard's arena appends happened inside that one lookup,
   // so the views handed out below stay stable for the round.
   for (std::size_t h = 0; h < as.hit_indices.size(); ++h) {
@@ -121,8 +137,10 @@ void FetchPipeline::resolve_remote_shard(std::size_t j, const Plan& plan) {
   }
 
   if (!fetch_locals_[j].empty()) {
+    FetchOptions options = plan.fetch_options();
+    options.graph_version = pin_;
     fetches_[j] = storage_.get_neighbor_infos_async(
-        static_cast<ShardId>(j), fetch_locals_[j], plan.fetch_options());
+        static_cast<ShardId>(j), fetch_locals_[j], options);
     stats_.rows_wire += fetch_locals_[j].size();
     ++stats_.rpcs_issued;
   }
@@ -170,7 +188,16 @@ void FetchPipeline::execute(const Plan& plan, PhaseTimers* timers,
   if (!union_locals_[self].empty()) {
     ScopedPhase phase(t, Phase::kLocalFetch);
     WallTimer wall;
-    resolved_[self] = storage_.get_neighbor_infos_local(union_locals_[self]);
+    if (snapshot_ != nullptr) {
+      // Versioned self-shard: the pinned snapshot serves (clean shards
+      // delegate straight to the base CSR — same views, same bytes).
+      resolved_[self] = snapshot_->get_neighbor_infos(union_locals_[self]);
+      storage_.stats().local_nodes.fetch_add(union_locals_[self].size(),
+                                             std::memory_order_relaxed);
+    } else {
+      resolved_[self] =
+          storage_.get_neighbor_infos_local(union_locals_[self]);
+    }
     sources_[self].assign(resolved_[self].size(), RowSource::kLocal);
     stats_.rows_local += resolved_[self].size();
     phase_histogram(Phase::kLocalFetch).record(wall.micros());
@@ -188,7 +215,7 @@ void FetchPipeline::execute(const Plan& plan, PhaseTimers* timers,
     // caching them would poison weight-consuming queries.
     if (batches_[j].has_weights()) {
       storage_.insert_adjacency_rows(static_cast<ShardId>(j),
-                                     fetch_locals_[j], batches_[j]);
+                                     fetch_locals_[j], batches_[j], pin_);
     }
     for (std::size_t m = 0; m < fetch_rows_[j].size(); ++m) {
       resolved_[j][fetch_rows_[j][m]] = batches_[j][m];

@@ -130,6 +130,16 @@ class FetchPipeline {
 
   const DistGraphStorage& storage() const { return storage_; }
 
+  /// Pin every subsequent round to one graph version (DESIGN.md §15):
+  /// fetch RPCs carry it, adjacency-cache validity is judged against it,
+  /// the halo split is skipped for shards mutated at or before it, and
+  /// self-shard rows are served through a snapshot frozen at it. Called
+  /// once by the driver before its first round; kVersionLatest (the
+  /// default) keeps the legacy byte-identical wire path and is what
+  /// never-mutated deployments stay on.
+  void pin(std::uint64_t graph_version);
+  std::uint64_t pin() const { return pin_; }
+
   /// Drop the previous round's rows and pending fetches (capacity kept).
   void begin_round();
 
@@ -189,6 +199,12 @@ class FetchPipeline {
   std::vector<std::vector<std::uint32_t>> fetch_rows_;
   std::vector<NeighborFetch> fetches_;
   std::vector<NeighborBatch> batches_;
+
+  // Version pin of the owning query; snapshot_ freezes the self-shard at
+  // it when the storage carries a versioned store (null otherwise — the
+  // base CSR serves, exactly the pre-§15 path).
+  std::uint64_t pin_ = kVersionLatest;
+  std::shared_ptr<const ShardSnapshot> snapshot_;
 
   FetchPipelineStats stats_;
   PhaseTimers timers_;

@@ -217,67 +217,60 @@ namespace {
 /// CSR frame preamble: codec tag, then a flags byte (bit0 = the weight /
 /// degree float sections are present). See DESIGN.md §10.
 constexpr std::uint8_t kCsrHasWeightsFlag = 0x01;
-}  // namespace
 
-void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
-                                           ByteWriter& w,
-                                           const FetchOptions& options) const {
+/// Shared CSR encoder over any RowPtrs accessor. The GraphShard member
+/// encoder (rows point into the shard arrays) and the free-function row-set
+/// encoder (rows point into snapshot-merged scratch) both stream through
+/// this one implementation, so clean and merged rows with the same contents
+/// produce the same bytes.
+template <typename RowOf>
+void encode_csr_impl(std::size_t n, const RowOf& rowof, ByteWriter& w,
+                     const FetchOptions& options) {
   w.write<std::uint8_t>(static_cast<std::uint8_t>(options.codec));
   w.write<std::uint8_t>(options.need_weights ? kCsrHasWeightsFlag : 0);
 
   if (options.codec == WireCodec::kDeltaVarint) {
-    // Scatter-gather straight off the shard arrays: each section streams
+    // Scatter-gather straight off the row views: each section streams
     // row by row with no intermediate gather buffers.
-    w.write_uvarint(locals.size());
-    const auto row = [&](std::size_t i) {
-      const NodeId l = locals[i];
-      GE_REQUIRE(l >= 0 && l < num_core_nodes(), "local id out of range");
-      const auto lo =
-          static_cast<std::size_t>(indptr_[static_cast<std::size_t>(l)]);
-      const auto hi =
-          static_cast<std::size_t>(indptr_[static_cast<std::size_t>(l) + 1]);
-      return std::pair<std::size_t, std::size_t>(lo, hi);
-    };
+    w.write_uvarint(n);
     // Row offsets as per-row degrees (the varint delta of indptr).
-    for (std::size_t i = 0; i < locals.size(); ++i) {
-      const auto [lo, hi] = row(i);
-      w.write_uvarint(hi - lo);
+    for (std::size_t i = 0; i < n; ++i) {
+      w.write_uvarint(rowof(i).len);
     }
     // Neighbor global ids: delta within the row (neighbor lists are
     // sorted, so deltas are small positive varints; zigzag keeps any
     // unsorted row correct too).
-    for (std::size_t i = 0; i < locals.size(); ++i) {
-      const auto [lo, hi] = row(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      const RowPtrs row = rowof(i);
       NodeId prev = 0;
-      for (std::size_t e = lo; e < hi; ++e) {
-        w.write_svarint(static_cast<std::int64_t>(nbr_global_ids_[e]) - prev);
-        prev = nbr_global_ids_[e];
+      for (std::size_t e = 0; e < row.len; ++e) {
+        w.write_svarint(static_cast<std::int64_t>(row.nbr_global[e]) - prev);
+        prev = row.nbr_global[e];
       }
     }
-    for (std::size_t i = 0; i < locals.size(); ++i) {
-      const auto [lo, hi] = row(i);
-      for (std::size_t e = lo; e < hi; ++e) {
-        w.write_uvarint(static_cast<std::uint64_t>(nbr_local_ids_[e]));
+    for (std::size_t i = 0; i < n; ++i) {
+      const RowPtrs row = rowof(i);
+      for (std::size_t e = 0; e < row.len; ++e) {
+        w.write_uvarint(static_cast<std::uint64_t>(row.nbr_local[e]));
       }
     }
-    for (std::size_t i = 0; i < locals.size(); ++i) {
-      const auto [lo, hi] = row(i);
-      for (std::size_t e = lo; e < hi; ++e) {
-        w.write_uvarint(static_cast<std::uint64_t>(nbr_shard_ids_[e]));
+    for (std::size_t i = 0; i < n; ++i) {
+      const RowPtrs row = rowof(i);
+      for (std::size_t e = 0; e < row.len; ++e) {
+        w.write_uvarint(static_cast<std::uint64_t>(row.nbr_shard[e]));
       }
     }
     if (options.need_weights) {
-      for (std::size_t i = 0; i < locals.size(); ++i) {
-        const auto [lo, hi] = row(i);
-        w.write_bytes(edge_weights_.data() + lo, (hi - lo) * sizeof(float));
+      for (std::size_t i = 0; i < n; ++i) {
+        const RowPtrs row = rowof(i);
+        if (row.len != 0) w.write_bytes(row.weights, row.len * sizeof(float));
       }
-      for (std::size_t i = 0; i < locals.size(); ++i) {
-        const auto [lo, hi] = row(i);
-        w.write_bytes(nbr_weighted_deg_.data() + lo,
-                      (hi - lo) * sizeof(float));
+      for (std::size_t i = 0; i < n; ++i) {
+        const RowPtrs row = rowof(i);
+        if (row.len != 0) w.write_bytes(row.nbr_dw, row.len * sizeof(float));
       }
-      for (const NodeId l : locals) {
-        w.write<float>(core_weighted_deg_[static_cast<std::size_t>(l)]);
+      for (std::size_t i = 0; i < n; ++i) {
+        w.write<float>(rowof(i).src_dw);
       }
     }
     return;
@@ -285,14 +278,10 @@ void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
 
   // Flat codec: gather into contiguous CSR arrays, then write each as one
   // full-width length-prefixed array.
-  std::vector<EdgeIndex> indptr(locals.size() + 1, 0);
+  std::vector<EdgeIndex> indptr(n + 1, 0);
   std::size_t total = 0;
-  for (std::size_t i = 0; i < locals.size(); ++i) {
-    const NodeId l = locals[i];
-    GE_REQUIRE(l >= 0 && l < num_core_nodes(), "local id out of range");
-    total += static_cast<std::size_t>(
-        indptr_[static_cast<std::size_t>(l) + 1] -
-        indptr_[static_cast<std::size_t>(l)]);
+  for (std::size_t i = 0; i < n; ++i) {
+    total += rowof(i).len;
     indptr[i + 1] = static_cast<EdgeIndex>(total);
   }
   std::vector<NodeId> nbr_local(total);
@@ -300,22 +289,17 @@ void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
   std::vector<float> weights(total);
   std::vector<float> nbr_dw(total);
   std::vector<NodeId> nbr_global(total);
-  std::vector<float> src_dw(locals.size());
+  std::vector<float> src_dw(n);
   std::size_t pos = 0;
-  for (std::size_t i = 0; i < locals.size(); ++i) {
-    const NodeId l = locals[i];
-    const auto lo = static_cast<std::size_t>(
-        indptr_[static_cast<std::size_t>(l)]);
-    const auto len = static_cast<std::size_t>(
-        indptr_[static_cast<std::size_t>(l) + 1] -
-        indptr_[static_cast<std::size_t>(l)]);
-    std::copy_n(nbr_local_ids_.data() + lo, len, nbr_local.data() + pos);
-    std::copy_n(nbr_shard_ids_.data() + lo, len, nbr_shard.data() + pos);
-    std::copy_n(edge_weights_.data() + lo, len, weights.data() + pos);
-    std::copy_n(nbr_weighted_deg_.data() + lo, len, nbr_dw.data() + pos);
-    std::copy_n(nbr_global_ids_.data() + lo, len, nbr_global.data() + pos);
-    src_dw[i] = core_weighted_deg_[static_cast<std::size_t>(l)];
-    pos += len;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RowPtrs row = rowof(i);
+    std::copy_n(row.nbr_local, row.len, nbr_local.data() + pos);
+    std::copy_n(row.nbr_shard, row.len, nbr_shard.data() + pos);
+    std::copy_n(row.weights, row.len, weights.data() + pos);
+    std::copy_n(row.nbr_dw, row.len, nbr_dw.data() + pos);
+    std::copy_n(row.nbr_global, row.len, nbr_global.data() + pos);
+    src_dw[i] = row.src_dw;
+    pos += row.len;
   }
   w.write_vec(indptr);
   w.write_vec(nbr_local);
@@ -330,29 +314,62 @@ void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
   }
 }
 
-void GraphShard::encode_neighbor_infos_tensor_list(
-    std::span<const NodeId> locals, ByteWriter& w) const {
-  w.write<std::uint64_t>(locals.size());
-  for (const NodeId l : locals) {
-    GE_REQUIRE(l >= 0 && l < num_core_nodes(), "local id out of range");
-    const auto lo = static_cast<std::size_t>(
-        indptr_[static_cast<std::size_t>(l)]);
-    const auto hi = static_cast<std::size_t>(
-        indptr_[static_cast<std::size_t>(l) + 1]);
-    w.write<float>(core_weighted_deg_[static_cast<std::size_t>(l)]);
+template <typename RowOf>
+void encode_tensor_list_impl(std::size_t n, const RowOf& rowof,
+                             ByteWriter& w) {
+  w.write<std::uint64_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const RowPtrs row = rowof(i);
+    w.write<float>(row.src_dw);
     // Five small tensors per node, each paying header + padding — the
     // list-of-small-tensors cost the Compress optimization removes.
-    w.write_tensor(std::span<const NodeId>(nbr_local_ids_.data() + lo,
-                                           nbr_local_ids_.data() + hi));
-    w.write_tensor(std::span<const ShardId>(nbr_shard_ids_.data() + lo,
-                                            nbr_shard_ids_.data() + hi));
-    w.write_tensor(std::span<const float>(edge_weights_.data() + lo,
-                                          edge_weights_.data() + hi));
-    w.write_tensor(std::span<const float>(nbr_weighted_deg_.data() + lo,
-                                          nbr_weighted_deg_.data() + hi));
-    w.write_tensor(std::span<const NodeId>(nbr_global_ids_.data() + lo,
-                                           nbr_global_ids_.data() + hi));
+    w.write_tensor(std::span<const NodeId>(row.nbr_local, row.len));
+    w.write_tensor(std::span<const ShardId>(row.nbr_shard, row.len));
+    w.write_tensor(std::span<const float>(row.weights, row.len));
+    w.write_tensor(std::span<const float>(row.nbr_dw, row.len));
+    w.write_tensor(std::span<const NodeId>(row.nbr_global, row.len));
   }
+}
+}  // namespace
+
+RowPtrs GraphShard::row_ptrs(NodeId local) const {
+  GE_REQUIRE(local >= 0 && local < num_core_nodes(), "local id out of range");
+  const auto lo = static_cast<std::size_t>(
+      indptr_[static_cast<std::size_t>(local)]);
+  const auto hi = static_cast<std::size_t>(
+      indptr_[static_cast<std::size_t>(local) + 1]);
+  return RowPtrs{nbr_local_ids_.data() + lo,
+                 nbr_shard_ids_.data() + lo,
+                 edge_weights_.data() + lo,
+                 nbr_weighted_deg_.data() + lo,
+                 nbr_global_ids_.data() + lo,
+                 hi - lo,
+                 core_weighted_deg_[static_cast<std::size_t>(local)]};
+}
+
+void GraphShard::encode_neighbor_infos_csr(std::span<const NodeId> locals,
+                                           ByteWriter& w,
+                                           const FetchOptions& options) const {
+  encode_csr_impl(
+      locals.size(), [&](std::size_t i) { return row_ptrs(locals[i]); }, w,
+      options);
+}
+
+void GraphShard::encode_neighbor_infos_tensor_list(
+    std::span<const NodeId> locals, ByteWriter& w) const {
+  encode_tensor_list_impl(
+      locals.size(), [&](std::size_t i) { return row_ptrs(locals[i]); }, w);
+}
+
+void encode_rows_csr(std::span<const RowPtrs> rows, ByteWriter& w,
+                     const FetchOptions& options) {
+  encode_csr_impl(
+      rows.size(), [&](std::size_t i) { return rows[i]; }, w, options);
+}
+
+void encode_rows_tensor_list(std::span<const RowPtrs> rows, ByteWriter& w) {
+  encode_tensor_list_impl(
+      rows.size(), [&](std::size_t i) { return rows[i]; }, w);
 }
 
 std::size_t GraphShard::memory_bytes() const {

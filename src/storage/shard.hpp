@@ -40,6 +40,14 @@ inline const char* wire_codec_name(WireCodec c) {
   return c == WireCodec::kDeltaVarint ? "varint" : "flat";
 }
 
+/// Graph-version sentinel: "serve the newest applied version". Requests
+/// carrying it go on the wire as legacy (unversioned) storage frames —
+/// byte-identical to the pre-versioning protocol — so a never-mutated
+/// deployment pays nothing for the versioned storage plane. Distinct from
+/// the ROUTING epoch (ShardMap): the routing epoch versions *placement*,
+/// the graph version versions *data* (DESIGN.md §15 glossary).
+inline constexpr std::uint64_t kVersionLatest = ~std::uint64_t{0};
+
 /// Per-fetch wire options, next to the pre-existing `compress` knob. The
 /// response frame self-describes its codec, so decoders never need these.
 struct FetchOptions {
@@ -53,6 +61,10 @@ struct FetchOptions {
   /// adjacency cache (the cache must stay fit for weight-consuming
   /// queries).
   bool need_weights = true;
+  /// Pinned graph version the response must be assembled at; the
+  /// kVersionLatest sentinel means "newest applied" and keeps the request
+  /// frame in the legacy (unversioned) layout.
+  std::uint64_t graph_version = kVersionLatest;
 };
 
 /// A node reference: local id within a shard + the shard id.
@@ -72,6 +84,20 @@ struct NodeRef {
                    static_cast<ShardId>(k >> 32)};
   }
   bool operator==(const NodeRef&) const = default;
+};
+
+/// One row of an encodable row set: raw pointers + length + the source
+/// node's weighted degree. The versioned store (versioned_shard.hpp) hands
+/// merged base+delta rows to encode_rows_csr() through this view, so
+/// mutated rows ship with the exact byte layout of the immutable CSR path.
+struct RowPtrs {
+  const NodeId* nbr_local = nullptr;
+  const ShardId* nbr_shard = nullptr;
+  const float* weights = nullptr;
+  const float* nbr_dw = nullptr;
+  const NodeId* nbr_global = nullptr;
+  std::size_t len = 0;
+  float src_dw = 0;
 };
 
 /// Zero-copy view of one core node's neighborhood inside a shard (or
@@ -220,6 +246,13 @@ class GraphShard {
  private:
   GraphShard() = default;  // deserialize() fills every field
 
+  /// Pointer view of one core row (feeds the shared row-set encoders).
+  RowPtrs row_ptrs(NodeId local) const;
+
+  // Compaction (versioned_shard.cpp) materializes a fresh base CSR from
+  // merged base+delta rows through the private default ctor.
+  friend class VersionedShardStore;
+
   ShardId shard_id_ = 0;
   std::vector<EdgeIndex> indptr_;          // per core node
   std::vector<NodeId> core_global_ids_;    // local -> original global id
@@ -244,6 +277,16 @@ class GraphShard {
   std::vector<float> halo_nbr_weighted_deg_;
   std::vector<NodeId> halo_nbr_global_ids_;
 };
+
+/// Encode an arbitrary row set (e.g. snapshot-merged base+delta rows) as a
+/// CSR-compressed response. Shares the exact encoder the GraphShard member
+/// functions use, so a clean row and a merged row with the same contents
+/// produce the same bytes.
+void encode_rows_csr(std::span<const RowPtrs> rows, ByteWriter& w,
+                     const FetchOptions& options = {});
+
+/// Tensor-list counterpart of encode_rows_csr().
+void encode_rows_tensor_list(std::span<const RowPtrs> rows, ByteWriter& w);
 
 /// Decoded remote neighbor-info response. Owns its arrays; exposes the
 /// same VertexProp views as GraphShard so the push operator consumes local

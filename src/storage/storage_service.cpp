@@ -30,11 +30,17 @@ GraphStorageService::GraphStorageService(
 void GraphStorageService::install_shard(
     std::shared_ptr<const GraphShard> shard) {
   GE_REQUIRE(shard != nullptr, "null shard");
-  const ShardId id = shard->shard_id();
+  install_store(std::make_shared<VersionedShardStore>(std::move(shard)));
+}
+
+void GraphStorageService::install_store(
+    std::shared_ptr<VersionedShardStore> store) {
+  GE_REQUIRE(store != nullptr, "null store");
+  const ShardId id = store->shard_id();
   std::lock_guard<std::mutex> lock(mutex_);
   auto& entry = shards_[id];
   if (entry == nullptr) entry = std::make_shared<Entry>();
-  entry->shard = std::move(shard);
+  entry->store = std::move(store);
 }
 
 void GraphStorageService::remove_shard(ShardId shard) {
@@ -63,9 +69,15 @@ bool GraphStorageService::serves(ShardId shard) const {
 
 std::shared_ptr<const GraphShard> GraphStorageService::shard_ptr(
     ShardId shard) const {
+  const auto store = store_ptr(shard);
+  return store == nullptr ? nullptr : store->base();
+}
+
+std::shared_ptr<VersionedShardStore> GraphStorageService::store_ptr(
+    ShardId shard) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = shards_.find(shard);
-  return it == shards_.end() ? nullptr : it->second->shard;
+  return it == shards_.end() ? nullptr : it->second->store;
 }
 
 std::vector<std::pair<ShardId, std::uint64_t>>
@@ -91,13 +103,13 @@ std::vector<std::uint8_t> GraphStorageService::stale_route_reply(
 std::vector<std::uint8_t> GraphStorageService::handle(
     const std::string& method, std::span<const std::uint8_t> payload) {
   ByteReader r(payload);
-  const auto shard_id = r.read<std::int32_t>();
-  // The caller's routing epoch. Not an admission check: installed shards
-  // serve any epoch (the data is immutable, so the answer is identical);
-  // the header exists so redirects and tracing can name the epoch the
-  // caller routed with.
-  const auto epoch = r.read<std::uint64_t>();
-  (void)epoch;
+  // [shard, routing epoch, optional graph version]. The routing epoch is
+  // not an admission check: installed shards serve any epoch (reads are
+  // pinned by graph version, not placement); it exists so redirects and
+  // tracing can name the epoch the caller routed with. The graph version,
+  // when present, pins every read below to one snapshot.
+  const StorageHeader header = read_storage_header(r);
+  const auto shard_id = header.shard;
 
   // Response buffers come from the shared pool; ownership passes to the
   // reply Message and the transport recycles them after the bytes hit the
@@ -116,7 +128,7 @@ std::vector<std::uint8_t> GraphStorageService::handle(
   entry->served.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::uint8_t> reply;
   try {
-    reply = dispatch(*entry->shard, method, r, w);
+    reply = dispatch(*entry, header, method, r, w);
   } catch (...) {
     if (entry->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -134,9 +146,27 @@ std::vector<std::uint8_t> GraphStorageService::handle(
 }
 
 std::vector<std::uint8_t> GraphStorageService::dispatch(
-    const GraphShard& shard, const std::string& method, ByteReader& r,
-    ByteWriter& w) {
+    Entry& entry, const StorageHeader& header, const std::string& method,
+    ByteReader& r, ByteWriter& w) {
   w.write<std::uint8_t>(kStorageReplyOk);
+  VersionedShardStore& store = *entry.store;
+
+  if (method == storage_method::kMutateEdges) {
+    const auto version = r.read<std::uint64_t>();
+    store.apply(version, MutationBatch::decode(r));
+    w.write<std::uint64_t>(version);  // ack echoes the applied version
+    return w.take();
+  }
+  if (method == storage_method::kSnapshotShard) {
+    store.serialize(w);
+    return w.take();
+  }
+
+  // Every read method serves through ONE pinned snapshot: the reply can
+  // never mix versions, no matter how many mutations land concurrently.
+  const auto snap = store.snapshot(
+      header.versioned ? header.graph_version : kVersionLatest);
+
   if (method == storage_method::kGetNeighborInfos) {
     const auto flags = r.read<std::uint8_t>();
     const FetchOptions options = fetch_options_from_flags(flags);
@@ -156,16 +186,16 @@ std::vector<std::uint8_t> GraphStorageService::dispatch(
       locals = r.read_vec<NodeId>();
     }
     if (options.compress) {
-      shard.encode_neighbor_infos_csr(locals, w, options);
+      snap->encode_neighbor_infos_csr(locals, w, options);
     } else {
-      shard.encode_neighbor_infos_tensor_list(locals, w);
+      snap->encode_neighbor_infos_tensor_list(locals, w);
     }
     return w.take();
   }
   if (method == storage_method::kGetNeighborInfoSingle) {
     const auto local = r.read<NodeId>();
     const NodeId one[] = {local};
-    shard.encode_neighbor_infos_tensor_list(one, w);
+    snap->encode_neighbor_infos_tensor_list(one, w);
     return w.take();
   }
   if (method == storage_method::kSampleOneNeighbor) {
@@ -174,7 +204,7 @@ std::vector<std::uint8_t> GraphStorageService::dispatch(
     std::vector<NodeId> out_local;
     std::vector<ShardId> out_shard;
     std::vector<NodeId> out_global;
-    shard.sample_one_neighbor(locals, seed, out_local, out_shard,
+    snap->sample_one_neighbor(locals, seed, out_local, out_shard,
                               out_global);
     w.write_vec(out_local);
     w.write_vec(out_shard);
@@ -189,7 +219,7 @@ std::vector<std::uint8_t> GraphStorageService::dispatch(
     std::vector<NodeId> out_local;
     std::vector<ShardId> out_shard;
     std::vector<NodeId> out_global;
-    shard.sample_k_neighbors(locals, k, seed, out_indptr, out_local,
+    snap->sample_k_neighbors(locals, k, seed, out_indptr, out_local,
                              out_shard, out_global);
     w.write_vec(out_indptr);
     w.write_vec(out_local);
@@ -197,12 +227,16 @@ std::vector<std::uint8_t> GraphStorageService::dispatch(
     w.write_vec(out_global);
     return w.take();
   }
-  if (method == storage_method::kNumCoreNodes) {
-    w.write<std::int64_t>(shard.num_core_nodes());
+  if (method == storage_method::kGetWeightedDegs) {
+    const auto locals = r.read_vec<NodeId>();
+    std::vector<float> degs;
+    degs.reserve(locals.size());
+    for (const NodeId l : locals) degs.push_back(snap->weighted_degree(l));
+    w.write_vec(degs);
     return w.take();
   }
-  if (method == storage_method::kSnapshotShard) {
-    shard.serialize(w);
+  if (method == storage_method::kNumCoreNodes) {
+    w.write<std::int64_t>(snap->num_core_nodes());
     return w.take();
   }
   throw InvalidArgument("unknown storage method: " + method);

@@ -6,10 +6,18 @@
 // Elastic shard plane (DESIGN.md §13): the service holds a SET of shards
 // — migration installs and removes them at runtime. Every request opens
 // with a [shard id, routing epoch] header; if the shard is installed the
-// request is served regardless of the caller's epoch (shard data is
-// immutable, so a "stale" read is still bit-identical), otherwise the
-// reply is a stale-route redirect carrying this node's current ShardMap
-// so the caller can re-resolve and retry without a coordinator round.
+// request is served regardless of the caller's ROUTING epoch (placement
+// version — serving from a "stale" route is still correct because reads
+// are pinned by GRAPH version, not by where the shard lives), otherwise
+// the reply is a stale-route redirect carrying this node's current
+// ShardMap so the caller can re-resolve and retry without a coordinator
+// round.
+//
+// Versioned storage plane (DESIGN.md §15): each installed shard is a
+// VersionedShardStore. Read requests may carry a pinned graph version
+// (wire v3 header, backward compatible — legacy frames read as "newest");
+// every read method serves through one ShardSnapshot, so a reply never
+// mixes two versions even while MutateEdges RPCs land concurrently.
 #pragma once
 
 #include <condition_variable>
@@ -23,6 +31,7 @@
 #include "cluster/routing.hpp"
 #include "rpc/endpoint.hpp"
 #include "storage/shard.hpp"
+#include "storage/versioned_shard.hpp"
 
 namespace ppr {
 
@@ -34,8 +43,16 @@ inline constexpr const char* kGetNeighborInfoSingle =
 inline constexpr const char* kSampleOneNeighbor = "sample_one_neighbor";
 inline constexpr const char* kSampleKNeighbors = "sample_k_neighbors";
 inline constexpr const char* kNumCoreNodes = "num_core_nodes";
-/// Full shard snapshot (GraphShard::serialize) — the migration copy.
+/// Full store snapshot (VersionedShardStore::serialize: base CSR +
+/// pending delta segments) — the migration / replica-bootstrap copy.
 inline constexpr const char* kSnapshotShard = "snapshot_shard";
+/// Apply one MutationBatch at an explicit graph version (DESIGN.md §15).
+/// Routed by the mutation coordinator to the shard owner and every
+/// replica in version order.
+inline constexpr const char* kMutateEdges = "mutate_edges";
+/// Weighted degrees of a batch of core nodes — the coordinator's
+/// pre-mutation hint fetch (EdgeInsert::nbr_weighted_deg).
+inline constexpr const char* kGetWeightedDegs = "get_weighted_degs";
 }  // namespace storage_method
 
 inline constexpr const char* kStorageServiceName = "storage";
@@ -46,16 +63,55 @@ inline constexpr std::uint8_t kStorageReplyOk = 0;
 /// this node's current ShardMap (encoded) — re-resolve and retry.
 inline constexpr std::uint8_t kStorageReplyStaleRoute = 1;
 
-/// Every storage request opens with this header. The epoch sits at a
-/// fixed offset so a retry can patch it in place without re-encoding.
+/// Every storage request opens with this header. The routing epoch sits
+/// at a fixed offset so a retry can patch it in place without
+/// re-encoding (the patch must preserve the versioned-flag bit below).
 inline constexpr std::size_t kStorageEpochOffset = sizeof(std::int32_t);
 inline constexpr std::size_t kStorageHeaderBytes =
     sizeof(std::int32_t) + sizeof(std::uint64_t);
 
+/// Top bit of the header's routing-epoch word: the header continues with
+/// a pinned graph version (u64). Legacy (wire v2) frames leave it clear
+/// and decode unchanged as "serve the newest version" — so a deployment
+/// that never mutates keeps emitting byte-identical request frames.
+inline constexpr std::uint64_t kStorageVersionedFlag = std::uint64_t{1}
+                                                      << 63;
+
+/// Decoded request header. `routing_epoch` versions shard *placement*
+/// (ShardMap); `graph_version` versions the *data* (DESIGN.md §15
+/// glossary) — kVersionLatest when the frame was unversioned.
+struct StorageHeader {
+  ShardId shard = 0;
+  std::uint64_t routing_epoch = 0;
+  std::uint64_t graph_version = kVersionLatest;
+  bool versioned = false;
+};
+
+inline StorageHeader read_storage_header(ByteReader& r) {
+  StorageHeader h;
+  h.shard = r.read<std::int32_t>();
+  const auto word = r.read<std::uint64_t>();
+  h.routing_epoch = word & ~kStorageVersionedFlag;
+  h.versioned = (word & kStorageVersionedFlag) != 0;
+  if (h.versioned) h.graph_version = r.read<std::uint64_t>();
+  return h;
+}
+
+/// Legacy (unversioned) header: [shard:i32][routing epoch:u64].
 inline void write_storage_header(ByteWriter& w, ShardId shard,
                                  std::uint64_t epoch) {
   w.write<std::int32_t>(shard);
   w.write<std::uint64_t>(epoch);
+}
+
+/// Versioned header: the epoch word carries kStorageVersionedFlag and a
+/// pinned graph version follows. Emitted only for concrete pins.
+inline void write_storage_header_versioned(ByteWriter& w, ShardId shard,
+                                           std::uint64_t epoch,
+                                           std::uint64_t graph_version) {
+  w.write<std::int32_t>(shard);
+  w.write<std::uint64_t>(epoch | kStorageVersionedFlag);
+  w.write<std::uint64_t>(graph_version);
 }
 
 /// Flag bits of the kGetNeighborInfos request's flags byte (the wire
@@ -87,8 +143,13 @@ class GraphStorageService {
   GraphStorageService(RpcEndpoint& endpoint,
                       std::shared_ptr<const GraphShard> shard);
 
-  /// Begin serving `shard`. Idempotent per shard id.
+  /// Begin serving `shard`, wrapped as a pristine (version-0) store.
+  /// Idempotent per shard id.
   void install_shard(std::shared_ptr<const GraphShard> shard);
+
+  /// Begin serving a versioned store (migration adoption / replica
+  /// bootstrap land here with the source's version state intact).
+  void install_store(std::shared_ptr<VersionedShardStore> store);
 
   /// Stop serving `shard`: unlink it so new requests see a stale-route
   /// redirect, then BLOCK until every in-flight request on it drains —
@@ -97,7 +158,9 @@ class GraphStorageService {
   void remove_shard(ShardId shard);
 
   bool serves(ShardId shard) const;
+  /// Current base CSR of the installed store (newest generation).
   std::shared_ptr<const GraphShard> shard_ptr(ShardId shard) const;
+  std::shared_ptr<VersionedShardStore> store_ptr(ShardId shard) const;
 
   /// (shard, requests served) per installed shard — the rebalancer's
   /// per-shard traffic signal.
@@ -107,14 +170,15 @@ class GraphStorageService {
 
  private:
   struct Entry {
-    std::shared_ptr<const GraphShard> shard;
+    std::shared_ptr<VersionedShardStore> store;
     std::atomic<int> inflight{0};
     std::atomic<std::uint64_t> served{0};
   };
 
   std::vector<std::uint8_t> handle(const std::string& method,
                                    std::span<const std::uint8_t> payload);
-  std::vector<std::uint8_t> dispatch(const GraphShard& shard,
+  std::vector<std::uint8_t> dispatch(Entry& entry,
+                                     const StorageHeader& header,
                                      const std::string& method,
                                      ByteReader& r, ByteWriter& w);
   std::vector<std::uint8_t> stale_route_reply(ByteWriter& w) const;

@@ -1,0 +1,623 @@
+#include "storage/versioned_shard.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "obs/trace.hpp"
+
+namespace ppr {
+
+// ---------------------------------------------------------------------------
+// MutationBatch
+
+void MutationBatch::encode(ByteWriter& w) const {
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(inserts.size()));
+  for (const EdgeInsert& e : inserts) {
+    w.write<NodeId>(e.src_local);
+    w.write<NodeId>(e.nbr_local);
+    w.write<ShardId>(e.nbr_shard);
+    w.write<NodeId>(e.nbr_global);
+    w.write<float>(e.weight);
+    w.write<float>(e.nbr_weighted_deg);
+  }
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(deletes.size()));
+  for (const EdgeDelete& e : deletes) {
+    w.write<NodeId>(e.src_local);
+    w.write<NodeId>(e.nbr_global);
+  }
+}
+
+MutationBatch MutationBatch::decode(ByteReader& r) {
+  MutationBatch b;
+  const auto num_inserts = r.read<std::uint32_t>();
+  // Each insert owes 24 bytes, so a hostile count cannot force a huge
+  // allocation past the frame.
+  GE_REQUIRE(num_inserts <= r.remaining() / 24,
+             "mutation insert count exceeds frame");
+  b.inserts.resize(num_inserts);
+  for (EdgeInsert& e : b.inserts) {
+    e.src_local = r.read<NodeId>();
+    e.nbr_local = r.read<NodeId>();
+    e.nbr_shard = r.read<ShardId>();
+    e.nbr_global = r.read<NodeId>();
+    e.weight = r.read<float>();
+    e.nbr_weighted_deg = r.read<float>();
+  }
+  const auto num_deletes = r.read<std::uint32_t>();
+  GE_REQUIRE(num_deletes <= r.remaining() / 8,
+             "mutation delete count exceeds frame");
+  b.deletes.resize(num_deletes);
+  for (EdgeDelete& e : b.deletes) {
+    e.src_local = r.read<NodeId>();
+    e.nbr_global = r.read<NodeId>();
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaSegment
+
+DeltaSegment::DeltaSegment(std::uint64_t version, MutationBatch batch)
+    : version_(version), batch_(std::move(batch)) {
+  for (std::size_t i = 0; i < batch_.inserts.size(); ++i) {
+    by_src_[batch_.inserts[i].src_local].inserts.push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < batch_.deletes.size(); ++i) {
+    by_src_[batch_.deletes[i].src_local].deletes.push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+const DeltaSegment::SrcOps* DeltaSegment::ops(NodeId src_local) const {
+  const auto it = by_src_.find(src_local);
+  return it == by_src_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// ShardSnapshot
+
+ShardSnapshot::ShardSnapshot(
+    std::shared_ptr<const GraphShard> base,
+    std::vector<std::shared_ptr<const DeltaSegment>> segments,
+    std::uint64_t version, std::shared_ptr<void> pin)
+    : base_(std::move(base)),
+      segments_(std::move(segments)),
+      version_(version),
+      pin_(std::move(pin)) {}
+
+bool ShardSnapshot::dirty(NodeId local) const {
+  for (const auto& seg : segments_) {
+    if (seg->touches(local)) return true;
+  }
+  return false;
+}
+
+std::size_t ShardSnapshot::merge_row(NodeId local) const {
+  const auto it = merged_row_of_.find(local);
+  if (it != merged_row_of_.end()) return it->second;
+
+  const VertexProp b = base_->vertex_prop(local);
+  std::vector<NodeId> locals(b.nbr_local_ids.begin(), b.nbr_local_ids.end());
+  std::vector<ShardId> shards(b.nbr_shard_ids.begin(),
+                              b.nbr_shard_ids.end());
+  std::vector<float> weights(b.edge_weights.begin(), b.edge_weights.end());
+  std::vector<float> nbr_dw(b.nbr_weighted_degrees.begin(),
+                            b.nbr_weighted_degrees.end());
+  std::vector<NodeId> globals(b.nbr_global_ids.begin(),
+                              b.nbr_global_ids.end());
+  // d_w evolves strictly left-to-right over the segment log, so a frozen
+  // copy of the graph at this version (same base + same batches) computes
+  // the bit-identical float — the property the equivalence tests pin.
+  float dw = b.weighted_degree;
+
+  for (const auto& seg : segments_) {
+    const DeltaSegment::SrcOps* ops = seg->ops(local);
+    if (ops == nullptr) continue;
+    // Deletes before inserts within a segment: delete-then-reinsert at one
+    // version behaves as written.
+    for (const std::uint32_t di : ops->deletes) {
+      const EdgeDelete& d = seg->batch().deletes[di];
+      bool found = false;
+      for (std::size_t k = 0; k < globals.size(); ++k) {
+        if (globals[k] != d.nbr_global) continue;
+        dw -= weights[k];
+        globals.erase(globals.begin() + static_cast<std::ptrdiff_t>(k));
+        locals.erase(locals.begin() + static_cast<std::ptrdiff_t>(k));
+        shards.erase(shards.begin() + static_cast<std::ptrdiff_t>(k));
+        weights.erase(weights.begin() + static_cast<std::ptrdiff_t>(k));
+        nbr_dw.erase(nbr_dw.begin() + static_cast<std::ptrdiff_t>(k));
+        found = true;
+        break;
+      }
+      GE_REQUIRE(found, "delete of non-existent edge " +
+                            std::to_string(local) + " -> global " +
+                            std::to_string(d.nbr_global));
+    }
+    for (const std::uint32_t ii : ops->inserts) {
+      const EdgeInsert& ins = seg->batch().inserts[ii];
+      locals.push_back(ins.nbr_local);
+      shards.push_back(ins.nbr_shard);
+      weights.push_back(ins.weight);
+      nbr_dw.push_back(ins.nbr_weighted_deg);
+      globals.push_back(ins.nbr_global);
+      dw += ins.weight;
+    }
+  }
+
+  const std::size_t row =
+      scratch_.append_row(locals, shards, weights, nbr_dw, globals, dw);
+  merged_row_of_.emplace(local, row);
+  return row;
+}
+
+float ShardSnapshot::weighted_degree(NodeId local) const {
+  if (!dirty(local)) return base_->core_weighted_degree(local);
+  return scratch_.row(merge_row(local)).weighted_degree;
+}
+
+VertexProp ShardSnapshot::vertex_prop(NodeId local) const {
+  if (!dirty(local)) return base_->vertex_prop(local);
+  return scratch_.row(merge_row(local));
+}
+
+std::vector<VertexProp> ShardSnapshot::get_neighbor_infos(
+    std::span<const NodeId> locals) const {
+  if (clean()) return base_->get_neighbor_infos(locals);
+  // Merge every dirty row first: arena appends invalidate earlier views,
+  // so views materialize only once the arena is stable.
+  for (const NodeId l : locals) {
+    if (dirty(l)) (void)merge_row(l);
+  }
+  std::vector<VertexProp> props;
+  props.reserve(locals.size());
+  for (const NodeId l : locals) {
+    props.push_back(dirty(l) ? scratch_.row(merged_row_of_.at(l))
+                             : base_->vertex_prop(l));
+  }
+  return props;
+}
+
+void ShardSnapshot::encode_neighbor_infos_csr(std::span<const NodeId> locals,
+                                              ByteWriter& w,
+                                              const FetchOptions& options)
+    const {
+  if (clean()) {
+    base_->encode_neighbor_infos_csr(locals, w, options);
+    return;
+  }
+  for (const NodeId l : locals) {
+    if (dirty(l)) (void)merge_row(l);
+  }
+  std::vector<RowPtrs> rows;
+  rows.reserve(locals.size());
+  for (const NodeId l : locals) {
+    const VertexProp p = dirty(l) ? scratch_.row(merged_row_of_.at(l))
+                                  : base_->vertex_prop(l);
+    rows.push_back(RowPtrs{p.nbr_local_ids.data(), p.nbr_shard_ids.data(),
+                           p.edge_weights.data(),
+                           p.nbr_weighted_degrees.data(),
+                           p.nbr_global_ids.data(), p.degree(),
+                           p.weighted_degree});
+  }
+  encode_rows_csr(rows, w, options);
+}
+
+void ShardSnapshot::encode_neighbor_infos_tensor_list(
+    std::span<const NodeId> locals, ByteWriter& w) const {
+  if (clean()) {
+    base_->encode_neighbor_infos_tensor_list(locals, w);
+    return;
+  }
+  for (const NodeId l : locals) {
+    if (dirty(l)) (void)merge_row(l);
+  }
+  std::vector<RowPtrs> rows;
+  rows.reserve(locals.size());
+  for (const NodeId l : locals) {
+    const VertexProp p = dirty(l) ? scratch_.row(merged_row_of_.at(l))
+                                  : base_->vertex_prop(l);
+    rows.push_back(RowPtrs{p.nbr_local_ids.data(), p.nbr_shard_ids.data(),
+                           p.edge_weights.data(),
+                           p.nbr_weighted_degrees.data(),
+                           p.nbr_global_ids.data(), p.degree(),
+                           p.weighted_degree});
+  }
+  encode_rows_tensor_list(rows, w);
+}
+
+void ShardSnapshot::sample_one_neighbor(std::span<const NodeId> locals,
+                                        std::uint64_t seed,
+                                        std::vector<NodeId>& out_local,
+                                        std::vector<ShardId>& out_shard,
+                                        std::vector<NodeId>& out_global)
+    const {
+  if (clean()) {
+    base_->sample_one_neighbor(locals, seed, out_local, out_shard,
+                               out_global);
+    return;
+  }
+  for (const NodeId l : locals) {
+    if (dirty(l)) (void)merge_row(l);
+  }
+  // Same draw sequence as GraphShard::sample_one_neighbor: degree-0 rows
+  // consume no draw, every other row consumes exactly one next_float.
+  Rng rng(seed);
+  out_local.resize(locals.size());
+  out_shard.resize(locals.size());
+  out_global.resize(locals.size());
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const VertexProp prop = dirty(locals[i])
+                                ? scratch_.row(merged_row_of_.at(locals[i]))
+                                : base_->vertex_prop(locals[i]);
+    if (prop.degree() == 0) {
+      out_local[i] = locals[i];
+      out_shard[i] = shard_id();
+      out_global[i] = base_->core_global_id(locals[i]);
+      continue;
+    }
+    const float target = rng.next_float(0.0f, prop.weighted_degree);
+    float acc = 0;
+    std::size_t pick = prop.degree() - 1;
+    for (std::size_t k = 0; k < prop.degree(); ++k) {
+      acc += prop.edge_weights[k];
+      if (acc >= target) {
+        pick = k;
+        break;
+      }
+    }
+    out_local[i] = prop.nbr_local_ids[pick];
+    out_shard[i] = prop.nbr_shard_ids[pick];
+    out_global[i] = prop.nbr_global_ids[pick];
+  }
+}
+
+void ShardSnapshot::sample_k_neighbors(std::span<const NodeId> locals, int k,
+                                       std::uint64_t seed,
+                                       std::vector<EdgeIndex>& out_indptr,
+                                       std::vector<NodeId>& out_local,
+                                       std::vector<ShardId>& out_shard,
+                                       std::vector<NodeId>& out_global)
+    const {
+  if (clean()) {
+    base_->sample_k_neighbors(locals, k, seed, out_indptr, out_local,
+                              out_shard, out_global);
+    return;
+  }
+  GE_REQUIRE(k >= 1, "k must be positive");
+  for (const NodeId l : locals) {
+    if (dirty(l)) (void)merge_row(l);
+  }
+  Rng rng(seed);
+  out_indptr.assign(1, 0);
+  out_local.clear();
+  out_shard.clear();
+  out_global.clear();
+  std::vector<std::size_t> picks;
+  for (const NodeId l : locals) {
+    const VertexProp prop = dirty(l) ? scratch_.row(merged_row_of_.at(l))
+                                     : base_->vertex_prop(l);
+    const std::size_t deg = prop.degree();
+    const std::size_t take =
+        std::min<std::size_t>(deg, static_cast<std::size_t>(k));
+    picks.resize(deg);
+    for (std::size_t i = 0; i < deg; ++i) picks[i] = i;
+    // Partial Fisher–Yates, identical draws to the base sampler.
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t j = i + rng.next_u64(deg - i);
+      std::swap(picks[i], picks[j]);
+    }
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t e = picks[i];
+      out_local.push_back(prop.nbr_local_ids[e]);
+      out_shard.push_back(prop.nbr_shard_ids[e]);
+      out_global.push_back(prop.nbr_global_ids[e]);
+    }
+    out_indptr.push_back(static_cast<EdgeIndex>(out_local.size()));
+  }
+}
+
+void ShardSnapshot::reset_scratch() const {
+  scratch_.clear();
+  merged_row_of_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// VersionedShardStore
+
+struct VersionedShardStore::PinState {
+  explicit PinState(ShardId shard) {
+    if (shard < 0) return;
+    reg = obs::MetricRegistry::global().attach(
+        "storage.snapshot_pins", {{"shard", std::to_string(shard)}}, pins);
+  }
+  obs::Gauge pins;
+  obs::Registration reg;
+};
+
+VersionedShardStore::VersionedShardStore(
+    std::shared_ptr<const GraphShard> base, std::uint64_t base_version) {
+  GE_REQUIRE(base != nullptr, "versioned store needs a base shard");
+  current_.base = std::move(base);
+  current_.floor = base_version;
+  latest_ = base_version;
+  const ShardId shard = current_.base->shard_id();
+  pins_ = std::make_shared<PinState>(shard);
+  const obs::Labels labels{{"shard", std::to_string(shard)}};
+  auto& reg = obs::MetricRegistry::global();
+  regs_.push_back(reg.attach("storage.delta_edges", labels, delta_edges_));
+  regs_.push_back(reg.attach("storage.compactions", labels, compactions_));
+}
+
+ShardId VersionedShardStore::shard_id() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_.base->shard_id();
+}
+
+std::shared_ptr<const GraphShard> VersionedShardStore::base() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_.base;
+}
+
+std::uint64_t VersionedShardStore::latest_version() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return latest_;
+}
+
+std::uint64_t VersionedShardStore::first_mutation_version() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return first_mutation_;
+}
+
+std::uint64_t VersionedShardStore::oldest_pinnable_version() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retired_.empty() ? current_.floor : retired_.front().floor;
+}
+
+std::uint64_t VersionedShardStore::delta_edges() const {
+  return static_cast<std::uint64_t>(delta_edges_.load());
+}
+
+std::int64_t VersionedShardStore::snapshot_pins() const {
+  return pins_->pins.load();
+}
+
+std::uint64_t VersionedShardStore::compactions() const {
+  return compactions_.load();
+}
+
+void VersionedShardStore::refresh_delta_gauge_locked() {
+  std::uint64_t ops = 0;
+  for (const auto& seg : current_.segments) ops += seg->num_ops();
+  delta_edges_.set(static_cast<std::int64_t>(ops));
+}
+
+void VersionedShardStore::apply(std::uint64_t version, MutationBatch batch) {
+  obs::ScopedSpan span("storage.mutate");
+  span.annotate("version=" + std::to_string(version) +
+                " ops=" + std::to_string(batch.num_ops()));
+  auto seg = std::make_shared<const DeltaSegment>(version, std::move(batch));
+  std::lock_guard<std::mutex> lk(mu_);
+  GE_REQUIRE(version > latest_,
+             "mutation versions must be strictly ascending (got " +
+                 std::to_string(version) + ", latest " +
+                 std::to_string(latest_) + ")");
+  const NodeId n = current_.base->num_core_nodes();
+  for (const EdgeInsert& e : seg->batch().inserts) {
+    GE_REQUIRE(e.src_local >= 0 && e.src_local < n,
+               "edge insert source out of range");
+    GE_REQUIRE(e.nbr_local >= 0 && e.nbr_shard >= 0 && e.nbr_global >= 0 &&
+                   e.weight >= 0,
+               "malformed edge insert");
+  }
+  for (const EdgeDelete& e : seg->batch().deletes) {
+    GE_REQUIRE(e.src_local >= 0 && e.src_local < n,
+               "edge delete source out of range");
+  }
+  current_.segments.push_back(std::move(seg));
+  latest_ = version;
+  if (first_mutation_ == 0) first_mutation_ = version;
+  refresh_delta_gauge_locked();
+}
+
+std::shared_ptr<const ShardSnapshot> VersionedShardStore::snapshot(
+    std::uint64_t version) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return snapshot_locked(version);
+}
+
+std::shared_ptr<const ShardSnapshot> VersionedShardStore::snapshot_locked(
+    std::uint64_t version) const {
+  const std::uint64_t v = (version == kVersionLatest) ? latest_ : version;
+  const Generation* gen = nullptr;
+  if (v >= current_.floor) {
+    gen = &current_;
+  } else {
+    // Newest retired generation whose base predates the pin still holds
+    // every segment needed to reach it (compaction moves only segments
+    // *newer* than the new floor forward).
+    for (auto it = retired_.rbegin(); it != retired_.rend(); ++it) {
+      if (v >= it->floor) {
+        gen = &*it;
+        break;
+      }
+    }
+  }
+  GE_REQUIRE(gen != nullptr, "snapshot version " + std::to_string(v) +
+                                 " compacted away (oldest pinnable " +
+                                 std::to_string(retired_.empty()
+                                                    ? current_.floor
+                                                    : retired_.front().floor) +
+                                 ")");
+  std::vector<std::shared_ptr<const DeltaSegment>> segs;
+  for (const auto& seg : gen->segments) {
+    if (seg->version() <= v) segs.push_back(seg);
+  }
+  pins_->pins.add(1);
+  auto st = pins_;
+  std::shared_ptr<void> token(new int(0), [st](void* p) {
+    delete static_cast<int*>(p);
+    st->pins.add(-1);
+  });
+  return std::shared_ptr<const ShardSnapshot>(new ShardSnapshot(
+      gen->base, std::move(segs), v, std::move(token)));
+}
+
+std::shared_ptr<const GraphShard> VersionedShardStore::materialize(
+    const ShardSnapshot& snap) {
+  const GraphShard& old = snap.base();
+  auto shard = std::shared_ptr<GraphShard>(new GraphShard());
+  shard->shard_id_ = old.shard_id_;
+  const NodeId n = old.num_core_nodes();
+  shard->core_global_ids_ = old.core_global_ids_;
+  shard->indptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  shard->core_weighted_deg_.resize(static_cast<std::size_t>(n));
+  for (NodeId l = 0; l < n; ++l) {
+    const VertexProp p = snap.vertex_prop(l);
+    shard->core_weighted_deg_[static_cast<std::size_t>(l)] =
+        p.weighted_degree;
+    shard->nbr_local_ids_.insert(shard->nbr_local_ids_.end(),
+                                 p.nbr_local_ids.begin(),
+                                 p.nbr_local_ids.end());
+    shard->nbr_shard_ids_.insert(shard->nbr_shard_ids_.end(),
+                                 p.nbr_shard_ids.begin(),
+                                 p.nbr_shard_ids.end());
+    shard->edge_weights_.insert(shard->edge_weights_.end(),
+                                p.edge_weights.begin(),
+                                p.edge_weights.end());
+    shard->nbr_weighted_deg_.insert(shard->nbr_weighted_deg_.end(),
+                                    p.nbr_weighted_degrees.begin(),
+                                    p.nbr_weighted_degrees.end());
+    shard->nbr_global_ids_.insert(shard->nbr_global_ids_.end(),
+                                  p.nbr_global_ids.begin(),
+                                  p.nbr_global_ids.end());
+    shard->indptr_[static_cast<std::size_t>(l) + 1] =
+        shard->indptr_[static_cast<std::size_t>(l)] +
+        static_cast<EdgeIndex>(p.degree());
+  }
+  // Halo rows stay version-0 copies of other shards' state; the halo
+  // validity gate (VersionTracker::first_mutation) decides whether a query
+  // may consume them, so compaction carries them through unchanged.
+  shard->halo_cache_enabled_ = old.halo_cache_enabled_;
+  shard->halo_row_of_ = old.halo_row_of_;
+  shard->halo_indptr_ = old.halo_indptr_;
+  shard->halo_weighted_deg_ = old.halo_weighted_deg_;
+  shard->halo_nbr_local_ids_ = old.halo_nbr_local_ids_;
+  shard->halo_nbr_shard_ids_ = old.halo_nbr_shard_ids_;
+  shard->halo_edge_weights_ = old.halo_edge_weights_;
+  shard->halo_nbr_weighted_deg_ = old.halo_nbr_weighted_deg_;
+  shard->halo_nbr_global_ids_ = old.halo_nbr_global_ids_;
+  return shard;
+}
+
+void VersionedShardStore::compact() {
+  obs::ScopedSpan span("storage.compaction");
+  // Serialize compactions against each other; readers and apply() only
+  // contend on mu_ for the short publish step.
+  std::lock_guard<std::mutex> compact_lk(compact_mu_);
+  std::shared_ptr<const ShardSnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (current_.segments.empty()) return;  // nothing to fold
+    snap = snapshot_locked(kVersionLatest);
+  }
+  span.annotate("version=" + std::to_string(snap->version()));
+  // Copy: materialize the merged CSR outside the lock — mutations and
+  // reads proceed concurrently against the still-current generation.
+  auto fresh = materialize(*snap);
+  // Publish + Retire.
+  std::lock_guard<std::mutex> lk(mu_);
+  Generation next;
+  next.base = std::move(fresh);
+  next.floor = snap->version();
+  for (const auto& seg : current_.segments) {
+    if (seg->version() > snap->version()) next.segments.push_back(seg);
+  }
+  retired_.push_back(std::move(current_));
+  current_ = std::move(next);
+  if (retired_.size() > kMaxRetiredGenerations) {
+    retired_.erase(retired_.begin());
+  }
+  compactions_.add(1);
+  refresh_delta_gauge_locked();
+}
+
+void VersionedShardStore::serialize(ByteWriter& w) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  w.write<std::uint8_t>(1);  // store snapshot layout version
+  current_.base->serialize(w);
+  w.write<std::uint64_t>(current_.floor);
+  w.write<std::uint64_t>(latest_);
+  w.write<std::uint64_t>(first_mutation_);
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(
+      current_.segments.size()));
+  for (const auto& seg : current_.segments) {
+    w.write<std::uint64_t>(seg->version());
+    seg->batch().encode(w);
+  }
+}
+
+std::shared_ptr<VersionedShardStore> VersionedShardStore::deserialize(
+    ByteReader& r) {
+  const auto layout = r.read<std::uint8_t>();
+  GE_REQUIRE(layout == 1,
+             "unknown store snapshot layout " + std::to_string(layout));
+  auto base = GraphShard::deserialize(r);
+  const auto floor = r.read<std::uint64_t>();
+  const auto latest = r.read<std::uint64_t>();
+  const auto first_mutation = r.read<std::uint64_t>();
+  auto store = std::make_shared<VersionedShardStore>(std::move(base), floor);
+  const auto num_segments = r.read<std::uint32_t>();
+  for (std::uint32_t i = 0; i < num_segments; ++i) {
+    const auto version = r.read<std::uint64_t>();
+    store->apply(version, MutationBatch::decode(r));
+  }
+  std::lock_guard<std::mutex> lk(store->mu_);
+  GE_REQUIRE(store->latest_ == latest,
+             "store snapshot latest version inconsistent with segments");
+  // The source store may have compacted away the first mutation's segment;
+  // restore the recorded value so halo validity gating stays correct.
+  store->first_mutation_ = first_mutation;
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// VersionTracker
+
+VersionTracker::VersionTracker(int num_shards)
+    : num_shards_(static_cast<std::size_t>(num_shards)),
+      shards_(new PerShard[static_cast<std::size_t>(num_shards)]) {
+  GE_REQUIRE(num_shards > 0, "version tracker needs at least one shard");
+}
+
+void VersionTracker::note_shard_mutation(ShardId shard,
+                                         std::uint64_t version) {
+  GE_REQUIRE(shard >= 0 && static_cast<std::size_t>(shard) < num_shards_,
+             "shard id out of range");
+  PerShard& s = shards_[static_cast<std::size_t>(shard)];
+  std::uint64_t expected = 0;
+  s.first.compare_exchange_strong(expected, version,
+                                  std::memory_order_acq_rel);
+  // Mutations are coordinated under one process-wide mutation lock, so
+  // `last` only moves forward.
+  s.last.store(version, std::memory_order_release);
+  any_.store(true, std::memory_order_release);
+}
+
+std::uint64_t VersionTracker::first_mutation(ShardId shard) const {
+  GE_REQUIRE(shard >= 0 && static_cast<std::size_t>(shard) < num_shards_,
+             "shard id out of range");
+  return shards_[static_cast<std::size_t>(shard)].first.load(
+      std::memory_order_acquire);
+}
+
+std::uint64_t VersionTracker::last_mutation(ShardId shard) const {
+  GE_REQUIRE(shard >= 0 && static_cast<std::size_t>(shard) < num_shards_,
+             "shard id out of range");
+  return shards_[static_cast<std::size_t>(shard)].last.load(
+      std::memory_order_acquire);
+}
+
+}  // namespace ppr

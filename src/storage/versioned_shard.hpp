@@ -1,0 +1,312 @@
+// Versioned mutable storage plane (DESIGN.md §15).
+//
+// A VersionedShardStore turns the immutable GraphShard CSR into a
+// log-structured store: one immutable *base* CSR plus an append-only list
+// of DeltaSegments (edge insert/delete batches), each stamped with the
+// monotonically increasing **graph version** that created it. Readers
+// never see the log directly — they pin a ShardSnapshot at some version V
+// and observe base ⊕ {segments ≤ V}, one coherent graph state, no matter
+// how many mutations land or compactions run while the query is in
+// flight.
+//
+// The graph version is deliberately distinct from the ROUTING epoch
+// (cluster/shard_map.hpp): the routing epoch versions *where shards live*,
+// the graph version versions *what the edges are*. See the DESIGN.md §15
+// glossary.
+//
+// Compaction mirrors the PR 7 migration state machine (Copy → Publish →
+// Retire): a fresh base CSR is materialized OUTSIDE the store lock from a
+// pinned snapshot, then published as a new generation whose floor is the
+// snapshot version; the old generation is retired but kept on a bounded
+// list so remote readers can still re-pin recent pre-compaction versions.
+// In-process readers keep their snapshot's arrays alive through
+// shared_ptrs regardless of retirement — compaction can never free memory
+// a reader still walks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "storage/adjacency_cache.hpp"
+#include "storage/shard.hpp"
+
+namespace ppr {
+
+/// One edge appended to a core row. The neighbor endpoint ships fully
+/// resolved (<local, shard> + global id) plus the neighbor's weighted
+/// degree *at the version preceding the batch* — the same "no remote
+/// aggregate at push time" contract the base CSR edges carry (§3.2).
+/// Hints on pre-existing edges are not retroactively updated when a
+/// neighbor's degree changes; DESIGN.md §15 spells out the contract.
+struct EdgeInsert {
+  NodeId src_local = 0;
+  NodeId nbr_local = 0;
+  ShardId nbr_shard = 0;
+  NodeId nbr_global = 0;
+  float weight = 0;
+  float nbr_weighted_deg = 0;
+};
+
+/// Remove the first *live* edge src_local → nbr_global (base order, then
+/// insertion order). Parallel edges are deleted one at a time.
+struct EdgeDelete {
+  NodeId src_local = 0;
+  NodeId nbr_global = 0;
+};
+
+/// One shard's slice of a mutation at one graph version. Within a batch,
+/// deletes apply before inserts (so delete-then-reinsert in a single
+/// version behaves as written).
+struct MutationBatch {
+  std::vector<EdgeInsert> inserts;
+  std::vector<EdgeDelete> deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+  std::size_t num_ops() const { return inserts.size() + deletes.size(); }
+
+  void encode(ByteWriter& w) const;
+  static MutationBatch decode(ByteReader& r);
+};
+
+/// Immutable batch + version + a per-source index so row merges only walk
+/// the ops that touch their row.
+class DeltaSegment {
+ public:
+  DeltaSegment(std::uint64_t version, MutationBatch batch);
+
+  std::uint64_t version() const { return version_; }
+  const MutationBatch& batch() const { return batch_; }
+  std::size_t num_ops() const { return batch_.num_ops(); }
+
+  struct SrcOps {
+    std::vector<std::uint32_t> inserts;  // indices into batch().inserts
+    std::vector<std::uint32_t> deletes;  // indices into batch().deletes
+  };
+  /// Ops touching `src_local`, or nullptr when the row is clean here.
+  const SrcOps* ops(NodeId src_local) const;
+  bool touches(NodeId src_local) const { return ops(src_local) != nullptr; }
+
+ private:
+  std::uint64_t version_ = 0;
+  MutationBatch batch_;
+  std::unordered_map<NodeId, SrcOps> by_src_;
+};
+
+/// One coherent view of a shard at a pinned graph version: the base CSR
+/// plus every delta segment ≤ the pin, merged lazily per row into a
+/// scratch arena. Mirrors the GraphShard read API bit-for-bit — a clean
+/// row (or a clean snapshot) delegates straight to the base, and merged
+/// rows encode through the same shared row encoders, so a never-mutated
+/// store is byte-identical to the raw shard on every path.
+///
+/// NOT thread-safe per instance (the scratch arena mutates): the storage
+/// service builds one snapshot per request; the fetch pipeline owns one
+/// per query. The snapshot holds shared_ptrs to the base + segments and a
+/// refcounted pin (visible as the `storage.snapshot_pins` gauge), so the
+/// data it reads outlives any concurrent compaction.
+class ShardSnapshot {
+ public:
+  std::uint64_t version() const { return version_; }
+  ShardId shard_id() const { return base_->shard_id(); }
+  /// True when no segment ≤ the pin exists: every read is pure base.
+  bool clean() const { return segments_.empty(); }
+  const GraphShard& base() const { return *base_; }
+  std::shared_ptr<const GraphShard> base_ptr() const { return base_; }
+
+  NodeId num_core_nodes() const { return base_->num_core_nodes(); }
+  NodeId core_global_id(NodeId local) const {
+    return base_->core_global_id(local);
+  }
+  /// d_w of `local` at this version (base value ± merged delta weights).
+  float weighted_degree(NodeId local) const;
+
+  /// Any segment ≤ the pin touches this row.
+  bool dirty(NodeId local) const;
+
+  /// Neighborhood view at this version. Dirty rows materialize into the
+  /// snapshot's scratch arena — the returned view stays valid until
+  /// reset_scratch(); clean rows are zero-copy base views.
+  VertexProp vertex_prop(NodeId local) const;
+  std::vector<VertexProp> get_neighbor_infos(
+      std::span<const NodeId> locals) const;
+
+  /// Wire encoders; byte-identical to GraphShard's for clean rows (same
+  /// shared encoder underneath).
+  void encode_neighbor_infos_csr(std::span<const NodeId> locals, ByteWriter& w,
+                                 const FetchOptions& options = {}) const;
+  void encode_neighbor_infos_tensor_list(std::span<const NodeId> locals,
+                                         ByteWriter& w) const;
+
+  /// Sampling at this version: identical RNG draw sequence to GraphShard's
+  /// samplers, so a clean snapshot reproduces the base samples bit-exactly.
+  void sample_one_neighbor(std::span<const NodeId> locals, std::uint64_t seed,
+                           std::vector<NodeId>& out_local,
+                           std::vector<ShardId>& out_shard,
+                           std::vector<NodeId>& out_global) const;
+  void sample_k_neighbors(std::span<const NodeId> locals, int k,
+                          std::uint64_t seed,
+                          std::vector<EdgeIndex>& out_indptr,
+                          std::vector<NodeId>& out_local,
+                          std::vector<ShardId>& out_shard,
+                          std::vector<NodeId>& out_global) const;
+
+  /// Drop merged-row scratch (views from vertex_prop become invalid).
+  /// Called per pipeline round so long queries don't grow the arena
+  /// unboundedly.
+  void reset_scratch() const;
+
+ private:
+  friend class VersionedShardStore;
+  ShardSnapshot(std::shared_ptr<const GraphShard> base,
+                std::vector<std::shared_ptr<const DeltaSegment>> segments,
+                std::uint64_t version, std::shared_ptr<void> pin);
+
+  /// Merge base row ⊕ segment ops into the scratch arena; returns the
+  /// arena row index (cached per local).
+  std::size_t merge_row(NodeId local) const;
+
+  std::shared_ptr<const GraphShard> base_;
+  std::vector<std::shared_ptr<const DeltaSegment>> segments_;  // ascending
+  std::uint64_t version_ = 0;
+  std::shared_ptr<void> pin_;  // decrements storage.snapshot_pins on drop
+
+  mutable CachedRowArena scratch_;
+  mutable std::unordered_map<NodeId, std::size_t> merged_row_of_;
+};
+
+/// The versioned store for one shard: current generation (base + pending
+/// segments) plus a bounded list of retired pre-compaction generations so
+/// recent old versions stay re-pinnable for remote readers.
+class VersionedShardStore {
+ public:
+  /// Wrap an immutable shard as version-`base_version` (0 = pristine).
+  explicit VersionedShardStore(std::shared_ptr<const GraphShard> base,
+                               std::uint64_t base_version = 0);
+
+  ShardId shard_id() const;
+  /// Base CSR of the newest generation (what a clean latest read serves).
+  std::shared_ptr<const GraphShard> base() const;
+  /// Newest applied graph version (base_version when never mutated).
+  std::uint64_t latest_version() const;
+  /// Version of the first mutation ever applied; 0 = never mutated. Used
+  /// by the halo-validity gate (v0 halo rows describe other shards'
+  /// version-0 state).
+  std::uint64_t first_mutation_version() const;
+  /// Oldest version still snapshottable (floor of the oldest retained
+  /// generation).
+  std::uint64_t oldest_pinnable_version() const;
+  /// Edges currently living in delta segments of the newest generation.
+  std::uint64_t delta_edges() const;
+  std::int64_t snapshot_pins() const;
+
+  /// Append one mutation batch at `version` (strictly greater than
+  /// latest_version()). Ops are validated against the base row count.
+  void apply(std::uint64_t version, MutationBatch batch);
+
+  /// Pin a coherent snapshot at `version` (kVersionLatest = newest).
+  /// Fails (GE_REQUIRE) when the version predates the oldest retained
+  /// generation — "snapshot version compacted away".
+  std::shared_ptr<const ShardSnapshot> snapshot(
+      std::uint64_t version = kVersionLatest) const;
+
+  /// Fold pending segments into a fresh base CSR (Copy → Publish →
+  /// Retire). Concurrent reads and applies stay safe: materialization
+  /// runs outside the lock on a pinned snapshot; segments applied during
+  /// the copy carry into the new generation. No-op on a clean store.
+  void compact();
+  std::uint64_t compactions() const;
+
+  /// Full-store serialization (migration / replica bootstrap): base CSR +
+  /// floor/latest/first-mutation versions + pending segments of the
+  /// current generation. Retired generations do not ship — a freshly
+  /// adopted replica serves versions ≥ its floor.
+  void serialize(ByteWriter& w) const;
+  static std::shared_ptr<VersionedShardStore> deserialize(ByteReader& r);
+
+  /// Retired generations kept re-pinnable after compaction.
+  static constexpr std::size_t kMaxRetiredGenerations = 4;
+
+ private:
+  struct Generation {
+    std::shared_ptr<const GraphShard> base;
+    std::uint64_t floor = 0;  // base materialized at this version
+    std::vector<std::shared_ptr<const DeltaSegment>> segments;  // ascending
+  };
+
+  struct PinState;
+
+  /// Build a fresh GraphShard equal to `snap` (merged rows + updated
+  /// weighted degrees; halo arrays copied from the old base).
+  static std::shared_ptr<const GraphShard> materialize(
+      const ShardSnapshot& snap);
+
+  std::shared_ptr<const ShardSnapshot> snapshot_locked(
+      std::uint64_t version) const;
+  void refresh_delta_gauge_locked();
+
+  mutable std::mutex mu_;
+  std::mutex compact_mu_;  // serializes concurrent compact() calls
+  Generation current_;
+  std::vector<Generation> retired_;  // oldest first, bounded
+  std::uint64_t latest_ = 0;
+  std::uint64_t first_mutation_ = 0;
+
+  std::shared_ptr<PinState> pins_;
+  obs::Gauge delta_edges_;
+  obs::Counter compactions_;
+  std::vector<obs::Registration> regs_;
+};
+
+/// Per-process registry of what versions exist: the newest *published*
+/// version (safe for new queries to pin — every shard has applied all
+/// mutations ≤ it) and per-shard first/last mutation versions feeding the
+/// halo/adjacency-cache validity gates. The coordinator notes each shard's
+/// mutations BEFORE publishing the version, so any reader that sees
+/// published() ≥ V also sees every note ≤ V.
+class VersionTracker {
+ public:
+  explicit VersionTracker(int num_shards);
+
+  int num_shards() const { return static_cast<int>(num_shards_); }
+
+  std::uint64_t published() const {
+    return published_.load(std::memory_order_acquire);
+  }
+  void publish(std::uint64_t version) {
+    published_.store(version, std::memory_order_release);
+  }
+  /// True once any mutation was ever noted; drivers with no explicit pin
+  /// keep emitting legacy (unversioned) frames until this flips.
+  bool any_mutation() const { return any_.load(std::memory_order_acquire); }
+
+  void note_shard_mutation(ShardId shard, std::uint64_t version);
+  /// 0 = shard never mutated.
+  std::uint64_t first_mutation(ShardId shard) const;
+  std::uint64_t last_mutation(ShardId shard) const;
+
+  /// kVersionLatest → newest published version; concrete pins pass
+  /// through.
+  std::uint64_t resolve(std::uint64_t version) const {
+    return version == kVersionLatest ? published() : version;
+  }
+
+ private:
+  struct PerShard {
+    std::atomic<std::uint64_t> first{0};
+    std::atomic<std::uint64_t> last{0};
+  };
+
+  std::size_t num_shards_ = 0;
+  std::unique_ptr<PerShard[]> shards_;
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<bool> any_{false};
+};
+
+}  // namespace ppr

@@ -817,6 +817,86 @@ TEST(ClusterEndToEnd, ThreeProcessesMatchInProcessAnswers) {
   EXPECT_NE(metrics.find("rpc.tcp.frames_sent"), std::string::npos);
   EXPECT_NE(metrics.find("rpc.tcp.bytes_received"), std::string::npos);
 
+  // Streaming mutations over the real wire (DESIGN.md §15): every batch
+  // lands through the coordinator and is mirrored onto the in-process
+  // reference; all answers must stay bit-identical afterwards, before
+  // AND after folding the deltas with a wire-driven compaction.
+  EXPECT_EQ(client->graph_version(0), 0u);
+  const auto stream = mutation_stream(g, 2, 25, 0.7, 31);
+  for (const auto& batch : stream) {
+    const std::uint64_t v = client->mutate_edges(batch);
+    reference.apply_edge_mutations(batch);
+    EXPECT_EQ(v, reference.graph_version());
+  }
+  // The mutate reply only returns after the version announcement reached
+  // every peer, so all three nodes already publish the new version.
+  for (int node = 0; node < 3; ++node) {
+    EXPECT_EQ(client->graph_version(node), stream.size());
+  }
+
+  const auto check_mutated_answers = [&](const char* stage) {
+    for (const NodeId source : sources) {
+      SCOPED_TRACE(::testing::Message() << stage << " source " << source);
+      const NodeRef ref = reference.locate(source);
+      const int owner = client->owner_of(source);
+
+      const cluster::SspprReply tcp = client->ssppr(source);
+      serve::PendingQuery q;
+      q.source = ref;
+      q.enqueue_time = std::chrono::steady_clock::now();
+      q.deadline = std::chrono::steady_clock::time_point::max();
+      serve::QueryFuture future = q.promise.get_future();
+      ASSERT_TRUE(schedulers[static_cast<std::size_t>(owner)]->try_enqueue(
+          std::move(q)));
+      const serve::QueryResult expected = future.wait();
+      ASSERT_EQ(expected.status, serve::QueryStatus::kOk);
+      ASSERT_EQ(tcp.status, static_cast<std::uint8_t>(expected.status));
+      EXPECT_EQ(tcp.num_pushes, expected.num_pushes);
+      std::vector<std::pair<NodeId, double>> want;
+      want.reserve(expected.ppr.size());
+      for (const auto& [node_ref, value] : expected.ppr) {
+        want.emplace_back(reference.mapping().to_global(node_ref), value);
+      }
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(tcp.entries.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(tcp.entries[i].first, want[i].first);
+        EXPECT_EQ(tcp.entries[i].second, want[i].second) << "entry " << i;
+      }
+
+      const cluster::BfsReply bfs_tcp = client->bfs(source);
+      const NodeId bfs_sources[1] = {ref.local};
+      const BfsResult bfs_ref =
+          distributed_bfs(reference.storage(owner), bfs_sources, {});
+      EXPECT_EQ(bfs_tcp.num_levels, bfs_ref.num_levels);
+      std::vector<std::pair<NodeId, std::int32_t>> bfs_want;
+      bfs_want.reserve(bfs_ref.distances.size());
+      for (const auto& [node_ref, dist] : bfs_ref.distances) {
+        bfs_want.emplace_back(reference.mapping().to_global(node_ref),
+                              dist);
+      }
+      std::sort(bfs_want.begin(), bfs_want.end());
+      EXPECT_EQ(bfs_tcp.distances, bfs_want);
+
+      const cluster::WalkReply walk_tcp = client->walk(source, 12, 99);
+      RandomWalkOptions walk_options;
+      walk_options.walk_length = 12;
+      walk_options.seed = 99;
+      const NodeId roots[1] = {ref.local};
+      const RandomWalkResult walk_ref = distributed_random_walk(
+          reference.storage(owner), roots, walk_options);
+      EXPECT_EQ(walk_tcp.steps, walk_ref.walks);
+    }
+  };
+  check_mutated_answers("post-mutation");
+
+  for (ShardId s = 0; s < 3; ++s) client->compact_shard(s);
+  reference.compact_all();
+  check_mutated_answers("post-compaction");
+  const std::string mutated_metrics = client->metrics_json(0);
+  EXPECT_NE(mutated_metrics.find("storage.delta_edges"), std::string::npos);
+  EXPECT_NE(mutated_metrics.find("storage.compactions"), std::string::npos);
+
   // Graceful teardown: every node process must drain and exit 0.
   client->shutdown_cluster();
   client->leave();

@@ -1,0 +1,506 @@
+// Versioned mutable storage plane (DESIGN.md §15): delta-segmented
+// stores, snapshot-consistent reads, streaming edge mutations, and
+// compaction. `ctest -L mutation`; tools/check.sh runs this suite under
+// ASan/UBSan and the concurrent cases under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/cluster.hpp"
+#include "engine/ssppr_driver.hpp"
+#include "graph/generators.hpp"
+#include "ppr/bfs.hpp"
+#include "ppr/random_walk.hpp"
+#include "storage/storage_service.hpp"
+#include "storage/versioned_shard.hpp"
+
+namespace ppr {
+namespace {
+
+constexpr double kAlpha = 0.462;
+constexpr double kEps = 1e-5;
+
+using Entries = std::vector<std::pair<NodeRef, double>>;
+
+Entries sorted_ppr(const SspprState& s) {
+  Entries e = s.ppr_entries();
+  std::sort(e.begin(), e.end(), [](const auto& a, const auto& b) {
+    return a.first.key() < b.first.key();
+  });
+  return e;
+}
+
+/// Bit-exact comparison: same support, same doubles.
+void expect_identical(const Entries& got, const Entries& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].first.key(), want[i].first.key()) << what << " @" << i;
+    ASSERT_EQ(got[i].second, want[i].second) << what << " @" << i;
+  }
+}
+
+DriverOptions pinned_driver(std::uint64_t version) {
+  DriverOptions d;
+  d.graph_version = version;
+  return d;
+}
+
+class MutationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = generate_clustered(600, 6, 6000, 500, 1.5, 7);
+    assignment_ = partition_multilevel(graph_, 3);
+    batches_ = mutation_stream(graph_, /*num_batches=*/4,
+                               /*ops_per_batch=*/30,
+                               /*insert_fraction=*/0.65, /*seed=*/42);
+  }
+
+  std::unique_ptr<Cluster> make_cluster() const {
+    ClusterOptions opts;
+    opts.num_machines = 3;
+    opts.network = no_network_cost();
+    return std::make_unique<Cluster>(graph_, assignment_, opts);
+  }
+
+  std::vector<NodeRef> pick_sources(const Cluster& cluster, int machine,
+                                    std::size_t count) const {
+    const NodeId core = cluster.shard(machine).num_core_nodes();
+    std::vector<NodeRef> sources;
+    for (std::size_t q = 0; q < count; ++q) {
+      sources.push_back(NodeRef{static_cast<NodeId>((q * 37 + 5) % core),
+                                static_cast<ShardId>(machine)});
+    }
+    return sources;
+  }
+
+  Graph graph_;
+  PartitionAssignment assignment_;
+  std::vector<std::vector<EdgeMutationOp>> batches_;
+};
+
+// ---------------------------------------------------------------------
+// Generator.
+
+TEST_F(MutationFixture, MutationStreamDeterministicAndValid) {
+  const auto again = mutation_stream(graph_, 4, 30, 0.65, 42);
+  ASSERT_EQ(again.size(), batches_.size());
+  for (std::size_t b = 0; b < batches_.size(); ++b) {
+    ASSERT_EQ(again[b].size(), batches_[b].size());
+    for (std::size_t i = 0; i < batches_[b].size(); ++i) {
+      EXPECT_EQ(again[b][i].u, batches_[b][i].u);
+      EXPECT_EQ(again[b][i].v, batches_[b][i].v);
+      EXPECT_EQ(again[b][i].weight, batches_[b][i].weight);
+      EXPECT_EQ(again[b][i].insert, batches_[b][i].insert);
+    }
+  }
+  for (const auto& batch : batches_) {
+    for (const EdgeMutationOp& op : batch) {
+      EXPECT_NE(op.u, op.v);
+      EXPECT_GE(op.u, 0);
+      EXPECT_LT(op.u, graph_.num_nodes());
+      EXPECT_GE(op.v, 0);
+      EXPECT_LT(op.v, graph_.num_nodes());
+      if (op.insert) {
+        EXPECT_GT(op.weight, 0.0f);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Store-level: versions, per-version rows, delete-then-reinsert.
+
+TEST_F(MutationFixture, StoreServesEveryAppliedVersion) {
+  auto cluster = make_cluster();
+  const auto store = cluster->store(0);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->latest_version(), 0u);
+  EXPECT_EQ(store->first_mutation_version(), 0u);
+
+  // Insert one local edge 0 -> 1 inside shard 0 at version 1.
+  const GraphShard& shard = cluster->shard(0);
+  ASSERT_GE(shard.num_core_nodes(), 2);
+  const float d0 = shard.core_weighted_degree(0);
+  MutationBatch batch;
+  batch.inserts.push_back(EdgeInsert{0, 1, 0, shard.core_global_id(1), 2.5f,
+                                     shard.core_weighted_degree(1)});
+  store->apply(1, batch);
+  EXPECT_EQ(store->latest_version(), 1u);
+  EXPECT_EQ(store->first_mutation_version(), 1u);
+  EXPECT_GT(store->delta_edges(), 0u);
+
+  const auto v0 = store->snapshot(0);
+  const auto v1 = store->snapshot(1);
+  EXPECT_TRUE(v0->clean());
+  EXPECT_FALSE(v1->clean());
+  EXPECT_FLOAT_EQ(v0->weighted_degree(0), d0);
+  EXPECT_FLOAT_EQ(v1->weighted_degree(0), d0 + 2.5f);
+  const VertexProp row0 = v0->vertex_prop(0);
+  const VertexProp row1 = v1->vertex_prop(0);
+  EXPECT_EQ(row1.degree(), row0.degree() + 1);
+  // Inserted edges append after the base edges.
+  EXPECT_EQ(row1.nbr_local_ids[row1.degree() - 1], 1);
+  EXPECT_FLOAT_EQ(row1.edge_weights[row1.degree() - 1], 2.5f);
+}
+
+TEST_F(MutationFixture, DeleteThenReinsertAcrossVersions) {
+  auto cluster = make_cluster();
+  const auto store = cluster->store(0);
+  const GraphShard& shard = cluster->shard(0);
+
+  // Pick a core row with at least one edge and delete its first neighbor.
+  NodeId src = -1;
+  for (NodeId l = 0; l < shard.num_core_nodes(); ++l) {
+    if (shard.vertex_prop(l).degree() > 0) {
+      src = l;
+      break;
+    }
+  }
+  ASSERT_GE(src, 0);
+  const VertexProp base_row = shard.vertex_prop(src);
+  const std::size_t deg = base_row.degree();
+  const NodeId nbr_local = base_row.nbr_local_ids[0];
+  const ShardId nbr_shard = base_row.nbr_shard_ids[0];
+  const float w0 = base_row.edge_weights[0];
+  // Global id of the first neighbor (core or halo of another shard).
+  const NodeId nbr_global =
+      nbr_shard == 0
+          ? shard.core_global_id(nbr_local)
+          : cluster->shard(nbr_shard).core_global_id(nbr_local);
+
+  MutationBatch del;
+  del.deletes.push_back(EdgeDelete{src, nbr_global});
+  store->apply(1, del);
+  MutationBatch ins;
+  ins.inserts.push_back(
+      EdgeInsert{src, nbr_local, nbr_shard, nbr_global, 9.0f, 1.0f});
+  store->apply(2, ins);
+
+  const auto v0 = store->snapshot(0);
+  const auto v1 = store->snapshot(1);
+  const auto v2 = store->snapshot(2);
+  EXPECT_EQ(v0->vertex_prop(src).degree(), deg);
+  EXPECT_EQ(v1->vertex_prop(src).degree(), deg - 1);
+  EXPECT_EQ(v2->vertex_prop(src).degree(), deg);
+  EXPECT_FLOAT_EQ(v0->weighted_degree(src), base_row.weighted_degree);
+  EXPECT_FLOAT_EQ(v1->weighted_degree(src),
+                  base_row.weighted_degree - w0);
+  EXPECT_FLOAT_EQ(v2->weighted_degree(src),
+                  base_row.weighted_degree - w0 + 9.0f);
+  // The reinserted edge sits at the END of the merged row (insertion
+  // order), not at the deleted edge's old slot.
+  const VertexProp row2 = v2->vertex_prop(src);
+  EXPECT_EQ(row2.nbr_local_ids[row2.degree() - 1], nbr_local);
+  EXPECT_FLOAT_EQ(row2.edge_weights[row2.degree() - 1], 9.0f);
+}
+
+// ---------------------------------------------------------------------
+// Version-0 invariance: a never-mutated store resolves to the legacy
+// unversioned path and serves base rows untouched.
+
+TEST_F(MutationFixture, NeverMutatedStoreResolvesToLatest) {
+  auto cluster = make_cluster();
+  EXPECT_EQ(cluster->graph_version(), 0u);
+  EXPECT_EQ(cluster->storage(0).resolve_pin(kVersionLatest), kVersionLatest);
+  // An explicit pin sticks even without mutations.
+  EXPECT_EQ(cluster->storage(0).resolve_pin(0), 0u);
+
+  // Results agree between the legacy path and an explicit version-0 pin.
+  const SspprOptions ppr{.alpha = kAlpha, .epsilon = kEps};
+  for (const NodeRef src : pick_sources(*cluster, 0, 3)) {
+    const SspprState legacy =
+        compute_ssppr(cluster->storage(0), src, ppr, DriverOptions{});
+    const SspprState pinned =
+        compute_ssppr(cluster->storage(0), src, ppr, pinned_driver(0));
+    expect_identical(sorted_ppr(pinned), sorted_ppr(legacy), "pin0");
+    EXPECT_EQ(pinned.num_pushes(), legacy.num_pushes());
+  }
+}
+
+TEST_F(MutationFixture, WireHeaderVersionRoundtrip) {
+  // Legacy frame decodes as "newest version".
+  ByteWriter legacy;
+  write_storage_header(legacy, 2, 7);
+  auto legacy_bytes = std::move(legacy).take();
+  {
+    ByteReader r(legacy_bytes);
+    const StorageHeader h = read_storage_header(r);
+    EXPECT_EQ(h.shard, 2);
+    EXPECT_EQ(h.routing_epoch, 7u);
+    EXPECT_FALSE(h.versioned);
+    EXPECT_EQ(h.graph_version, kVersionLatest);
+  }
+  // Versioned frame carries the pin; the epoch word keeps its value.
+  ByteWriter v3;
+  write_storage_header_versioned(v3, 1, 9, 42);
+  auto v3_bytes = std::move(v3).take();
+  {
+    ByteReader r(v3_bytes);
+    const StorageHeader h = read_storage_header(r);
+    EXPECT_EQ(h.shard, 1);
+    EXPECT_EQ(h.routing_epoch, 9u);
+    EXPECT_TRUE(h.versioned);
+    EXPECT_EQ(h.graph_version, 42u);
+  }
+  // The retry path patches the epoch in place; the patch must preserve
+  // the versioned-flag bit (dist_storage.cpp does exactly this).
+  {
+    std::uint64_t word = 0;
+    std::memcpy(&word, v3_bytes.data() + kStorageEpochOffset, sizeof(word));
+    word = std::uint64_t{11} | (word & kStorageVersionedFlag);
+    std::memcpy(v3_bytes.data() + kStorageEpochOffset, &word, sizeof(word));
+    ByteReader r(v3_bytes);
+    const StorageHeader h = read_storage_header(r);
+    EXPECT_EQ(h.routing_epoch, 11u);
+    EXPECT_TRUE(h.versioned);
+    EXPECT_EQ(h.graph_version, 42u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot isolation + frozen-copy equivalence across the full stack.
+
+TEST_F(MutationFixture, QueriesPinnedAtOldVersionsAreUnaffected) {
+  auto cluster = make_cluster();
+  const SspprOptions ppr{.alpha = kAlpha, .epsilon = kEps};
+  const auto sources = pick_sources(*cluster, 1, 3);
+
+  std::vector<Entries> baseline;
+  for (const NodeRef src : sources) {
+    baseline.push_back(sorted_ppr(
+        compute_ssppr(cluster->storage(1), src, ppr, DriverOptions{})));
+  }
+
+  for (const auto& batch : batches_) {
+    cluster->apply_edge_mutations(batch);
+  }
+  EXPECT_EQ(cluster->graph_version(), batches_.size());
+
+  // Pinned at 0: bit-identical to the pre-mutation run.
+  for (std::size_t q = 0; q < sources.size(); ++q) {
+    const SspprState at0 = compute_ssppr(cluster->storage(1), sources[q],
+                                         ppr, pinned_driver(0));
+    expect_identical(sorted_ppr(at0), baseline[q], "pinned at 0");
+  }
+}
+
+TEST_F(MutationFixture, PinnedReadsMatchFrozenCopyAtEveryVersion) {
+  // `full` has all batches applied; `frozen` only the first V. A read of
+  // `full` pinned at V must be bit-identical to `frozen` at latest (both
+  // queries resolve to version V), with the same remote traffic.
+  auto full = make_cluster();
+  for (const auto& batch : batches_) full->apply_edge_mutations(batch);
+
+  const std::size_t kFrozenAt = 2;
+  auto frozen = make_cluster();
+  for (std::size_t b = 0; b < kFrozenAt; ++b) {
+    frozen->apply_edge_mutations(batches_[b]);
+  }
+  ASSERT_EQ(frozen->graph_version(), kFrozenAt);
+
+  const SspprOptions ppr{.alpha = kAlpha, .epsilon = kEps};
+  const auto sources = pick_sources(*full, 0, 4);
+  for (const NodeRef src : sources) {
+    full->reset_stats();
+    frozen->reset_stats();
+    const SspprState got = compute_ssppr(full->storage(0), src, ppr,
+                                         pinned_driver(kFrozenAt));
+    const SspprState want =
+        compute_ssppr(frozen->storage(0), src, ppr, DriverOptions{});
+    expect_identical(sorted_ppr(got), sorted_ppr(want), "frozen copy");
+    EXPECT_EQ(got.num_pushes(), want.num_pushes());
+    // Identical remote traffic, byte for byte: both runs resolve their
+    // pin to V, so they emit the same versioned fetch frames.
+    EXPECT_EQ(full->total_remote_calls(), frozen->total_remote_calls());
+    EXPECT_EQ(full->total_remote_bytes(), frozen->total_remote_bytes());
+  }
+
+  // BFS and random walks see the same snapshot-consistent view.
+  BfsOptions bfs_full;
+  bfs_full.graph_version = kFrozenAt;
+  const NodeId roots[2] = {sources[0].local, sources[1].local};
+  const BfsResult bfs_got =
+      distributed_bfs(full->storage(0), roots, bfs_full);
+  const BfsResult bfs_want =
+      distributed_bfs(frozen->storage(0), roots, BfsOptions{});
+  ASSERT_EQ(bfs_got.distances.size(), bfs_want.distances.size());
+  EXPECT_EQ(bfs_got.num_levels, bfs_want.num_levels);
+
+  for (const bool batched : {true, false}) {
+    RandomWalkOptions wopt;
+    wopt.walk_length = 8;
+    wopt.seed = 12345;
+    wopt.batch = batched;
+    RandomWalkOptions wopt_pinned = wopt;
+    wopt_pinned.graph_version = kFrozenAt;
+    const RandomWalkResult walk_got =
+        distributed_random_walk(full->storage(0), roots, wopt_pinned);
+    const RandomWalkResult walk_want =
+        distributed_random_walk(frozen->storage(0), roots, wopt);
+    EXPECT_EQ(walk_got.walks, walk_want.walks)
+        << (batched ? "batched" : "unbatched");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Compaction: loss-free, result- and byte-identical at the same version.
+
+TEST_F(MutationFixture, CompactionPreservesResultsAndBytes) {
+  auto cluster = make_cluster();
+  for (const auto& batch : batches_) cluster->apply_edge_mutations(batch);
+  const std::uint64_t pin = cluster->graph_version();
+
+  const SspprOptions ppr{.alpha = kAlpha, .epsilon = kEps};
+  const auto sources = pick_sources(*cluster, 2, 4);
+
+  std::vector<Entries> want;
+  std::vector<std::uint64_t> want_bytes, want_calls;
+  for (const NodeRef src : sources) {
+    cluster->reset_stats();
+    want.push_back(sorted_ppr(
+        compute_ssppr(cluster->storage(2), src, ppr, pinned_driver(pin))));
+    want_bytes.push_back(cluster->total_remote_bytes());
+    want_calls.push_back(cluster->total_remote_calls());
+  }
+
+  std::uint64_t delta_before = 0;
+  for (int s = 0; s < 3; ++s) delta_before += cluster->store(s)->delta_edges();
+  EXPECT_GT(delta_before, 0u);
+
+  cluster->compact_all();
+
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(cluster->store(s)->delta_edges(), 0u);
+    EXPECT_EQ(cluster->store(s)->latest_version(), pin);
+  }
+
+  for (std::size_t q = 0; q < sources.size(); ++q) {
+    cluster->reset_stats();
+    const SspprState got = compute_ssppr(cluster->storage(2), sources[q],
+                                         ppr, pinned_driver(pin));
+    expect_identical(sorted_ppr(got), want[q], "post-compaction");
+    EXPECT_EQ(cluster->total_remote_bytes(), want_bytes[q]);
+    EXPECT_EQ(cluster->total_remote_calls(), want_calls[q]);
+  }
+
+  // Old versions survive compaction through the retired generations.
+  const auto v0 = cluster->store(0)->snapshot(0);
+  EXPECT_EQ(v0->version(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Replicas apply versions in the same order as the owner.
+
+TEST_F(MutationFixture, ReplicasStayInVersionLockstep) {
+  auto cluster = make_cluster();
+  cluster->add_replica(1, 0);
+  for (const auto& batch : batches_) cluster->apply_edge_mutations(batch);
+
+  const auto owner = cluster->service(1).store_ptr(1);
+  const auto replica = cluster->service(0).store_ptr(1);
+  ASSERT_NE(owner, nullptr);
+  ASSERT_NE(replica, nullptr);
+  EXPECT_EQ(owner->latest_version(), replica->latest_version());
+  EXPECT_EQ(owner->delta_edges(), replica->delta_edges());
+
+  // Row-for-row identical at every version.
+  for (std::uint64_t v = 0; v <= owner->latest_version(); ++v) {
+    const auto a = owner->snapshot(v);
+    const auto b = replica->snapshot(v);
+    for (NodeId l = 0; l < a->num_core_nodes(); ++l) {
+      ASSERT_FLOAT_EQ(a->weighted_degree(l), b->weighted_degree(l))
+          << "v" << v << " row " << l;
+      const VertexProp ra = a->vertex_prop(l);
+      const VertexProp rb = b->vertex_prop(l);
+      ASSERT_EQ(ra.degree(), rb.degree()) << "v" << v << " row " << l;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: queries pinned at version 0 stay bit-identical while
+// mutation batches land and a compaction completes mid-stream.
+
+TEST_F(MutationFixture, ConcurrentMutateAndQueryStaysSnapshotConsistent) {
+  auto cluster = make_cluster();
+  const SspprOptions ppr{.alpha = kAlpha, .epsilon = kEps};
+  const auto sources = pick_sources(*cluster, 0, 2);
+
+  std::vector<Entries> baseline;
+  for (const NodeRef src : sources) {
+    baseline.push_back(sorted_ppr(
+        compute_ssppr(cluster->storage(0), src, ppr, DriverOptions{})));
+  }
+
+  const auto stream = mutation_stream(graph_, 6, 20, 0.6, 99);
+  std::atomic<bool> done{false};
+  std::thread mutator([&] {
+    for (std::size_t b = 0; b < stream.size(); ++b) {
+      cluster->apply_edge_mutations(stream[b]);
+      if (b == stream.size() / 2) cluster->compact_all();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  int rounds = 0;
+  while (!done.load(std::memory_order_acquire) || rounds < 3) {
+    for (std::size_t q = 0; q < sources.size(); ++q) {
+      const SspprState at0 = compute_ssppr(cluster->storage(0), sources[q],
+                                           ppr, pinned_driver(0));
+      expect_identical(sorted_ppr(at0), baseline[q], "pin0 under churn");
+      // Latest-pinned queries must run cleanly against whatever version
+      // is published while mutations land (values intentionally differ).
+      const SspprState latest =
+          compute_ssppr(cluster->storage(0), sources[q], ppr,
+                        DriverOptions{});
+      EXPECT_GT(latest.num_pushes(), 0u);
+    }
+    ++rounds;
+  }
+  mutator.join();
+
+  EXPECT_EQ(cluster->graph_version(), stream.size());
+  std::uint64_t compactions = 0;
+  for (int s = 0; s < 3; ++s) compactions += cluster->store(s)->compactions();
+  EXPECT_GT(compactions, 0u);
+
+  // After the churn, pinned-at-0 reads are still bit-identical.
+  for (std::size_t q = 0; q < sources.size(); ++q) {
+    const SspprState at0 = compute_ssppr(cluster->storage(0), sources[q],
+                                         ppr, pinned_driver(0));
+    expect_identical(sorted_ppr(at0), baseline[q], "pin0 after churn");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Store serialization: migration snapshots carry the version state.
+
+TEST_F(MutationFixture, StoreSerializationRoundTripsVersionState) {
+  auto cluster = make_cluster();
+  for (const auto& batch : batches_) cluster->apply_edge_mutations(batch);
+  const auto store = cluster->store(0);
+
+  ByteWriter w;
+  store->serialize(w);
+  const auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  const auto copy = VersionedShardStore::deserialize(r);
+
+  EXPECT_EQ(copy->shard_id(), store->shard_id());
+  EXPECT_EQ(copy->latest_version(), store->latest_version());
+  EXPECT_EQ(copy->first_mutation_version(), store->first_mutation_version());
+  EXPECT_EQ(copy->delta_edges(), store->delta_edges());
+  const auto a = store->snapshot();
+  const auto b = copy->snapshot();
+  for (NodeId l = 0; l < a->num_core_nodes(); ++l) {
+    ASSERT_FLOAT_EQ(a->weighted_degree(l), b->weighted_degree(l));
+  }
+}
+
+}  // namespace
+}  // namespace ppr

@@ -48,6 +48,14 @@ for SANITIZER in "${SANITIZERS[@]}"; do
       echo "=== ${SANITIZER}: hybrid_kernel_test (GE_FORCE_SCALAR off/on) ==="
       "${BUILD}/tests/hybrid_kernel_test" --gtest_brief=1
       GE_FORCE_SCALAR=1 "${BUILD}/tests/hybrid_kernel_test" --gtest_brief=1
+      # Versioned storage plane: run the concurrent mutate+query case
+      # alone under TSan — a mutator thread lands batches and compacts
+      # mid-stream while pinned snapshot reads race the generation swaps
+      # (DESIGN.md §15's Copy→Publish→Retire is only correct if those
+      # never tear).
+      echo "=== ${SANITIZER}: mutation_test concurrent mutate+query ==="
+      "${BUILD}/tests/mutation_test" \
+          --gtest_filter='*ConcurrentMutateAndQuery*' --gtest_brief=1
       ;;
     *address*|*undefined*)
       # Wire-codec fuzz-style tests again with the tensor-marshal cost
@@ -65,6 +73,11 @@ for SANITIZER in "${SANITIZERS[@]}"; do
       ctest --test-dir "${BUILD}" -L kernel --output-on-failure
       GE_FORCE_SCALAR=1 ctest --test-dir "${BUILD}" -L kernel \
           --output-on-failure
+      # Versioned storage plane: delta-segment merges, snapshot pins, and
+      # compaction shuffle row spans between base CSRs and segments — run
+      # the suite alone so heap errors point at the storage layer.
+      echo "=== ${SANITIZER}: ctest -L mutation (versioned storage) ==="
+      ctest --test-dir "${BUILD}" -L mutation --output-on-failure
       ;;
   esac
   # Real multi-process arm, run again by name so a failure is attributed

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Multi-process cluster smoke: boots 3 graph_engine_node processes over
 # localhost TCP, runs one SSPPR + BFS + walk query through a mesh-member
-# client, asks the cluster to shut down, and asserts every node exited 0
-# (i.e. drained gracefully and left the mesh).
+# client, streams seeded edge-mutation batches through the coordinator
+# (every node must publish the announced graph version, and the answer
+# must survive a wire-driven compaction bit-identically), asks the
+# cluster to shut down, and asserts every node exited 0 (i.e. drained
+# gracefully and left the mesh).
 #
 # Second arm (elastic shard plane): boots a fresh cluster, replicates
 # every shard, records SSPPR answers, kill -9s storage node 2, and
@@ -54,7 +57,8 @@ EOF
   done
 
   if "${CLIENT_BIN}" --config="${CONF}" --client=3 \
-      --ssppr=0 --bfs=0 --walk=0 --shutdown-cluster \
+      --ssppr=0 --bfs=0 --walk=0 --mutation-drill=4 --metrics=0 \
+      --shutdown-cluster \
       > "${WORK}/client.log" 2>&1; then
     break
   fi
@@ -83,9 +87,20 @@ cat "${WORK}/client.log"
 grep -q "^ssppr source=0 status=0" "${WORK}/client.log"
 grep -q "^bfs source=0" "${WORK}/client.log"
 grep -q "^walk source=0 steps=" "${WORK}/client.log"
+# Versioned storage plane: the announce-before-reply contract held on
+# every node, and compaction left the answer bit-identical.
+grep -q "^mutated batches=4" "${WORK}/client.log"
+grep -q "^graph-version node=2 v=4" "${WORK}/client.log"
+grep -q "^mutation-drill: compaction-stable version=4" "${WORK}/client.log"
+# The versioned-store gauges ride the LIVE metrics fetch (--metrics=0,
+# taken after the drill while the stores are still serving); the
+# compaction counter also survives into the exit-time export.
+grep -q "storage.delta_edges" "${WORK}/client.log"
+grep -q "storage.snapshot_pins" "${WORK}/client.log"
 # The obs plane must have been exported by each node on exit.
 for i in 0 1 2; do
   grep -q "rpc.tcp.frames_sent" "${WORK}/metrics-${i}.json"
+  grep -q "storage.compactions" "${WORK}/metrics-${i}.json"
 done
 
 if [ "${STATUS}" != 0 ]; then

@@ -17,6 +17,14 @@
 //       print "drill-ready", wait for --drill-gate=PATH to appear (the
 //       harness kills a node in between), re-query, and require the
 //       answers to be bit-identical — exits 1 on any divergence.
+//
+// Versioned storage plane (DESIGN.md §15):
+//   --mutation-drill=N   stream N seeded mutation batches through the
+//       coordinator, require every storage node to publish the announced
+//       graph version, compact every shard over the wire, and require
+//       the post-compaction SSPPR answer to be bit-identical to the
+//       post-mutation one — exits 1 on any divergence.
+//   --mutation-ops=K     ops per batch for the drill (default 24)
 #include <chrono>
 #include <filesystem>
 #include <iostream>
@@ -27,6 +35,7 @@
 
 #include "cluster/client.hpp"
 #include "common/argparse.hpp"
+#include "graph/generators.hpp"
 
 namespace {
 
@@ -63,6 +72,7 @@ int main(int argc, char** argv) {
                  "--client=ID [--ssppr=N] [--bfs=N] [--walk=N] "
                  "[--metrics=NODE] [--migrate=S:N] [--add-replica=S:N|all] "
                  "[--failover-drill=A,B --drill-gate=PATH] "
+                 "[--mutation-drill=N [--mutation-ops=K]] "
                  "[--shutdown-cluster]\n";
     return 2;
   }
@@ -161,6 +171,57 @@ int main(int argc, char** argv) {
       }
       std::cout << "drill: identical (" << sources.size()
                 << " sources)" << std::endl;
+    }
+    if (args.has("mutation-drill")) {
+      const int batches =
+          static_cast<int>(args.get_int("mutation-drill", 4));
+      const int ops_per_batch =
+          static_cast<int>(args.get_int("mutation-ops", 24));
+      // The client materializes the identical graph the nodes loaded, so
+      // the seeded stream only names real, live edges.
+      const ppr::Graph g = ppr::load_cluster_graph(config);
+      const auto stream = ppr::mutation_stream(g, batches, ops_per_batch,
+                                               0.7, 13);
+      std::uint64_t version = 0;
+      std::size_t total_ops = 0;
+      for (const auto& batch : stream) {
+        version = client.mutate_edges(batch);
+        total_ops += batch.size();
+      }
+      std::cout << "mutated batches=" << stream.size()
+                << " ops=" << total_ops << " version=" << version << "\n";
+      // The mutate reply only returns after the version announcement
+      // reached every peer, so each node must already publish it.
+      for (int node = 0; node < config.num_storage_nodes(); ++node) {
+        const std::uint64_t v = client.graph_version(node);
+        std::cout << "graph-version node=" << node << " v=" << v << "\n";
+        if (v != version) {
+          std::cerr << "mutation-drill: node " << node << " publishes " << v
+                    << ", expected " << version << "\n";
+          return 1;
+        }
+      }
+      const ppr::cluster::SspprReply before = client.ssppr(0);
+      if (before.status != 0) {
+        std::cerr << "mutation-drill: post-mutation query failed\n";
+        return 1;
+      }
+      // Fold the deltas on every shard; the merged rows must read back
+      // bit-identically from the fresh base CSRs.
+      for (int s = 0; s < config.num_storage_nodes(); ++s) {
+        client.compact_shard(s);
+      }
+      const ppr::cluster::SspprReply after = client.ssppr(0);
+      if (after.status != before.status ||
+          after.num_pushes != before.num_pushes ||
+          after.entries != before.entries) {
+        std::cerr << "mutation-drill: post-compaction answer diverged "
+                     "(entries " << after.entries.size() << " vs "
+                  << before.entries.size() << ")\n";
+        return 1;
+      }
+      std::cout << "mutation-drill: compaction-stable version=" << version
+                << " entries=" << after.entries.size() << std::endl;
     }
     if (args.has("metrics")) {
       const int node = static_cast<int>(args.get_int("metrics", 0));
